@@ -1,0 +1,38 @@
+"""Shared helpers for the benchmark harness.
+
+Every figure/table of the paper's evaluation section has one
+``test_*`` module here; the pytest-benchmark summary table, grouped per
+figure, is the machine-readable regeneration of that figure.  For the
+paper-styled rows (struct size / encoded size / RDM columns), run
+``python benchmarks/regen_experiments.py``, which produces the tables
+embedded in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.pbio.context import IOContext
+from repro.pbio.format_server import FormatServer
+from repro.pbio.layout import field_list_for
+
+
+def context_for_case(case) -> IOContext:
+    """A fresh context with the case's format registered (compiled-in
+    path)."""
+    ctx = IOContext(format_server=FormatServer())
+    subformats = None
+    if case.get("subformats"):
+        subformats = {}
+        for name, specs in case["subformats"].items():
+            subformats[name] = field_list_for(
+                specs, architecture=ctx.architecture,
+                subformats=dict(subformats))
+    ctx.register_layout(case["name"], case["specs"],
+                        subformats=subformats)
+    return ctx
+
+
+@pytest.fixture
+def fresh_server() -> FormatServer:
+    return FormatServer()

@@ -1,0 +1,255 @@
+#!/usr/bin/env python
+"""Regenerate every table/figure of the paper's evaluation section.
+
+Prints, for each experiment, the same rows/series the paper plots,
+with our measured numbers — this output is what EXPERIMENTS.md embeds.
+
+Run:  python benchmarks/regen_experiments.py [--fast]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.bench import workloads
+from repro.bench.rdm import (
+    build_subformats, measure_rdm, pbio_register, xmit_register,
+)
+from repro.bench.report import print_table
+from repro.bench.timing import time_callable
+from repro.hydrology import run_pipeline
+from repro.pbio.format import IOFormat
+from repro.pbio.layout import field_list_for
+from repro.pbio.machine import X86_32
+from repro.wire import codec_by_name
+
+
+def simple_data_format() -> IOFormat:
+    return IOFormat("SimpleData", field_list_for([
+        ("timestep", "integer", 4), ("size", "integer", 4),
+        ("data", "float[size]", 4)]))
+
+
+def fig1(repeat: int) -> None:
+    fmt = simple_data_format()
+    record = workloads.simple_data_record(workloads.FIG1_FLOATS)
+    xml = codec_by_name("xml", fmt)
+    pbio = codec_by_name("pbio", fmt)
+    xml_size = xml.encoded_size(record)
+    bin_size = pbio.encoded_size(record)
+    print_table(
+        ["representation", "bytes", "expansion"],
+        [("binary (PBIO)", bin_size, 1.0),
+         ("XML (ASCII)", xml_size, round(xml_size / bin_size, 2))],
+        title=f"Fig. 1 — SimpleData ({workloads.FIG1_FLOATS} values): "
+              "XML expansion  [paper: ~3x; 6-8x typical]")
+
+
+def _rdm_rows(cases, repeat: int):
+    rows = []
+    for case in cases:
+        result = measure_rdm(case["xsd"], case["name"], case["specs"],
+                             sample_record=case.get("record"),
+                             subformat_specs=case.get("subformats"),
+                             repeat=repeat)
+        ilp32_sub = (build_subformats(case["subformats"], X86_32)
+                     if case.get("subformats") else None)
+        ilp32 = field_list_for(case["specs"], architecture=X86_32,
+                               subformats=ilp32_sub).record_length
+        rows.append((case["name"], ilp32, result.structure_size,
+                     result.encoded_size or "-",
+                     round(result.pbio.best_ms, 4),
+                     round(result.xmit.best_ms, 4),
+                     round(result.rdm, 2)))
+    return rows
+
+
+def fig3(repeat: int) -> None:
+    print_table(
+        ["structure", "ILP32 B", "native B", "encoded B", "PBIO ms",
+         "XMIT ms", "RDM"],
+        _rdm_rows(workloads.poc_cases(), repeat),
+        title="Fig. 3 — registration costs, proof of concept  "
+              "[paper: RDM 1.87-2.05 at 32/52/180 B]")
+
+
+def fig6(repeat: int) -> None:
+    print_table(
+        ["structure", "ILP32 B", "native B", "encoded B", "PBIO ms",
+         "XMIT ms", "RDM"],
+        _rdm_rows(workloads.hydrology_cases(), repeat),
+        title="Fig. 6 — registration costs, Hydrology  "
+              "[paper: RDM 4 / 2.73 / 2.26 / 2.11 at 152/20/44/12 B]")
+
+
+def fig7(repeat: int) -> None:
+    labels = ["JoinRequest", "ControlMsg", "GridMeta",
+              "SimpleData (65536 floats)"]
+    rows = []
+    for label, case in zip(labels, workloads.encoding_cases()):
+        native_ctx = pbio_register(case["specs"], case["name"])
+        xmit_ctx = xmit_register(case["xsd"], case["name"])
+        encoded = native_ctx.encoded_size(case["name"], case["record"])
+
+        def encode_with(ctx, case=case):
+            encoder = ctx.encoder_for(ctx.lookup_format(case["name"]))
+            record = case["record"]
+            return lambda: encoder.encode_body(record)
+
+        native = time_callable(encode_with(native_ctx),
+                               repeat=repeat).best_ms
+        via_xmit = time_callable(encode_with(xmit_ctx),
+                                 repeat=repeat).best_ms
+        rows.append((label, encoded, round(native, 5),
+                     round(via_xmit, 5),
+                     round(via_xmit / native, 2)))
+    print_table(
+        ["record", "encoded B", "PBIO-metadata ms",
+         "XMIT-metadata ms", "ratio"],
+        rows,
+        title="Fig. 7 — encoding times with native vs XMIT-generated "
+              "metadata  [paper: identical]")
+
+
+def fig8(repeat: int) -> None:
+    fmt = simple_data_format()
+    codecs = {name: codec_by_name(name, fmt)
+              for name in ("xml", "mpi", "cdr", "xdr", "pbio")}
+    rows = []
+    for size in workloads.FIG8_SIZES:
+        record = workloads.simple_data_record_for_bytes(size)
+        row = [f"{size} B"]
+        for name in ("xml", "mpi", "cdr", "xdr", "pbio"):
+            cost = time_callable(
+                lambda c=codecs[name]: c.encode(record),
+                repeat=2 if name == "xml" else repeat,
+                target_batch_seconds=0.01).best_ms
+            row.append(round(cost, 5))
+        rows.append(tuple(row))
+    print_table(
+        ["binary size", "XML ms", "MPI ms", "CDR ms", "XDR ms",
+         "PBIO ms"],
+        rows,
+        title="Fig. 8 — send-side encode times by mechanism  "
+              "[paper: XML >> MPICH, CORBA >> PBIO, log scale]")
+
+
+def s41(repeat: int) -> None:
+    fmt = simple_data_format()
+    xml = codec_by_name("xml", fmt)
+    pbio = codec_by_name("pbio", fmt)
+    rows = []
+    for size in (1_000, 10_000, 100_000):
+        record = workloads.simple_data_record_for_bytes(size)
+        xml_cost = time_callable(
+            lambda: xml.decode(xml.encode(record)), repeat=2,
+            target_batch_seconds=0.01).best_ms
+        bin_cost = time_callable(
+            lambda: pbio.decode(pbio.encode(record)),
+            repeat=repeat).best_ms
+        rows.append((f"{size} B", round(xml_cost, 4),
+                     round(bin_cost, 5),
+                     round(xml_cost / bin_cost, 1)))
+    print_table(
+        ["binary size", "XML enc+dec ms", "PBIO enc+dec ms",
+         "ratio"],
+        rows,
+        title="Sec. 4.1 — XML as a wire format  "
+              "[paper: 2-4 orders of magnitude]")
+
+
+def s42(repeat: int) -> None:
+    case = [c for c in workloads.hydrology_cases()
+            if c["name"] == "SimpleData"][0]
+    record = workloads.simple_data_record(256)
+    xmit_reg = time_callable(
+        lambda: xmit_register(case["xsd"], "SimpleData"),
+        repeat=repeat).best
+    pbio_reg = time_callable(
+        lambda: pbio_register(case["specs"], "SimpleData"),
+        repeat=repeat).best
+    ctx = pbio_register(case["specs"], "SimpleData")
+    encoder = ctx.encoder_for(ctx.lookup_format("SimpleData"))
+    send = time_callable(lambda: encoder.encode_body(record),
+                         repeat=repeat).best
+    overhead = xmit_reg - pbio_reg
+    rows = [(n, round(overhead / n * 1e6, 3),
+             round(overhead / (n * send), 2))
+            for n in (1, 10, 100, 1000, 10000)]
+    print_table(
+        ["messages sent", "XMIT overhead per msg (us)",
+         "overhead / send cost"],
+        rows,
+        title="Sec. 4.2 — remote-discovery cost amortization  "
+              "[paper: amortized across the message set]")
+
+
+def s4_latency(repeat: int) -> None:
+    fmt = simple_data_format()
+    record = workloads.simple_data_record(workloads.FIG1_FLOATS)
+    xml = codec_by_name("xml", fmt)
+    pbio = codec_by_name("pbio", fmt)
+    xml_bytes = xml.encoded_size(record)
+    bin_bytes = pbio.encoded_size(record)
+    xml_cost = time_callable(lambda: xml.decode(xml.encode(record)),
+                             repeat=2,
+                             target_batch_seconds=0.01).best
+    bin_cost = time_callable(lambda: pbio.decode(pbio.encode(record)),
+                             repeat=repeat).best
+    rows = []
+    for label, bps in (("100 Mbit/s", 100e6), ("10 Mbit/s", 10e6)):
+        xml_lat = xml_cost + xml_bytes * 8 / bps
+        bin_lat = bin_cost + bin_bytes * 8 / bps
+        rows.append((label, round(xml_lat * 1e3, 3),
+                     round(bin_lat * 1e3, 3),
+                     round(xml_lat / bin_lat, 1)))
+    print_table(
+        ["link", "XML latency ms", "XMIT/PBIO latency ms", "ratio"],
+        rows,
+        title=f"Sec. 4 — application message latency, "
+              f"{workloads.FIG1_FLOATS}-value SimpleData "
+              f"(sizes {xml_bytes} vs {bin_bytes} B)  "
+              "[paper: 3x size -> 2x latency]")
+
+
+def fig5(repeat: int) -> None:
+    report = run_pipeline(timesteps=8, grid=32)
+    rows = [(name, str(counts["in"]), str(counts["out"]))
+            for name, counts in report.component_messages.items()]
+    print_table(
+        ["component", "messages in", "messages out"], rows,
+        title=f"Fig. 5 — Hydrology pipeline run "
+              f"({report.timesteps} timesteps, "
+              f"{report.total_frames} frames delivered, "
+              f"{report.elapsed_seconds:.3f}s)")
+
+
+EXPERIMENTS = {
+    "fig1": fig1, "fig3": fig3, "fig5": fig5, "fig6": fig6,
+    "fig7": fig7, "fig8": fig8, "s41": s41, "s42": s42,
+    "s4_latency": s4_latency,
+}
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--fast", action="store_true",
+                        help="fewer repetitions (noisier numbers)")
+    parser.add_argument("only", nargs="*", metavar="EXPERIMENT",
+                        help=f"subset of: {', '.join(EXPERIMENTS)}")
+    args = parser.parse_args()
+    unknown = set(args.only) - set(EXPERIMENTS)
+    if unknown:
+        parser.error(f"unknown experiments {sorted(unknown)}; "
+                     f"choose from {', '.join(EXPERIMENTS)}")
+    repeat = 2 if args.fast else 5
+    selected = args.only or list(EXPERIMENTS)
+    for name in selected:
+        EXPERIMENTS[name](repeat)
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,75 @@
+"""Ablation — registration cost tracks message *complexity*.
+
+Section 4.4: "registration time does not necessarily increase in
+strict proportion to message size, but instead corresponds more
+closely to the complexity of the message (in terms of size, number of
+fields, and nested definitions)."  Two sweeps make that measurable:
+
+* fixed byte size, growing field count — XMIT cost must grow;
+* fixed field count, growing byte size (one array field widened) —
+  XMIT cost must stay flat.
+"""
+
+import pytest
+
+from repro.bench.rdm import xmit_register
+from repro.bench.timing import time_callable
+
+FIELD_COUNTS = (2, 8, 32)
+ARRAY_SIZES = (4, 64, 1024)
+
+
+def _many_fields_xsd(n: int) -> str:
+    """n 4-byte fields -> byte size grows with n (declared inline)."""
+    elements = "\n".join(
+        f'    <xsd:element name="f{i}" type="xsd:int" />'
+        for i in range(n))
+    return ('<xsd:schema '
+            'xmlns:xsd="http://www.w3.org/2001/XMLSchema">\n'
+            f'  <xsd:complexType name="Sweep">\n{elements}\n'
+            "  </xsd:complexType>\n</xsd:schema>\n")
+
+
+def _wide_array_xsd(elements: int) -> str:
+    """2 fields, one a fixed array of *elements* -> byte size grows
+    while complexity is constant."""
+    return ('<xsd:schema '
+            'xmlns:xsd="http://www.w3.org/2001/XMLSchema">\n'
+            '  <xsd:complexType name="Sweep">\n'
+            '    <xsd:element name="id" type="xsd:int" />\n'
+            f'    <xsd:element name="v" type="xsd:float" '
+            f'maxOccurs="{elements}" />\n'
+            "  </xsd:complexType>\n</xsd:schema>\n")
+
+
+@pytest.mark.parametrize("fields", FIELD_COUNTS)
+def test_abl_cost_vs_field_count(fields, benchmark):
+    benchmark.group = "abl-complexity-fields"
+    xsd = _many_fields_xsd(fields)
+    benchmark(xmit_register, xsd, "Sweep")
+
+
+@pytest.mark.parametrize("elements", ARRAY_SIZES)
+def test_abl_cost_vs_byte_size(elements, benchmark):
+    benchmark.group = "abl-complexity-bytes"
+    xsd = _wide_array_xsd(elements)
+    benchmark(xmit_register, xsd, "Sweep")
+
+
+@pytest.mark.benchmark(group="abl-complexity-shape")
+def test_abl_complexity_drives_cost_not_bytes(benchmark):
+    def sweep():
+        by_fields = [time_callable(
+            lambda x=_many_fields_xsd(n): xmit_register(x, "Sweep"),
+            repeat=3).best for n in FIELD_COUNTS]
+        by_bytes = [time_callable(
+            lambda x=_wide_array_xsd(n): xmit_register(x, "Sweep"),
+            repeat=3).best for n in ARRAY_SIZES]
+        return by_fields, by_bytes
+
+    by_fields, by_bytes = benchmark.pedantic(sweep, rounds=1,
+                                             iterations=1)
+    # 16x more fields must cost measurably more (> 2x)
+    assert by_fields[-1] > 2.0 * by_fields[0], by_fields
+    # 256x more bytes in one array must NOT (< 1.5x)
+    assert by_bytes[-1] < 1.5 * by_bytes[0], by_bytes

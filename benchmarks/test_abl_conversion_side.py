@@ -1,0 +1,57 @@
+"""Ablation — receiver-makes-right vs sender-makes-right.
+
+Section 2's discussion (and reference [12]): marshal cost "is strongly
+dependent on the 'wire format' used for data."  PBIO ships the
+sender's native layout (near-memcpy send); XDR canonicalizes to
+big-endian on send.  On a homogeneous little-endian pair — today's
+common case — XDR pays conversion twice while PBIO pays none, which
+is exactly the argument for receiver-makes-right.
+"""
+
+import pytest
+
+from repro.bench import workloads
+from repro.bench.timing import time_callable
+from repro.pbio.format import IOFormat
+from repro.pbio.layout import field_list_for
+from repro.pbio.machine import X86_64
+from repro.wire import PBIOWireCodec, XDRWireCodec
+
+RECORD = workloads.simple_data_record_for_bytes(10_000)
+
+
+def _format():
+    return IOFormat("SimpleData", field_list_for(
+        [("timestep", "integer", 4), ("size", "integer", 4),
+         ("data", "float[size]", 4)], architecture=X86_64))
+
+
+@pytest.mark.benchmark(group="abl-conversion-send")
+def test_abl_send_receiver_makes_right(benchmark):
+    codec = PBIOWireCodec(_format())
+    benchmark(codec.encode, RECORD)
+
+
+@pytest.mark.benchmark(group="abl-conversion-send")
+def test_abl_send_sender_makes_right(benchmark):
+    codec = XDRWireCodec(_format())
+    benchmark(codec.encode, RECORD)
+
+
+@pytest.mark.benchmark(group="abl-conversion-roundtrip")
+def test_abl_roundtrip_homogeneous_pair(benchmark):
+    """Little-endian to little-endian: the receiver-makes-right
+    design must win the whole exchange."""
+
+    def sweep():
+        pbio = PBIOWireCodec(_format())
+        xdr = XDRWireCodec(_format())
+        pbio_cost = time_callable(
+            lambda: pbio.decode(pbio.encode(RECORD)), repeat=3).best
+        xdr_cost = time_callable(
+            lambda: xdr.decode(xdr.encode(RECORD)), repeat=3).best
+        return pbio_cost, xdr_cost
+
+    pbio_cost, xdr_cost = benchmark.pedantic(sweep, rounds=1,
+                                             iterations=1)
+    assert xdr_cost > 2.0 * pbio_cost, (pbio_cost, xdr_cost)

@@ -1,0 +1,68 @@
+"""Ablation — what restricted evolution costs at decode time.
+
+Old receivers of evolved formats run a conversion plan (project +
+default) per record.  The plan is compiled once per (wire, native)
+pair; the bench verifies the steady-state overhead over an identity
+decode is a small constant, not proportional to plan construction.
+"""
+
+import pytest
+
+from repro.bench import workloads
+from repro.bench.timing import time_callable
+from repro.pbio.context import IOContext
+from repro.pbio.format_server import FormatServer
+
+V1_SPECS = [("timestep", "integer", 4), ("size", "integer", 4),
+            ("data", "float[size]", 4)]
+V2_SPECS = V1_SPECS + [("units", "string"), ("quality", "float", 8)]
+RECORD_V2 = dict(workloads.simple_data_record(256), units="m",
+                 quality=0.9)
+
+
+def _wire_and_receiver():
+    server = FormatServer()
+    sender = IOContext(format_server=server)
+    receiver = IOContext(format_server=server)
+    sender.register_layout("S", V2_SPECS)
+    receiver.register_layout("S", V1_SPECS)
+    wire = sender.encode("S", RECORD_V2)
+    return wire, receiver
+
+
+@pytest.mark.benchmark(group="abl-evolution-decode")
+def test_abl_decode_identity(benchmark):
+    server = FormatServer()
+    ctx = IOContext(format_server=server)
+    ctx.register_layout("S", V1_SPECS)
+    wire = ctx.encode("S", workloads.simple_data_record(256))
+    benchmark(ctx.decode_as, wire, "S")
+
+
+@pytest.mark.benchmark(group="abl-evolution-decode")
+def test_abl_decode_with_conversion(benchmark):
+    wire, receiver = _wire_and_receiver()
+    receiver.decode_as(wire, "S")  # compile the plan up front
+    benchmark(receiver.decode_as, wire, "S")
+
+
+@pytest.mark.benchmark(group="abl-evolution-shape")
+def test_abl_conversion_overhead_is_bounded(benchmark):
+    def sweep():
+        wire, receiver = _wire_and_receiver()
+        receiver.decode_as(wire, "S")
+        converted = time_callable(
+            lambda: receiver.decode_as(wire, "S"), repeat=3).best
+        server = FormatServer()
+        ctx = IOContext(format_server=server)
+        ctx.register_layout("S", V1_SPECS)
+        plain_wire = ctx.encode("S", workloads.simple_data_record(256))
+        identity = time_callable(
+            lambda: ctx.decode_as(plain_wire, "S"), repeat=3).best
+        return identity, converted
+
+    identity, converted = benchmark.pedantic(sweep, rounds=1,
+                                             iterations=1)
+    # conversion decodes a larger wire record and projects; allow a
+    # generous constant factor but nothing pathological
+    assert converted < 5.0 * identity, (identity, converted)

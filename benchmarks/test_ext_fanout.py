@@ -1,0 +1,100 @@
+"""Extension experiment — server fan-out cost per client.
+
+Section 1 motivates binary transport with "server-based applications
+in which single servers must provide information to large numbers of
+clients", where "scalability to many information clients ... implies
+the need to reduce per-client or per-source processing".  Three
+strategies for broadcasting one event to N clients:
+
+* ``encode-once``  — marshal once, send the same PBIO bytes N times
+  (zero marshaling work per client);
+* ``encode-per-client`` — marshal the record N times (what naive
+  per-connection APIs do);
+* ``xml-per-client``    — XML marshal N times (text protocols cannot
+  share encodings across clients that renegotiate formatting).
+"""
+
+import pytest
+
+from repro.bench.timing import time_callable
+from repro.pbio.context import IOContext
+from repro.pbio.format_server import FormatServer
+from repro.wire import XMLWireCodec
+
+CLIENTS = 32
+EVENT = {"centerID": "ZTL", "airline": "DAL", "flightNum": 1023,
+         "off": 987654321}
+SPECS = [("centerID", "string"), ("airline", "string"),
+         ("flightNum", "integer", 4), ("off", "unsigned integer", 8)]
+
+
+def _context() -> IOContext:
+    ctx = IOContext(format_server=FormatServer())
+    ctx.register_layout("ASDOffEvent", SPECS)
+    return ctx
+
+
+@pytest.mark.benchmark(group="ext-fanout")
+def test_ext_fanout_encode_once(benchmark):
+    ctx = _context()
+    sink = []
+
+    def broadcast():
+        sink.clear()
+        wire = ctx.encode("ASDOffEvent", EVENT)
+        for _ in range(CLIENTS):
+            sink.append(wire)
+    benchmark(broadcast)
+
+
+@pytest.mark.benchmark(group="ext-fanout")
+def test_ext_fanout_encode_per_client(benchmark):
+    ctx = _context()
+    sink = []
+
+    def broadcast():
+        sink.clear()
+        for _ in range(CLIENTS):
+            sink.append(ctx.encode("ASDOffEvent", EVENT))
+    benchmark(broadcast)
+
+
+@pytest.mark.benchmark(group="ext-fanout")
+def test_ext_fanout_xml_per_client(benchmark):
+    ctx = _context()
+    codec = XMLWireCodec(ctx.lookup_format("ASDOffEvent"))
+    sink = []
+
+    def broadcast():
+        sink.clear()
+        for _ in range(CLIENTS):
+            sink.append(codec.encode(EVENT))
+    benchmark(broadcast)
+
+
+@pytest.mark.benchmark(group="ext-fanout-shape")
+def test_ext_fanout_ordering(benchmark):
+    def sweep():
+        ctx = _context()
+        codec = XMLWireCodec(ctx.lookup_format("ASDOffEvent"))
+
+        def once():
+            wire = ctx.encode("ASDOffEvent", EVENT)
+            return [wire for _ in range(CLIENTS)]
+
+        def per_client():
+            return [ctx.encode("ASDOffEvent", EVENT)
+                    for _ in range(CLIENTS)]
+
+        def xml():
+            return [codec.encode(EVENT) for _ in range(CLIENTS)]
+
+        return (time_callable(once, repeat=3).best,
+                time_callable(per_client, repeat=3).best,
+                time_callable(xml, repeat=3).best)
+
+    once, per_client, xml = benchmark.pedantic(sweep, rounds=1,
+                                               iterations=1)
+    assert once < per_client < xml
+    assert per_client / once > 3   # marshaling dominates fan-out
+    assert xml / per_client > 3    # and XML marshaling dominates that

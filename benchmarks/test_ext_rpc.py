@@ -1,0 +1,97 @@
+"""Extension experiment — RPC call cost: XML-RPC vs XMIT-RPC.
+
+The paper planned "SOAP/XML-RPC style interfaces" as future BCM
+targets (section 3.2).  This bench runs the completed implementation:
+the same ``stats`` service called through classic XML-RPC messages and
+through XMIT-RPC (XML-discovered signatures, PBIO binary payloads),
+over in-process channels so only marshaling cost differs.  The paper's
+wire-format argument should carry over: binary calls dominate, and
+increasingly so with payload size.
+"""
+
+import threading
+
+import pytest
+
+from repro.bench.timing import time_callable
+from repro.rpc import BinaryRPCCodec, RPCClient, RPCServer, XMLRPCCodec
+from repro.transport.inproc import channel_pair
+
+SIGNATURES = """\
+<xsd:schema xmlns:xsd="http://www.w3.org/2001/XMLSchema">
+  <xsd:complexType name="statsParams">
+    <xsd:element name="n" type="xsd:int" />
+    <xsd:element name="values" type="xsd:double" maxOccurs="*"
+                 dimensionName="n" />
+  </xsd:complexType>
+  <xsd:complexType name="statsResult">
+    <xsd:element name="mean" type="xsd:double" />
+    <xsd:element name="total" type="xsd:double" />
+  </xsd:complexType>
+</xsd:schema>
+"""
+
+SIZES = (10, 1000)
+
+
+def _stats(params: dict) -> dict:
+    values = params["values"]
+    return {"mean": sum(values) / len(values), "total": sum(values)}
+
+
+def _make_pair(protocol: str):
+    codec = (XMLRPCCodec() if protocol == "xml"
+             else BinaryRPCCodec(SIGNATURES))
+    codec2 = (XMLRPCCodec() if protocol == "xml"
+              else BinaryRPCCodec(SIGNATURES))
+    client_ch, server_ch = channel_pair()
+    server = RPCServer(codec, server_ch)
+    server.register("stats", _stats)
+    thread = server.serve_in_thread()
+    client = RPCClient(codec2, client_ch)
+    return client, thread
+
+
+def _params(n: int, protocol: str) -> dict:
+    values = [float(i) * 0.5 for i in range(n)]
+    if protocol == "pbio":
+        return {"n": n, "values": values}
+    return {"values": values}
+
+
+@pytest.mark.parametrize("n", SIZES)
+@pytest.mark.parametrize("protocol", ("xml", "pbio"))
+def test_ext_rpc_call(protocol, n, benchmark):
+    benchmark.group = f"ext-rpc-{n}values"
+    client, thread = _make_pair(protocol)
+    params = _params(n, protocol)
+    benchmark.pedantic(client.call, args=("stats", params),
+                       rounds=5, iterations=2)
+    client.close()
+    thread.join(5)
+
+
+@pytest.mark.benchmark(group="ext-rpc-shape")
+def test_ext_rpc_binary_wins(benchmark):
+    def sweep():
+        results = {}
+        for protocol in ("xml", "pbio"):
+            client, thread = _make_pair(protocol)
+            for n in SIZES:
+                params = _params(n, protocol)
+                cost = time_callable(
+                    lambda: client.call("stats", params), repeat=2,
+                    target_batch_seconds=0.01).best
+                results[(protocol, n)] = cost
+            client.close()
+            thread.join(5)
+        return results
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    for n in SIZES:
+        ratio = results[("xml", n)] / results[("pbio", n)]
+        assert ratio > 2.0, (n, results)
+    # the gap widens with payload, as with the raw wire formats
+    small = results[("xml", SIZES[0])] / results[("pbio", SIZES[0])]
+    large = results[("xml", SIZES[-1])] / results[("pbio", SIZES[-1])]
+    assert large > small, results

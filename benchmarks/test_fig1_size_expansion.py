@@ -1,0 +1,57 @@
+"""Fig. 1 — XML encoding of ``SimpleData`` vs binary.
+
+The paper shows the XML expansion of the ``SimpleData`` struct (3355
+float values) is "considerably larger" — about 3x in its application
+experiment — and cites 6-8x expansion factors for general records
+([12]).  The benchmark measures encode time for both representations;
+the size assertions pin the expansion factor.
+"""
+
+import pytest
+
+from repro.bench import workloads
+from repro.wire import PBIOWireCodec, XMLWireCodec
+
+from benchmarks.conftest import context_for_case
+
+
+def _simple_case():
+    case = [c for c in workloads.hydrology_cases()
+            if c["name"] == "SimpleData"][0]
+    return dict(case, record=workloads.simple_data_record(
+        workloads.FIG1_FLOATS))
+
+
+@pytest.fixture(scope="module")
+def codecs():
+    case = _simple_case()
+    ctx = context_for_case(case)
+    fmt = ctx.lookup_format("SimpleData")
+    return XMLWireCodec(fmt), PBIOWireCodec(fmt), case["record"]
+
+
+@pytest.mark.benchmark(group="fig1-encode")
+def test_fig1_xml_encode(codecs, benchmark):
+    xml, _pbio, record = codecs
+    data = benchmark(xml.encode, record)
+    assert data.startswith(b"<SimpleData>")
+
+
+@pytest.mark.benchmark(group="fig1-encode")
+def test_fig1_binary_encode(codecs, benchmark):
+    _xml, pbio, record = codecs
+    benchmark(pbio.encode, record)
+
+
+@pytest.mark.benchmark(group="fig1-size")
+def test_fig1_size_expansion(codecs, benchmark):
+    xml, pbio, record = codecs
+
+    def measure():
+        return len(xml.encode(record)), len(pbio.encode(record))
+
+    xml_size, binary_size = benchmark(measure)
+    expansion = xml_size / binary_size
+    # paper: ~3x for this message; 6-8x is typical for small-valued
+    # records.  Our floats print at full precision, landing in between.
+    assert expansion > 3.0, (xml_size, binary_size)

@@ -1,0 +1,55 @@
+"""Fig. 3 — format registration cost, PBIO vs XMIT (proof of concept).
+
+The paper registers three structures (32/52/180 bytes ILP32, the
+largest built by composing sub-structures) through both paths and
+reports the Remote Discovery Multiplier staying roughly constant
+(1.87 - 2.05 on its C substrate).  Here each (structure, path) pair is
+one benchmark; the RDM is the ratio of the two group rows, asserted to
+stay a small constant.
+"""
+
+import pytest
+
+from repro.bench import workloads
+from repro.bench.rdm import build_subformats, pbio_register, xmit_register
+from repro.pbio.machine import NATIVE
+
+CASES = {case["name"]: case for case in workloads.poc_cases()}
+NAMES = list(CASES)
+
+
+@pytest.mark.parametrize("name", NAMES)
+@pytest.mark.benchmark(group="fig3-registration")
+def test_fig3_pbio_registration(name, benchmark):
+    case = CASES[name]
+    subformats = (build_subformats(case["subformats"])
+                  if case.get("subformats") else None)
+    ctx = benchmark(pbio_register, case["specs"], name, NATIVE,
+                    subformats)
+    assert name in ctx.format_names
+
+
+@pytest.mark.parametrize("name", NAMES)
+@pytest.mark.benchmark(group="fig3-registration")
+def test_fig3_xmit_registration(name, benchmark):
+    case = CASES[name]
+    ctx = benchmark(xmit_register, case["xsd"], name)
+    assert name in ctx.format_names
+
+
+@pytest.mark.benchmark(group="fig3-rdm")
+def test_fig3_rdm_is_small_constant(benchmark):
+    """The figure's headline: RDM roughly flat as structure size
+    grows.  Run the whole sweep once inside the benchmark and assert
+    the shape."""
+    from repro.bench.rdm import measure_rdm_suite
+
+    def sweep():
+        return measure_rdm_suite(workloads.poc_cases(), repeat=3)
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    rdms = [r.rdm for r in results]
+    assert all(1.0 < rdm < 25.0 for rdm in rdms), rdms
+    # "relatively constant even as the structure size increases":
+    # bounded spread across a 5x size range
+    assert max(rdms) / min(rdms) < 6.0, rdms

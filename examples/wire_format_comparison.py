@@ -1,0 +1,54 @@
+#!/usr/bin/env python
+"""Why XML stays off the wire: size and speed across five codecs.
+
+Encodes the paper's ``SimpleData`` example (Fig. 1: 3355 float values)
+under every wire format in the library — XML-as-ASCII, MPI-style pack,
+CORBA CDR, Sun XDR, and PBIO — and prints bytes-on-the-wire plus
+send-side encode time, reproducing the shape of the paper's Fig. 8 and
+the Fig. 1 expansion argument at example scale.
+
+Run:  python examples/wire_format_comparison.py
+"""
+
+from repro.bench.report import print_table
+from repro.bench.timing import time_callable
+from repro.bench.workloads import FIG1_FLOATS, simple_data_record
+from repro.pbio.format import IOFormat
+from repro.pbio.layout import field_list_for
+from repro.wire import all_codecs, codec_by_name
+
+
+def main() -> None:
+    fmt = IOFormat("SimpleData", field_list_for([
+        ("timestep", "integer", 4), ("size", "integer", 4),
+        ("data", "float[size]", 4)]))
+    record = simple_data_record(FIG1_FLOATS)
+    binary_payload = 8 + 4 * FIG1_FLOATS
+
+    rows = []
+    baseline = None
+    for name in sorted(all_codecs()):
+        codec = codec_by_name(name, fmt)
+        data = codec.encode(record)
+        timing = time_callable(lambda c=codec: c.encode(record),
+                               repeat=3, target_batch_seconds=0.01)
+        rows.append((name, len(data),
+                     round(len(data) / binary_payload, 2),
+                     round(timing.best_ms, 4)))
+        if name == "pbio":
+            baseline = timing.best
+    rows.sort(key=lambda r: r[3])
+
+    print(f"message: SimpleData with {FIG1_FLOATS} float values "
+          f"({binary_payload} B of binary payload)\n")
+    print_table(
+        ["codec", "wire bytes", "expansion", "encode ms"], rows,
+        title="send-side comparison (paper Figs. 1 and 8)")
+
+    print("\nslowdown vs PBIO:")
+    for name, _, _, encode_ms in rows:
+        print(f"  {name:5s} {encode_ms / (baseline * 1e3):10.1f}x")
+
+
+if __name__ == "__main__":
+    main()

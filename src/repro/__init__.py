@@ -1,0 +1,65 @@
+"""repro — reproduction of "Open Metadata Formats: Efficient XML-Based
+Communication for High Performance Computing" (Widener, Eisenhauer,
+Schwan; HPDC 2001).
+
+The package rebuilds the paper's whole stack from scratch:
+
+* :mod:`repro.xmlcore`   -- XML 1.0 parser + DOM + serializer
+* :mod:`repro.schema`    -- the XML Schema subset XMIT metadata uses
+* :mod:`repro.pbio`      -- PBIO, the binary communication mechanism
+* :mod:`repro.wire`      -- baseline codecs (XML / MPI / CDR / XDR)
+* :mod:`repro.http`      -- metadata hosting + URL discovery
+* :mod:`repro.transport` -- channels and format-negotiating connections
+* :mod:`repro.core`      -- XMIT itself (the paper's contribution)
+* :mod:`repro.hydrology` -- the Fig. 5 demonstration application
+* :mod:`repro.bench`     -- the harness regenerating every figure
+
+Quick start::
+
+    from repro import XMIT, IOContext
+    from repro.http import publish_document
+
+    url = publish_document("fmt.xsd", '''
+      <xsd:complexType xmlns:xsd="http://www.w3.org/2001/XMLSchema"
+                       name="SimpleData">
+        <xsd:element name="timestep" type="xsd:integer" />
+        <xsd:element name="size" type="xsd:integer" />
+        <xsd:element name="data" type="xsd:float" maxOccurs="*"
+                     dimensionName="size" />
+      </xsd:complexType>''')
+
+    xmit = XMIT()
+    xmit.load_url(url)
+    ctx = IOContext()
+    xmit.register_with_context(ctx, "SimpleData")
+    wire = ctx.encode("SimpleData", {"timestep": 1, "data": [1.5, 2.5]})
+    print(ctx.decode(wire).record)
+"""
+
+from repro.core.toolkit import XMIT
+from repro.core.binding import BindingToken
+from repro.pbio.context import IOContext
+from repro.pbio.format import IOFormat
+from repro.pbio.machine import (
+    Architecture, NATIVE, SPARC_32, SPARC_V9, X86_32, X86_64,
+)
+from repro.transport.connection import Connection
+from repro.errors import ReproError
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Architecture",
+    "BindingToken",
+    "Connection",
+    "IOContext",
+    "IOFormat",
+    "NATIVE",
+    "ReproError",
+    "SPARC_32",
+    "SPARC_V9",
+    "X86_32",
+    "X86_64",
+    "XMIT",
+    "__version__",
+]

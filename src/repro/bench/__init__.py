@@ -1,0 +1,28 @@
+"""Measurement harness for the paper's experiments.
+
+* :mod:`repro.bench.timing`    -- repeatable wall-clock timing;
+* :mod:`repro.bench.rdm`       -- the Remote Discovery Multiplier
+  (section 4.2): XMIT registration time over compiled-in PBIO
+  registration time for the same format;
+* :mod:`repro.bench.workloads` -- the structures behind Figs. 1, 3, 6,
+  7 and 8;
+* :mod:`repro.bench.report`    -- fixed-width tables/series printers so
+  every benchmark emits the same rows the paper's figures plot.
+"""
+
+from repro.bench.timing import time_callable, TimingResult
+from repro.bench.rdm import RDMResult, measure_rdm, measure_rdm_suite
+from repro.bench.report import format_table, print_series, print_table
+from repro.bench import workloads
+
+__all__ = [
+    "RDMResult",
+    "TimingResult",
+    "format_table",
+    "measure_rdm",
+    "measure_rdm_suite",
+    "print_series",
+    "print_table",
+    "time_callable",
+    "workloads",
+]

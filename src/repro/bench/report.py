@@ -1,0 +1,56 @@
+"""Fixed-width tables and series for benchmark output.
+
+The benchmarks print the same rows/series the paper's figures plot;
+these helpers keep that output uniform and diff-friendly
+(EXPERIMENTS.md embeds it verbatim).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+
+def format_table(headers: Sequence[str],
+                 rows: Iterable[Sequence[object]], *,
+                 title: str | None = None) -> str:
+    """Render an aligned ASCII table."""
+    str_rows = [[_cell(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    sep = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for row in str_rows:
+        lines.append(" | ".join(c.rjust(w)
+                                for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def print_table(headers: Sequence[str],
+                rows: Iterable[Sequence[object]], *,
+                title: str | None = None) -> None:
+    print()
+    print(format_table(headers, rows, title=title))
+
+
+def print_series(name: str, points: Iterable[tuple[object, object]], *,
+                 x_label: str = "x", y_label: str = "y") -> None:
+    """Print one figure series as aligned (x, y) pairs."""
+    print()
+    print(f"series: {name}")
+    print_table([x_label, y_label], points)
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.0001:
+            return f"{value:.3e}"
+        return f"{value:.4f}".rstrip("0").rstrip(".")
+    return str(value)

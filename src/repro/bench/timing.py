@@ -1,0 +1,86 @@
+"""Wall-clock timing with the discipline the guides prescribe:
+measure, repeat, and report a robust statistic rather than a single
+run.
+
+:func:`time_callable` runs ``fn`` in batches of *number* calls,
+*repeat* times, after a warmup batch, and reports per-call seconds.
+The **minimum** batch mean is the headline number (the least-disturbed
+observation, as ``timeit`` argues); mean/stddev are retained for
+dispersion checks.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass
+from typing import Callable
+
+
+@dataclass(frozen=True)
+class TimingResult:
+    """Per-call timing statistics, in seconds."""
+
+    best: float
+    mean: float
+    stddev: float
+    repeat: int
+    number: int
+
+    @property
+    def best_ms(self) -> float:
+        return self.best * 1e3
+
+    @property
+    def best_us(self) -> float:
+        return self.best * 1e6
+
+    def __str__(self) -> str:
+        return (f"{self.best * 1e3:.6f} ms/call "
+                f"(mean {self.mean * 1e3:.6f} "
+                f"± {self.stddev * 1e3:.6f}, "
+                f"{self.repeat}x{self.number})")
+
+
+def time_callable(fn: Callable[[], object], *, repeat: int = 5,
+                  number: int | None = None,
+                  target_batch_seconds: float = 0.02) -> TimingResult:
+    """Time ``fn()`` and return per-call statistics.
+
+    When *number* is None it is calibrated so one batch lasts roughly
+    *target_batch_seconds*, keeping total runtime bounded for both
+    microsecond-scale and millisecond-scale callables.
+    """
+    fn()  # warmup (also surfaces exceptions before timing starts)
+    if number is None:
+        number = _calibrate(fn, target_batch_seconds)
+    samples: list[float] = []
+    for _ in range(repeat):
+        start = time.perf_counter()
+        for _ in range(number):
+            fn()
+        elapsed = time.perf_counter() - start
+        samples.append(elapsed / number)
+    mean = sum(samples) / len(samples)
+    var = sum((s - mean) ** 2 for s in samples) / len(samples)
+    return TimingResult(best=min(samples), mean=mean,
+                        stddev=math.sqrt(var), repeat=repeat,
+                        number=number)
+
+
+def _calibrate(fn: Callable[[], object], target: float) -> int:
+    number = 1
+    while True:
+        start = time.perf_counter()
+        for _ in range(number):
+            fn()
+        elapsed = time.perf_counter() - start
+        if elapsed >= target or number >= 1 << 16:
+            break
+        if elapsed <= 0:
+            number *= 16
+            continue
+        # aim directly for the target batch length, capped growth
+        number = min(number * 16,
+                     max(number + 1, int(number * target / elapsed)))
+    return number

@@ -1,0 +1,270 @@
+"""Workload structures for the paper's experiments.
+
+Three families:
+
+* **Proof-of-concept structures** (Fig. 3): three structs whose ILP32
+  sizes bracket the paper's 32 / 52 / 180 bytes, the largest
+  "constructed primarily of composing other structures" as the paper
+  describes;
+* **Hydrology structures** (Figs. 6, 7): re-exported from
+  :mod:`repro.hydrology.formats` with sample records sized to the
+  paper's encoded-size axis (including the 65536-float ``SimpleData``
+  frame behind the 262176-byte point of Fig. 7);
+* **Payload sweeps** (Figs. 1, 8): ``SimpleData`` records whose binary
+  encoding hits a requested byte budget.
+
+Every case carries both the XSD text (XMIT discovery path) and the
+compiled-in PBIO field specs, so the two registration paths operate on
+identical formats.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.hydrology.formats import (
+    GAUGE_COUNT, hydrology_field_specs, hydrology_xsd_for,
+)
+from repro.pbio.machine import Architecture, NATIVE
+
+# ---------------------------------------------------------------------------
+# proof-of-concept structures (Fig. 3)
+# ---------------------------------------------------------------------------
+
+#: Per-type XSD fragments; cases assemble minimal documents so the
+#: XMIT path parses only what the format needs (as the paper's
+#: per-format documents did).
+_POC_FRAGMENTS: dict[str, str] = {
+    "SensorReading": """\
+  <xsd:complexType name="SensorReading">
+    <xsd:element name="label" type="xsd:string" />
+    <xsd:element name="id" type="xsd:int" />
+    <xsd:element name="seq" type="xsd:int" />
+    <xsd:element name="value" type="xsd:float" />
+    <xsd:element name="timestamp" type="xsd:double" />
+    <xsd:element name="flags" type="xsd:int" />
+  </xsd:complexType>
+""",
+    "SensorGroup": """\
+  <xsd:complexType name="SensorGroup">
+    <xsd:element name="name" type="xsd:string" />
+    <xsd:element name="count" type="xsd:int" />
+    <xsd:element name="values" type="xsd:float" maxOccurs="8" />
+    <xsd:element name="flags" type="xsd:int" />
+    <xsd:element name="checksum" type="xsd:unsignedInt" />
+    <xsd:element name="mode" type="xsd:int" />
+  </xsd:complexType>
+""",
+    "Point": """\
+  <xsd:complexType name="Point">
+    <xsd:element name="x" type="xsd:double" />
+    <xsd:element name="y" type="xsd:double" />
+  </xsd:complexType>
+""",
+    "Extent": """\
+  <xsd:complexType name="Extent">
+    <xsd:element name="min" type="Point" />
+    <xsd:element name="max" type="Point" />
+  </xsd:complexType>
+""",
+    "RegionHeader": """\
+  <xsd:complexType name="RegionHeader">
+    <xsd:element name="tag" type="xsd:string" />
+    <xsd:element name="version" type="xsd:int" />
+    <xsd:element name="stamp" type="xsd:unsignedInt" />
+    <xsd:element name="seq" type="xsd:int" />
+  </xsd:complexType>
+""",
+    "RegionUpdate": """\
+  <xsd:complexType name="RegionUpdate">
+    <xsd:element name="hdr" type="RegionHeader" />
+    <xsd:element name="bounds" type="Extent" />
+    <xsd:element name="origin" type="Point" />
+    <xsd:element name="centroid" type="Point" />
+    <xsd:element name="clip" type="Extent" />
+    <xsd:element name="trailer" type="RegionHeader" />
+    <xsd:element name="scale" type="xsd:double" />
+    <xsd:element name="weights" type="xsd:float" maxOccurs="11" />
+  </xsd:complexType>
+""",
+}
+
+
+def xsd_for(*type_names: str) -> str:
+    """Assemble a schema document containing exactly *type_names*."""
+    body = "".join(_POC_FRAGMENTS[name] for name in type_names)
+    return ('<xsd:schema xmlns:xsd="http://www.w3.org/2001/XMLSchema">\n'
+            + body + "</xsd:schema>\n")
+
+
+#: The full proof-of-concept document (all six types together).
+POC_SCHEMA_XSD = xsd_for("SensorReading", "SensorGroup", "Point",
+                         "Extent", "RegionHeader", "RegionUpdate")
+
+#: subformat field specs shared by the PBIO path of the POC cases.
+POC_SUBFORMAT_SPECS: dict[str, list] = {
+    "Point": [("x", "double", 8), ("y", "double", 8)],
+    "Extent": [("min", "Point"), ("max", "Point")],
+    "RegionHeader": [("tag", "string"), ("version", "integer", 4),
+                     ("stamp", "unsigned integer", 4),
+                     ("seq", "integer", 4)],
+}
+
+# Extent depends on Point; keep an explicit order for layout.
+POC_SUBFORMAT_ORDER = ("Point", "Extent", "RegionHeader")
+
+
+def poc_cases() -> list[dict]:
+    """The Fig. 3 cases in increasing structure size."""
+    return [
+        {
+            "name": "SensorReading",
+            "xsd": xsd_for("SensorReading"),
+            "specs": [
+                ("label", "string"), ("id", "integer", 4),
+                ("seq", "integer", 4), ("value", "float", 4),
+                ("timestamp", "double", 8), ("flags", "integer", 4),
+            ],
+            "record": {"label": "pressure-11", "id": 11, "seq": 7,
+                       "value": 101.25, "timestamp": 99123456.5,
+                       "flags": 3},
+        },
+        {
+            "name": "SensorGroup",
+            "xsd": xsd_for("SensorGroup"),
+            "specs": [
+                ("name", "string"), ("count", "integer", 4),
+                ("values", "float[8]", 4), ("flags", "integer", 4),
+                ("checksum", "unsigned integer", 4),
+                ("mode", "integer", 4),
+            ],
+            "record": {"name": "manifold-a", "count": 8,
+                       "values": [float(i) for i in range(8)],
+                       "flags": 1, "checksum": 123456, "mode": 2},
+        },
+        {
+            "name": "RegionUpdate",
+            "xsd": xsd_for("Point", "Extent", "RegionHeader",
+                           "RegionUpdate"),
+            "specs": [
+                ("hdr", "RegionHeader"), ("bounds", "Extent"),
+                ("origin", "Point"), ("centroid", "Point"),
+                ("clip", "Extent"), ("trailer", "RegionHeader"),
+                ("scale", "double", 8), ("weights", "float[11]", 4),
+            ],
+            "subformats": {name: POC_SUBFORMAT_SPECS[name]
+                           for name in POC_SUBFORMAT_ORDER},
+            "record": {
+                "hdr": {"tag": "region", "version": 3, "stamp": 777,
+                        "seq": 1},
+                "bounds": {"min": {"x": 0.0, "y": 0.0},
+                           "max": {"x": 64.0, "y": 64.0}},
+                "origin": {"x": 1.0, "y": 2.0},
+                "centroid": {"x": 32.0, "y": 30.5},
+                "clip": {"min": {"x": 4.0, "y": 4.0},
+                         "max": {"x": 60.0, "y": 60.0}},
+                "trailer": {"tag": "end", "version": 3, "stamp": 778,
+                            "seq": 2},
+                "scale": 1.5,
+                "weights": [0.25 * i for i in range(11)],
+            },
+        },
+    ]
+
+
+# ---------------------------------------------------------------------------
+# Hydrology structures (Figs. 6, 7)
+# ---------------------------------------------------------------------------
+
+#: Fig. 7's largest point: a 256x256 frame = 65536 floats, encoding to
+#: ~262 KB as in the paper.
+LARGE_FRAME_FLOATS = 65536
+
+
+def hydrology_cases(architecture: Architecture = NATIVE) -> list[dict]:
+    """The Fig. 6 cases in the paper's x-axis order (152/20/44/12)."""
+    specs = hydrology_field_specs(architecture)
+    return [
+        {
+            "name": "GridMeta",
+            "xsd": hydrology_xsd_for("GridMeta"),
+            "specs": specs["GridMeta"],
+            "record": {
+                "timestep": 4, "nx": 64, "ny": 64, "west": 0.0,
+                "east": 1920.0, "south": 0.0, "north": 1920.0,
+                "cell_size": 30.0, "no_data": -9999.0,
+                "min_depth": 0.0, "max_depth": 2.5, "mean_depth": 0.7,
+                "total_volume": 4032.0, "gauge_count": GAUGE_COUNT,
+                "gauges": [0.1 * i for i in range(GAUGE_COUNT)],
+            },
+        },
+        {
+            "name": "JoinRequest",
+            "xsd": hydrology_xsd_for("JoinRequest"),
+            "specs": specs["JoinRequest"],
+            "record": {"name": "vis5d", "server": 2, "ip_addr": 2130706433,
+                       "pid": 4021, "ds_addr": 268500992},
+        },
+        {
+            "name": "FlowParams",
+            "xsd": hydrology_xsd_for("FlowParams"),
+            "specs": specs["FlowParams"],
+            "record": {"timestep": 9, "nx": 64, "ny": 64, "dx": 30.0,
+                       "dy": 30.0, "dt": 1.0, "viscosity": 0.2,
+                       "rainfall": 1.5, "iterations": 2, "flags": 0,
+                       "elapsed": 9.0},
+        },
+        {
+            "name": "SimpleData",
+            "xsd": hydrology_xsd_for("SimpleData"),
+            "specs": specs["SimpleData"],
+            "record": simple_data_record(16),
+        },
+    ]
+
+
+def encoding_cases(architecture: Architecture = NATIVE) -> list[dict]:
+    """Fig. 7's cases: Hydrology records spanning encoded sizes up to
+    the 65536-float frame."""
+    cases = hydrology_cases(architecture)
+    by_name = {c["name"]: c for c in cases}
+    specs = hydrology_field_specs(architecture)
+    control = {
+        "name": "ControlMsg",
+        "xsd": hydrology_xsd_for("ControlMsg"),
+        "specs": specs["ControlMsg"],
+        "record": {"command": "set_viscosity", "target": "flow2d",
+                   "timestep": 5, "value": 0.35},
+    }
+    large = {
+        "name": "SimpleData",
+        "xsd": hydrology_xsd_for("SimpleData"),
+        "specs": specs["SimpleData"],
+        "record": simple_data_record(LARGE_FRAME_FLOATS),
+    }
+    return [by_name["JoinRequest"], control, by_name["GridMeta"], large]
+
+
+# ---------------------------------------------------------------------------
+# payload sweeps (Figs. 1, 8)
+# ---------------------------------------------------------------------------
+
+def simple_data_record(n_floats: int, *, seed: int = 7) -> dict:
+    """A ``SimpleData`` record carrying *n_floats* values."""
+    rng = np.random.default_rng(seed)
+    data = (rng.random(n_floats) * 100.0).astype(np.float32)
+    return {"timestep": 9999, "size": n_floats, "data": data}
+
+
+def simple_data_record_for_bytes(target_bytes: int) -> dict:
+    """A record whose *binary structure* size is ~*target_bytes*
+    (two ints + N floats, the Fig. 8 'binary data size' axis)."""
+    n = max(1, (target_bytes - 8) // 4)
+    return simple_data_record(n)
+
+
+#: The Fig. 8 x axis.
+FIG8_SIZES = (100, 1_000, 10_000, 100_000)
+
+#: Fig. 1's example: 3355 data values.
+FIG1_FLOATS = 3355

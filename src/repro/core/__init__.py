@@ -1,0 +1,43 @@
+"""XMIT — the XML Metadata Integration Toolkit.
+
+The paper's contribution, reproduced: a run-time library that loads
+message-format metadata expressed in XML Schema from URLs, converts it
+to an internal representation, and generates *native* metadata for
+binary communication mechanisms — so applications keep XML's open,
+program-external metadata while transmitting in efficient binary form.
+
+The three metadata phases of section 2 map onto the API:
+
+* **discovery** -- :meth:`XMIT.load_url` / :meth:`XMIT.load_text`
+  (XML fetched, parsed, schema-compiled to IR);
+* **binding**   -- :meth:`XMIT.bind` (IR run through a target
+  generator, yielding a :class:`BindingToken` holding native metadata);
+* **marshaling** -- the token's artifact used directly with the BCM
+  (for PBIO: an :class:`~repro.pbio.format.IOFormat` registered with an
+  :class:`~repro.pbio.context.IOContext`, encoding at full binary
+  speed).
+
+Targets: ``pbio`` (field lists + layouts per architecture), ``python``
+(runtime-generated message classes — our analog of the paper's
+runtime-loaded Java bytecode), ``java`` (Java source text), ``c``
+(C struct + IOField source, Fig. 2 style).
+"""
+
+from repro.core.ir import EnumIR, FieldIR, FormatIR, IRSet
+from repro.core.schema_compiler import compile_schema
+from repro.core.binding import BindingToken
+from repro.core.toolkit import XMIT
+from repro.core.registry import FormatRegistry
+from repro.core.targets import available_targets
+
+__all__ = [
+    "BindingToken",
+    "EnumIR",
+    "FieldIR",
+    "FormatIR",
+    "FormatRegistry",
+    "IRSet",
+    "XMIT",
+    "available_targets",
+    "compile_schema",
+]

@@ -1,0 +1,30 @@
+"""Binding tokens.
+
+Section 2: "Binding usually results in the construction of some type of
+message format descriptor or token to be used during marshaling."
+A :class:`BindingToken` is XMIT's: it names the format and target, and
+carries the target-generated native artifact — for the ``pbio`` target
+an :class:`~repro.pbio.format.IOFormat` ready to register with an
+:class:`~repro.pbio.context.IOContext`; for ``python`` a runtime class;
+for source-code targets the generated text.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+
+@dataclass(frozen=True)
+class BindingToken:
+    """The result of binding a discovered format to a target."""
+
+    format_name: str
+    target: str
+    artifact: Any
+    #: target-specific extras (e.g. subformat artifacts, architecture).
+    details: dict = field(default_factory=dict, compare=False)
+
+    def __repr__(self) -> str:
+        return (f"BindingToken({self.format_name!r}, target="
+                f"{self.target!r}, artifact={type(self.artifact).__name__})")

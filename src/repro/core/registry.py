@@ -1,0 +1,158 @@
+"""Format registry: URL-keyed metadata with change propagation.
+
+One effect of XMIT's indirect discovery (section 3): "changes to the
+message formats used by distributed programs can be centralized, and
+XMIT ensures that they are propagated to all program components using
+these formats."  The registry remembers which URL produced which
+formats; :meth:`refresh` re-fetches a URL, recompiles, diffs, and
+notifies subscribers of every changed or added format.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.core.ir import FormatIR, IRSet
+from repro.core.schema_compiler import compile_schema
+from repro.errors import DiscoveryError
+from repro.http.urls import fetch, resolve_url
+from repro.schema.model import Schema
+from repro.schema.parser import parse_schema, schema_locations
+from repro.xmlcore.parser import parse_bytes
+
+#: subscriber signature: (event, format_name, format_ir_or_None)
+#: where event is "added" | "changed" | "removed".
+ChangeListener = Callable[[str, str, FormatIR | None], None]
+
+
+@dataclass
+class _Source:
+    url: str
+    digest: str
+    format_names: tuple[str, ...]
+    enum_names: tuple[str, ...] = ()
+
+
+@dataclass
+class FormatRegistry:
+    """Tracks loaded metadata documents and their formats."""
+
+    ir: IRSet = field(default_factory=IRSet)
+    _sources: dict[str, _Source] = field(default_factory=dict)
+    _listeners: list[ChangeListener] = field(default_factory=list)
+    loads: int = 0
+
+    # -- loading ------------------------------------------------------------
+
+    def load_url(self, url: str) -> tuple[str, ...]:
+        """Fetch, parse and compile the schema document at *url*.
+
+        Returns the names of the formats it defined.  Loading the same
+        URL again is treated as a refresh.
+        """
+        data = fetch(url)
+        return self._ingest(url, data)
+
+    def load_text(self, text: str, *, source: str = "<inline>") \
+            -> tuple[str, ...]:
+        """Compile schema *text* not associated with a fetchable URL."""
+        return self._ingest(source, text.encode("utf-8"))
+
+    def refresh(self, url: str) -> tuple[str, ...]:
+        """Re-fetch *url*; returns names of formats that changed.
+
+        An unchanged document (same digest) is a no-op returning ().
+        """
+        old = self._sources.get(url)
+        data = fetch(url)
+        digest = hashlib.sha256(data).hexdigest()
+        if old is not None and old.digest == digest:
+            return ()
+        before = {name: self.ir.formats.get(name)
+                  for name in (old.format_names if old else ())}
+        self._ingest(url, data, digest=digest)
+        changed: list[str] = []
+        now = self._sources[url]
+        for name in now.format_names:
+            previous = before.get(name)
+            if previous is None:
+                self._notify("added", name, self.ir.formats[name])
+                changed.append(name)
+            elif previous != self.ir.formats[name]:
+                self._notify("changed", name, self.ir.formats[name])
+                changed.append(name)
+        for name in set(before) - set(now.format_names):
+            self.ir.formats.pop(name, None)
+            self._notify("removed", name, None)
+            changed.append(name)
+        return tuple(changed)
+
+    def _ingest(self, url: str, data: bytes,
+                digest: str | None = None) -> tuple[str, ...]:
+        schema = self._parse_with_includes(url, data)
+        compiled = compile_schema(schema)
+        self.ir.merge(compiled)
+        self.loads += 1
+        self._sources[url] = _Source(
+            url=url,
+            digest=digest or hashlib.sha256(data).hexdigest(),
+            format_names=tuple(compiled.formats),
+            enum_names=tuple(compiled.enums))
+        return tuple(compiled.formats)
+
+    def _parse_with_includes(self, url: str, data: bytes) -> Schema:
+        """Parse *data*, fetching ``xsd:include``/``xsd:import``
+        documents (schemaLocation resolved relative to *url*) and
+        merging everything into one checked schema."""
+        merged = Schema()
+        visited: set[str] = set()
+
+        def ingest_one(doc_url: str, doc_data: bytes,
+                       depth: int) -> None:
+            if depth > 16:
+                raise DiscoveryError(
+                    f"schema include chain too deep at {doc_url}")
+            doc = parse_bytes(doc_data)
+            for location in schema_locations(doc):
+                target = resolve_url(doc_url, location)
+                if target in visited:
+                    continue  # diamond/repeat includes are fine
+                visited.add(target)
+                ingest_one(target, fetch(target), depth + 1)
+            merged.merge(parse_schema(doc, check=False))
+
+        visited.add(url)
+        ingest_one(url, data, 0)
+        merged.check_references()
+        return merged
+
+    # -- queries ------------------------------------------------------------
+
+    def source_of(self, format_name: str) -> str | None:
+        """The URL whose document most recently defined *format_name*."""
+        found = None
+        for source in self._sources.values():
+            if format_name in source.format_names:
+                found = source.url
+        return found
+
+    def urls(self) -> tuple[str, ...]:
+        return tuple(self._sources)
+
+    # -- change propagation ----------------------------------------------------
+
+    def subscribe(self, listener: ChangeListener) -> None:
+        self._listeners.append(listener)
+
+    def unsubscribe(self, listener: ChangeListener) -> None:
+        try:
+            self._listeners.remove(listener)
+        except ValueError:
+            pass
+
+    def _notify(self, event: str, name: str,
+                fmt: FormatIR | None) -> None:
+        for listener in list(self._listeners):
+            listener(event, name, fmt)

@@ -1,0 +1,91 @@
+"""Compile a parsed XML Schema into XMIT IR.
+
+This is the selective traversal of section 3.1: complexType subtrees
+become :class:`~repro.core.ir.FormatIR`, their element nodes become
+fields, and each XML Schema datatype is reduced to an IR primitive kind
+plus bit width via :data:`DATATYPE_MAP`.
+"""
+
+from __future__ import annotations
+
+from repro.core.ir import ArrayIR, EnumIR, FieldIR, FormatIR, IRSet, TypeRef
+from repro.errors import SchemaTypeError
+from repro.schema.datatypes import Datatype
+from repro.schema.model import (
+    ComplexType, ElementDecl, EnumerationType, FIXED, Schema, VARIABLE,
+)
+
+#: XML Schema datatype name -> (IR kind, bits).  ``integer`` is
+#: unbounded in XML Schema; XMIT maps it to the native int width at
+#: binding time, flagged here with bits=None.
+DATATYPE_MAP: dict[str, tuple[str, int | None]] = {
+    "string": ("string", None),
+    "boolean": ("boolean", 8),
+    "float": ("float", 32),
+    "double": ("float", 64),
+    "decimal": ("float", 64),
+    "byte": ("integer", 8),
+    "short": ("integer", 16),
+    "int": ("integer", 32),
+    "integer": ("integer", None),
+    "long": ("integer", 64),
+    "unsignedByte": ("unsigned", 8),
+    "unsignedShort": ("unsigned", 16),
+    "unsignedInt": ("unsigned", 32),
+    "unsignedLong": ("unsigned", 64),
+    "nonNegativeInteger": ("unsigned", None),
+    "positiveInteger": ("unsigned", None),
+}
+
+
+def compile_schema(schema: Schema) -> IRSet:
+    """Compile every component of *schema* into an :class:`IRSet`."""
+    ir = IRSet()
+    for enum in schema.enumerations.values():
+        ir.add_enum(EnumIR(name=enum.name, values=enum.values))
+    for ct in schema.complex_types.values():
+        ir.add_format(_compile_complex_type(schema, ct))
+    return ir
+
+
+def _compile_complex_type(schema: Schema, ct: ComplexType) -> FormatIR:
+    fields = tuple(_compile_element(schema, ct, decl)
+                   for decl in ct.elements)
+    return FormatIR(name=ct.name, fields=fields,
+                    documentation=ct.documentation)
+
+
+def _compile_element(schema: Schema, ct: ComplexType,
+                     decl: ElementDecl) -> FieldIR:
+    type_ref = _compile_type_ref(schema, ct, decl)
+    array = _compile_array(decl)
+    return FieldIR(name=decl.name, type=type_ref, array=array,
+                   optional=decl.optional,
+                   documentation=decl.documentation)
+
+
+def _compile_type_ref(schema: Schema, ct: ComplexType,
+                      decl: ElementDecl) -> TypeRef:
+    resolved = schema.resolve(decl.type_name)
+    if isinstance(resolved, ComplexType):
+        return TypeRef(format_name=resolved.name)
+    if isinstance(resolved, EnumerationType):
+        return TypeRef(enum_name=resolved.name)
+    assert isinstance(resolved, Datatype)
+    try:
+        kind, bits = DATATYPE_MAP[resolved.name]
+    except KeyError:
+        raise SchemaTypeError(
+            f"{ct.name}.{decl.name}: datatype {resolved.name!r} has no "
+            "binary mapping") from None
+    return TypeRef(kind=kind, bits=bits)
+
+
+def _compile_array(decl: ElementDecl) -> ArrayIR | None:
+    spec = decl.array
+    if spec.kind == FIXED:
+        return ArrayIR(fixed_size=spec.size)
+    if spec.kind == VARIABLE:
+        return ArrayIR(length_field=spec.length_field,
+                       placement=spec.placement)
+    return None

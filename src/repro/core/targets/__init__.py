@@ -1,0 +1,32 @@
+"""Native-metadata generation targets.
+
+Section 3.2 of the paper: XMIT "generates 'native' metadata in several
+different forms" and "is designed in a modular fashion so that support
+for additional BCMs is easily added."  Each target consumes the IR and
+produces a binding artifact; the registry makes targets addressable by
+name from :meth:`XMIT.bind`.
+"""
+
+from repro.core.targets.base import (
+    MetadataTarget,
+    available_targets,
+    target_by_name,
+)
+from repro.core.targets.pbio_target import PBIOTarget
+from repro.core.targets.python_target import PythonClassTarget
+from repro.core.targets.java_target import JavaSourceTarget
+from repro.core.targets.c_target import CSourceTarget
+from repro.core.targets.cpp_target import CppSourceTarget
+from repro.core.targets.idl_target import IDLSourceTarget
+
+__all__ = [
+    "CSourceTarget",
+    "CppSourceTarget",
+    "IDLSourceTarget",
+    "JavaSourceTarget",
+    "MetadataTarget",
+    "PBIOTarget",
+    "PythonClassTarget",
+    "available_targets",
+    "target_by_name",
+]

@@ -1,0 +1,57 @@
+"""Target interface and registry."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+from repro.core.binding import BindingToken
+from repro.core.ir import IRSet
+from repro.errors import TargetError
+
+_REGISTRY: dict[str, type["MetadataTarget"]] = {}
+
+
+class MetadataTarget(ABC):
+    """Generates one flavor of native metadata from the IR."""
+
+    #: registry key; subclasses set this.
+    target_name: str = ""
+
+    def __init_subclass__(cls, **kwargs) -> None:
+        super().__init_subclass__(**kwargs)
+        if cls.target_name:
+            _REGISTRY[cls.target_name] = cls
+
+    @abstractmethod
+    def generate(self, ir: IRSet, format_name: str,
+                 **options) -> BindingToken:
+        """Produce the native artifact for *format_name*.
+
+        ``options`` are target-specific (e.g. ``architecture`` for the
+        pbio and c targets).  Unknown options must raise
+        :class:`TargetError` so callers notice typos.
+        """
+
+    @staticmethod
+    def _reject_unknown_options(options: dict, allowed: set[str],
+                                target: str) -> None:
+        unknown = set(options) - allowed
+        if unknown:
+            raise TargetError(
+                f"target {target!r} does not accept options "
+                f"{sorted(unknown)} (allowed: {sorted(allowed)})")
+
+
+def target_by_name(name: str) -> MetadataTarget:
+    """Instantiate the target registered under *name*."""
+    try:
+        cls = _REGISTRY[name]
+    except KeyError:
+        raise TargetError(
+            f"unknown metadata target {name!r}; available: "
+            f"{sorted(_REGISTRY)}") from None
+    return cls()
+
+
+def available_targets() -> tuple[str, ...]:
+    return tuple(sorted(_REGISTRY))

@@ -1,0 +1,111 @@
+"""C source generation: struct definitions + IOField lists.
+
+Produces exactly the artifact pair of the paper's Fig. 2 — a C
+``typedef struct`` and the matching ``IOField`` initializer — for a
+chosen architecture.  Useful for wiring legacy C components into an
+XMIT-managed format set, and as a human-auditable view of what the
+layout engine computed.
+"""
+
+from __future__ import annotations
+
+from repro.core.binding import BindingToken
+from repro.core.ir import FieldIR, IRSet, TypeRef
+from repro.core.targets.base import MetadataTarget
+from repro.core.targets.pbio_target import PBIOTarget
+from repro.pbio.machine import Architecture, NATIVE
+
+
+def _c_base_type(ir: IRSet, tref: TypeRef, arch: Architecture) -> str:
+    if tref.is_nested:
+        return tref.format_name
+    if tref.is_enum:
+        return f"enum {tref.enum_name}"
+    kind, bits = tref.kind, tref.bits
+    if kind == "string":
+        return "char*"
+    if kind == "boolean":
+        return "unsigned char"
+    if kind == "float":
+        return "double" if bits == 64 else "float"
+    if bits is None:
+        bits = arch.sizeof("int") * 8
+    names = {8: "char", 16: "short", 32: "int", 64: "long long"}
+    if bits == 64 and arch.sizeof("long") == 8:
+        names[64] = "long"
+    base = names[bits]
+    if kind == "unsigned":
+        return f"unsigned {base}"
+    return base
+
+
+class CSourceTarget(MetadataTarget):
+    """IR -> C struct + IOField source text."""
+
+    target_name = "c"
+
+    def generate(self, ir: IRSet, format_name: str,
+                 **options) -> BindingToken:
+        self._reject_unknown_options(options, {"architecture"},
+                                     self.target_name)
+        arch: Architecture = options.get("architecture", NATIVE)
+        parts: list[str] = []
+        for enum_name in self._referenced_enums(ir, format_name):
+            parts.append(self._enum_source(ir, enum_name))
+        for dep in ir.dependencies(format_name):
+            parts.append(self._struct_source(ir, dep, arch))
+        parts.append(self._struct_source(ir, format_name, arch))
+        parts.append(self._iofield_source(ir, format_name, arch))
+        source = "\n".join(parts)
+        return BindingToken(format_name=format_name,
+                            target=self.target_name, artifact=source,
+                            details={"architecture": arch})
+
+    def _referenced_enums(self, ir: IRSet,
+                          format_name: str) -> tuple[str, ...]:
+        names: list[str] = []
+        for fmt_name in ir.dependencies(format_name) + (format_name,):
+            for field in ir.format(fmt_name).fields:
+                if field.type.is_enum and \
+                        field.type.enum_name not in names:
+                    names.append(field.type.enum_name)
+        return tuple(names)
+
+    def _enum_source(self, ir: IRSet, enum_name: str) -> str:
+        enum = ir.enum(enum_name)
+        labels = ", ".join(enum.values)
+        return f"enum {enum.name} {{ {labels} }};\n"
+
+    def _struct_source(self, ir: IRSet, format_name: str,
+                       arch: Architecture) -> str:
+        fmt = ir.format(format_name)
+        lines = [f"typedef struct _{format_name} {{"]
+        for field in fmt.fields:
+            lines.append(f"    {self._declarator(ir, field, arch)};")
+        lines.append(f"}} {format_name};")
+        return "\n".join(lines) + "\n"
+
+    def _declarator(self, ir: IRSet, field: FieldIR,
+                    arch: Architecture) -> str:
+        base = _c_base_type(ir, field.type, arch)
+        if field.array is None:
+            return f"{base} {field.name}"
+        if field.array.fixed_size is not None:
+            return f"{base} {field.name}[{field.array.fixed_size}]"
+        # dynamic array: a pointer plus (for linked arrays) the sizing
+        # field already declared elsewhere in the struct.
+        return f"{base} *{field.name}"
+
+    def _iofield_source(self, ir: IRSet, format_name: str,
+                        arch: Architecture) -> str:
+        token = PBIOTarget().generate(ir, format_name,
+                                      architecture=arch)
+        io_format = token.artifact
+        lines = [f"IOField {format_name}Fields[] = {{"]
+        for field in io_format.field_list:
+            lines.append(
+                f'    {{ "{field.name}", "{field.type}", '
+                f"{field.size}, {field.offset} }},")
+        lines.append("    { NULL, NULL, 0, 0 },")
+        lines.append("};")
+        return "\n".join(lines) + "\n"

@@ -1,0 +1,110 @@
+"""C++ message-class generation.
+
+The paper's conclusion: "In the future, we intend to explore ...
+generation of language-level message object representations in both
+C++ and Java."  This target delivers the C++ side: one value class per
+format with members, accessors, and a std-library-era representation
+(``std::string`` for strings, ``std::vector<T>`` for dynamic arrays)
+so the classes own their storage, unlike the raw-pointer C structs.
+"""
+
+from __future__ import annotations
+
+from repro.core.binding import BindingToken
+from repro.core.ir import FieldIR, IRSet, TypeRef
+from repro.core.targets.base import MetadataTarget
+
+_CPP_TYPES: dict[tuple[str, int | None], str] = {
+    ("integer", 8): "int8_t",
+    ("integer", 16): "int16_t",
+    ("integer", 32): "int32_t",
+    ("integer", None): "int",
+    ("integer", 64): "int64_t",
+    ("unsigned", 8): "uint8_t",
+    ("unsigned", 16): "uint16_t",
+    ("unsigned", 32): "uint32_t",
+    ("unsigned", None): "unsigned int",
+    ("unsigned", 64): "uint64_t",
+    ("float", 32): "float",
+    ("float", 64): "double",
+    ("boolean", 8): "bool",
+    ("string", None): "std::string",
+}
+
+
+class CppSourceTarget(MetadataTarget):
+    """IR -> C++ header text (one compilation unit, dependencies
+    included in order)."""
+
+    target_name = "cpp"
+
+    def generate(self, ir: IRSet, format_name: str,
+                 **options) -> BindingToken:
+        self._reject_unknown_options(options, {"namespace"},
+                                     self.target_name)
+        namespace = options.get("namespace", "xmit")
+        guard = f"XMIT_GENERATED_{format_name.upper()}_HPP"
+        lines = [
+            f"#ifndef {guard}",
+            f"#define {guard}",
+            "",
+            "#include <array>",
+            "#include <cstdint>",
+            "#include <string>",
+            "#include <vector>",
+            "",
+            f"namespace {namespace} {{",
+            "",
+        ]
+        for enum_name in self._referenced_enums(ir, format_name):
+            enum = ir.enum(enum_name)
+            labels = ", ".join(enum.values)
+            lines.append(f"enum class {enum.name} {{ {labels} }};")
+            lines.append("")
+        for dep in ir.dependencies(format_name) + (format_name,):
+            lines.extend(self._class(ir, dep))
+            lines.append("")
+        lines.extend([f"}} // namespace {namespace}", "",
+                      f"#endif // {guard}"])
+        source = "\n".join(lines) + "\n"
+        return BindingToken(format_name=format_name,
+                            target=self.target_name, artifact=source,
+                            details={"namespace": namespace})
+
+    def _referenced_enums(self, ir: IRSet,
+                          format_name: str) -> tuple[str, ...]:
+        names: list[str] = []
+        for fmt_name in ir.dependencies(format_name) + (format_name,):
+            for field in ir.format(fmt_name).fields:
+                if field.type.is_enum and \
+                        field.type.enum_name not in names:
+                    names.append(field.type.enum_name)
+        return tuple(names)
+
+    def _class(self, ir: IRSet, format_name: str) -> list[str]:
+        fmt = ir.format(format_name)
+        lines = [f"class {format_name} {{", "public:"]
+        for field in fmt.fields:
+            member = self._member_type(ir, field)
+            lines.append(f"    {member} {field.name}{{}};")
+        lines.append("")
+        lines.append(f"    static constexpr const char* format_name = "
+                     f"\"{format_name}\";")
+        lines.append("};")
+        return lines
+
+    def _member_type(self, ir: IRSet, field: FieldIR) -> str:
+        base = self._base(field.type)
+        if field.array is None:
+            return base
+        if field.array.fixed_size is not None:
+            return f"std::array<{base}, {field.array.fixed_size}>"
+        return f"std::vector<{base}>"
+
+    @staticmethod
+    def _base(tref: TypeRef) -> str:
+        if tref.is_nested:
+            return tref.format_name
+        if tref.is_enum:
+            return tref.enum_name
+        return _CPP_TYPES[(tref.kind, tref.bits)]

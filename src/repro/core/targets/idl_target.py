@@ -1,0 +1,96 @@
+"""CORBA IDL source generation.
+
+Section 5 of the paper contrasts XMIT with IDL-based systems and notes
+"we know of no commonly-used specification for automated exchange of
+IDL definitions".  XMIT can close that loop from its side: any
+discovered format can be rendered as IDL for consumption by CORBA
+tooling.  One ``struct`` per format, enums as IDL ``enum``, dynamic
+arrays as ``sequence<T>``, strings as ``string``.
+"""
+
+from __future__ import annotations
+
+from repro.core.binding import BindingToken
+from repro.core.ir import FieldIR, IRSet, TypeRef
+from repro.core.targets.base import MetadataTarget
+
+#: IR (kind, bits) -> IDL base type.
+_IDL_TYPES: dict[tuple[str, int | None], str] = {
+    ("integer", 8): "octet",
+    ("integer", 16): "short",
+    ("integer", 32): "long",
+    ("integer", None): "long",
+    ("integer", 64): "long long",
+    ("unsigned", 8): "octet",
+    ("unsigned", 16): "unsigned short",
+    ("unsigned", 32): "unsigned long",
+    ("unsigned", None): "unsigned long",
+    ("unsigned", 64): "unsigned long long",
+    ("float", 32): "float",
+    ("float", 64): "double",
+    ("boolean", 8): "boolean",
+    ("string", None): "string",
+}
+
+
+class IDLSourceTarget(MetadataTarget):
+    """IR -> OMG IDL source text."""
+
+    target_name = "idl"
+
+    def generate(self, ir: IRSet, format_name: str,
+                 **options) -> BindingToken:
+        self._reject_unknown_options(options, {"module"},
+                                     self.target_name)
+        module = options.get("module", "xmit")
+        lines: list[str] = [f"module {module} {{", ""]
+        for enum_name in self._referenced_enums(ir, format_name):
+            enum = ir.enum(enum_name)
+            labels = ", ".join(enum.values)
+            lines.append(f"    enum {enum.name} {{ {labels} }};")
+            lines.append("")
+        for dep in ir.dependencies(format_name) + (format_name,):
+            lines.extend(self._struct(ir, dep))
+            lines.append("")
+        lines.append("};")
+        source = "\n".join(lines) + "\n"
+        return BindingToken(format_name=format_name,
+                            target=self.target_name, artifact=source,
+                            details={"module": module})
+
+    def _referenced_enums(self, ir: IRSet,
+                          format_name: str) -> tuple[str, ...]:
+        names: list[str] = []
+        for fmt_name in ir.dependencies(format_name) + (format_name,):
+            for field in ir.format(fmt_name).fields:
+                if field.type.is_enum and \
+                        field.type.enum_name not in names:
+                    names.append(field.type.enum_name)
+        return tuple(names)
+
+    def _struct(self, ir: IRSet, format_name: str) -> list[str]:
+        fmt = ir.format(format_name)
+        lines = [f"    struct {format_name} {{"]
+        for field in fmt.fields:
+            lines.append(f"        {self._member(ir, field)};")
+        lines.append("    };")
+        return lines
+
+    def _member(self, ir: IRSet, field: FieldIR) -> str:
+        base = self._base(field.type)
+        if field.array is None:
+            return f"{base} {field.name}"
+        if field.array.fixed_size is not None:
+            return f"{base} {field.name}[{field.array.fixed_size}]"
+        # dynamic arrays (length-linked or self-sized) are sequences;
+        # IDL sequences carry their own length, so the sizing field
+        # remains as data (mirroring the wire format's record shape)
+        return f"sequence<{base}> {field.name}"
+
+    @staticmethod
+    def _base(tref: TypeRef) -> str:
+        if tref.is_nested:
+            return tref.format_name
+        if tref.is_enum:
+            return tref.enum_name
+        return _IDL_TYPES[(tref.kind, tref.bits)]

@@ -1,0 +1,38 @@
+"""Metadata hosting and retrieval substrate.
+
+The paper hosted its XML format documents on an Apache HTTP server and
+had XMIT fetch them by URL at run time ("exchanging metadata defined in
+XML leverages (nearly) ubiquitous HTTP transport services").  This
+package is the hermetic replacement:
+
+* :mod:`repro.http.urls`   -- URL parsing plus a resolver chain over
+  three schemes: ``mem:`` (in-process document registry, used by tests
+  and benches so nothing touches the network), ``file:`` and ``http:``;
+* :mod:`repro.http.server` -- a minimal HTTP/1.0 server over loopback
+  sockets serving a document store;
+* :mod:`repro.http.client` -- the matching GET client.
+"""
+
+from repro.http.urls import (
+    ParsedURL,
+    URLResolver,
+    fetch,
+    parse_url,
+    publish_document,
+    unpublish_document,
+)
+from repro.http.server import DocumentStore, MetadataHTTPServer
+from repro.http.client import http_get, HTTPResponse
+
+__all__ = [
+    "DocumentStore",
+    "HTTPResponse",
+    "MetadataHTTPServer",
+    "ParsedURL",
+    "URLResolver",
+    "fetch",
+    "http_get",
+    "parse_url",
+    "publish_document",
+    "unpublish_document",
+]

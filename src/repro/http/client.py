@@ -1,0 +1,92 @@
+"""Minimal HTTP/1.0 GET client over raw sockets.
+
+Speaks just enough HTTP for metadata retrieval from
+:class:`repro.http.server.MetadataHTTPServer` (or any HTTP server
+serving small documents): one GET, ``Connection: close``, status line +
+headers + body.
+"""
+
+from __future__ import annotations
+
+import socket
+from dataclasses import dataclass, field
+
+from repro.errors import HTTPError
+
+_MAX_HEADER_BYTES = 64 * 1024
+_RECV_CHUNK = 64 * 1024
+
+
+@dataclass
+class HTTPResponse:
+    """A parsed HTTP response."""
+
+    status: int
+    reason: str
+    headers: dict[str, str] = field(default_factory=dict)
+    body: bytes = b""
+
+
+def http_get(host: str, port: int, path: str, *,
+             timeout: float = 10.0) -> HTTPResponse:
+    """Issue ``GET path`` and return the parsed response."""
+    if not path.startswith("/"):
+        path = "/" + path
+    request = (f"GET {path} HTTP/1.0\r\n"
+               f"Host: {host}:{port}\r\n"
+               f"User-Agent: repro-xmit/1.0\r\n"
+               f"Connection: close\r\n"
+               f"\r\n").encode("ascii")
+    try:
+        with socket.create_connection((host, port),
+                                      timeout=timeout) as sock:
+            sock.sendall(request)
+            raw = _read_all(sock)
+    except OSError as exc:
+        raise HTTPError(
+            f"GET http://{host}:{port}{path} failed: {exc}") from None
+    return _parse_response(raw, host, port, path)
+
+
+def _read_all(sock: socket.socket) -> bytes:
+    chunks: list[bytes] = []
+    while True:
+        chunk = sock.recv(_RECV_CHUNK)
+        if not chunk:
+            break
+        chunks.append(chunk)
+    return b"".join(chunks)
+
+
+def _parse_response(raw: bytes, host: str, port: int,
+                    path: str) -> HTTPResponse:
+    head, sep, body = raw.partition(b"\r\n\r\n")
+    if not sep:
+        raise HTTPError(
+            f"malformed HTTP response from {host}:{port}{path} "
+            "(no header terminator)")
+    if len(head) > _MAX_HEADER_BYTES:
+        raise HTTPError("HTTP response headers too large")
+    lines = head.decode("latin-1").split("\r\n")
+    status_parts = lines[0].split(" ", 2)
+    if len(status_parts) < 2 or not status_parts[0].startswith("HTTP/"):
+        raise HTTPError(f"malformed status line {lines[0]!r}")
+    try:
+        status = int(status_parts[1])
+    except ValueError:
+        raise HTTPError(f"malformed status code in {lines[0]!r}") from None
+    reason = status_parts[2] if len(status_parts) > 2 else ""
+    headers: dict[str, str] = {}
+    for line in lines[1:]:
+        name, colon, value = line.partition(":")
+        if colon:
+            headers[name.strip().lower()] = value.strip()
+    declared = headers.get("content-length")
+    if declared is not None:
+        expected = int(declared)
+        if len(body) < expected:
+            raise HTTPError(
+                f"truncated body: {len(body)} of {expected} bytes")
+        body = body[:expected]
+    return HTTPResponse(status=status, reason=reason, headers=headers,
+                        body=body)

@@ -1,0 +1,171 @@
+"""Minimal HTTP/1.0 server for hosting metadata documents.
+
+Stands in for the Apache server of the paper's experimental setup.
+Serves GET requests from a :class:`DocumentStore` on a loopback socket;
+each connection is handled on a worker thread, one request per
+connection (HTTP/1.0 close semantics), which is entirely adequate for
+the discovery path it exists to exercise.
+
+Usage::
+
+    store = DocumentStore()
+    store.put("/formats/hydrology.xsd", xsd_text)
+    with MetadataHTTPServer(store) as server:
+        url = server.url_for("/formats/hydrology.xsd")
+        ... XMIT.load_url(url) ...
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+
+_REASONS = {200: "OK", 400: "Bad Request", 404: "Not Found",
+            405: "Method Not Allowed", 500: "Internal Server Error"}
+
+
+class DocumentStore:
+    """Thread-safe path -> document mapping."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._docs: dict[str, bytes] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def put(self, path: str, content: str | bytes,
+            content_type: str = "text/xml") -> str:
+        if not path.startswith("/"):
+            path = "/" + path
+        data = (content.encode("utf-8") if isinstance(content, str)
+                else bytes(content))
+        with self._lock:
+            self._docs[path] = data
+        # content_type accepted for interface fidelity; the store
+        # serves everything as its stored bytes.
+        del content_type
+        return path
+
+    def get(self, path: str) -> bytes | None:
+        with self._lock:
+            doc = self._docs.get(path)
+            if doc is None:
+                self.misses += 1
+            else:
+                self.hits += 1
+            return doc
+
+    def paths(self) -> tuple[str, ...]:
+        with self._lock:
+            return tuple(sorted(self._docs))
+
+
+class MetadataHTTPServer:
+    """A loopback HTTP/1.0 server over a :class:`DocumentStore`."""
+
+    def __init__(self, store: DocumentStore, *,
+                 host: str = "127.0.0.1", port: int = 0) -> None:
+        self.store = store
+        self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR,
+                                  1)
+        self._listener.bind((host, port))
+        self._listener.listen(16)
+        self.host, self.port = self._listener.getsockname()
+        self._stop = threading.Event()
+        self._thread = threading.Thread(target=self._serve,
+                                        name="metadata-http",
+                                        daemon=True)
+        self._thread.start()
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def close(self) -> None:
+        if self._stop.is_set():
+            return
+        self._stop.set()
+        # Unblock accept() with a dummy connection.
+        try:
+            with socket.create_connection((self.host, self.port),
+                                          timeout=1):
+                pass
+        except OSError:
+            pass
+        self._thread.join(timeout=5)
+        self._listener.close()
+
+    def __enter__(self) -> "MetadataHTTPServer":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def url_for(self, path: str) -> str:
+        if not path.startswith("/"):
+            path = "/" + path
+        return f"http://{self.host}:{self.port}{path}"
+
+    # -- serving -------------------------------------------------------------
+
+    def _serve(self) -> None:
+        while not self._stop.is_set():
+            try:
+                conn, _addr = self._listener.accept()
+            except OSError:
+                return
+            if self._stop.is_set():
+                conn.close()
+                return
+            worker = threading.Thread(target=self._handle, args=(conn,),
+                                      daemon=True)
+            worker.start()
+
+    def _handle(self, conn: socket.socket) -> None:
+        try:
+            conn.settimeout(10)
+            request = self._read_request(conn)
+            if request is None:
+                self._respond(conn, 400, b"malformed request")
+                return
+            method, path = request
+            if method != "GET":
+                self._respond(conn, 405, b"only GET is supported")
+                return
+            doc = self.store.get(path)
+            if doc is None:
+                self._respond(conn, 404,
+                              f"no document at {path}".encode())
+                return
+            self._respond(conn, 200, doc)
+        except OSError:
+            pass
+        finally:
+            try:
+                conn.close()
+            except OSError:
+                pass
+
+    @staticmethod
+    def _read_request(conn: socket.socket) -> tuple[str, str] | None:
+        data = b""
+        while b"\r\n\r\n" not in data:
+            chunk = conn.recv(4096)
+            if not chunk:
+                break
+            data += chunk
+            if len(data) > 64 * 1024:
+                return None
+        line, _, _ = data.partition(b"\r\n")
+        parts = line.decode("latin-1", errors="replace").split(" ")
+        if len(parts) != 3 or not parts[2].startswith("HTTP/"):
+            return None
+        return parts[0], parts[1]
+
+    @staticmethod
+    def _respond(conn: socket.socket, status: int, body: bytes) -> None:
+        reason = _REASONS.get(status, "Unknown")
+        head = (f"HTTP/1.0 {status} {reason}\r\n"
+                f"Content-Type: text/xml\r\n"
+                f"Content-Length: {len(body)}\r\n"
+                f"Connection: close\r\n\r\n").encode("ascii")
+        conn.sendall(head + body)

@@ -1,0 +1,178 @@
+"""URL parsing and scheme resolvers for metadata discovery.
+
+Three schemes cover the paper's usage and our hermetic testing needs:
+
+``http://host[:port]/path``
+    Fetched with :func:`repro.http.client.http_get` (our own HTTP/1.0
+    client; the server side is :class:`repro.http.server.MetadataHTTPServer`).
+``file:///absolute/path`` or ``file:relative/path``
+    Read from the local filesystem.
+``mem:name``
+    Looked up in the in-process document registry populated with
+    :func:`publish_document` — the zero-network path used throughout
+    the test suite and the RDM benchmarks (the paper's RDM excludes
+    network fetch time; ``mem:`` makes that exclusion exact).
+"""
+
+from __future__ import annotations
+
+import re
+import threading
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable
+
+from repro.errors import DiscoveryError
+
+_URL_RE = re.compile(r"^([A-Za-z][A-Za-z0-9+.-]*):(.*)$", re.DOTALL)
+_AUTHORITY_RE = re.compile(
+    r"^//(?P<host>[^/:]+)(?::(?P<port>\d+))?(?P<path>/.*)?$")
+
+
+@dataclass(frozen=True)
+class ParsedURL:
+    """A decomposed URL: scheme, optional authority, path."""
+
+    scheme: str
+    host: str | None
+    port: int | None
+    path: str
+
+    def __str__(self) -> str:
+        if self.host is not None:
+            port = f":{self.port}" if self.port is not None else ""
+            return f"{self.scheme}://{self.host}{port}{self.path}"
+        return f"{self.scheme}:{self.path}"
+
+
+def parse_url(url: str) -> ParsedURL:
+    """Parse *url*; raises :class:`DiscoveryError` on malformed input."""
+    match = _URL_RE.match(url)
+    if not match:
+        raise DiscoveryError(f"malformed URL {url!r} (missing scheme)")
+    scheme = match.group(1).lower()
+    rest = match.group(2)
+    if rest.startswith("//"):
+        if rest.startswith("///"):
+            # empty authority (file:///path): everything is the path
+            return ParsedURL(scheme=scheme, host=None, port=None,
+                             path=rest[2:])
+        auth = _AUTHORITY_RE.match(rest)
+        if not auth:
+            raise DiscoveryError(f"malformed authority in URL {url!r}")
+        port = auth.group("port")
+        return ParsedURL(scheme=scheme, host=auth.group("host"),
+                         port=int(port) if port else None,
+                         path=auth.group("path") or "/")
+    return ParsedURL(scheme=scheme, host=None, port=None, path=rest)
+
+
+# ---------------------------------------------------------------------------
+# in-process registry (mem: scheme)
+# ---------------------------------------------------------------------------
+
+_MEM_LOCK = threading.Lock()
+_MEM_DOCS: dict[str, bytes] = {}
+
+
+def publish_document(name: str, content: str | bytes) -> str:
+    """Publish *content* under ``mem:name``; returns the URL."""
+    data = content.encode("utf-8") if isinstance(content, str) else content
+    with _MEM_LOCK:
+        _MEM_DOCS[name] = data
+    return f"mem:{name}"
+
+
+def unpublish_document(name: str) -> None:
+    with _MEM_LOCK:
+        _MEM_DOCS.pop(name, None)
+
+
+def _resolve_mem(url: ParsedURL) -> bytes:
+    with _MEM_LOCK:
+        try:
+            return _MEM_DOCS[url.path]
+        except KeyError:
+            raise DiscoveryError(
+                f"no document published at mem:{url.path}") from None
+
+
+def _resolve_file(url: ParsedURL) -> bytes:
+    path = Path(url.path)
+    try:
+        return path.read_bytes()
+    except OSError as exc:
+        raise DiscoveryError(f"cannot read {url}: {exc}") from None
+
+
+def _resolve_http(url: ParsedURL) -> bytes:
+    from repro.http.client import http_get  # local import: avoid cycle
+    if url.host is None:
+        raise DiscoveryError(f"http URL {url} has no host")
+    response = http_get(url.host, url.port or 80, url.path)
+    if response.status != 200:
+        from repro.errors import HTTPError
+        raise HTTPError(
+            f"GET {url} returned {response.status} {response.reason}",
+            status=response.status)
+    return response.body
+
+
+URLResolver = Callable[[ParsedURL], bytes]
+
+_RESOLVERS: dict[str, URLResolver] = {
+    "mem": _resolve_mem,
+    "file": _resolve_file,
+    "http": _resolve_http,
+}
+
+
+def register_resolver(scheme: str, resolver: URLResolver) -> None:
+    """Install a resolver for a custom scheme (tests use this to
+    inject fault modes)."""
+    _RESOLVERS[scheme.lower()] = resolver
+
+
+def resolve_url(base: str, ref: str) -> str:
+    """Resolve *ref* against *base* (simplified RFC 3986).
+
+    Absolute references (with a scheme) pass through; otherwise the
+    reference replaces the last path segment of *base* (or the whole
+    path when it starts with ``/``).  Used to resolve
+    ``xsd:include/schemaLocation`` between hosted schema documents.
+    """
+    if _URL_RE.match(ref):
+        return ref
+    parsed = parse_url(base)
+    if ref.startswith("/"):
+        path = ref
+    else:
+        directory, _, _ = parsed.path.rpartition("/")
+        path = f"{directory}/{ref}" if directory else ref
+        # collapse ./ and ../ segments
+        segments: list[str] = []
+        for segment in path.split("/"):
+            if segment == "..":
+                if segments and segments[-1] not in ("", ".."):
+                    segments.pop()
+            elif segment != ".":
+                segments.append(segment)
+        path = "/".join(segments)
+    if parsed.host is not None:
+        port = f":{parsed.port}" if parsed.port is not None else ""
+        if not path.startswith("/"):
+            path = "/" + path
+        return f"{parsed.scheme}://{parsed.host}{port}{path}"
+    return f"{parsed.scheme}:{path}"
+
+
+def fetch(url: str | ParsedURL) -> bytes:
+    """Fetch the document at *url* through the resolver chain."""
+    parsed = parse_url(url) if isinstance(url, str) else url
+    try:
+        resolver = _RESOLVERS[parsed.scheme]
+    except KeyError:
+        raise DiscoveryError(
+            f"no resolver for scheme {parsed.scheme!r} "
+            f"(known: {sorted(_RESOLVERS)})") from None
+    return resolver(parsed)

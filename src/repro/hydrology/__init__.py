@@ -1,0 +1,52 @@
+"""The Hydrology demonstration application.
+
+The paper validates XMIT on "one of the earlier 'portal' demonstrations
+developed by NCSA researchers, a component-based visualization system
+for hydrology data" (Fig. 5): a data file feeds a *presend* stage, a
+*flow2d* processing component, a *coupler*, and two Vis5D GUI
+visualization components, all sharing one set of message formats over
+data and control channels.
+
+The original demo's data and Vis5D renderer are unavailable, so this
+package substitutes (per DESIGN.md): a synthetic watershed generator
+(:mod:`repro.hydrology.datagen`), a 2-D shallow-water-style flow update
+(:mod:`repro.hydrology.components`), and a statistics-reporting
+visualization sink.  The message formats (:mod:`repro.hydrology.formats`)
+reproduce Fig. 4's structures — including ``SimpleData`` and
+``JoinRequest`` verbatim — with the byte sizes the paper's Figs. 6 and 7
+measure.
+"""
+
+from repro.hydrology.formats import (
+    HYDROLOGY_SCHEMA_XSD,
+    hydrology_field_specs,
+    hydrology_xmit,
+    publish_hydrology_schema,
+)
+from repro.hydrology.datagen import WatershedDataset, generate_watershed
+from repro.hydrology.components import (
+    Component,
+    Coupler,
+    DataFileReader,
+    Flow2D,
+    Presend,
+    Vis5DSink,
+)
+from repro.hydrology.pipeline import PipelineReport, run_pipeline
+
+__all__ = [
+    "Component",
+    "Coupler",
+    "DataFileReader",
+    "Flow2D",
+    "HYDROLOGY_SCHEMA_XSD",
+    "PipelineReport",
+    "Presend",
+    "Vis5DSink",
+    "WatershedDataset",
+    "generate_watershed",
+    "hydrology_field_specs",
+    "hydrology_xmit",
+    "publish_hydrology_schema",
+    "run_pipeline",
+]

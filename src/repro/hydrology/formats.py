@@ -1,0 +1,174 @@
+"""Hydrology message formats.
+
+Reproduces the shared format set of the paper's Fig. 4 and the four
+structures whose registration/encoding costs Figs. 6 and 7 report.  The
+paper names two of them explicitly:
+
+* ``SimpleData``   -- ``{int timestep; int size; float *data;}``
+  (12 bytes on the ILP32 SPARC the paper measured);
+* ``JoinRequest``  -- ``{char *name; unsigned server; unsigned long
+  ip_addr; pid_t pid; unsigned long ds_addr;}`` (20 bytes ILP32).
+
+The 44- and 152-byte structures are not printed in the paper; we
+reconstruct plausible members consistent with the text's
+characterization ("constructed of a large number of primitive data
+types") and their ILP32 sizes:
+
+* ``FlowParams``   -- 11 x 4-byte scalars = 44 bytes: the control
+  message steering flow2d;
+* ``GridMeta``     -- 38 x 4-byte scalars = 152 bytes: per-timestep
+  grid georeferencing + gauge readings, all primitives, matching the
+  paper's observation that its RDM (4) exceeds that of the
+  composition-heavy 180-byte proof-of-concept structure (1.92).
+
+Both the XSD text (for XMIT discovery) and equivalent PBIO field specs
+(for compiled-in baselines) are provided, so experiments can run the
+two discovery paths over identical formats.
+"""
+
+from __future__ import annotations
+
+from repro.core.toolkit import XMIT
+from repro.http.urls import publish_document
+from repro.pbio.machine import Architecture, NATIVE
+
+#: Gauge count in GridMeta: 24 gauges + 14 header scalars = 38 words.
+GAUGE_COUNT = 24
+
+#: Per-format XSD fragments (assembled by :func:`hydrology_xsd_for`).
+HYDROLOGY_FRAGMENTS: dict[str, str] = {
+    "SimpleData": """\
+  <xsd:complexType name="SimpleData">
+    <xsd:element name="timestep" type="xsd:integer" />
+    <xsd:element name="size" type="xsd:integer" />
+    <xsd:element name="data" type="xsd:float" minOccurs="0"
+                 maxOccurs="*" dimensionPlacement="before"
+                 dimensionName="size" />
+  </xsd:complexType>
+""",
+    "JoinRequest": """\
+  <xsd:complexType name="JoinRequest">
+    <xsd:element name="name" type="xsd:string" />
+    <xsd:element name="server" type="xsd:unsignedLong" />
+    <xsd:element name="ip_addr" type="xsd:unsignedLong" />
+    <xsd:element name="pid" type="xsd:unsignedLong" />
+    <xsd:element name="ds_addr" type="xsd:unsignedLong" />
+  </xsd:complexType>
+""",
+    "FlowParams": """\
+  <xsd:complexType name="FlowParams">
+    <xsd:element name="timestep" type="xsd:int" />
+    <xsd:element name="nx" type="xsd:int" />
+    <xsd:element name="ny" type="xsd:int" />
+    <xsd:element name="dx" type="xsd:float" />
+    <xsd:element name="dy" type="xsd:float" />
+    <xsd:element name="dt" type="xsd:float" />
+    <xsd:element name="viscosity" type="xsd:float" />
+    <xsd:element name="rainfall" type="xsd:float" />
+    <xsd:element name="iterations" type="xsd:int" />
+    <xsd:element name="flags" type="xsd:int" />
+    <xsd:element name="elapsed" type="xsd:float" />
+  </xsd:complexType>
+""",
+    "GridMeta": """\
+  <xsd:complexType name="GridMeta">
+    <xsd:element name="timestep" type="xsd:int" />
+    <xsd:element name="nx" type="xsd:int" />
+    <xsd:element name="ny" type="xsd:int" />
+    <xsd:element name="west" type="xsd:float" />
+    <xsd:element name="east" type="xsd:float" />
+    <xsd:element name="south" type="xsd:float" />
+    <xsd:element name="north" type="xsd:float" />
+    <xsd:element name="cell_size" type="xsd:float" />
+    <xsd:element name="no_data" type="xsd:float" />
+    <xsd:element name="min_depth" type="xsd:float" />
+    <xsd:element name="max_depth" type="xsd:float" />
+    <xsd:element name="mean_depth" type="xsd:float" />
+    <xsd:element name="total_volume" type="xsd:float" />
+    <xsd:element name="gauge_count" type="xsd:int" />
+    <xsd:element name="gauges" type="xsd:float" maxOccurs="24" />
+  </xsd:complexType>
+""",
+    "ControlMsg": """\
+  <xsd:complexType name="ControlMsg">
+    <xsd:element name="command" type="xsd:string" />
+    <xsd:element name="target" type="xsd:string" />
+    <xsd:element name="timestep" type="xsd:int" />
+    <xsd:element name="value" type="xsd:float" />
+  </xsd:complexType>
+""",
+}
+
+
+def hydrology_xsd_for(*names: str) -> str:
+    """A schema document containing exactly the named formats."""
+    body = "".join(HYDROLOGY_FRAGMENTS[name] for name in names)
+    return ('<xsd:schema xmlns:xsd="http://www.w3.org/2001/XMLSchema">\n'
+            + body + "</xsd:schema>\n")
+
+
+#: The full shared format document the pipeline components load.
+HYDROLOGY_SCHEMA_XSD = hydrology_xsd_for("SimpleData", "JoinRequest", "FlowParams", "GridMeta", "ControlMsg")
+
+
+#: Compiled-in PBIO field specs for the same formats, keyed by name —
+#: the baseline discovery path (Figs. 6 and 7's "PBIO" series).
+def hydrology_field_specs(architecture: Architecture = NATIVE) \
+        -> dict[str, list]:
+    """``(name, type[, size])`` specs per format for *architecture*.
+
+    Sizes that depend on the C type model (``unsigned long``, ``int``)
+    are taken from the architecture, exactly as compiled C code would.
+    """
+    ulong = architecture.sizeof("long")
+    word = architecture.sizeof("int")
+    return {
+        "SimpleData": [
+            ("timestep", "integer", word),
+            ("size", "integer", word),
+            ("data", "float[size]", 4),
+        ],
+        "JoinRequest": [
+            ("name", "string"),
+            ("server", "unsigned integer", ulong),
+            ("ip_addr", "unsigned integer", ulong),
+            ("pid", "unsigned integer", ulong),
+            ("ds_addr", "unsigned integer", ulong),
+        ],
+        "FlowParams": [
+            ("timestep", "integer", word), ("nx", "integer", word),
+            ("ny", "integer", word), ("dx", "float", 4),
+            ("dy", "float", 4), ("dt", "float", 4),
+            ("viscosity", "float", 4), ("rainfall", "float", 4),
+            ("iterations", "integer", word), ("flags", "integer", word),
+            ("elapsed", "float", 4),
+        ],
+        "GridMeta": [
+            ("timestep", "integer", word), ("nx", "integer", word),
+            ("ny", "integer", word), ("west", "float", 4),
+            ("east", "float", 4), ("south", "float", 4),
+            ("north", "float", 4), ("cell_size", "float", 4),
+            ("no_data", "float", 4), ("min_depth", "float", 4),
+            ("max_depth", "float", 4), ("mean_depth", "float", 4),
+            ("total_volume", "float", 4),
+            ("gauge_count", "integer", word),
+            ("gauges", f"float[{GAUGE_COUNT}]", 4),
+        ],
+        "ControlMsg": [
+            ("command", "string"), ("target", "string"),
+            ("timestep", "integer", word), ("value", "float", 4),
+        ],
+    }
+
+
+def publish_hydrology_schema(name: str = "hydrology.xsd") -> str:
+    """Publish the schema at ``mem:<name>``; returns the URL (the
+    experiments' stand-in for the paper's Apache-hosted documents)."""
+    return publish_document(name, HYDROLOGY_SCHEMA_XSD)
+
+
+def hydrology_xmit() -> XMIT:
+    """An XMIT instance pre-loaded with the Hydrology formats."""
+    xmit = XMIT()
+    xmit.load_url(publish_hydrology_schema())
+    return xmit

@@ -1,0 +1,255 @@
+"""IOContext: a process's PBIO endpoint.
+
+An :class:`IOContext` owns the per-endpoint state the PBIO C library
+kept in its ``IOContext``: the architecture records are laid out for,
+the set of locally registered formats, compiled encoder/decoder caches,
+and the connection to a :class:`~repro.pbio.format_server.FormatServer`
+for ID <-> metadata resolution.
+
+Typical sender::
+
+    ctx = IOContext()
+    fmt = ctx.register_layout("JoinRequest", [
+        ("name", "string"), ("server", "unsigned integer"),
+        ("ip_addr", "unsigned integer", 8), ...])
+    wire = ctx.encode("JoinRequest", record)
+
+Typical receiver::
+
+    ctx = IOContext()
+    name, record = ctx.decode(wire)          # sender's field view
+    record = ctx.decode_as(wire, "JoinRequest")  # receiver's view
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import (
+    DecodeError, FormatRegistrationError, UnknownFormatError,
+)
+from repro.pbio.convert import ConversionPlan, plan_conversion
+from repro.pbio.decode import RecordDecoder
+from repro.pbio.encode import (
+    HEADER_LEN, EncodedRecord, RecordEncoder, build_header, parse_header,
+)
+from repro.pbio.fields import FieldList
+from repro.pbio.format import FormatID, IOFormat
+from repro.pbio.format_server import FormatServer, global_format_server
+from repro.pbio.layout import compute_layout
+from repro.pbio.machine import Architecture, NATIVE
+
+
+@dataclass
+class ContextStats:
+    """Counters an endpoint accumulates over its lifetime —
+    the observability hook operators expect of a BCM endpoint."""
+
+    records_encoded: int = 0
+    bytes_encoded: int = 0
+    records_decoded: int = 0
+    bytes_decoded: int = 0
+    conversions_planned: int = 0
+
+    def as_dict(self) -> dict:
+        return {
+            "records_encoded": self.records_encoded,
+            "bytes_encoded": self.bytes_encoded,
+            "records_decoded": self.records_decoded,
+            "bytes_decoded": self.bytes_decoded,
+            "conversions_planned": self.conversions_planned,
+        }
+
+
+@dataclass(frozen=True)
+class DecodedRecord:
+    """Result of :meth:`IOContext.decode`."""
+
+    format_name: str
+    format_id: FormatID
+    record: dict
+
+
+class IOContext:
+    """Registration, marshaling and unmarshaling endpoint."""
+
+    def __init__(self, *, architecture: Architecture = NATIVE,
+                 format_server: FormatServer | None = None) -> None:
+        self.architecture = architecture
+        self.format_server = (format_server if format_server is not None
+                              else global_format_server())
+        self._formats: dict[str, IOFormat] = {}
+        self._encoders: dict[FormatID, RecordEncoder] = {}
+        self._decoders: dict[tuple[FormatID, str], RecordDecoder] = {}
+        self._wire_formats: dict[FormatID, IOFormat] = {}
+        self._conversions: dict[tuple[FormatID, str], ConversionPlan] = {}
+        #: marshaling counters (records/bytes in each direction)
+        self.stats = ContextStats()
+
+    # -- registration -----------------------------------------------------------
+
+    def register_format(self, name: str, field_list: FieldList,
+                        enums: dict[str, tuple[str, ...]] | None = None) \
+            -> IOFormat:
+        """Register a format from an explicit IOField list (the
+        compiled-in metadata path the paper compares XMIT against)."""
+        fmt = IOFormat(name, field_list, enums)
+        self._register(fmt)
+        return fmt
+
+    def register_layout(self, name: str, specs, *,
+                        subformats: dict[str, FieldList] | None = None,
+                        enums: dict[str, tuple[str, ...]] | None = None) \
+            -> IOFormat:
+        """Register a format from ``(name, type[, size])`` field specs,
+        computing this context's native layout."""
+        layout = compute_layout(specs, architecture=self.architecture,
+                                subformats=subformats)
+        return self.register_format(name, layout.field_list, enums)
+
+    def register(self, fmt: IOFormat) -> IOFormat:
+        """Register a prebuilt :class:`IOFormat` (XMIT's path: the
+        toolkit builds the format from XML metadata, then registers)."""
+        self._register(fmt)
+        return fmt
+
+    def _register(self, fmt: IOFormat) -> None:
+        existing = self._formats.get(fmt.name)
+        if existing is not None and existing != fmt:
+            raise FormatRegistrationError(
+                f"format {fmt.name!r} already registered with different "
+                "metadata; unregister or use a new name")
+        self.format_server.register(fmt)
+        self._formats[fmt.name] = fmt
+        self._wire_formats[fmt.format_id] = fmt
+
+    def unregister(self, name: str) -> None:
+        """Forget the local binding of *name* (so a changed format can
+        re-register under the same name).  Server-side metadata is
+        content-addressed and immutable, so only local state changes;
+        records already on the wire keep decoding via their IDs."""
+        fmt = self._formats.pop(name, None)
+        if fmt is None:
+            raise UnknownFormatError(
+                f"format {name!r} not registered with this context")
+        self._encoders.pop(fmt.format_id, None)
+        self._conversions = {key: plan
+                             for key, plan in self._conversions.items()
+                             if key[1] != name}
+
+    def lookup_format(self, name: str) -> IOFormat:
+        try:
+            return self._formats[name]
+        except KeyError:
+            raise UnknownFormatError(
+                f"format {name!r} not registered with this context"
+            ) from None
+
+    @property
+    def format_names(self) -> tuple[str, ...]:
+        return tuple(self._formats)
+
+    # -- encoding ---------------------------------------------------------------
+
+    def encoder_for(self, fmt: IOFormat) -> RecordEncoder:
+        encoder = self._encoders.get(fmt.format_id)
+        if encoder is None:
+            encoder = RecordEncoder(fmt)
+            self._encoders[fmt.format_id] = encoder
+        return encoder
+
+    def encode(self, format_name: str | IOFormat, record: dict) -> bytes:
+        """Encode *record*; returns header + body wire bytes."""
+        fmt = (format_name if isinstance(format_name, IOFormat)
+               else self.lookup_format(format_name))
+        encoder = self.encoder_for(fmt)
+        body = encoder.encode_body(record)
+        header = build_header(
+            fmt.format_id, len(body),
+            big_endian=fmt.architecture.byte_order == "big")
+        wire = bytes(header) + bytes(body)
+        self.stats.records_encoded += 1
+        self.stats.bytes_encoded += len(wire)
+        return wire
+
+    # -- decoding ---------------------------------------------------------------
+
+    def _resolve_wire_format(self, fid: FormatID) -> IOFormat:
+        fmt = self._wire_formats.get(fid)
+        if fmt is None:
+            fmt = self.format_server.lookup(fid)
+            self._wire_formats[fid] = fmt
+        return fmt
+
+    def decoder_for(self, fmt: IOFormat, *,
+                    arrays: str = "list") -> RecordDecoder:
+        key = (fmt.format_id, arrays)
+        decoder = self._decoders.get(key)
+        if decoder is None:
+            decoder = RecordDecoder(fmt, arrays=arrays)
+            self._decoders[key] = decoder
+        return decoder
+
+    def decode(self, data: bytes, *, arrays: str = "list") \
+            -> DecodedRecord:
+        """Decode a wire record under its *sender's* field view."""
+        fid, body = self._split(data)
+        fmt = self._resolve_wire_format(fid)
+        record = self.decoder_for(fmt, arrays=arrays).decode(body)
+        self.stats.records_decoded += 1
+        self.stats.bytes_decoded += len(data)
+        return DecodedRecord(format_name=fmt.name, format_id=fid,
+                             record=record)
+
+    def decode_as(self, data: bytes, native_name: str, *,
+                  arrays: str = "list") -> dict:
+        """Decode a wire record and convert it into this context's
+        registered *native_name* format view (restricted evolution:
+        added wire fields dropped, missing ones defaulted)."""
+        native = self.lookup_format(native_name)
+        fid, body = self._split(data)
+        wire = self._resolve_wire_format(fid)
+        record = self.decoder_for(wire, arrays=arrays).decode(body)
+        key = (fid, native_name)
+        plan = self._conversions.get(key)
+        if plan is None:
+            plan = plan_conversion(wire, native)
+            self._conversions[key] = plan
+            self.stats.conversions_planned += 1
+        self.stats.records_decoded += 1
+        self.stats.bytes_decoded += len(data)
+        return plan.apply(record)
+
+    def _split(self, data: bytes) -> tuple[FormatID, memoryview]:
+        fid, body_len = parse_header(data)
+        body = memoryview(data)[HEADER_LEN:]
+        if len(body) < body_len:
+            raise DecodeError(
+                f"record truncated: header says {body_len} body bytes, "
+                f"got {len(body)}")
+        return fid, body[:body_len]
+
+    # -- convenience -------------------------------------------------------------
+
+    def encoded_size(self, format_name: str | IOFormat,
+                     record: dict) -> int:
+        """Size in bytes of the encoded record including header
+        (the paper's "Encoded Size" column)."""
+        return len(self.encode(format_name, record))
+
+    def roundtrip(self, format_name: str, record: dict) -> dict:
+        """Encode then decode under the same format (testing aid)."""
+        return self.decode(self.encode(format_name, record)).record
+
+
+def encode_with_header(fmt: IOFormat, record: EncodedRecord | dict) \
+        -> bytes:
+    """Module-level helper mirroring :meth:`IOContext.encode` for code
+    that holds an :class:`IOFormat` but no context."""
+    if isinstance(record, EncodedRecord):
+        enc = record
+    else:
+        enc = RecordEncoder(fmt).encode(record)
+    header = build_header(enc.format_id, len(enc.body),
+                          big_endian=fmt.architecture.byte_order == "big")
+    return header + enc.body

@@ -1,0 +1,156 @@
+"""Conversion planning between wire formats and native formats.
+
+When a receiver registers its own version of a format and then receives
+records encoded under a (possibly different) wire format with the same
+name, PBIO reconciles the two *once* and reuses the plan per record.
+Differences handled:
+
+* **architecture** — byte order / sizes / offsets differ: absorbed by
+  the wire-format decoder, which always interprets records under the
+  sender's layout;
+* **field sets** — the paper's restricted evolution: fields the sender
+  added are dropped for an older receiver; fields the receiver expects
+  but the sender predates are filled with type-appropriate defaults;
+* **representation** — integer widths may differ freely (values are
+  exact), ``integer -> float`` widens, lossy conversions
+  (``float -> integer``, ``string -> integer``, dynamic -> fixed
+  arrays) are rejected at plan time with :class:`ConversionError`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field as dc_field
+
+from repro.errors import ConversionError
+from repro.pbio.fields import FieldList
+from repro.pbio.format import IOFormat
+from repro.pbio.types import FieldType
+
+#: kinds a wire kind may convert to without loss.
+_KIND_WIDENS: dict[str, frozenset[str]] = {
+    "integer": frozenset({"integer", "unsigned", "float"}),
+    "unsigned": frozenset({"integer", "unsigned", "float"}),
+    "float": frozenset({"float"}),
+    "string": frozenset({"string"}),
+    "char": frozenset({"char", "integer", "unsigned"}),
+    "boolean": frozenset({"boolean", "integer", "unsigned"}),
+    "enumeration": frozenset({"enumeration", "string"}),
+}
+
+
+def default_value(field_list: FieldList, ftype: FieldType):
+    """The value a receiver sees for a field the sender never had."""
+    if ftype.is_string:
+        return None
+    if ftype.dynamic_dim is not None:
+        return []
+    if ftype.kind == "subformat":
+        sub = field_list.subformat(ftype.base)
+        record = {f.name: default_value(sub, f.field_type) for f in sub}
+        if ftype.dims:
+            return [dict(record) for _ in range(ftype.static_element_count)]
+        return record
+    scalar = {"integer": 0, "unsigned": 0, "float": 0.0,
+              "char": "\x00", "boolean": False,
+              "enumeration": 0}[ftype.kind]
+    if ftype.kind == "char" and ftype.dims:
+        return ""
+    if ftype.dims:
+        return [scalar] * ftype.static_element_count
+    return scalar
+
+
+@dataclass
+class ConversionPlan:
+    """A reconciled mapping from a wire format to a native format."""
+
+    wire: IOFormat
+    native: IOFormat
+    matched: tuple[str, ...] = ()
+    dropped: tuple[str, ...] = ()  # wire-only fields
+    defaulted: dict[str, object] = dc_field(default_factory=dict)
+
+    @property
+    def is_identity(self) -> bool:
+        return not self.dropped and not self.defaulted
+
+    def apply(self, record: dict) -> dict:
+        """Project a decoded wire record into the native field set."""
+        if self.is_identity:
+            return record
+        out = {name: record[name] for name in self.matched}
+        out.update(self.defaulted)
+        return out
+
+
+def plan_conversion(wire: IOFormat, native: IOFormat) -> ConversionPlan:
+    """Build the conversion plan from *wire* to *native*.
+
+    Raises :class:`ConversionError` if any shared field's types are
+    irreconcilable.
+    """
+    wire_fields = {f.name: f for f in wire.field_list}
+    native_fields = {f.name: f for f in native.field_list}
+
+    matched: list[str] = []
+    defaulted: dict[str, object] = {}
+    for name, nf in native_fields.items():
+        wf = wire_fields.get(name)
+        ntype = nf.field_type
+        if wf is None:
+            defaulted[name] = default_value(native.field_list, ntype)
+            continue
+        _check_compatible(wf.field_type, ntype,
+                          wire.field_list, native.field_list,
+                          f"{native.name}.{name}")
+        matched.append(name)
+    dropped = tuple(sorted(set(wire_fields) - set(native_fields)))
+    return ConversionPlan(wire=wire, native=native,
+                          matched=tuple(matched), dropped=dropped,
+                          defaulted=defaulted)
+
+
+def _check_compatible(wire_type: FieldType, native_type: FieldType,
+                      wire_list: FieldList, native_list: FieldList,
+                      path: str) -> None:
+    wk, nk = wire_type.kind, native_type.kind
+    if wk == "subformat" or nk == "subformat":
+        if wk != "subformat" or nk != "subformat":
+            raise ConversionError(
+                f"{path}: cannot convert {wire_type} to {native_type}")
+        _check_dims(wire_type, native_type, path)
+        wire_sub = wire_list.subformat(wire_type.base)
+        native_sub = native_list.subformat(native_type.base)
+        wire_subfields = {f.name: f for f in wire_sub}
+        for nf in native_sub:
+            wf = wire_subfields.get(nf.name)
+            if wf is not None:
+                _check_compatible(wf.field_type, nf.field_type,
+                                  wire_sub, native_sub,
+                                  f"{path}.{nf.name}")
+        return
+    if nk not in _KIND_WIDENS.get(wk, frozenset()):
+        raise ConversionError(
+            f"{path}: lossy or impossible conversion "
+            f"{wire_type} -> {native_type}")
+    _check_dims(wire_type, native_type, path)
+
+
+def _check_dims(wire_type: FieldType, native_type: FieldType,
+                path: str) -> None:
+    wire_dynamic = wire_type.dynamic_dim is not None or \
+        wire_type.is_string
+    native_dynamic = native_type.dynamic_dim is not None or \
+        native_type.is_string
+    if wire_type.is_string and native_type.is_string:
+        return
+    if wire_dynamic and not native_dynamic:
+        raise ConversionError(
+            f"{path}: dynamic wire array cannot fill fixed native "
+            f"array {native_type}")
+    if not wire_dynamic and not native_dynamic:
+        if wire_type.static_element_count != \
+                native_type.static_element_count:
+            raise ConversionError(
+                f"{path}: fixed array sizes differ "
+                f"({wire_type} vs {native_type})")

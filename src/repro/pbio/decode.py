@@ -1,0 +1,310 @@
+"""Record unmarshaling: PBIO wire bytes -> record dicts.
+
+This is the "receiver makes right" half: the receiver interprets a
+record laid out by the *sender's* architecture (sizes, offsets, byte
+order taken from the wire format's metadata) and produces native Python
+values, swapping bytes only when sender and receiver disagree — which
+NumPy's explicit-endianness dtypes give us for free on bulk data.
+
+A :class:`RecordDecoder` is compiled once per wire format and cached by
+the context, symmetrical with the encoder.
+"""
+
+from __future__ import annotations
+
+import struct
+
+import numpy as np
+
+from repro.errors import DecodeError
+from repro.pbio.encode import numpy_dtype, struct_code
+from repro.pbio.fields import FieldList, IOField
+from repro.pbio.format import IOFormat
+from repro.pbio.types import FieldType
+
+
+def _round_up(value: int, align: int) -> int:
+    return (value + align - 1) // align * align
+
+
+class RecordDecoder:
+    """Compiled decoder for one wire :class:`IOFormat`.
+
+    ``arrays`` selects the representation of numeric arrays:
+    ``"list"`` (default, plain Python) or ``"numpy"`` (zero-copy views
+    into the record body where alignment permits).
+    """
+
+    def __init__(self, fmt: IOFormat, *, arrays: str = "list") -> None:
+        if arrays not in ("list", "numpy"):
+            raise DecodeError(f"arrays must be 'list' or 'numpy', "
+                              f"got {arrays!r}")
+        self.format = fmt
+        self.field_list = fmt.field_list
+        self.arrays = arrays
+        self._bo = fmt.architecture.struct_byte_order_char
+        self._byte_order = fmt.architecture.byte_order
+        ptr_size = fmt.architecture.sizeof("pointer")
+        self._ptr = struct.Struct(
+            self._bo + ("I" if ptr_size == 4 else "Q"))
+        self._count = struct.Struct(self._bo + "I")
+        self._ops = self._compile(self.field_list, enums=fmt.enums)
+
+    # -- public ---------------------------------------------------------------
+
+    def decode(self, body: bytes | memoryview) -> dict:
+        """Decode a record body (no header) into a record dict."""
+        if isinstance(body, (bytes, bytearray)):
+            body = memoryview(body)
+        if len(body) < self.field_list.record_length:
+            raise DecodeError(
+                f"record body {len(body)} bytes, format "
+                f"{self.format.name!r} requires at least "
+                f"{self.field_list.record_length}")
+        record: dict = {}
+        for name, op in self._ops:
+            try:
+                record[name] = op(body, 0)
+            except DecodeError:
+                raise
+            except (struct.error, ValueError, IndexError,
+                    OverflowError, UnicodeDecodeError) as exc:
+                # corrupt offsets/counters surface as raw unpack or
+                # text-decode failures; normalize to the typed error
+                # the receiver contract promises
+                raise DecodeError(
+                    f"field {name!r}: corrupt record data: "
+                    f"{exc}") from None
+        return record
+
+    # -- compilation ------------------------------------------------------------
+
+    def _compile(self, field_list: FieldList, enums):
+        return [(field.name,
+                 self._compile_field(field_list, field,
+                                     field.field_type, enums))
+                for field in field_list]
+
+    def _compile_field(self, field_list: FieldList, field: IOField,
+                       ftype: FieldType, enums):
+        if ftype.kind == "subformat":
+            return self._compile_subformat(field_list, field, ftype)
+        if ftype.is_string:
+            return self._compile_string(field)
+        if not ftype.dims:
+            return self._compile_scalar(field, ftype, enums)
+        if ftype.is_inline:
+            return self._compile_fixed_array(field, ftype, enums)
+        return self._compile_var_array(field, ftype, enums)
+
+    def _compile_scalar(self, field: IOField, ftype: FieldType, enums):
+        offset = field.offset
+        kind = ftype.kind
+        unpacker = struct.Struct(self._bo + struct_code(kind, field.size))
+        post = _scalar_post(kind, enums.get(field.name))
+        name = field.name
+
+        def op(body, base, *, _u=unpacker, _p=post):
+            try:
+                value = _u.unpack_from(body, base + offset)[0]
+            except struct.error as exc:
+                raise DecodeError(f"field {name!r}: {exc}") from None
+            return _p(value)
+        return op
+
+    def _compile_string(self, field: IOField):
+        offset = field.offset
+        ptr = self._ptr
+        name = field.name
+
+        def op(body, base):
+            where = ptr.unpack_from(body, base + offset)[0]
+            if where == 0:
+                return None
+            end = _find_nul(body, where, name)
+            return bytes(body[where:end]).decode("utf-8")
+        return op
+
+    def _compile_fixed_array(self, field: IOField, ftype: FieldType,
+                             enums):
+        offset = field.offset
+        count = ftype.static_element_count
+        kind = ftype.kind
+        name = field.name
+        if kind == "char":
+            size = count
+
+            def char_op(body, base):
+                raw = bytes(body[base + offset:base + offset + size])
+                return raw.split(b"\x00", 1)[0].decode(
+                    "utf-8", errors="replace")
+            return char_op
+        dtype = numpy_dtype(kind, field.size, self._byte_order)
+        post = _array_post(kind, enums.get(name), self.arrays)
+
+        def op(body, base):
+            arr = np.frombuffer(body, dtype=dtype, count=count,
+                                offset=base + offset)
+            return post(arr)
+        return op
+
+    def _compile_var_array(self, field: IOField, ftype: FieldType,
+                           enums):
+        offset = field.offset
+        kind = ftype.kind
+        name = field.name
+        ptr = self._ptr
+        counter = self._count
+        dim = ftype.dynamic_dim
+        self_sized = dim.length_field is None
+        length_field = dim.length_field
+        trailing = ftype.static_element_count
+
+        if kind == "char":
+            def char_op(body, base):
+                where = ptr.unpack_from(body, base + offset)[0]
+                if where == 0:
+                    return None
+                if self_sized:
+                    n = counter.unpack_from(body, where)[0]
+                    start = where + 4
+                else:
+                    n = self._sizing_value(body, base, length_field, name)
+                    start = where
+                _check_bounds(body, start, n, name)
+                return bytes(body[start:start + n]).decode(
+                    "utf-8", errors="replace")
+            return char_op
+
+        dtype = numpy_dtype(kind, field.size, self._byte_order)
+        post = _array_post(kind, enums.get(name), self.arrays)
+        elem = field.size
+
+        def op(body, base):
+            where = ptr.unpack_from(body, base + offset)[0]
+            if where == 0:
+                return None if self_sized else []
+            if self_sized:
+                n = counter.unpack_from(body, where)[0] * trailing
+                start = _round_up(where + 4, elem)
+            else:
+                n = self._sizing_value(body, base, length_field,
+                                       name) * trailing
+                start = where
+            _check_bounds(body, start, n * elem, name)
+            arr = np.frombuffer(body, dtype=dtype, count=n, offset=start)
+            return post(arr)
+        return op
+
+    def _compile_subformat(self, field_list: FieldList, field: IOField,
+                           ftype: FieldType):
+        offset = field.offset
+        name = field.name
+        sub_list = field_list.subformat(ftype.base)
+        sub_ops = self._compile(sub_list, enums={})
+        stride = sub_list.record_length
+        ptr = self._ptr
+        counter = self._count
+        dim = ftype.dynamic_dim
+
+        def decode_sub(body, base):
+            return {n: op(body, base) for n, op in sub_ops}
+
+        if not ftype.dims:
+            return lambda body, base: decode_sub(body, base + offset)
+
+        count = ftype.static_element_count
+        if ftype.is_inline:
+            def fixed_op(body, base):
+                at = base + offset
+                return [decode_sub(body, at + i * stride)
+                        for i in range(count)]
+            return fixed_op
+
+        self_sized = dim.length_field is None
+        length_field = dim.length_field
+
+        def var_op(body, base):
+            where = ptr.unpack_from(body, base + offset)[0]
+            if where == 0:
+                return None if self_sized else []
+            if self_sized:
+                n = counter.unpack_from(body, where)[0]
+                zone = _round_up(where + 4, 8)
+            else:
+                n = self._sizing_value(body, base, length_field, name)
+                zone = where
+            _check_bounds(body, zone, n * stride, name)
+            return [decode_sub(body, zone + i * stride)
+                    for i in range(n)]
+        return var_op
+
+    def _sizing_value(self, body, base: int, length_field: str,
+                      array_name: str) -> int:
+        sizing = self.field_list[length_field]
+        stype = sizing.field_type
+        unpacker = struct.Struct(
+            self._bo + struct_code(stype.kind, sizing.size))
+        n = unpacker.unpack_from(body, base + sizing.offset)[0]
+        if n < 0:
+            raise DecodeError(
+                f"field {array_name!r}: negative element count {n}")
+        return n
+
+
+def _find_nul(body, start: int, name: str) -> int:
+    if start >= len(body):
+        raise DecodeError(
+            f"field {name!r}: string offset {start} beyond record "
+            f"({len(body)} bytes)")
+    raw = bytes(body[start:])
+    end = raw.find(b"\x00")
+    if end == -1:
+        raise DecodeError(f"field {name!r}: unterminated string data")
+    return start + end
+
+
+def _check_bounds(body, start: int, nbytes: int, name: str) -> None:
+    if start < 0 or start + nbytes > len(body):
+        raise DecodeError(
+            f"field {name!r}: data [{start}, {start + nbytes}) outside "
+            f"record of {len(body)} bytes")
+
+
+def _scalar_post(kind: str, enum_values: tuple[str, ...] | None):
+    if kind == "boolean":
+        return bool
+    if kind == "char":
+        return lambda v: chr(v)
+    if kind == "enumeration" and enum_values is not None:
+        values = enum_values
+
+        def post_enum(v):
+            if v >= len(values):
+                raise DecodeError(
+                    f"enum index {v} out of range for {list(values)}")
+            return values[v]
+        return post_enum
+    if kind == "float":
+        return float
+    return int
+
+
+def _array_post(kind: str, enum_values, arrays: str):
+    if kind == "boolean":
+        return lambda arr: [bool(x) for x in arr]
+    if kind == "enumeration" and enum_values is not None:
+        values = enum_values
+        return lambda arr: [values[int(x)] for x in arr]
+    if arrays == "numpy":
+        return lambda arr: arr
+    return lambda arr: arr.tolist()
+
+
+def decode_record(fmt: IOFormat, body: bytes) -> dict:
+    """One-shot convenience: compile a decoder and decode *body*.
+
+    Contexts cache compiled decoders; use an
+    :class:`~repro.pbio.context.IOContext` on any hot path.
+    """
+    return RecordDecoder(fmt).decode(body)

@@ -1,0 +1,59 @@
+"""Restricted format evolution.
+
+The paper (section 5): "PBIO supports a form of restricted evolution in
+message formats in which elements may be added to message formats
+without causing receivers of previous versions of the message to fail."
+
+:func:`can_evolve` answers whether *new* is a legal evolution of *old*
+under that rule; :func:`evolution_report` details the differences.  The
+runtime behaviour itself (dropping added fields / defaulting missing
+ones) lives in :mod:`repro.pbio.convert`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConversionError
+from repro.pbio.convert import _check_compatible
+from repro.pbio.format import IOFormat
+
+
+@dataclass(frozen=True)
+class EvolutionReport:
+    """Field-level diff between two versions of a format."""
+
+    added: tuple[str, ...]
+    removed: tuple[str, ...]
+    incompatible: tuple[str, ...]
+
+    @property
+    def compatible(self) -> bool:
+        """True if old receivers keep working when sent the new format
+        (fields only added, shared fields convertible)."""
+        return not self.removed and not self.incompatible
+
+
+def evolution_report(old: IOFormat, new: IOFormat) -> EvolutionReport:
+    """Diff *new* against *old* under the restricted-evolution rule."""
+    old_fields = {f.name: f for f in old.field_list}
+    new_fields = {f.name: f for f in new.field_list}
+    added = tuple(sorted(set(new_fields) - set(old_fields)))
+    removed = tuple(sorted(set(old_fields) - set(new_fields)))
+    incompatible: list[str] = []
+    for name in sorted(set(old_fields) & set(new_fields)):
+        try:
+            # New senders must decode into old receivers: wire=new,
+            # native=old.
+            _check_compatible(new_fields[name].field_type,
+                              old_fields[name].field_type,
+                              new.field_list, old.field_list, name)
+        except ConversionError:
+            incompatible.append(name)
+    return EvolutionReport(added=added, removed=removed,
+                           incompatible=tuple(incompatible))
+
+
+def can_evolve(old: IOFormat, new: IOFormat) -> bool:
+    """True if *new* is a legal restricted evolution of *old*."""
+    return evolution_report(old, new).compatible

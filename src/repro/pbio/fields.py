@@ -1,0 +1,244 @@
+"""IOField lists — PBIO's native metadata.
+
+An :class:`IOField` matches the C-side descriptor from the paper's
+Fig. 2::
+
+    IOField asdOffFields[] = {
+        { "centerID", "string",  sizeof(char*), IOOffset(..., centerId) },
+        ...
+    };
+
+``size`` is the per-element size in bytes (``sizeof`` of the element
+type — for pointer-valued fields the size of the *pointed-to* element),
+``offset`` the field's byte offset within the native structure.
+
+A :class:`FieldList` validates the whole descriptor set against an
+:class:`~repro.pbio.machine.Architecture`: offsets in bounds and
+non-overlapping, sizes consistent with the type string, dynamic-array
+sizing fields present and integral.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+from repro.errors import LayoutError
+from repro.pbio.machine import Architecture
+from repro.pbio.types import FieldType, parse_field_type
+
+#: Atomic bases whose element size is architecture-pinned rather than
+#: caller-chosen (strings occupy a pointer; chars are bytes).
+_FLOAT_SIZES = (4, 8)
+_INT_SIZES = (1, 2, 4, 8)
+
+
+@dataclass(frozen=True)
+class IOField:
+    """One field descriptor: name, type string, element size, offset."""
+
+    name: str
+    type: str
+    size: int
+    offset: int
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise LayoutError("field name cannot be empty")
+        if self.size < 1:
+            raise LayoutError(
+                f"field {self.name!r}: size must be positive, "
+                f"got {self.size}")
+        if self.offset < 0:
+            raise LayoutError(
+                f"field {self.name!r}: negative offset {self.offset}")
+
+    @property
+    def field_type(self) -> FieldType:
+        return parse_field_type(self.type)
+
+
+class FieldList:
+    """A validated, offset-ordered list of :class:`IOField`.
+
+    ``subformats`` maps subformat names referenced by field types to
+    their own FieldLists, so validation can size inline nested structs.
+    """
+
+    def __init__(self, fields: Sequence[IOField], *,
+                 architecture: Architecture,
+                 record_length: int | None = None,
+                 subformats: dict[str, "FieldList"] | None = None) -> None:
+        if not fields:
+            raise LayoutError("a field list must contain at least one field")
+        self.architecture = architecture
+        self.subformats: dict[str, FieldList] = dict(subformats or {})
+        self.fields: tuple[IOField, ...] = tuple(
+            sorted(fields, key=lambda f: f.offset))
+        self._by_name = {f.name: f for f in self.fields}
+        if len(self._by_name) != len(self.fields):
+            names = [f.name for f in self.fields]
+            dupes = sorted({n for n in names if names.count(n) > 1})
+            raise LayoutError(f"duplicate field names {dupes}")
+        self._types: dict[str, FieldType] = {
+            f.name: f.field_type for f in self.fields}
+        self.record_length = (record_length if record_length is not None
+                              else self._minimum_record_length())
+        self._validate()
+        self._prune_subformats()
+
+    def _prune_subformats(self) -> None:
+        """Keep only subformats actually referenced by field types.
+
+        Construction convenience lets callers pass a superset (e.g. a
+        snowballing dict while laying out several types); pruning makes
+        the metadata canonical so identical formats built by different
+        paths share a wire digest.
+        """
+        referenced = {self._types[f.name].base for f in self.fields
+                      if self._types[f.name].kind == "subformat"}
+        self.subformats = {name: sub
+                           for name, sub in self.subformats.items()
+                           if name in referenced}
+
+    # -- access ---------------------------------------------------------------
+
+    def __iter__(self) -> Iterator[IOField]:
+        return iter(self.fields)
+
+    def __len__(self) -> int:
+        return len(self.fields)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._by_name
+
+    def __getitem__(self, name: str) -> IOField:
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise LayoutError(f"no field named {name!r}") from None
+
+    def names(self) -> tuple[str, ...]:
+        return tuple(f.name for f in self.fields)
+
+    def field_type(self, name: str) -> FieldType:
+        return self._types[name]
+
+    def subformat(self, name: str) -> "FieldList":
+        try:
+            return self.subformats[name]
+        except KeyError:
+            raise LayoutError(
+                f"field list references unknown subformat {name!r}"
+            ) from None
+
+    # -- sizing ---------------------------------------------------------------
+
+    def inline_extent(self, field: IOField) -> int:
+        """Bytes the field occupies *inside* the fixed structure."""
+        ftype = self._types[field.name]
+        if not ftype.is_inline:
+            return self.architecture.sizeof("pointer")
+        per_element = self.element_extent(field)
+        return per_element * ftype.static_element_count
+
+    def element_extent(self, field: IOField) -> int:
+        """Bytes per element of the field's (possibly nested) type,
+        including inter-element padding for subformat arrays."""
+        ftype = self._types[field.name]
+        if ftype.is_atomic:
+            return field.size
+        sub = self.subformat(ftype.base)
+        return sub.record_length
+
+    def _minimum_record_length(self) -> int:
+        end = 0
+        for field in self.fields:
+            end = max(end, field.offset + self.inline_extent(field))
+        return end
+
+    # -- validation ----------------------------------------------------------
+
+    def _validate(self) -> None:
+        arch = self.architecture
+        prev_end = -1
+        prev_name = ""
+        for field in self.fields:
+            ftype = self._types[field.name]
+            self._validate_size(field, ftype)
+            extent = self.inline_extent(field)
+            if field.offset < prev_end:
+                raise LayoutError(
+                    f"field {field.name!r} at offset {field.offset} "
+                    f"overlaps {prev_name!r}")
+            end = field.offset + extent
+            if end > self.record_length:
+                raise LayoutError(
+                    f"field {field.name!r} extends to {end}, beyond "
+                    f"record length {self.record_length}")
+            prev_end, prev_name = end, field.name
+            self._validate_dynamic_dims(field, ftype)
+            if ftype.kind == "subformat":
+                self.subformat(ftype.base)  # must resolve
+        if self.record_length < 1:
+            raise LayoutError("record length must be positive")
+        _ = arch  # architecture participates via sizeof in callees
+
+    def _validate_size(self, field: IOField, ftype: FieldType) -> None:
+        kind = ftype.kind
+        if kind == "float" and field.size not in _FLOAT_SIZES:
+            raise LayoutError(
+                f"field {field.name!r}: float size must be 4 or 8, "
+                f"got {field.size}")
+        if kind in ("integer", "unsigned", "enumeration") and \
+                field.size not in _INT_SIZES:
+            raise LayoutError(
+                f"field {field.name!r}: integer size must be one of "
+                f"{_INT_SIZES}, got {field.size}")
+        if kind in ("char", "boolean") and field.size != 1:
+            raise LayoutError(
+                f"field {field.name!r}: {kind} fields are 1 byte, "
+                f"got {field.size}")
+        if kind == "string" and \
+                field.size != self.architecture.sizeof("pointer"):
+            raise LayoutError(
+                f"field {field.name!r}: string fields occupy a pointer "
+                f"({self.architecture.sizeof('pointer')} bytes on "
+                f"{self.architecture.name}), got {field.size}")
+
+    def _validate_dynamic_dims(self, field: IOField,
+                               ftype: FieldType) -> None:
+        dim = ftype.dynamic_dim
+        if dim is None or dim.length_field is None:
+            return
+        try:
+            sizing = self[dim.length_field]
+        except LayoutError:
+            raise LayoutError(
+                f"field {field.name!r}: sizing field "
+                f"{dim.length_field!r} not present in record") from None
+        sizing_type = self._types[sizing.name]
+        if sizing_type.kind not in ("integer", "unsigned") or \
+                sizing_type.dims:
+            raise LayoutError(
+                f"field {field.name!r}: sizing field "
+                f"{dim.length_field!r} must be a scalar integer")
+
+    # -- misc -----------------------------------------------------------------
+
+    def has_dynamic_content(self) -> bool:
+        """True if any field (transitively) is pointer-valued, making
+        encoded records variable-length."""
+        for field in self.fields:
+            ftype = self._types[field.name]
+            if not ftype.is_inline:
+                return True
+            if ftype.kind == "subformat" and \
+                    self.subformat(ftype.base).has_dynamic_content():
+                return True
+        return False
+
+    def __repr__(self) -> str:
+        return (f"FieldList({[f.name for f in self.fields]}, "
+                f"record_length={self.record_length}, "
+                f"arch={self.architecture.name})")

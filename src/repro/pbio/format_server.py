@@ -1,0 +1,101 @@
+"""The PBIO format server.
+
+Formats are registered once and referenced by 8-byte IDs on the wire;
+any endpoint holding an ID can fetch the full metadata on demand.  The
+paper's deployment ran a network format server; ours is an in-process
+registry (optionally shared through the transport layer's negotiation
+messages), which preserves the behaviour that matters for the
+experiments: registration is a distinct, amortizable step, and record
+transmission carries only the ID.
+
+Because :class:`~repro.pbio.format.FormatID` is a digest of the
+canonical metadata, registration is idempotent and collision-checked.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.errors import FormatRegistrationError, UnknownFormatError
+from repro.pbio.format import FormatID, IOFormat, deserialize_format
+
+
+class FormatServer:
+    """Thread-safe ID -> metadata registry."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._by_id: dict[FormatID, bytes] = {}
+        self._registrations = 0
+        self._lookups = 0
+
+    def register(self, fmt: IOFormat) -> FormatID:
+        """Register *fmt*; returns its (digest-derived) format ID.
+
+        Registering an identical format again is a no-op returning the
+        same ID; a digest collision between different metadata raises.
+        """
+        canonical = fmt.canonical_bytes()
+        fid = fmt.format_id
+        with self._lock:
+            self._registrations += 1
+            existing = self._by_id.get(fid)
+            if existing is None:
+                self._by_id[fid] = canonical
+            elif existing != canonical:
+                raise FormatRegistrationError(
+                    f"format id collision on {fid}")
+        return fid
+
+    def lookup(self, fid: FormatID) -> IOFormat:
+        """Fetch and reconstruct the format registered under *fid*."""
+        with self._lock:
+            self._lookups += 1
+            try:
+                canonical = self._by_id[fid]
+            except KeyError:
+                raise UnknownFormatError(
+                    f"no format registered under id {fid}") from None
+        fmt = deserialize_format(canonical)
+        if fmt.format_id != fid:
+            raise UnknownFormatError(
+                f"metadata integrity failure for id {fid}")
+        return fmt
+
+    def lookup_bytes(self, fid: FormatID) -> bytes:
+        """Fetch raw canonical metadata (what the transport ships)."""
+        with self._lock:
+            try:
+                return self._by_id[fid]
+            except KeyError:
+                raise UnknownFormatError(
+                    f"no format registered under id {fid}") from None
+
+    def import_bytes(self, canonical: bytes) -> FormatID:
+        """Register metadata received from a peer (transport path)."""
+        fmt = deserialize_format(canonical)
+        return self.register(fmt)
+
+    def known_ids(self) -> tuple[FormatID, ...]:
+        with self._lock:
+            return tuple(self._by_id)
+
+    @property
+    def stats(self) -> dict[str, int]:
+        with self._lock:
+            return {"registrations": self._registrations,
+                    "lookups": self._lookups,
+                    "formats": len(self._by_id)}
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._by_id)
+
+
+_GLOBAL = FormatServer()
+
+
+def global_format_server() -> FormatServer:
+    """The process-wide default server used by contexts unless one is
+    passed explicitly."""
+    return _GLOBAL

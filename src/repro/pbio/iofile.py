@@ -1,0 +1,215 @@
+"""PBIO data files.
+
+PBIO "provides facilities for encoding application data structures, so
+that they may be transmitted in binary form over computer networks
+**or written to data files** in a heterogeneous computing environment"
+(section 3.2).  This module is the file half: a self-contained
+container format that interleaves format metadata with records, so a
+file written on any architecture is readable anywhere with no external
+format server.
+
+File layout::
+
+    "PBIOFILE" | u16 version | u16 flags       -- 12-byte file header
+    ( u8 chunk_type | u32 length | payload )*  -- chunks
+
+    chunk 1 = format metadata (canonical serialization; registered
+              by readers on sight, before any record that uses it)
+    chunk 2 = a wire record (standard 16-byte record header + body)
+
+Writers emit each format's metadata chunk once, immediately before the
+first record of that format — the file-domain version of the
+registration-then-amortize story the paper tells for connections.
+"""
+
+from __future__ import annotations
+
+import struct
+from pathlib import Path
+from typing import BinaryIO, Iterator
+
+from repro.errors import DecodeError
+from repro.pbio.context import DecodedRecord, IOContext
+from repro.pbio.encode import parse_header
+from repro.pbio.format import IOFormat
+from repro.pbio.format_server import FormatServer
+
+FILE_MAGIC = b"PBIOFILE"
+FILE_VERSION = 1
+_FILE_HEADER = struct.Struct(">8sHH")
+_CHUNK_HEADER = struct.Struct(">BI")
+
+CHUNK_METADATA = 1
+CHUNK_RECORD = 2
+
+MAX_CHUNK = 1 << 30
+
+
+class IOFileWriter:
+    """Appends records (and their metadata, once each) to a file."""
+
+    def __init__(self, target: str | Path | BinaryIO,
+                 context: IOContext | None = None) -> None:
+        self.context = context if context is not None else IOContext(
+            format_server=FormatServer())
+        if hasattr(target, "write"):
+            self._stream: BinaryIO = target
+            self._owns_stream = False
+        else:
+            self._stream = open(target, "wb")
+            self._owns_stream = True
+        self._written_formats: set = set()
+        self.records_written = 0
+        self._stream.write(_FILE_HEADER.pack(FILE_MAGIC, FILE_VERSION,
+                                             0))
+
+    # -- writing ------------------------------------------------------------
+
+    def write(self, format_name: str | IOFormat, record: dict) -> None:
+        """Append one record, emitting its metadata chunk if new."""
+        fmt = (format_name if isinstance(format_name, IOFormat)
+               else self.context.lookup_format(format_name))
+        if fmt.format_id not in self._written_formats:
+            self._chunk(CHUNK_METADATA, fmt.canonical_bytes())
+            self._written_formats.add(fmt.format_id)
+        wire = self.context.encode(fmt, record)
+        self._chunk(CHUNK_RECORD, wire)
+        self.records_written += 1
+
+    def _chunk(self, chunk_type: int, payload: bytes) -> None:
+        self._stream.write(_CHUNK_HEADER.pack(chunk_type,
+                                              len(payload)))
+        self._stream.write(payload)
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def close(self) -> None:
+        self._stream.flush()
+        if self._owns_stream:
+            self._stream.close()
+
+    def __enter__(self) -> "IOFileWriter":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class IOFileReader:
+    """Streams records out of a PBIO data file.
+
+    Self-contained: builds its own format server from the file's
+    metadata chunks, so no prior registration is needed; records decode
+    under the *writer's* architecture ("receiver makes right" applies
+    to files exactly as to connections).
+    """
+
+    def __init__(self, source: str | Path | BinaryIO,
+                 context: IOContext | None = None) -> None:
+        self.context = context if context is not None else IOContext(
+            format_server=FormatServer())
+        if hasattr(source, "read"):
+            self._stream: BinaryIO = source
+            self._owns_stream = False
+        else:
+            self._stream = open(source, "rb")
+            self._owns_stream = True
+        header = self._stream.read(_FILE_HEADER.size)
+        if len(header) < _FILE_HEADER.size:
+            raise DecodeError("not a PBIO data file (truncated header)")
+        magic, version, _flags = _FILE_HEADER.unpack(header)
+        if magic != FILE_MAGIC:
+            raise DecodeError(f"not a PBIO data file (magic {magic!r})")
+        if version != FILE_VERSION:
+            raise DecodeError(f"unsupported PBIO file version {version}")
+        self.records_read = 0
+        self.formats_seen: dict = {}
+
+    # -- reading ------------------------------------------------------------
+
+    def __iter__(self) -> Iterator[DecodedRecord]:
+        return self
+
+    def __next__(self) -> DecodedRecord:
+        record = self.read()
+        if record is None:
+            raise StopIteration
+        return record
+
+    def read(self) -> DecodedRecord | None:
+        """The next record, or None at end of file."""
+        while True:
+            chunk = self._next_chunk()
+            if chunk is None:
+                return None
+            chunk_type, payload = chunk
+            if chunk_type == CHUNK_METADATA:
+                fid = self.context.format_server.import_bytes(payload)
+                fmt = self.context.format_server.lookup(fid)
+                self.formats_seen[fmt.name] = fmt
+                continue
+            if chunk_type == CHUNK_RECORD:
+                parse_header(payload)  # validates before decode
+                decoded = self.context.decode(bytes(payload))
+                self.records_read += 1
+                return decoded
+            raise DecodeError(f"unknown chunk type {chunk_type}")
+
+    def read_all(self, format_name: str | None = None) \
+            -> list[DecodedRecord]:
+        """Every remaining record, optionally filtered by format."""
+        return [r for r in self
+                if format_name is None or r.format_name == format_name]
+
+    def _next_chunk(self) -> tuple[int, bytes] | None:
+        header = self._stream.read(_CHUNK_HEADER.size)
+        if not header:
+            return None
+        if len(header) < _CHUNK_HEADER.size:
+            raise DecodeError("truncated chunk header")
+        chunk_type, length = _CHUNK_HEADER.unpack(header)
+        if length > MAX_CHUNK:
+            raise DecodeError(f"implausible chunk length {length}")
+        payload = self._stream.read(length)
+        if len(payload) < length:
+            raise DecodeError(
+                f"truncated chunk: expected {length} bytes, "
+                f"got {len(payload)}")
+        return chunk_type, payload
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def close(self) -> None:
+        if self._owns_stream:
+            self._stream.close()
+
+    def __enter__(self) -> "IOFileReader":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def scan_file(source: str | Path) -> dict:
+    """Summarize a PBIO data file without decoding records:
+    per-format record counts and total bytes."""
+    counts: dict[str, int] = {}
+    names: dict = {}
+    total = 0
+    with IOFileReader(source) as reader:
+        # use the chunk stream directly to avoid full decode
+        while True:
+            chunk = reader._next_chunk()
+            if chunk is None:
+                break
+            chunk_type, payload = chunk
+            total += len(payload)
+            if chunk_type == CHUNK_METADATA:
+                fid = reader.context.format_server.import_bytes(payload)
+                names[fid] = reader.context.format_server.lookup(
+                    fid).name
+            elif chunk_type == CHUNK_RECORD:
+                fid, _ = parse_header(payload)
+                name = names.get(fid, str(fid))
+                counts[name] = counts.get(name, 0) + 1
+    return {"records": counts, "payload_bytes": total}

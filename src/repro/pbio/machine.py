@@ -1,0 +1,140 @@
+"""Architecture descriptions for simulated heterogeneity.
+
+The paper's evaluation ran across real heterogeneous hardware (SPARC
+Solaris machines and x86 hosts).  We substitute explicit architecture
+models: each :class:`Architecture` fixes byte order, the sizes of the
+C integral/pointer types, and alignment rules, so the layout engine and
+the encoder can produce byte-exact "native" structure images for any of
+them on a single host.
+
+The models match the ABIs of the era's platforms:
+
+* ``SPARC_32``  -- SPARC V8, Solaris: big-endian, ILP32.
+* ``SPARC_V9`` -- SPARC V9, Solaris 64-bit: big-endian, LP64.
+* ``X86_32``   -- IA-32 System V: little-endian, ILP32 (4-byte max
+  alignment: an 8-byte double aligns to 4 in structs).
+* ``X86_64``   -- x86-64 System V: little-endian, LP64.
+"""
+
+from __future__ import annotations
+
+import sys
+from dataclasses import dataclass, field
+
+from repro.errors import LayoutError
+
+#: Atomic slots every architecture must size: C-ish type names used by
+#: the layout engine.
+ATOMIC_SIZES_REQUIRED = (
+    "char", "short", "int", "long", "long_long", "float", "double",
+    "pointer",
+)
+
+
+@dataclass(frozen=True)
+class Architecture:
+    """A machine model: byte order + type sizes + alignment policy.
+
+    ``max_alignment`` caps member alignment (IA-32's 4-byte cap is the
+    classic example).  Alignment of an atomic type is
+    ``min(size, max_alignment)`` — natural alignment, as all the
+    modeled ABIs use.
+    """
+
+    name: str
+    byte_order: str  # "little" | "big"
+    sizes: dict[str, int] = field(hash=False)
+    max_alignment: int = 16
+
+    def __post_init__(self) -> None:
+        if self.byte_order not in ("little", "big"):
+            raise LayoutError(
+                f"byte_order must be 'little' or 'big', "
+                f"got {self.byte_order!r}")
+        missing = [t for t in ATOMIC_SIZES_REQUIRED if t not in self.sizes]
+        if missing:
+            raise LayoutError(
+                f"architecture {self.name!r} missing sizes for {missing}")
+
+    # -- queries -------------------------------------------------------------
+
+    def sizeof(self, atomic: str) -> int:
+        try:
+            return self.sizes[atomic]
+        except KeyError:
+            raise LayoutError(
+                f"architecture {self.name!r} does not size {atomic!r}"
+            ) from None
+
+    def alignof(self, atomic: str) -> int:
+        return min(self.sizeof(atomic), self.max_alignment)
+
+    @property
+    def struct_byte_order_char(self) -> str:
+        """The :mod:`struct` byte-order prefix for this architecture."""
+        return "<" if self.byte_order == "little" else ">"
+
+    def int_size_for(self, bits: int | None) -> int:
+        """Pick the native integer size carrying at least *bits* bits
+        (defaulting to ``int``)."""
+        if bits is None:
+            return self.sizeof("int")
+        needed = max(1, (bits + 7) // 8)
+        for atomic in ("char", "short", "int", "long", "long_long"):
+            if self.sizeof(atomic) >= needed:
+                return self.sizeof(atomic)
+        return self.sizeof("long_long")
+
+    def __repr__(self) -> str:
+        return f"Architecture({self.name!r}, {self.byte_order}-endian)"
+
+
+def _ilp32(name: str, byte_order: str, max_alignment: int = 16) \
+        -> Architecture:
+    return Architecture(name=name, byte_order=byte_order, sizes={
+        "char": 1, "short": 2, "int": 4, "long": 4, "long_long": 8,
+        "float": 4, "double": 8, "pointer": 4,
+    }, max_alignment=max_alignment)
+
+
+def _lp64(name: str, byte_order: str) -> Architecture:
+    return Architecture(name=name, byte_order=byte_order, sizes={
+        "char": 1, "short": 2, "int": 4, "long": 8, "long_long": 8,
+        "float": 4, "double": 8, "pointer": 8,
+    })
+
+
+SPARC_32 = _ilp32("sparc-solaris", "big")
+SPARC_V9 = _lp64("sparcv9-solaris", "big")
+X86_32 = _ilp32("i386-linux", "little", max_alignment=4)
+X86_64 = _lp64("x86_64-linux", "little")
+
+_REGISTRY: dict[str, Architecture] = {
+    arch.name: arch for arch in (SPARC_32, SPARC_V9, X86_32, X86_64)
+}
+
+#: The architecture records are laid out in by default.  LP64 matching
+#: the host's endianness, which on every supported platform is
+#: little-endian x86-64/aarch64.
+NATIVE = X86_64 if sys.byteorder == "little" else SPARC_V9
+
+
+def architecture_by_name(name: str) -> Architecture:
+    """Look up a registered architecture model by name."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise LayoutError(
+            f"unknown architecture {name!r}; known: "
+            f"{sorted(_REGISTRY)}") from None
+
+
+def register_architecture(arch: Architecture) -> Architecture:
+    """Register a custom architecture model (used by tests to probe
+    unusual ABIs).  Re-registering the same name replaces the model."""
+    _REGISTRY[arch.name] = arch
+    return arch
+
+
+def all_architectures() -> tuple[Architecture, ...]:
+    return tuple(_REGISTRY.values())

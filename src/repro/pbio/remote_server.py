@@ -1,0 +1,191 @@
+"""A network format-server service.
+
+The paper's PBIO deployment ran a *format server* process that every
+endpoint registered formats with and fetched metadata from.  This
+module provides that process boundary:
+
+* :class:`FormatServerService` — serves a local
+  :class:`~repro.pbio.format_server.FormatServer` to TCP clients
+  (register + lookup RPCs over the frame protocol);
+* :class:`RemoteFormatServer` — a client-side stand-in exposing the
+  same interface as :class:`FormatServer`, so an
+  :class:`~repro.pbio.context.IOContext` can be pointed at a remote
+  server with no other changes::
+
+      remote = RemoteFormatServer.connect(host, port)
+      ctx = IOContext(format_server=remote)
+
+Lookups are cached client-side (metadata is immutable — IDs are
+content digests), so the network is touched once per format, matching
+the amortization story of the rest of the system.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.errors import (
+    FormatRegistrationError, TransportError, UnknownFormatError,
+)
+from repro.pbio.format import FormatID, IOFormat, deserialize_format
+from repro.pbio.format_server import FormatServer
+from repro.transport.messages import Frame, FrameType
+from repro.transport.tcp import TCPChannel, TCPListener
+
+
+class FormatServerService:
+    """Accepts clients and serves register/lookup requests."""
+
+    def __init__(self, backing: FormatServer | None = None, *,
+                 host: str = "127.0.0.1", port: int = 0) -> None:
+        self.backing = backing if backing is not None else FormatServer()
+        self._listener = TCPListener(host=host, port=port)
+        self.host, self.port = self._listener.host, self._listener.port
+        self._stop = threading.Event()
+        self._thread = threading.Thread(target=self._accept_loop,
+                                        name="format-server",
+                                        daemon=True)
+        self._thread.start()
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def close(self) -> None:
+        self._stop.set()
+        self._listener.close()
+        self._thread.join(timeout=5)
+
+    def __enter__(self) -> "FormatServerService":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- serving -------------------------------------------------------------
+
+    def _accept_loop(self) -> None:
+        while not self._stop.is_set():
+            try:
+                channel = self._listener.accept(timeout=0.2)
+            except TransportError:
+                continue
+            worker = threading.Thread(target=self._serve_client,
+                                      args=(channel,), daemon=True)
+            worker.start()
+
+    def _serve_client(self, channel: TCPChannel) -> None:
+        try:
+            while True:
+                frame = channel.recv(timeout=None)
+                if frame is None or frame.type == FrameType.BYE:
+                    return
+                self._handle(channel, frame)
+        except TransportError:
+            pass
+        finally:
+            channel.close()
+
+    def _handle(self, channel: TCPChannel, frame: Frame) -> None:
+        try:
+            if frame.type == FrameType.FMT_REG:
+                fid = self.backing.import_bytes(frame.payload)
+                channel.send(Frame(FrameType.FMT_ACK, fid.to_bytes()))
+            elif frame.type == FrameType.FMT_REQ:
+                fid = FormatID.from_bytes(frame.payload)
+                metadata = self.backing.lookup_bytes(fid)
+                channel.send(Frame(FrameType.FMT_RSP,
+                                   fid.to_bytes() + metadata))
+            elif frame.type == FrameType.HELLO:
+                pass
+            else:
+                channel.send(Frame(
+                    FrameType.FMT_ERR,
+                    f"unexpected frame {frame.type.name}".encode()))
+        except (UnknownFormatError, FormatRegistrationError) as exc:
+            channel.send(Frame(FrameType.FMT_ERR, str(exc).encode()))
+
+
+class RemoteFormatServer:
+    """FormatServer-compatible client over TCP, with a local cache."""
+
+    def __init__(self, channel: TCPChannel) -> None:
+        self._channel = channel
+        self._lock = threading.Lock()
+        self._cache: dict[FormatID, bytes] = {}
+        self.network_registrations = 0
+        self.network_lookups = 0
+
+    @classmethod
+    def connect(cls, host: str, port: int, *,
+                timeout: float = 10.0) -> "RemoteFormatServer":
+        return cls(TCPChannel.connect(host, port, timeout=timeout))
+
+    # -- FormatServer interface ------------------------------------------------
+
+    def register(self, fmt: IOFormat) -> FormatID:
+        canonical = fmt.canonical_bytes()
+        fid = fmt.format_id
+        with self._lock:
+            if fid in self._cache:
+                return fid
+            reply = self._request(Frame(FrameType.FMT_REG, canonical))
+            self.network_registrations += 1
+            if reply.type == FrameType.FMT_ERR:
+                raise FormatRegistrationError(
+                    reply.payload.decode("utf-8", errors="replace"))
+            if reply.type != FrameType.FMT_ACK:
+                raise FormatRegistrationError(
+                    f"unexpected reply {reply.type.name}")
+            acked = FormatID.from_bytes(reply.payload)
+            if acked != fid:
+                raise FormatRegistrationError(
+                    f"server acknowledged {acked}, expected {fid}")
+            self._cache[fid] = canonical
+        return fid
+
+    def lookup_bytes(self, fid: FormatID) -> bytes:
+        with self._lock:
+            cached = self._cache.get(fid)
+            if cached is not None:
+                return cached
+            reply = self._request(Frame(FrameType.FMT_REQ,
+                                        fid.to_bytes()))
+            self.network_lookups += 1
+            if reply.type == FrameType.FMT_ERR:
+                raise UnknownFormatError(
+                    reply.payload.decode("utf-8", errors="replace"))
+            if reply.type != FrameType.FMT_RSP:
+                raise UnknownFormatError(
+                    f"unexpected reply {reply.type.name}")
+            got = FormatID.from_bytes(reply.payload[:8])
+            metadata = bytes(reply.payload[8:])
+            if got != fid:
+                raise UnknownFormatError(
+                    f"server returned {got}, expected {fid}")
+            self._cache[fid] = metadata
+            return metadata
+
+    def lookup(self, fid: FormatID) -> IOFormat:
+        fmt = deserialize_format(self.lookup_bytes(fid))
+        if fmt.format_id != fid:
+            raise UnknownFormatError(
+                f"metadata integrity failure for id {fid}")
+        return fmt
+
+    def import_bytes(self, canonical: bytes) -> FormatID:
+        return self.register(deserialize_format(canonical))
+
+    def known_ids(self) -> tuple[FormatID, ...]:
+        with self._lock:
+            return tuple(self._cache)
+
+    # -- internals ---------------------------------------------------------------
+
+    def _request(self, frame: Frame, timeout: float = 10.0) -> Frame:
+        self._channel.send(frame)
+        reply = self._channel.recv(timeout)
+        if reply is None:
+            raise TransportError("format server closed the connection")
+        return reply
+
+    def close(self) -> None:
+        self._channel.close()

@@ -1,0 +1,44 @@
+"""RPC interfaces over XMIT metadata.
+
+Section 3.2 lists planned BCM integrations beyond PBIO and Java:
+"We plan to implement SOAP/XML-RPC style interfaces and also IIOP."
+This package delivers the XML-RPC-style interface — and, in the spirit
+of the whole paper, a binary twin:
+
+* :mod:`repro.rpc.xmlwire`  -- classic XML-RPC message encoding
+  (``methodCall``/``methodResponse``/``fault`` documents built on our
+  own DOM), self-describing ASCII on the wire;
+* :mod:`repro.rpc.binwire`  -- "XMIT-RPC": the same call/reply/fault
+  protocol, but parameters and results are records of XML-*discovered*
+  formats marshaled with PBIO — open metadata, binary wire;
+* :mod:`repro.rpc.endpoints` -- :class:`RPCServer` / :class:`RPCClient`
+  over any :class:`~repro.transport.base.Channel`, parameterized by
+  protocol, so the two wire formats are benchmarkable head to head
+  (see ``benchmarks/test_ext_rpc.py``).
+"""
+
+from repro.rpc.xmlwire import (
+    XMLRPCCodec,
+    decode_call,
+    decode_response,
+    encode_call,
+    encode_fault,
+    encode_response,
+)
+from repro.rpc.binwire import BinaryRPCCodec
+from repro.rpc.soapwire import SOAPCodec
+from repro.rpc.endpoints import RPCClient, RPCFault, RPCServer
+
+__all__ = [
+    "BinaryRPCCodec",
+    "SOAPCodec",
+    "RPCClient",
+    "RPCFault",
+    "RPCServer",
+    "XMLRPCCodec",
+    "decode_call",
+    "decode_response",
+    "encode_call",
+    "encode_fault",
+    "encode_response",
+]

@@ -1,0 +1,195 @@
+"""XML-RPC-style message encoding.
+
+Implements the call/response/fault document shapes of the XML-RPC
+specification (reference [9] of the paper) on our own XML substrate:
+
+* ``<methodCall><methodName/><params><param><value>...`` for calls,
+* ``<methodResponse><params>...`` for results,
+* ``<methodResponse><fault><value><struct>...`` for faults.
+
+Value typing follows XML-RPC: ``<int>``, ``<double>``, ``<string>``,
+``<boolean>``, ``<array><data>``, ``<struct><member>``.  Like the real
+protocol, every value pays ASCII conversion and markup framing — this
+codec is the "self-describing but slow" end of the RPC comparison.
+"""
+
+from __future__ import annotations
+
+from repro.errors import WireFormatError
+from repro.xmlcore.builder import DocumentBuilder
+from repro.xmlcore.dom import Element
+from repro.xmlcore.parser import parse
+from repro.xmlcore.serializer import serialize
+
+
+# ---------------------------------------------------------------------------
+# value encoding
+# ---------------------------------------------------------------------------
+
+def _encode_value(builder: DocumentBuilder, value) -> None:
+    with builder.element("value"):
+        if isinstance(value, bool):
+            builder.leaf("boolean", "1" if value else "0")
+        elif isinstance(value, int):
+            builder.leaf("int", value)
+        elif isinstance(value, float):
+            builder.leaf("double", repr(value))
+        elif isinstance(value, str):
+            builder.leaf("string", value)
+        elif value is None:
+            builder.leaf("nil")
+        elif isinstance(value, dict):
+            with builder.element("struct"):
+                for name, member in value.items():
+                    with builder.element("member"):
+                        builder.leaf("name", name)
+                        _encode_value(builder, member)
+        elif hasattr(value, "__iter__"):
+            with builder.element("array"):
+                with builder.element("data"):
+                    for item in value:
+                        _encode_value(builder, item)
+        else:
+            raise WireFormatError(
+                f"XML-RPC cannot represent {type(value).__name__}")
+
+
+def _decode_value(value_elem: Element):
+    children = list(value_elem)
+    if not children:
+        return value_elem.text_content()  # bare string form
+    typed = children[0]
+    tag = typed.local_name
+    text = typed.text_content()
+    if tag in ("int", "i4"):
+        return int(text)
+    if tag == "double":
+        return float(text)
+    if tag == "boolean":
+        return text.strip() == "1"
+    if tag == "string":
+        return text
+    if tag == "nil":
+        return None
+    if tag == "struct":
+        record = {}
+        for member in typed:
+            name_elem = member.find("name")
+            val_elem = member.find("value")
+            if name_elem is None or val_elem is None:
+                raise WireFormatError("malformed struct member")
+            record[name_elem.text_content()] = _decode_value(val_elem)
+        return record
+    if tag == "array":
+        data = typed.find("data")
+        if data is None:
+            raise WireFormatError("malformed array (no data element)")
+        return [_decode_value(v) for v in data.find_all("value")]
+    raise WireFormatError(f"unknown XML-RPC value type <{tag}>")
+
+
+# ---------------------------------------------------------------------------
+# message encoding
+# ---------------------------------------------------------------------------
+
+def encode_call(method: str, params: list) -> bytes:
+    builder = DocumentBuilder()
+    with builder.element("methodCall"):
+        builder.leaf("methodName", method)
+        with builder.element("params"):
+            for param in params:
+                with builder.element("param"):
+                    _encode_value(builder, param)
+    return serialize(builder.document(namespaces=False),
+                     xml_declaration=True).encode("utf-8")
+
+
+def encode_response(result) -> bytes:
+    builder = DocumentBuilder()
+    with builder.element("methodResponse"):
+        with builder.element("params"):
+            with builder.element("param"):
+                _encode_value(builder, result)
+    return serialize(builder.document(namespaces=False),
+                     xml_declaration=True).encode("utf-8")
+
+
+def encode_fault(code: int, message: str) -> bytes:
+    builder = DocumentBuilder()
+    with builder.element("methodResponse"):
+        with builder.element("fault"):
+            _encode_value(builder, {"faultCode": code,
+                                    "faultString": message})
+    return serialize(builder.document(namespaces=False),
+                     xml_declaration=True).encode("utf-8")
+
+
+def decode_call(data: bytes) -> tuple[str, list]:
+    root = parse(data.decode("utf-8"), namespaces=False).root
+    if root.tag != "methodCall":
+        raise WireFormatError(f"expected methodCall, got <{root.tag}>")
+    name_elem = root.find("methodName")
+    if name_elem is None:
+        raise WireFormatError("methodCall without methodName")
+    params_elem = root.find("params")
+    params = []
+    if params_elem is not None:
+        for param in params_elem.find_all("param"):
+            value = param.find("value")
+            if value is None:
+                raise WireFormatError("param without value")
+            params.append(_decode_value(value))
+    return name_elem.text_content(), params
+
+
+def decode_response(data: bytes):
+    """Returns the result value; raises the fault as
+    ``(code, message)`` inside :class:`WireFormatError` subclasses is
+    left to the endpoint layer — here a fault returns a dict under the
+    key ``"__fault__"``."""
+    root = parse(data.decode("utf-8"), namespaces=False).root
+    if root.tag != "methodResponse":
+        raise WireFormatError(
+            f"expected methodResponse, got <{root.tag}>")
+    fault = root.find("fault")
+    if fault is not None:
+        value = fault.find("value")
+        detail = _decode_value(value) if value is not None else {}
+        return {"__fault__": detail}
+    params = root.find("params")
+    if params is None:
+        raise WireFormatError("methodResponse without params or fault")
+    param = params.find("param")
+    value = param.find("value") if param is not None else None
+    if value is None:
+        raise WireFormatError("malformed methodResponse")
+    return _decode_value(value)
+
+
+class XMLRPCCodec:
+    """Protocol adapter used by the RPC endpoints."""
+
+    protocol_name = "xml"
+
+    def encode_call(self, method: str, params: dict) -> bytes:
+        # XML-RPC positional params carry the record as one struct,
+        # preserving field names (the common 'named args' convention)
+        return encode_call(method, [params])
+
+    def decode_call(self, data: bytes) -> tuple[str, dict]:
+        method, params = decode_call(data)
+        if len(params) != 1 or not isinstance(params[0], dict):
+            raise WireFormatError(
+                "expected a single struct parameter")
+        return method, params[0]
+
+    def encode_reply(self, method: str, result: dict) -> bytes:
+        del method
+        return encode_response(result)
+
+    def encode_fault(self, code: int, message: str) -> bytes:
+        return encode_fault(code, message)
+
+    def decode_reply(self, method: str, data: bytes):
+        del method
+        return decode_response(data)

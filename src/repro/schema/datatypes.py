@@ -1,0 +1,221 @@
+"""Primitive XML Schema datatypes.
+
+Implements the subset of XML Schema Part 2 datatypes the paper's
+metadata uses: the string/boolean/floating types and the full integer
+derivation ladder (byte .. unsignedLong).  Each datatype knows how to
+
+* ``parse``  a lexical form into a Python value (range-checked), and
+* ``format`` a Python value back into canonical lexical form.
+
+These are the types that XMIT maps onto native BCM types; the mapping
+itself lives with each target (:mod:`repro.core.targets`).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.errors import SchemaTypeError, SchemaValidationError
+
+XSD_NAMESPACE = "http://www.w3.org/2001/XMLSchema"
+#: Older drafts the 2001-era documents in the paper may reference.
+XSD_NAMESPACE_ALIASES = (
+    XSD_NAMESPACE,
+    "http://www.w3.org/1999/XMLSchema",
+    "http://www.w3.org/2000/10/XMLSchema",
+)
+
+
+@dataclass(frozen=True)
+class Datatype:
+    """A primitive schema datatype.
+
+    ``python_type`` is the canonical in-memory representation;
+    ``parse``/``format`` convert lexical forms.  ``kind`` is the coarse
+    class XMIT targets dispatch on: ``"integer"``, ``"unsigned"``,
+    ``"float"``, ``"string"``, ``"boolean"``.
+    """
+
+    name: str
+    kind: str
+    python_type: type
+    parse: Callable[[str], object]
+    format: Callable[[object], str]
+    bits: int | None = None  # natural width hint for binary targets
+
+    def check(self, value: object) -> object:
+        """Validate *value* against this type's value space; return it
+        (possibly canonicalized, e.g. bool(1) for boolean)."""
+        return self.parse(self.format(value))
+
+
+def _strip(lexical: str) -> str:
+    # whiteSpace facet is 'collapse' for every numeric/boolean type.
+    return lexical.strip()
+
+
+def _int_parser(name: str, lo: int | None, hi: int | None):
+    def parse(lexical: str) -> int:
+        text = _strip(str(lexical))
+        try:
+            value = int(text, 10)
+        except ValueError:
+            raise SchemaValidationError(
+                f"{text!r} is not a valid {name}") from None
+        if (lo is not None and value < lo) or (hi is not None and value > hi):
+            raise SchemaValidationError(
+                f"{value} out of range for {name}")
+        return value
+    return parse
+
+
+def _int_formatter(name: str):
+    def fmt(value: object) -> str:
+        if isinstance(value, bool) or not isinstance(value, int):
+            raise SchemaValidationError(
+                f"{name} value must be int, got {type(value).__name__}")
+        return str(value)
+    return fmt
+
+
+def _float_parser(name: str):
+    def parse(lexical: str) -> float:
+        text = _strip(str(lexical))
+        if text == "INF":
+            return math.inf
+        if text == "-INF":
+            return -math.inf
+        if text == "NaN":
+            return math.nan
+        try:
+            return float(text)
+        except ValueError:
+            raise SchemaValidationError(
+                f"{text!r} is not a valid {name}") from None
+    return parse
+
+
+def _float_formatter(value: object) -> str:
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise SchemaValidationError(
+            f"float value expected, got {type(value).__name__}")
+    value = float(value)
+    if math.isinf(value):
+        return "INF" if value > 0 else "-INF"
+    if math.isnan(value):
+        return "NaN"
+    return repr(value)
+
+
+def _parse_boolean(lexical: str) -> bool:
+    text = _strip(str(lexical))
+    if text in ("true", "1"):
+        return True
+    if text in ("false", "0"):
+        return False
+    raise SchemaValidationError(f"{text!r} is not a valid boolean")
+
+
+def _format_boolean(value: object) -> str:
+    if not isinstance(value, bool):
+        raise SchemaValidationError(
+            f"boolean value expected, got {type(value).__name__}")
+    return "true" if value else "false"
+
+
+def _parse_string(lexical: str) -> str:
+    if not isinstance(lexical, str):
+        raise SchemaValidationError(
+            f"string value expected, got {type(lexical).__name__}")
+    return lexical
+
+
+def _format_string(value: object) -> str:
+    if not isinstance(value, str):
+        raise SchemaValidationError(
+            f"string value expected, got {type(value).__name__}")
+    return value
+
+
+def _make(name: str, kind: str, python_type: type, parse, fmt,
+          bits: int | None = None) -> Datatype:
+    return Datatype(name=name, kind=kind, python_type=python_type,
+                    parse=parse, format=fmt, bits=bits)
+
+
+def _bounded_int(name: str, bits: int, signed: bool) -> Datatype:
+    if signed:
+        lo, hi = -(1 << (bits - 1)), (1 << (bits - 1)) - 1
+        kind = "integer"
+    else:
+        lo, hi = 0, (1 << bits) - 1
+        kind = "unsigned"
+    return _make(name, kind, int,
+                 _int_parser(name, lo, hi), _int_formatter(name), bits)
+
+
+_DATATYPES: dict[str, Datatype] = {}
+
+
+def _register(dt: Datatype) -> Datatype:
+    _DATATYPES[dt.name] = dt
+    return dt
+
+
+STRING = _register(_make("string", "string", str,
+                         _parse_string, _format_string))
+BOOLEAN = _register(_make("boolean", "boolean", bool,
+                          _parse_boolean, _format_boolean, 8))
+FLOAT = _register(_make("float", "float", float,
+                        _float_parser("float"), _float_formatter, 32))
+DOUBLE = _register(_make("double", "float", float,
+                         _float_parser("double"), _float_formatter, 64))
+DECIMAL = _register(_make("decimal", "float", float,
+                          _float_parser("decimal"), _float_formatter, 64))
+
+#: ``integer`` is unbounded in XML Schema; binary targets treat it as a
+#: native int (the paper maps C ``int`` fields onto ``xsd:integer``).
+INTEGER = _register(_make(
+    "integer", "integer", int,
+    _int_parser("integer", None, None), _int_formatter("integer"), 32))
+
+LONG = _register(_bounded_int("long", 64, signed=True))
+INT = _register(_bounded_int("int", 32, signed=True))
+SHORT = _register(_bounded_int("short", 16, signed=True))
+BYTE = _register(_bounded_int("byte", 8, signed=True))
+UNSIGNED_LONG = _register(_bounded_int("unsignedLong", 64, signed=False))
+UNSIGNED_INT = _register(_bounded_int("unsignedInt", 32, signed=False))
+UNSIGNED_SHORT = _register(_bounded_int("unsignedShort", 16, signed=False))
+UNSIGNED_BYTE = _register(_bounded_int("unsignedByte", 8, signed=False))
+
+NON_NEGATIVE_INTEGER = _register(_make(
+    "nonNegativeInteger", "unsigned", int,
+    _int_parser("nonNegativeInteger", 0, None),
+    _int_formatter("nonNegativeInteger"), 32))
+POSITIVE_INTEGER = _register(_make(
+    "positiveInteger", "unsigned", int,
+    _int_parser("positiveInteger", 1, None),
+    _int_formatter("positiveInteger"), 32))
+
+
+def lookup_datatype(name: str) -> Datatype:
+    """Return the primitive datatype called *name* (local name, no
+    prefix).  Raises :class:`SchemaTypeError` for unknown names."""
+    try:
+        return _DATATYPES[name]
+    except KeyError:
+        raise SchemaTypeError(
+            f"unknown XML Schema datatype {name!r}; supported: "
+            f"{sorted(_DATATYPES)}") from None
+
+
+def is_primitive(name: str) -> bool:
+    """True if *name* names a supported primitive datatype."""
+    return name in _DATATYPES
+
+
+def all_datatypes() -> dict[str, Datatype]:
+    """A copy of the primitive-type registry (name -> Datatype)."""
+    return dict(_DATATYPES)

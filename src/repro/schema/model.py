@@ -1,0 +1,230 @@
+"""Schema component model.
+
+A :class:`Schema` is a named collection of :class:`ComplexType` message
+formats (plus :class:`EnumerationType` simple types).  A
+:class:`ComplexType` is an ordered list of :class:`ElementDecl` fields;
+each field is either a primitive datatype, an enumeration, or a
+reference to another complex type, and may carry an :class:`ArraySpec`.
+
+Array specifications follow the paper (section 3.1 and Fig. 4):
+
+* ``maxOccurs="12"``        -- fixed-size array of 12 elements;
+* ``maxOccurs="*"``         -- dynamically allocated array whose length
+  travels with the message (we also accept the standard
+  ``"unbounded"`` spelling);
+* ``maxOccurs="size"``      -- dynamic array sized at run time by the
+  integer field named ``size`` of the same record;
+* ``dimensionName="size"`` (+ optional ``dimensionPlacement``) -- the
+  Fig. 4 spelling of the same length-field linkage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import SchemaParseError, SchemaTypeError
+from repro.schema.datatypes import Datatype, is_primitive, lookup_datatype
+
+# ArraySpec kinds
+SCALAR = "scalar"
+FIXED = "fixed"
+VARIABLE = "variable"
+
+
+@dataclass(frozen=True)
+class ArraySpec:
+    """Occurrence specification for a field.
+
+    ``kind`` is one of :data:`SCALAR`, :data:`FIXED`, :data:`VARIABLE`.
+    For FIXED, ``size`` is the element count.  For VARIABLE,
+    ``length_field`` names the sizing integer field when the schema
+    links one (otherwise the length is self-describing on the wire) and
+    ``placement`` records whether the length field appears ``"before"``
+    or ``"after"`` the array in the record (Fig. 4 uses ``before``).
+    """
+
+    kind: str = SCALAR
+    size: int | None = None
+    length_field: str | None = None
+    placement: str = "before"
+
+    @property
+    def is_array(self) -> bool:
+        return self.kind != SCALAR
+
+    def __post_init__(self) -> None:
+        if self.kind not in (SCALAR, FIXED, VARIABLE):
+            raise SchemaParseError(f"invalid array kind {self.kind!r}")
+        if self.kind == FIXED and (self.size is None or self.size < 1):
+            raise SchemaParseError(
+                f"fixed array requires a positive size, got {self.size!r}")
+        if self.placement not in ("before", "after"):
+            raise SchemaParseError(
+                f"dimensionPlacement must be 'before' or 'after', "
+                f"got {self.placement!r}")
+
+
+SCALAR_SPEC = ArraySpec()
+
+
+@dataclass(frozen=True)
+class ElementDecl:
+    """One field of a message format.
+
+    ``type_name`` is the local name of either a primitive datatype, an
+    enumeration simple type, or another complex type in the same
+    schema.  Resolution to one of those happens against a
+    :class:`Schema` via :meth:`Schema.resolve`.
+    """
+
+    name: str
+    type_name: str
+    array: ArraySpec = SCALAR_SPEC
+    min_occurs: int = 1
+    documentation: str | None = None
+
+    @property
+    def optional(self) -> bool:
+        return self.min_occurs == 0 and not self.array.is_array
+
+
+@dataclass(frozen=True)
+class EnumerationType:
+    """A ``simpleType`` restricting ``string`` to enumerated values."""
+
+    name: str
+    values: tuple[str, ...]
+    base: str = "string"
+
+    def __post_init__(self) -> None:
+        if not self.values:
+            raise SchemaParseError(
+                f"enumeration {self.name!r} has no values")
+        if len(set(self.values)) != len(self.values):
+            raise SchemaParseError(
+                f"enumeration {self.name!r} has duplicate values")
+
+    def index_of(self, value: str) -> int:
+        try:
+            return self.values.index(value)
+        except ValueError:
+            raise SchemaTypeError(
+                f"{value!r} is not one of enumeration {self.name!r}: "
+                f"{list(self.values)}") from None
+
+
+@dataclass(frozen=True)
+class ComplexType:
+    """A message format: an ordered sequence of fields."""
+
+    name: str
+    elements: tuple[ElementDecl, ...]
+    documentation: str | None = None
+
+    def __post_init__(self) -> None:
+        seen: set[str] = set()
+        for decl in self.elements:
+            if decl.name in seen:
+                raise SchemaParseError(
+                    f"duplicate field {decl.name!r} in complexType "
+                    f"{self.name!r}")
+            seen.add(decl.name)
+
+    def field_names(self) -> tuple[str, ...]:
+        return tuple(decl.name for decl in self.elements)
+
+    def element(self, name: str) -> ElementDecl:
+        for decl in self.elements:
+            if decl.name == name:
+                return decl
+        raise SchemaTypeError(
+            f"complexType {self.name!r} has no field {name!r}")
+
+
+@dataclass
+class Schema:
+    """A collection of named types parsed from one or more documents."""
+
+    target_namespace: str | None = None
+    complex_types: dict[str, ComplexType] = field(default_factory=dict)
+    enumerations: dict[str, EnumerationType] = field(default_factory=dict)
+
+    def add(self, component: ComplexType | EnumerationType) -> None:
+        table, kind = ((self.complex_types, "complexType")
+                       if isinstance(component, ComplexType)
+                       else (self.enumerations, "simpleType"))
+        if component.name in self.complex_types or \
+                component.name in self.enumerations or \
+                is_primitive(component.name):
+            raise SchemaParseError(
+                f"{kind} {component.name!r} collides with an existing type")
+        table[component.name] = component
+
+    def merge(self, other: "Schema") -> None:
+        """Add every component of *other* (used when XMIT loads several
+        schema documents into one registry)."""
+        for ct in other.complex_types.values():
+            self.add(ct)
+        for en in other.enumerations.values():
+            self.add(en)
+
+    def complex_type(self, name: str) -> ComplexType:
+        try:
+            return self.complex_types[name]
+        except KeyError:
+            raise SchemaTypeError(
+                f"unknown complexType {name!r}; known: "
+                f"{sorted(self.complex_types)}") from None
+
+    def resolve(self, type_name: str) \
+            -> Datatype | EnumerationType | ComplexType:
+        """Resolve a field's type name to its component.
+
+        Lookup order follows the paper's layering: user-defined complex
+        types and enumerations shadow nothing because primitive names
+        are reserved at :meth:`add` time.
+        """
+        if type_name in self.complex_types:
+            return self.complex_types[type_name]
+        if type_name in self.enumerations:
+            return self.enumerations[type_name]
+        return lookup_datatype(type_name)
+
+    def check_references(self) -> None:
+        """Verify every field type and length-field reference resolves.
+
+        Raises :class:`SchemaTypeError` on dangling references, self-
+        recursive types (a type containing itself by value, which has
+        no finite binary layout), and length fields that are not
+        integers declared in the same record.
+        """
+        for ct in self.complex_types.values():
+            for decl in ct.elements:
+                resolved = self.resolve(decl.type_name)
+                if isinstance(resolved, ComplexType):
+                    self._check_no_cycle(ct.name, resolved, (ct.name,))
+                lf = decl.array.length_field
+                if lf is not None:
+                    sizing = ct.element(lf)  # raises if absent
+                    sizing_type = self.resolve(sizing.type_name)
+                    if not isinstance(sizing_type, Datatype) or \
+                            sizing_type.kind not in ("integer", "unsigned"):
+                        raise SchemaTypeError(
+                            f"length field {lf!r} of "
+                            f"{ct.name}.{decl.name} must be an integer "
+                            f"type, is {sizing.type_name!r}")
+                    if sizing.array.is_array:
+                        raise SchemaTypeError(
+                            f"length field {lf!r} of "
+                            f"{ct.name}.{decl.name} cannot be an array")
+
+    def _check_no_cycle(self, root: str, ct: ComplexType,
+                        path: tuple[str, ...]) -> None:
+        if ct.name in path:
+            raise SchemaTypeError(
+                f"recursive value-type cycle: {' -> '.join(path)} -> "
+                f"{ct.name}")
+        for decl in ct.elements:
+            resolved = self.resolve(decl.type_name)
+            if isinstance(resolved, ComplexType):
+                self._check_no_cycle(root, resolved, path + (ct.name,))

@@ -1,0 +1,13 @@
+"""Developer tools built on the library.
+
+* :mod:`repro.tools.inspect`  -- wire-record inspector: annotated
+  hexdump of a PBIO record against its format metadata (the kind of
+  debugging aid a production BCM ships with);
+* :mod:`repro.tools.xmitgen`  -- command-line metadata generator: the
+  XMIT analog of an IDL compiler, rendering XSD documents to any
+  source target (``python -m repro.tools.xmitgen``).
+"""
+
+from repro.tools.inspect import describe_format, dump_record
+
+__all__ = ["describe_format", "dump_record"]

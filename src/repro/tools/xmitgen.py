@@ -1,0 +1,141 @@
+"""xmitgen — command-line metadata generator.
+
+The XMIT analog of an IDL compiler: point it at a schema document
+(path or ``http:``/``file:``/``mem:`` URL) and it renders every format
+— or a selection — through any source target.
+
+Usage::
+
+    python -m repro.tools.xmitgen formats.xsd --target c
+    python -m repro.tools.xmitgen http://host/f.xsd -t java -t cpp
+    python -m repro.tools.xmitgen formats.xsd --format SimpleData \
+        --target idl --out-dir generated/
+
+Without ``--out-dir`` everything prints to stdout; with it, one file
+per (format, target) is written using conventional extensions.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.core.targets.base import available_targets
+from repro.core.toolkit import XMIT
+from repro.errors import ReproError
+
+#: file extension per source target.
+_EXTENSIONS = {"c": "h", "cpp": "hpp", "java": "java", "idl": "idl"}
+
+#: targets whose artifact is source text (the CLI's menu).
+SOURCE_TARGETS = tuple(sorted(_EXTENSIONS))
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="xmitgen",
+        description="Generate native metadata from XML Schema "
+                    "message formats.")
+    parser.add_argument("source",
+                        help="schema document: a file path or a "
+                             "http:/file:/mem: URL")
+    parser.add_argument("-t", "--target", action="append",
+                        choices=SOURCE_TARGETS, default=None,
+                        help="source target(s); default: c")
+    parser.add_argument("-f", "--format", action="append",
+                        dest="formats", default=None,
+                        help="format name(s) to generate; default: "
+                             "all discovered")
+    parser.add_argument("-o", "--out-dir", type=Path, default=None,
+                        help="write one file per (format, target) "
+                             "instead of stdout")
+    parser.add_argument("--list", action="store_true",
+                        help="only list discovered formats")
+    parser.add_argument("--validate", metavar="INSTANCE",
+                        help="validate an XML instance document "
+                             "against the schema instead of "
+                             "generating (reports the matching "
+                             "format)")
+    return parser
+
+
+def _load(source: str) -> XMIT:
+    xmit = XMIT()
+    if ":" in source and not Path(source).exists():
+        xmit.load_url(source)
+    else:
+        path = Path(source)
+        xmit.load_text(path.read_text(encoding="utf-8"))
+    return xmit
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        xmit = _load(args.source)
+    except (ReproError, OSError) as exc:
+        print(f"xmitgen: cannot load {args.source}: {exc}",
+              file=sys.stderr)
+        return 1
+
+    names = list(xmit.format_names)
+    if args.validate:
+        try:
+            instance = Path(args.validate).read_bytes()
+        except OSError as exc:
+            print(f"xmitgen: {exc}", file=sys.stderr)
+            return 1
+        if args.formats:
+            # explicit format: validate strictly against it
+            from repro.schema.validator import load_instance
+            from repro.xmlcore.parser import parse_bytes
+            from repro.errors import SchemaValidationError
+            target = args.formats[0]
+            try:
+                record = load_instance(
+                    xmit._reconstruct_schema(), target,
+                    parse_bytes(instance).root)
+            except (ReproError, SchemaValidationError) as exc:
+                print(f"INVALID against {target}: {exc}")
+                return 2
+            print(f"VALID: {target} ({len(record)} fields)")
+            return 0
+        matched = xmit.match_message(instance)
+        if matched is None:
+            print("INVALID: matches no loaded format")
+            return 2
+        print(f"VALID: matches {matched}")
+        return 0
+    if args.list:
+        for name in names:
+            fields = xmit.ir.format(name).field_names()
+            print(f"{name}: {', '.join(fields)}")
+        return 0
+
+    selected = args.formats or names
+    unknown = set(selected) - set(names)
+    if unknown:
+        print(f"xmitgen: unknown formats {sorted(unknown)}; "
+              f"document defines {names}", file=sys.stderr)
+        return 1
+    targets = args.target or ["c"]
+    assert set(available_targets()) >= set(targets)
+
+    if args.out_dir is not None:
+        args.out_dir.mkdir(parents=True, exist_ok=True)
+    for name in selected:
+        for target in targets:
+            source = xmit.bind(name, target=target).artifact
+            if args.out_dir is None:
+                print(f"// ===== {name} [{target}] =====")
+                print(source)
+            else:
+                path = args.out_dir / f"{name}.{_EXTENSIONS[target]}"
+                path.write_text(source, encoding="utf-8")
+                print(f"wrote {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,38 @@
+"""Message transport with on-demand format negotiation.
+
+PBIO records carry only an 8-byte format ID; when a receiver sees an ID
+it cannot resolve it asks the peer for the metadata, imports it into
+its local format server, and proceeds — after which every further
+record in that format decodes without negotiation.  That is the
+"connection establishment" cost the paper describes as the only place
+XMIT/PBIO pay overhead ("Small 'startup' overheads are incurred only
+during 'connection establishment'").
+
+Layers:
+
+* :mod:`repro.transport.base`       -- framed :class:`Channel` interface;
+* :mod:`repro.transport.inproc`     -- queue-backed channel pair;
+* :mod:`repro.transport.tcp`        -- socket channel + listener;
+* :mod:`repro.transport.messages`   -- frame encoding;
+* :mod:`repro.transport.connection` -- :class:`Connection`: records in,
+  records out, metadata fetched on demand.
+"""
+
+from repro.transport.base import Channel
+from repro.transport.inproc import InProcChannel, channel_pair
+from repro.transport.tcp import TCPChannel, TCPListener, tcp_pair
+from repro.transport.messages import Frame, FrameType
+from repro.transport.connection import Connection, ReceivedMessage
+
+__all__ = [
+    "Channel",
+    "Connection",
+    "Frame",
+    "FrameType",
+    "InProcChannel",
+    "ReceivedMessage",
+    "TCPChannel",
+    "TCPListener",
+    "channel_pair",
+    "tcp_pair",
+]

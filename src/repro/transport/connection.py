@@ -1,0 +1,169 @@
+"""Connection: PBIO records over a channel with on-demand metadata.
+
+A :class:`Connection` binds an :class:`~repro.pbio.context.IOContext`
+to a :class:`~repro.transport.base.Channel`.  Sending encodes a record
+and ships a DATA frame.  Receiving resolves the record's format ID —
+from the local context/server cache if the format has been seen, else
+by a FMT_REQ/FMT_RSP exchange with the peer (the connection-
+establishment cost the paper describes) — then decodes.
+
+The receive loop also services the peer's FMT_REQ frames, so two
+endpoints blocked in ``receive()``/negotiation cannot deadlock; DATA
+frames that arrive while a metadata request is outstanding are queued
+and delivered in order.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+from repro.errors import ProtocolError, TransportError, UnknownFormatError
+from repro.pbio.context import IOContext
+from repro.pbio.encode import parse_header
+from repro.pbio.format import FormatID, IOFormat
+from repro.transport.base import Channel
+from repro.transport.messages import Frame, FrameType
+
+
+@dataclass(frozen=True)
+class ReceivedMessage:
+    """A decoded application record delivered by a connection."""
+
+    format_name: str
+    format_id: FormatID
+    record: dict
+
+
+class Connection:
+    """One endpoint of a structured-data exchange."""
+
+    def __init__(self, context: IOContext, channel: Channel) -> None:
+        self.context = context
+        self.channel = channel
+        self._pending: deque[bytes] = deque()
+        self._closed = False
+        self.negotiations = 0  # metadata round-trips performed
+        self.records_sent = 0
+        self.records_received = 0
+        channel.send(Frame(FrameType.HELLO,
+                           context.architecture.name.encode("utf-8")))
+        self.peer_architecture: str | None = None
+
+    # -- sending ------------------------------------------------------------
+
+    def send(self, format_name: str | IOFormat, record: dict) -> None:
+        """Encode *record* under a locally registered format and send."""
+        wire = self.context.encode(format_name, record)
+        self.channel.send(Frame(FrameType.DATA, wire))
+        self.records_sent += 1
+
+    def send_encoded(self, wire: bytes) -> None:
+        """Send an already-encoded record (from
+        :meth:`~repro.pbio.context.IOContext.encode`).
+
+        Lets a server marshal once and fan the same bytes out to many
+        clients — the per-client processing reduction the paper's
+        intro motivates for "single servers [that] must provide
+        information to large numbers of clients"."""
+        parse_header(wire)  # reject non-records before they hit peers
+        self.channel.send(Frame(FrameType.DATA, wire))
+        self.records_sent += 1
+
+    # -- receiving ----------------------------------------------------------
+
+    def receive(self, timeout: float | None = None) \
+            -> ReceivedMessage | None:
+        """Deliver the next application record (None on orderly close)."""
+        wire = self._next_data(timeout)
+        if wire is None:
+            return None
+        fid, _body_len = parse_header(wire)
+        self._ensure_format(fid, timeout)
+        decoded = self.context.decode(wire)
+        self.records_received += 1
+        return ReceivedMessage(format_name=decoded.format_name,
+                               format_id=decoded.format_id,
+                               record=decoded.record)
+
+    def receive_as(self, native_name: str,
+                   timeout: float | None = None) -> dict | None:
+        """Like :meth:`receive` but converted to the receiver's own
+        registered format view (restricted evolution applies)."""
+        wire = self._next_data(timeout)
+        if wire is None:
+            return None
+        fid, _ = parse_header(wire)
+        self._ensure_format(fid, timeout)
+        self.records_received += 1
+        return self.context.decode_as(wire, native_name)
+
+    # -- internals ----------------------------------------------------------
+
+    def _next_data(self, timeout: float | None) -> bytes | None:
+        if self._pending:
+            return self._pending.popleft()
+        while True:
+            frame = self.channel.recv(timeout)
+            if frame is None or frame.type == FrameType.BYE:
+                return None
+            if frame.type == FrameType.DATA:
+                return frame.payload
+            self._service(frame)
+
+    def _ensure_format(self, fid: FormatID,
+                       timeout: float | None) -> None:
+        try:
+            self.context.format_server.lookup_bytes(fid)
+            return
+        except UnknownFormatError:
+            pass
+        self.negotiations += 1
+        self.channel.send(Frame(FrameType.FMT_REQ, fid.to_bytes()))
+        while True:
+            frame = self.channel.recv(timeout)
+            if frame is None or frame.type == FrameType.BYE:
+                raise TransportError(
+                    "connection closed while awaiting format metadata")
+            if frame.type == FrameType.FMT_RSP:
+                got = FormatID.from_bytes(frame.payload[:8])
+                self.context.format_server.import_bytes(frame.payload[8:])
+                if got == fid:
+                    return
+                continue
+            if frame.type == FrameType.DATA:
+                self._pending.append(frame.payload)
+                continue
+            self._service(frame)
+
+    def _service(self, frame: Frame) -> None:
+        if frame.type == FrameType.FMT_REQ:
+            fid = FormatID.from_bytes(frame.payload)
+            try:
+                metadata = self.context.format_server.lookup_bytes(fid)
+            except UnknownFormatError:
+                raise ProtocolError(
+                    f"peer requested unknown format {fid}") from None
+            self.channel.send(Frame(FrameType.FMT_RSP,
+                                    fid.to_bytes() + metadata))
+        elif frame.type == FrameType.HELLO:
+            self.peer_architecture = frame.payload.decode(
+                "utf-8", errors="replace")
+        else:
+            raise ProtocolError(
+                f"unexpected frame type {frame.type!r}")
+
+    def close(self) -> None:
+        if not self._closed:
+            self._closed = True
+            try:
+                self.channel.send(Frame(FrameType.BYE, b""))
+            except TransportError:
+                pass
+            self.channel.close()
+
+    def __enter__(self) -> "Connection":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

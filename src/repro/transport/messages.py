@@ -1,0 +1,76 @@
+"""Frame encoding for the transport protocol.
+
+Every frame is ``u32 length (big-endian) | u8 type | payload``; the
+length covers type byte plus payload.  Frame types:
+
+========  =======================================================
+DATA      a PBIO wire record (header + body)
+FMT_REQ   payload = 8-byte format ID the sender cannot resolve
+FMT_RSP   payload = 8-byte format ID + canonical format metadata
+HELLO     connection greeting (payload = architecture name)
+BYE       orderly shutdown
+========  =======================================================
+"""
+
+from __future__ import annotations
+
+import enum
+import struct
+from dataclasses import dataclass
+
+from repro.errors import ProtocolError
+
+_LEN = struct.Struct(">I")
+MAX_FRAME = 256 * 1024 * 1024  # defensive cap
+
+
+class FrameType(enum.IntEnum):
+    DATA = 1
+    FMT_REQ = 2
+    FMT_RSP = 3
+    HELLO = 4
+    BYE = 5
+    # format-server service protocol (repro.pbio.remote_server)
+    FMT_REG = 6   # payload = canonical metadata to register
+    FMT_ACK = 7   # payload = 8-byte assigned format ID
+    FMT_ERR = 8   # payload = UTF-8 error message
+
+
+@dataclass(frozen=True)
+class Frame:
+    """One decoded transport frame."""
+
+    type: FrameType
+    payload: bytes
+
+    def encode(self) -> bytes:
+        return _LEN.pack(len(self.payload) + 1) + \
+            bytes([self.type]) + self.payload
+
+
+def decode_frame(data: bytes) -> Frame:
+    """Decode one framed message (length prefix already stripped)."""
+    if not data:
+        raise ProtocolError("empty frame")
+    try:
+        ftype = FrameType(data[0])
+    except ValueError:
+        raise ProtocolError(f"unknown frame type {data[0]}") from None
+    return Frame(type=ftype, payload=bytes(data[1:]))
+
+
+def read_frame_from(read_exactly) -> Frame | None:
+    """Read one frame using *read_exactly(n) -> bytes | None*.
+
+    Returns None on orderly end-of-stream before any bytes arrive.
+    """
+    head = read_exactly(4)
+    if head is None:
+        return None
+    (length,) = _LEN.unpack(head)
+    if length == 0 or length > MAX_FRAME:
+        raise ProtocolError(f"bad frame length {length}")
+    body = read_exactly(length)
+    if body is None:
+        raise ProtocolError("connection closed mid-frame")
+    return decode_frame(body)

@@ -1,0 +1,170 @@
+"""TCP channel: frames over a loopback (or LAN) socket.
+
+:class:`TCPListener` accepts connections and wraps them; ``tcp_pair``
+builds a connected loopback pair in one call for tests and benches.
+"""
+
+from __future__ import annotations
+
+import socket
+import struct
+import time
+
+from repro.errors import TransportError
+from repro.transport.base import Channel
+from repro.transport.messages import Frame, decode_frame
+
+_LEN = struct.Struct(">I")
+_RECV_CHUNK = 64 * 1024
+
+
+class TCPChannel(Channel):
+    """A channel over a connected TCP socket.
+
+    Receives through a persistent reassembly buffer so a timed-out
+    ``recv`` never discards partially arrived frame bytes — essential
+    for callers that poll with short timeouts (control channels), where
+    dropping a partial frame would desynchronize the stream.
+    """
+
+    def __init__(self, sock: socket.socket) -> None:
+        self._sock = sock
+        self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        self._closed = False
+        self._buffer = bytearray()
+        self.bytes_sent = 0
+        self.frames_sent = 0
+
+    @classmethod
+    def connect(cls, host: str, port: int, *,
+                timeout: float = 10.0) -> "TCPChannel":
+        try:
+            sock = socket.create_connection((host, port), timeout=timeout)
+        except OSError as exc:
+            raise TransportError(
+                f"cannot connect to {host}:{port}: {exc}") from None
+        sock.settimeout(None)
+        return cls(sock)
+
+    def send(self, frame: Frame) -> None:
+        if self._closed:
+            raise TransportError("send on closed channel")
+        data = frame.encode()
+        try:
+            self._sock.sendall(data)
+        except OSError as exc:
+            raise TransportError(f"send failed: {exc}") from None
+        self.bytes_sent += len(data)
+        self.frames_sent += 1
+
+    def recv(self, timeout: float | None = None) -> Frame | None:
+        deadline = (None if timeout is None
+                    else time.monotonic() + timeout)
+        # frame length prefix
+        if not self._fill(4, deadline, timeout):
+            if len(self._buffer) == 0:
+                return None  # orderly close at a frame boundary
+            raise TransportError("connection closed mid-frame")
+        (length,) = _LEN.unpack(self._buffer[:4])
+        if length == 0 or length > 256 * 1024 * 1024:
+            raise TransportError(f"bad frame length {length}")
+        if not self._fill(4 + length, deadline, timeout):
+            raise TransportError("connection closed mid-frame")
+        frame = decode_frame(bytes(self._buffer[4:4 + length]))
+        del self._buffer[:4 + length]
+        return frame
+
+    def _fill(self, n: int, deadline, timeout) -> bool:
+        """Grow the buffer to *n* bytes.  False on orderly EOF;
+        raises TransportError on timeout (buffer preserved)."""
+        while len(self._buffer) < n:
+            if deadline is not None:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    raise TransportError(
+                        f"recv timed out after {timeout}s")
+                self._sock.settimeout(remaining)
+            else:
+                self._sock.settimeout(None)
+            try:
+                chunk = self._sock.recv(_RECV_CHUNK)
+            except socket.timeout:
+                raise TransportError(
+                    f"recv timed out after {timeout}s") from None
+            except OSError as exc:
+                raise TransportError(f"recv failed: {exc}") from None
+            if not chunk:
+                return False
+            self._buffer.extend(chunk)
+        return True
+
+    def close(self) -> None:
+        if not self._closed:
+            self._closed = True
+            # Lingering half-close: shut down the send side (FIN after
+            # all queued data), then briefly drain the receive side
+            # before closing the descriptor.  Closing with unread
+            # inbound data (the peer's HELLO, say) makes Linux send a
+            # RST, which can destroy frames still in flight to the
+            # peer — a send-only endpoint closing early would corrupt
+            # the very stream it just finished writing.
+            try:
+                self._sock.shutdown(socket.SHUT_WR)
+            except OSError:
+                pass
+            try:
+                # clear anything already queued without blocking...
+                self._sock.settimeout(0)
+                try:
+                    while self._sock.recv(_RECV_CHUNK):
+                        pass
+                except (BlockingIOError, socket.timeout):
+                    pass
+                # ...then give the peer a short window to FIN
+                self._sock.settimeout(0.2)
+                while self._sock.recv(_RECV_CHUNK):
+                    pass
+            except OSError:
+                pass
+            self._sock.close()
+
+
+class TCPListener:
+    """Accepts TCP channels on a bound port."""
+
+    def __init__(self, *, host: str = "127.0.0.1", port: int = 0) -> None:
+        self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR,
+                                  1)
+        self._listener.bind((host, port))
+        self._listener.listen(16)
+        self.host, self.port = self._listener.getsockname()
+
+    def accept(self, timeout: float | None = None) -> TCPChannel:
+        self._listener.settimeout(timeout)
+        try:
+            conn, _addr = self._listener.accept()
+        except socket.timeout:
+            raise TransportError(
+                f"accept timed out after {timeout}s") from None
+        except OSError as exc:
+            raise TransportError(f"accept failed: {exc}") from None
+        conn.settimeout(None)
+        return TCPChannel(conn)
+
+    def close(self) -> None:
+        self._listener.close()
+
+    def __enter__(self) -> "TCPListener":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def tcp_pair() -> tuple[TCPChannel, TCPChannel]:
+    """A connected loopback channel pair (client end, server end)."""
+    with TCPListener() as listener:
+        client = TCPChannel.connect(listener.host, listener.port)
+        server = listener.accept(timeout=5)
+    return client, server

@@ -1,0 +1,251 @@
+"""CORBA CDR (IIOP) codec.
+
+Models the Common Data Representation that IIOP uses on the wire:
+
+* a one-byte **byte-order flag** leads each encapsulation; the sender
+  writes in its own order and the *reader makes right* (the paper's
+  section 5 discussion of IIOP);
+* every primitive is aligned to its natural size *within the
+  encapsulation* (CDR's defining quirk: alignment is relative to the
+  start of the message, maintained by inserting pad bytes);
+* strings are a u32 length (including NUL) + bytes + NUL;
+* sequences are a u32 count + aligned elements;
+* structs are their members in order, no framing.
+
+Marshaling is element-at-a-time with per-element alignment arithmetic
+and value copies at both ends — IIOP "is not sufficient to allow such
+message exchanges without copying of data at both sender and receiver",
+which is why CORBA sits above PBIO but below XML in Fig. 8.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.errors import WireFormatError
+from repro.pbio.fields import FieldList
+from repro.pbio.format import IOFormat
+from repro.pbio.types import FieldType
+from repro.wire.base import WireCodec
+
+_CODES = {
+    ("integer", 1): "b", ("integer", 2): "h", ("integer", 4): "i",
+    ("integer", 8): "q",
+    ("unsigned", 1): "B", ("unsigned", 2): "H", ("unsigned", 4): "I",
+    ("unsigned", 8): "Q",
+    ("enumeration", 4): "I",
+    ("float", 4): "f", ("float", 8): "d",
+    ("boolean", 1): "B", ("char", 1): "B",
+}
+
+
+def _items(value) -> list:
+    """Sequence (possibly a NumPy array) -> list; None -> empty."""
+    if value is None:
+        return []
+    return value if isinstance(value, list) else list(value)
+
+
+class CDRWireCodec(WireCodec):
+    """CDR encapsulation with reader-makes-right byte order."""
+
+    codec_name = "cdr"
+
+    def __init__(self, fmt: IOFormat) -> None:
+        super().__init__(fmt)
+        self._bo = fmt.architecture.struct_byte_order_char
+        self._big = fmt.architecture.byte_order == "big"
+
+    # -- encode -----------------------------------------------------------------
+
+    def encode(self, record: dict) -> bytes:
+        out = bytearray()
+        out.append(0 if self._big else 1)  # CDR: 1 = little-endian
+        self._marshal_struct(out, self.format.field_list, record)
+        return bytes(out)
+
+    def _align(self, out: bytearray, size: int) -> None:
+        # Alignment is relative to the encapsulation start (offset 0).
+        pad = -len(out) % size
+        if pad:
+            out.extend(b"\x00" * pad)
+
+    def _marshal_struct(self, out: bytearray, field_list: FieldList,
+                        record: dict) -> None:
+        for field in field_list:
+            ftype = field.field_type
+            try:
+                value = record[field.name]
+            except KeyError:
+                raise WireFormatError(
+                    f"field {field.name!r} missing from record") from None
+            self._marshal_value(out, field_list, ftype, field.size,
+                                value, field.name)
+
+    def _marshal_value(self, out: bytearray, field_list: FieldList,
+                       ftype: FieldType, size: int, value,
+                       name: str) -> None:
+        if ftype.is_string:
+            self._marshal_string(out, value)
+            return
+        if ftype.kind == "char" and ftype.dims:
+            text = value or ""
+            self._marshal_string(out, text)
+            return
+        if ftype.dynamic_dim is not None:
+            items = _items(value)
+            self._align(out, 4)
+            out.extend(struct.pack(self._bo + "I", len(items)))
+            for item in items:
+                self._marshal_scalar(out, field_list, ftype, size, item,
+                                     name)
+            return
+        if ftype.dims:
+            items = list(value)
+            if len(items) != ftype.static_element_count:
+                raise WireFormatError(
+                    f"{name}: expected {ftype.static_element_count} "
+                    f"elements, got {len(items)}")
+            for item in items:
+                self._marshal_scalar(out, field_list, ftype, size, item,
+                                     name)
+            return
+        self._marshal_scalar(out, field_list, ftype, size, value, name)
+
+    def _marshal_scalar(self, out: bytearray, field_list: FieldList,
+                        ftype: FieldType, size: int, value,
+                        name: str) -> None:
+        if ftype.kind == "subformat":
+            sub = field_list.subformat(ftype.base)
+            self._marshal_struct(out, sub, value)
+            return
+        if ftype.kind == "enumeration":
+            size = 4  # CDR enums are unsigned long
+            if isinstance(value, str):
+                values = self.format.enums.get(name)
+                if values is None or value not in values:
+                    raise WireFormatError(
+                        f"{name}: unknown enum label {value!r}")
+                value = values.index(value)
+        code = self._code(ftype, size, name)
+        if code in ("f", "d"):
+            value = float(value)
+        elif isinstance(value, str):
+            if len(value) != 1:
+                raise WireFormatError(
+                    f"{name}: char expects one character")
+            value = ord(value)
+        elif isinstance(value, bool):
+            value = int(value)
+        self._align(out, size)
+        out.extend(struct.pack(self._bo + code, value))
+
+    def _marshal_string(self, out: bytearray, value) -> None:
+        data = ("" if value is None else str(value)).encode("utf-8")
+        self._align(out, 4)
+        out.extend(struct.pack(self._bo + "I", len(data) + 1))
+        out.extend(data)
+        out.append(0)
+
+    def _code(self, ftype: FieldType, size: int, name: str) -> str:
+        try:
+            return _CODES[(ftype.kind, size)]
+        except KeyError:
+            raise WireFormatError(
+                f"{name}: no CDR representation for "
+                f"{ftype.kind}/{size}") from None
+
+    # -- decode -----------------------------------------------------------------
+
+    def decode(self, data: bytes) -> dict:
+        if not data:
+            raise WireFormatError("empty CDR encapsulation")
+        reader = _CDRReader(data, little=data[0] == 1)
+        return self._demarshal_struct(reader, self.format.field_list)
+
+    def _demarshal_struct(self, reader: "_CDRReader",
+                          field_list: FieldList) -> dict:
+        record: dict = {}
+        for field in field_list:
+            ftype = field.field_type
+            record[field.name] = self._demarshal_value(
+                reader, field_list, ftype, field.size, field.name)
+        return record
+
+    def _demarshal_value(self, reader: "_CDRReader",
+                         field_list: FieldList, ftype: FieldType,
+                         size: int, name: str):
+        if ftype.is_string or (ftype.kind == "char" and ftype.dims):
+            return reader.read_string()
+        if ftype.dynamic_dim is not None:
+            n = reader.read_u32()
+            return [self._demarshal_scalar(reader, field_list, ftype,
+                                           size, name)
+                    for _ in range(n)]
+        if ftype.dims:
+            return [self._demarshal_scalar(reader, field_list, ftype,
+                                           size, name)
+                    for _ in range(ftype.static_element_count)]
+        return self._demarshal_scalar(reader, field_list, ftype, size,
+                                      name)
+
+    def _demarshal_scalar(self, reader: "_CDRReader",
+                          field_list: FieldList, ftype: FieldType,
+                          size: int, name: str):
+        if ftype.kind == "subformat":
+            sub = field_list.subformat(ftype.base)
+            return self._demarshal_struct(reader, sub)
+        if ftype.kind == "enumeration":
+            index = reader.read_scalar("I", 4)
+            values = self.format.enums.get(name)
+            if values is not None:
+                if index >= len(values):
+                    raise WireFormatError(
+                        f"{name}: enum index {index} out of range")
+                return values[index]
+            return index
+        code = self._code(ftype, size, name)
+        value = reader.read_scalar(code, size)
+        if ftype.kind == "char":
+            return chr(value)
+        if ftype.kind == "boolean":
+            return bool(value)
+        if code in ("f", "d"):
+            return float(value)
+        return value
+
+
+class _CDRReader:
+    """Reader-makes-right cursor over a CDR encapsulation."""
+
+    def __init__(self, data: bytes, *, little: bool) -> None:
+        self.data = data
+        self.pos = 1  # skip byte-order flag
+        self.bo = "<" if little else ">"
+
+    def _align(self, size: int) -> None:
+        self.pos += -self.pos % size
+
+    def read_scalar(self, code: str, size: int):
+        self._align(size)
+        try:
+            value = struct.unpack_from(self.bo + code, self.data,
+                                       self.pos)[0]
+        except struct.error as exc:
+            raise WireFormatError(f"truncated CDR data: {exc}") from None
+        self.pos += size
+        return value
+
+    def read_u32(self) -> int:
+        return self.read_scalar("I", 4)
+
+    def read_string(self) -> str:
+        n = self.read_u32()
+        if n == 0:
+            return ""
+        end = self.pos + n
+        if end > len(self.data):
+            raise WireFormatError("truncated CDR string")
+        raw = self.data[self.pos:end - 1]  # trailing NUL excluded
+        self.pos = end
+        return raw.decode("utf-8")

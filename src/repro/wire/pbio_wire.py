@@ -1,0 +1,46 @@
+"""PBIO behind the common codec interface.
+
+Delegates to the compiled PBIO encoder/decoder so the Fig. 8 harness
+can sweep all mechanisms through one API.  The emitted bytes are the
+PBIO record *body* plus header, exactly what
+:class:`~repro.pbio.context.IOContext` puts on a transport.
+"""
+
+from __future__ import annotations
+
+from repro.pbio.decode import RecordDecoder
+from repro.pbio.encode import (
+    HEADER_LEN, RecordEncoder, build_header, parse_header,
+)
+from repro.pbio.format import IOFormat
+from repro.wire.base import WireCodec
+
+
+class PBIOWireCodec(WireCodec):
+    """Native-layout binary records with metadata by reference."""
+
+    codec_name = "pbio"
+
+    def __init__(self, fmt: IOFormat) -> None:
+        super().__init__(fmt)
+        self._encoder = RecordEncoder(fmt)
+        self._decoder = RecordDecoder(fmt)
+        self._big = fmt.architecture.byte_order == "big"
+
+    def encode(self, record: dict) -> bytes:
+        body = self._encoder.encode_body(record)
+        header = build_header(self.format.format_id, len(body),
+                              big_endian=self._big)
+        return header + bytes(body)
+
+    def decode(self, data: bytes) -> dict:
+        fid, body_len = parse_header(data)
+        if fid != self.format.format_id:
+            # A full receiver resolves foreign IDs via the format
+            # server; the codec interface is bound to one format.
+            from repro.errors import WireFormatError
+            raise WireFormatError(
+                f"record format id {fid} does not match bound format "
+                f"{self.format.format_id}")
+        body = memoryview(data)[HEADER_LEN:HEADER_LEN + body_len]
+        return self._decoder.decode(body)

@@ -1,0 +1,223 @@
+"""XDR (Sun RPC) codec.
+
+External Data Representation, RFC 1014 — the canonical
+*sender-makes-right* format the paper contrasts with PBIO's
+receiver-makes-right design: every sender converts to big-endian
+4-byte-aligned canonical form regardless of its own architecture, so
+homogeneous little-endian pairs pay conversion twice.
+
+Encoding rules implemented:
+
+* every item occupies a multiple of 4 bytes (1/2-byte integers widen,
+  opaque/string data is NUL-padded to 4);
+* integers are big-endian two's complement; hyper (8-byte) likewise;
+* strings and variable arrays are u32 length + payload (+ padding);
+* fixed arrays are elements back-to-back (each padded to 4);
+* structs are members in declaration order.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.errors import WireFormatError
+from repro.pbio.fields import FieldList
+from repro.pbio.types import FieldType
+from repro.wire.base import WireCodec
+
+_U32 = struct.Struct(">I")
+
+#: XDR wire width for each (kind, native size): everything is 4 or 8.
+def _xdr_width(kind: str, size: int) -> int:
+    if kind == "float":
+        return 4 if size == 4 else 8
+    return 8 if size == 8 else 4
+
+
+def _xdr_code(kind: str, width: int) -> str:
+    if kind == "float":
+        return "f" if width == 4 else "d"
+    if kind in ("unsigned", "enumeration", "boolean", "char"):
+        return "I" if width == 4 else "Q"
+    return "i" if width == 4 else "q"
+
+
+def _items(value) -> list:
+    """Sequence (possibly a NumPy array) -> list; None -> empty."""
+    if value is None:
+        return []
+    return value if isinstance(value, list) else list(value)
+
+
+class XDRWireCodec(WireCodec):
+    """RFC 1014 canonical big-endian encoding."""
+
+    codec_name = "xdr"
+
+    # -- encode -----------------------------------------------------------------
+
+    def encode(self, record: dict) -> bytes:
+        out = bytearray()
+        self._marshal_struct(out, self.format.field_list, record)
+        return bytes(out)
+
+    def _marshal_struct(self, out: bytearray, field_list: FieldList,
+                        record: dict) -> None:
+        for field in field_list:
+            ftype = field.field_type
+            try:
+                value = record[field.name]
+            except KeyError:
+                raise WireFormatError(
+                    f"field {field.name!r} missing from record") from None
+            self._marshal_value(out, field_list, ftype, field.size,
+                                value, field.name)
+
+    def _marshal_value(self, out: bytearray, field_list: FieldList,
+                       ftype: FieldType, size: int, value,
+                       name: str) -> None:
+        if ftype.is_string or (ftype.kind == "char" and ftype.dims):
+            self._marshal_opaque(
+                out, ("" if value is None else str(value)).encode("utf-8"),
+                variable=True)
+            return
+        if ftype.dynamic_dim is not None:
+            items = _items(value)
+            out.extend(_U32.pack(len(items)))
+            for item in items:
+                self._marshal_scalar(out, field_list, ftype, size, item,
+                                     name)
+            return
+        if ftype.dims:
+            items = list(value)
+            if len(items) != ftype.static_element_count:
+                raise WireFormatError(
+                    f"{name}: expected {ftype.static_element_count} "
+                    f"elements, got {len(items)}")
+            for item in items:
+                self._marshal_scalar(out, field_list, ftype, size, item,
+                                     name)
+            return
+        self._marshal_scalar(out, field_list, ftype, size, value, name)
+
+    def _marshal_scalar(self, out: bytearray, field_list: FieldList,
+                        ftype: FieldType, size: int, value,
+                        name: str) -> None:
+        kind = ftype.kind
+        if kind == "subformat":
+            self._marshal_struct(out, field_list.subformat(ftype.base),
+                                 value)
+            return
+        if kind == "enumeration" and isinstance(value, str):
+            values = self.format.enums.get(name)
+            if values is None or value not in values:
+                raise WireFormatError(
+                    f"{name}: unknown enum label {value!r}")
+            value = values.index(value)
+        elif kind == "char" and isinstance(value, str):
+            if len(value) != 1:
+                raise WireFormatError(f"{name}: char expects one character")
+            value = ord(value)
+        elif kind == "boolean":
+            value = 1 if value else 0
+        width = _xdr_width(kind, size)
+        code = _xdr_code(kind, width)
+        if code in ("f", "d"):
+            value = float(value)
+        try:
+            out.extend(struct.pack(">" + code, value))
+        except struct.error as exc:
+            raise WireFormatError(
+                f"{name}: cannot XDR-encode {value!r}: {exc}") from None
+
+    @staticmethod
+    def _marshal_opaque(out: bytearray, data: bytes, *,
+                        variable: bool) -> None:
+        if variable:
+            out.extend(_U32.pack(len(data)))
+        out.extend(data)
+        pad = -len(data) % 4
+        out.extend(b"\x00" * pad)
+
+    # -- decode -----------------------------------------------------------------
+
+    def decode(self, data: bytes) -> dict:
+        reader = _XDRReader(data)
+        return self._demarshal_struct(reader, self.format.field_list)
+
+    def _demarshal_struct(self, reader: "_XDRReader",
+                          field_list: FieldList) -> dict:
+        record: dict = {}
+        for field in field_list:
+            ftype = field.field_type
+            record[field.name] = self._demarshal_value(
+                reader, field_list, ftype, field.size, field.name)
+        return record
+
+    def _demarshal_value(self, reader: "_XDRReader",
+                         field_list: FieldList, ftype: FieldType,
+                         size: int, name: str):
+        if ftype.is_string or (ftype.kind == "char" and ftype.dims):
+            return reader.read_opaque_variable().decode("utf-8")
+        if ftype.dynamic_dim is not None:
+            n = reader.read_u32()
+            return [self._demarshal_scalar(reader, field_list, ftype,
+                                           size, name)
+                    for _ in range(n)]
+        if ftype.dims:
+            return [self._demarshal_scalar(reader, field_list, ftype,
+                                           size, name)
+                    for _ in range(ftype.static_element_count)]
+        return self._demarshal_scalar(reader, field_list, ftype, size,
+                                      name)
+
+    def _demarshal_scalar(self, reader: "_XDRReader",
+                          field_list: FieldList, ftype: FieldType,
+                          size: int, name: str):
+        kind = ftype.kind
+        if kind == "subformat":
+            return self._demarshal_struct(
+                reader, field_list.subformat(ftype.base))
+        width = _xdr_width(kind, size)
+        value = reader.read_scalar(_xdr_code(kind, width), width)
+        if kind == "char":
+            return chr(value)
+        if kind == "boolean":
+            return bool(value)
+        if kind == "enumeration":
+            values = self.format.enums.get(name)
+            if values is not None:
+                if value >= len(values):
+                    raise WireFormatError(
+                        f"{name}: enum index {value} out of range")
+                return values[value]
+            return value
+        if kind == "float":
+            return float(value)
+        return value
+
+
+class _XDRReader:
+    def __init__(self, data: bytes) -> None:
+        self.data = data
+        self.pos = 0
+
+    def read_scalar(self, code: str, width: int):
+        try:
+            value = struct.unpack_from(">" + code, self.data, self.pos)[0]
+        except struct.error as exc:
+            raise WireFormatError(f"truncated XDR data: {exc}") from None
+        self.pos += width
+        return value
+
+    def read_u32(self) -> int:
+        return self.read_scalar("I", 4)
+
+    def read_opaque_variable(self) -> bytes:
+        n = self.read_u32()
+        end = self.pos + n
+        if end > len(self.data):
+            raise WireFormatError("truncated XDR opaque data")
+        raw = self.data[self.pos:end]
+        self.pos = end + (-n % 4)
+        return raw

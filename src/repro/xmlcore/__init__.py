@@ -1,0 +1,49 @@
+"""From-scratch XML 1.0 substrate.
+
+The paper's XMIT implementation used the Xerces-C parser to turn XML
+Schema documents into DOM trees.  This package is our replacement: a
+well-formedness-checking XML 1.0 (+ Namespaces) parser, a small DOM, a
+serializer, and a programmatic document builder.
+
+Public entry points
+-------------------
+parse(text)            -> Document          (namespace-aware)
+parse_bytes(data)      -> Document          (honours encoding decl)
+serialize(node, ...)   -> str
+Document / Element / Text / Comment / CData / ProcessingInstruction
+DocumentBuilder        -- fluent construction of documents
+QName                  -- namespace-qualified name value object
+"""
+
+from repro.xmlcore.dom import (
+    Attr,
+    CData,
+    Comment,
+    Document,
+    Element,
+    Node,
+    ProcessingInstruction,
+    Text,
+)
+from repro.xmlcore.namespaces import QName, XML_NAMESPACE, XMLNS_NAMESPACE
+from repro.xmlcore.parser import parse, parse_bytes
+from repro.xmlcore.serializer import serialize
+from repro.xmlcore.builder import DocumentBuilder
+
+__all__ = [
+    "Attr",
+    "CData",
+    "Comment",
+    "Document",
+    "DocumentBuilder",
+    "Element",
+    "Node",
+    "ProcessingInstruction",
+    "QName",
+    "Text",
+    "XML_NAMESPACE",
+    "XMLNS_NAMESPACE",
+    "parse",
+    "parse_bytes",
+    "serialize",
+]

@@ -1,0 +1,98 @@
+"""XML 1.0 character classes.
+
+Implements the character-class productions from the XML 1.0
+specification (5th edition) that the parser needs:
+
+* ``Char``          -- characters legal anywhere in a document
+* ``S``             -- white space
+* ``NameStartChar`` -- first character of a Name
+* ``NameChar``      -- subsequent characters of a Name
+
+Membership tests are hot inside the tokenizer, so the ASCII subsets are
+precomputed into frozensets and the (rare) non-ASCII cases fall back to
+range scans.
+"""
+
+from __future__ import annotations
+
+# Production [3]: S ::= (#x20 | #x9 | #xD | #xA)+
+WHITESPACE = frozenset(" \t\r\n")
+
+# Non-ASCII ranges for NameStartChar, production [4].
+_NAME_START_RANGES: tuple[tuple[int, int], ...] = (
+    (0xC0, 0xD6), (0xD8, 0xF6), (0xF8, 0x2FF), (0x370, 0x37D),
+    (0x37F, 0x1FFF), (0x200C, 0x200D), (0x2070, 0x218F),
+    (0x2C00, 0x2FEF), (0x3001, 0xD7FF), (0xF900, 0xFDCF),
+    (0xFDF0, 0xFFFD), (0x10000, 0xEFFFF),
+)
+
+# Additional non-ASCII ranges permitted in NameChar, production [4a].
+_NAME_EXTRA_RANGES: tuple[tuple[int, int], ...] = (
+    (0xB7, 0xB7), (0x300, 0x36F), (0x203F, 0x2040),
+)
+
+_ASCII_NAME_START = frozenset(
+    ":_"
+    "ABCDEFGHIJKLMNOPQRSTUVWXYZ"
+    "abcdefghijklmnopqrstuvwxyz"
+)
+_ASCII_NAME = _ASCII_NAME_START | frozenset("-.0123456789")
+
+# Production [2]: Char -- legal document characters.
+_CHAR_RANGES: tuple[tuple[int, int], ...] = (
+    (0x9, 0x9), (0xA, 0xA), (0xD, 0xD),
+    (0x20, 0xD7FF), (0xE000, 0xFFFD), (0x10000, 0x10FFFF),
+)
+
+
+def _in_ranges(cp: int, ranges: tuple[tuple[int, int], ...]) -> bool:
+    for lo, hi in ranges:
+        if lo <= cp <= hi:
+            return True
+    return False
+
+
+def is_whitespace(ch: str) -> bool:
+    """True if *ch* matches the XML ``S`` production."""
+    return ch in WHITESPACE
+
+
+def is_xml_char(ch: str) -> bool:
+    """True if *ch* is a legal XML 1.0 document character."""
+    cp = ord(ch)
+    if 0x20 <= cp <= 0xD7FF:  # overwhelmingly common case
+        return True
+    return _in_ranges(cp, _CHAR_RANGES)
+
+
+def is_name_start_char(ch: str) -> bool:
+    """True if *ch* may begin an XML Name."""
+    if ch in _ASCII_NAME_START:
+        return True
+    cp = ord(ch)
+    if cp < 0x80:
+        return False
+    return _in_ranges(cp, _NAME_START_RANGES)
+
+
+def is_name_char(ch: str) -> bool:
+    """True if *ch* may appear after the first character of a Name."""
+    if ch in _ASCII_NAME:
+        return True
+    cp = ord(ch)
+    if cp < 0x80:
+        return False
+    return (_in_ranges(cp, _NAME_START_RANGES)
+            or _in_ranges(cp, _NAME_EXTRA_RANGES))
+
+
+def is_name(text: str) -> bool:
+    """True if *text* matches the ``Name`` production (non-empty)."""
+    if not text or not is_name_start_char(text[0]):
+        return False
+    return all(is_name_char(c) for c in text[1:])
+
+
+def is_ncname(text: str) -> bool:
+    """True if *text* is a Name containing no colon (namespaces spec)."""
+    return is_name(text) and ":" not in text

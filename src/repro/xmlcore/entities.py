@@ -1,0 +1,143 @@
+"""Entity and character-reference handling for the XML parser.
+
+Supports the five predefined general entities, decimal and hexadecimal
+character references, and user-declared internal general entities (as
+declared in a DOCTYPE internal subset with ``<!ENTITY name "value">``).
+"""
+
+from __future__ import annotations
+
+from repro.errors import XMLWellFormednessError
+from repro.xmlcore.chars import is_name, is_xml_char
+
+PREDEFINED_ENTITIES: dict[str, str] = {
+    "lt": "<",
+    "gt": ">",
+    "amp": "&",
+    "apos": "'",
+    "quot": '"',
+}
+
+# Inverse map used by the serializer for text content.
+TEXT_ESCAPES: dict[str, str] = {
+    "&": "&amp;",
+    "<": "&lt;",
+    ">": "&gt;",
+}
+
+ATTR_ESCAPES: dict[str, str] = {
+    "&": "&amp;",
+    "<": "&lt;",
+    '"': "&quot;",
+    "\n": "&#10;",
+    "\t": "&#9;",
+    "\r": "&#13;",
+}
+
+
+class EntityTable:
+    """Resolves general entity references during a parse.
+
+    Starts with the five predefined entities; DOCTYPE internal-subset
+    declarations add to it.  Recursion in entity replacement text is
+    expanded with a depth guard to reject circular declarations.
+    """
+
+    MAX_DEPTH = 16
+
+    def __init__(self) -> None:
+        self._entities: dict[str, str] = dict(PREDEFINED_ENTITIES)
+
+    def declare(self, name: str, replacement: str) -> None:
+        """Declare an internal general entity.
+
+        Per XML 1.0 section 4.2, the first declaration of an entity is
+        binding; later re-declarations are ignored (this also protects
+        the predefined entities).
+        """
+        if not is_name(name):
+            raise XMLWellFormednessError(f"invalid entity name {name!r}")
+        self._entities.setdefault(name, replacement)
+
+    def is_declared(self, name: str) -> bool:
+        return name in self._entities
+
+    def resolve(self, name: str, _depth: int = 0) -> str:
+        """Return the fully expanded replacement text for entity *name*."""
+        if _depth > self.MAX_DEPTH:
+            raise XMLWellFormednessError(
+                f"entity {name!r} expansion exceeds depth "
+                f"{self.MAX_DEPTH} (circular reference?)")
+        try:
+            raw = self._entities[name]
+        except KeyError:
+            raise XMLWellFormednessError(
+                f"reference to undeclared entity &{name};") from None
+        # Predefined entities expand to their literal character even
+        # though that character is itself markup-significant.
+        if name in PREDEFINED_ENTITIES:
+            return raw
+        return self._expand(raw, _depth + 1)
+
+    def _expand(self, text: str, depth: int) -> str:
+        if "&" not in text:
+            return text
+        out: list[str] = []
+        i = 0
+        n = len(text)
+        while i < n:
+            ch = text[i]
+            if ch != "&":
+                out.append(ch)
+                i += 1
+                continue
+            end = text.find(";", i + 1)
+            if end == -1:
+                raise XMLWellFormednessError(
+                    "unterminated entity reference in replacement text")
+            body = text[i + 1:end]
+            if body.startswith("#"):
+                out.append(decode_char_reference(body))
+            else:
+                out.append(self.resolve(body, depth))
+            i = end + 1
+        return "".join(out)
+
+
+def decode_char_reference(body: str) -> str:
+    """Decode the body of a character reference (without ``&`` / ``;``).
+
+    *body* is e.g. ``#38`` or ``#x26``.  Raises on malformed syntax and
+    on code points outside the XML ``Char`` production.
+    """
+    digits = body[1:]
+    try:
+        if digits[:1] in ("x", "X"):
+            cp = int(digits[1:], 16)
+        else:
+            cp = int(digits, 10)
+    except (ValueError, IndexError):
+        raise XMLWellFormednessError(
+            f"malformed character reference &{body};") from None
+    if cp < 0 or cp > 0x10FFFF:
+        raise XMLWellFormednessError(
+            f"character reference &{body}; out of range")
+    ch = chr(cp)
+    if not is_xml_char(ch):
+        raise XMLWellFormednessError(
+            f"character reference &{body}; is not a legal XML character")
+    return ch
+
+
+def escape_text(text: str) -> str:
+    """Escape character data for element content."""
+    if not any(c in TEXT_ESCAPES for c in text):
+        return text
+    return "".join(TEXT_ESCAPES.get(c, c) for c in text)
+
+
+def escape_attribute(text: str) -> str:
+    """Escape character data for a double-quoted attribute value."""
+    if not any(c in ATTR_ESCAPES for c in text):
+        return text
+    return "".join(ATTR_ESCAPES.get(c, c) for c in text)

@@ -1,0 +1,88 @@
+"""DOM -> XML text serialization.
+
+Round-trips documents produced by :mod:`repro.xmlcore.parser` and by
+:class:`repro.xmlcore.builder.DocumentBuilder`.  Supports compact
+(default) and indented pretty-printing; pretty-printing only inserts
+whitespace around element-only content so mixed content survives a
+round trip byte-for-byte in its character data.
+"""
+
+from __future__ import annotations
+
+from io import StringIO
+
+from repro.xmlcore.dom import (
+    CData, Comment, Document, Element, Node, ProcessingInstruction, Text,
+)
+from repro.xmlcore.entities import escape_attribute, escape_text
+
+
+def serialize(node: Node, *, indent: str | None = None,
+              xml_declaration: bool = True) -> str:
+    """Serialize *node* (a Document or any subtree) to a string.
+
+    ``indent`` of e.g. ``"  "`` enables pretty printing.  The XML
+    declaration is emitted only for Document nodes.
+    """
+    out = StringIO()
+    writer = _Writer(out, indent)
+    if isinstance(node, Document):
+        if xml_declaration:
+            encoding = f' encoding="{node.encoding}"' if node.encoding else ""
+            out.write(f'<?xml version="{node.xml_version}"{encoding}?>')
+            if indent is not None:
+                out.write("\n")
+        for i, child in enumerate(node.children):
+            writer.write_node(child, 0)
+            if indent is not None and i < len(node.children) - 1:
+                out.write("\n")
+        if indent is not None:
+            out.write("\n")
+    else:
+        writer.write_node(node, 0)
+    return out.getvalue()
+
+
+class _Writer:
+    def __init__(self, out: StringIO, indent: str | None) -> None:
+        self.out = out
+        self.indent = indent
+
+    def write_node(self, node: Node, depth: int) -> None:
+        if isinstance(node, Element):
+            self._write_element(node, depth)
+        elif isinstance(node, CData):
+            self.out.write(f"<![CDATA[{node.data}]]>")
+        elif isinstance(node, Text):
+            self.out.write(escape_text(node.data))
+        elif isinstance(node, Comment):
+            self.out.write(f"<!--{node.data}-->")
+        elif isinstance(node, ProcessingInstruction):
+            sep = " " if node.data else ""
+            self.out.write(f"<?{node.target}{sep}{node.data}?>")
+        else:  # pragma: no cover - defensive
+            raise TypeError(f"cannot serialize node of type {type(node)!r}")
+
+    def _write_element(self, elem: Element, depth: int) -> None:
+        out = self.out
+        out.write(f"<{elem.tag}")
+        for attr in elem.attributes.values():
+            out.write(f' {attr.name}="{escape_attribute(attr.value)}"')
+        if not elem.children:
+            out.write(" />")
+            return
+        out.write(">")
+        pretty = (self.indent is not None
+                  and all(isinstance(c, (Element, Comment,
+                                         ProcessingInstruction))
+                          for c in elem.children))
+        if pretty:
+            pad = self.indent * (depth + 1)
+            for child in elem.children:
+                out.write(f"\n{pad}")
+                self.write_node(child, depth + 1)
+            out.write(f"\n{self.indent * depth}")
+        else:
+            for child in elem.children:
+                self.write_node(child, depth)
+        out.write(f"</{elem.tag}>")

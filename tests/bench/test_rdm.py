@@ -1,0 +1,68 @@
+"""RDM measurement machinery (fast configurations)."""
+
+import pytest
+
+from repro.bench.rdm import (
+    measure_rdm, measure_rdm_suite, pbio_register, xmit_register,
+)
+from repro.bench import workloads
+from repro.pbio.machine import SPARC_32
+
+from tests.conftest import SIMPLE_DATA_SPECS, SIMPLE_DATA_XSD
+
+
+class TestRegistrationPaths:
+    def test_xmit_register_produces_working_context(self):
+        ctx = xmit_register(SIMPLE_DATA_XSD, "SimpleData")
+        record = {"timestep": 1, "data": [1.0, 2.0]}
+        assert ctx.roundtrip("SimpleData", record)["size"] == 2
+
+    def test_pbio_register_produces_working_context(self):
+        ctx = pbio_register(SIMPLE_DATA_SPECS, "SimpleData")
+        record = {"timestep": 1, "data": [1.0]}
+        assert ctx.roundtrip("SimpleData", record)["size"] == 1
+
+    def test_paths_agree_on_format_identity(self):
+        a = xmit_register(SIMPLE_DATA_XSD, "SimpleData")
+        b = pbio_register(SIMPLE_DATA_SPECS, "SimpleData")
+        assert a.lookup_format("SimpleData") == \
+            b.lookup_format("SimpleData")
+
+
+class TestMeasurement:
+    def test_rdm_exceeds_one(self):
+        # XMIT does everything PBIO registration does plus XML work,
+        # so the multiplier is necessarily > 1.
+        result = measure_rdm(SIMPLE_DATA_XSD, "SimpleData",
+                             SIMPLE_DATA_SPECS, repeat=3)
+        assert result.rdm > 1.0
+
+    def test_structure_and_encoded_sizes(self):
+        record = {"timestep": 1, "size": 2, "data": [1.0, 2.0]}
+        result = measure_rdm(SIMPLE_DATA_XSD, "SimpleData",
+                             SIMPLE_DATA_SPECS, sample_record=record,
+                             repeat=2)
+        assert result.structure_size == 16  # LP64 native
+        assert result.encoded_size > result.structure_size
+
+    def test_architecture_parameter(self):
+        result = measure_rdm(SIMPLE_DATA_XSD, "SimpleData",
+                             SIMPLE_DATA_SPECS,
+                             architecture=SPARC_32, repeat=2)
+        assert result.structure_size == 12  # ILP32
+
+    def test_suite_runner(self):
+        cases = workloads.poc_cases()[:2]
+        results = measure_rdm_suite(cases, repeat=2)
+        assert [r.format_name for r in results] == \
+            [c["name"] for c in cases]
+
+    def test_composed_case_with_subformats(self):
+        case = workloads.poc_cases()[2]
+        assert case["name"] == "RegionUpdate"
+        result = measure_rdm(case["xsd"], case["name"], case["specs"],
+                             sample_record=case["record"],
+                             subformat_specs=case["subformats"],
+                             repeat=2)
+        assert result.rdm > 1.0
+        assert result.encoded_size > 180

@@ -1,0 +1,29 @@
+"""Table/series rendering."""
+
+from repro.bench.report import format_table, print_series, print_table
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        out = format_table(["name", "value"],
+                           [["alpha", 1], ["b", 22222]])
+        lines = out.split("\n")
+        assert lines[0].startswith("name")
+        assert all(len(line) == len(lines[0]) for line in lines[1:])
+
+    def test_title(self):
+        out = format_table(["x"], [[1]], title="Figure 3")
+        assert out.startswith("Figure 3\n")
+
+    def test_float_formatting(self):
+        out = format_table(["v"], [[0.123456], [1.5e-7], [12345.0],
+                                   [0.0]])
+        assert "0.1235" in out
+        assert "1.500e-07" in out
+        assert "1.234e+04" in out or "12345" in out
+
+    def test_print_helpers_write_stdout(self, capsys):
+        print_table(["a"], [[1]], title="T")
+        print_series("s", [(1, 2)], x_label="x", y_label="y")
+        out = capsys.readouterr().out
+        assert "T" in out and "series: s" in out

@@ -1,0 +1,51 @@
+"""Timing utilities."""
+
+import time
+
+import pytest
+
+from repro.bench.timing import TimingResult, time_callable
+
+
+class TestTimeCallable:
+    def test_measures_sleepy_callable(self):
+        result = time_callable(lambda: time.sleep(0.001), repeat=3,
+                               number=3)
+        assert 0.0005 < result.best < 0.05
+        assert result.mean >= result.best
+
+    def test_calibration_picks_reasonable_number(self):
+        result = time_callable(lambda: None, repeat=2,
+                               target_batch_seconds=0.005)
+        assert result.number > 100  # no-op should batch heavily
+
+    def test_exceptions_surface_before_timing(self):
+        def boom():
+            raise RuntimeError("broken workload")
+        with pytest.raises(RuntimeError, match="broken"):
+            time_callable(boom)
+
+    def test_stats_consistency(self):
+        result = time_callable(lambda: sum(range(100)), repeat=4,
+                               number=50)
+        assert result.repeat == 4 and result.number == 50
+        assert result.stddev >= 0
+        assert result.best <= result.mean
+
+    def test_unit_properties(self):
+        result = TimingResult(best=0.001, mean=0.002, stddev=0.0,
+                              repeat=1, number=1)
+        assert result.best_ms == 1.0
+        assert result.best_us == 1000.0
+        assert "ms/call" in str(result)
+
+
+class TestCalibration:
+    def test_slow_callable_uses_single_iteration(self):
+        result = time_callable(lambda: time.sleep(0.03), repeat=2,
+                               target_batch_seconds=0.02)
+        assert result.number == 1
+
+    def test_explicit_number_respected(self):
+        result = time_callable(lambda: None, repeat=2, number=7)
+        assert result.number == 7

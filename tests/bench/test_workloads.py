@@ -1,0 +1,107 @@
+"""Workload definitions for the experiments."""
+
+import pytest
+
+from repro.bench import workloads
+from repro.core.toolkit import XMIT
+from repro.pbio.context import IOContext
+from repro.pbio.format_server import FormatServer
+from repro.pbio.layout import field_list_for
+from repro.pbio.machine import X86_32
+
+
+def register_case(case) -> IOContext:
+    ctx = IOContext(format_server=FormatServer())
+    subformats = None
+    if case.get("subformats"):
+        subformats = {}
+        for name, specs in case["subformats"].items():
+            subformats[name] = field_list_for(
+                specs, architecture=ctx.architecture,
+                subformats=dict(subformats))
+    ctx.register_layout(case["name"], case["specs"],
+                        subformats=subformats)
+    return ctx
+
+
+class TestPOCCases:
+    def test_records_encode(self):
+        for case in workloads.poc_cases():
+            ctx = register_case(case)
+            out = ctx.roundtrip(case["name"], case["record"])
+            assert out  # round trip succeeded
+
+    def test_xsd_and_specs_agree(self):
+        for case in workloads.poc_cases():
+            xmit = XMIT()
+            xmit.load_text(case["xsd"])
+            ctx = IOContext(format_server=FormatServer())
+            via_xmit = xmit.register_with_context(ctx, case["name"])
+            compiled = register_case(case).lookup_format(case["name"])
+            assert via_xmit == compiled, case["name"]
+
+    def test_ilp32_sizes_near_paper(self):
+        # paper: 32 / 52 / 180 bytes; composition + double alignment
+        # shifts the smallest slightly but the bracket must hold
+        sizes = []
+        for case in workloads.poc_cases():
+            subformats = {}
+            for name, specs in (case.get("subformats") or {}).items():
+                subformats[name] = field_list_for(
+                    specs, architecture=X86_32,
+                    subformats=dict(subformats))
+            fl = field_list_for(case["specs"], architecture=X86_32,
+                                subformats=subformats)
+            sizes.append(fl.record_length)
+        assert sizes == sorted(sizes)  # increasing, like the figure
+        assert sizes[0] <= 52 and sizes[2] == 180
+
+    def test_region_update_is_composition_heavy(self):
+        case = workloads.poc_cases()[2]
+        nested = [s for s in case["specs"]
+                  if s[1] in ("Point", "Extent", "RegionHeader")]
+        assert len(nested) >= 5
+
+
+class TestHydrologyCases:
+    def test_all_cases_encode(self):
+        for case in workloads.hydrology_cases():
+            ctx = register_case(case)
+            assert ctx.roundtrip(case["name"], case["record"])
+
+    def test_fig6_order_starts_with_gridmeta(self):
+        names = [c["name"] for c in workloads.hydrology_cases()]
+        assert names[0] == "GridMeta"
+
+    def test_encoding_cases_span_sizes(self):
+        cases = workloads.encoding_cases()
+        sizes = []
+        for case in cases:
+            ctx = register_case(case)
+            sizes.append(ctx.encoded_size(case["name"],
+                                          case["record"]))
+        # Fig. 7: small control messages up to the ~262 KB frame
+        assert sizes[-1] > 262_000
+        assert min(sizes) < 100
+
+
+class TestPayloadSweeps:
+    def test_simple_data_record(self):
+        record = workloads.simple_data_record(10)
+        assert record["size"] == 10
+        assert len(record["data"]) == 10
+
+    def test_record_for_bytes_hits_target(self):
+        for target in workloads.FIG8_SIZES:
+            record = workloads.simple_data_record_for_bytes(target)
+            binary = 8 + 4 * record["size"]
+            assert abs(binary - target) <= 8
+
+    def test_deterministic(self):
+        a = workloads.simple_data_record(16)
+        b = workloads.simple_data_record(16)
+        assert a["data"].tolist() == b["data"].tolist()
+
+    def test_xsd_for_unknown_type(self):
+        with pytest.raises(KeyError):
+            workloads.xsd_for("NoSuchType")

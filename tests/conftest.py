@@ -1,0 +1,58 @@
+"""Shared fixtures."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.pbio.context import IOContext
+from repro.pbio.format_server import FormatServer
+from repro.pbio.machine import NATIVE, SPARC_32, SPARC_V9, X86_32, X86_64
+
+ALL_ARCHITECTURES = (SPARC_32, SPARC_V9, X86_32, X86_64)
+
+
+@pytest.fixture
+def format_server() -> FormatServer:
+    """A fresh format server, isolated from the process-global one."""
+    return FormatServer()
+
+
+@pytest.fixture
+def context(format_server: FormatServer) -> IOContext:
+    """A native-architecture IOContext on a fresh server."""
+    return IOContext(format_server=format_server)
+
+
+@pytest.fixture(params=ALL_ARCHITECTURES, ids=lambda a: a.name)
+def architecture(request):
+    """Parametrized over every modeled architecture."""
+    return request.param
+
+
+SIMPLE_DATA_XSD = """\
+<xsd:schema xmlns:xsd="http://www.w3.org/2001/XMLSchema">
+  <xsd:complexType name="SimpleData">
+    <xsd:element name="timestep" type="xsd:integer" />
+    <xsd:element name="size" type="xsd:integer" />
+    <xsd:element name="data" type="xsd:float" minOccurs="0"
+                 maxOccurs="*" dimensionPlacement="before"
+                 dimensionName="size" />
+  </xsd:complexType>
+</xsd:schema>
+"""
+
+SIMPLE_DATA_SPECS = [
+    ("timestep", "integer"),
+    ("size", "integer"),
+    ("data", "float[size]"),
+]
+
+
+@pytest.fixture
+def simple_data_xsd() -> str:
+    return SIMPLE_DATA_XSD
+
+
+@pytest.fixture
+def simple_data_specs() -> list:
+    return list(SIMPLE_DATA_SPECS)

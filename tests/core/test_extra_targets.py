@@ -1,0 +1,104 @@
+"""IDL and C++ source targets (paper sections 5/6 extensions)."""
+
+import pytest
+
+from repro.core.schema_compiler import compile_schema
+from repro.core.targets import available_targets
+from repro.core.targets.cpp_target import CppSourceTarget
+from repro.core.targets.idl_target import IDLSourceTarget
+from repro.errors import TargetError
+from repro.schema.parser import parse_schema_text
+
+XSD = """
+<xsd:schema xmlns:xsd="http://www.w3.org/2001/XMLSchema">
+  <xsd:simpleType name="Mode">
+    <xsd:restriction base="xsd:string">
+      <xsd:enumeration value="fast" />
+      <xsd:enumeration value="safe" />
+    </xsd:restriction>
+  </xsd:simpleType>
+  <xsd:complexType name="Point">
+    <xsd:element name="x" type="xsd:double" />
+    <xsd:element name="y" type="xsd:double" />
+  </xsd:complexType>
+  <xsd:complexType name="Track">
+    <xsd:element name="id" type="xsd:int" />
+    <xsd:element name="seq" type="xsd:unsignedLong" />
+    <xsd:element name="mode" type="Mode" />
+    <xsd:element name="origin" type="Point" />
+    <xsd:element name="n" type="xsd:int" />
+    <xsd:element name="path" type="Point" maxOccurs="*"
+                 dimensionName="n" />
+    <xsd:element name="tags" type="xsd:byte" maxOccurs="4" />
+    <xsd:element name="label" type="xsd:string" />
+  </xsd:complexType>
+</xsd:schema>
+"""
+
+
+@pytest.fixture(scope="module")
+def ir():
+    return compile_schema(parse_schema_text(XSD))
+
+
+class TestRegistry:
+    def test_new_targets_registered(self):
+        assert {"idl", "cpp"} <= set(available_targets())
+
+
+class TestIDLTarget:
+    def test_struct_shape(self, ir):
+        source = IDLSourceTarget().generate(ir, "Track").artifact
+        assert "module xmit {" in source
+        assert "enum Mode { fast, safe };" in source
+        assert "struct Point {" in source
+        assert "struct Track {" in source
+        assert "long id;" in source
+        assert "unsigned long long seq;" in source
+        assert "sequence<Point> path;" in source
+        assert "octet tags[4];" in source
+        assert "string label;" in source
+
+    def test_dependencies_precede_dependents(self, ir):
+        source = IDLSourceTarget().generate(ir, "Track").artifact
+        assert source.index("struct Point") < source.index(
+            "struct Track")
+
+    def test_module_option(self, ir):
+        source = IDLSourceTarget().generate(
+            ir, "Point", module="hydrology").artifact
+        assert source.startswith("module hydrology {")
+
+    def test_unknown_option(self, ir):
+        with pytest.raises(TargetError):
+            IDLSourceTarget().generate(ir, "Point", package="x")
+
+
+class TestCppTarget:
+    def test_class_shape(self, ir):
+        source = CppSourceTarget().generate(ir, "Track").artifact
+        assert "#ifndef XMIT_GENERATED_TRACK_HPP" in source
+        assert "namespace xmit {" in source
+        assert "enum class Mode { fast, safe };" in source
+        assert "class Point {" in source
+        assert "int32_t id{};" in source
+        assert "uint64_t seq{};" in source
+        assert "std::vector<Point> path{};" in source
+        assert "std::array<int8_t, 4> tags{};" in source
+        assert "std::string label{};" in source
+        assert '"Track"' in source
+
+    def test_includes_present(self, ir):
+        source = CppSourceTarget().generate(ir, "Track").artifact
+        for header in ("<array>", "<cstdint>", "<string>", "<vector>"):
+            assert f"#include {header}" in source
+
+    def test_namespace_option(self, ir):
+        source = CppSourceTarget().generate(
+            ir, "Point", namespace="hydro").artifact
+        assert "namespace hydro {" in source
+        assert "} // namespace hydro" in source
+
+    def test_balanced_braces(self, ir):
+        source = CppSourceTarget().generate(ir, "Track").artifact
+        assert source.count("{") == source.count("}")

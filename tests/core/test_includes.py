@@ -1,0 +1,147 @@
+"""xsd:include / xsd:import resolution across hosted documents."""
+
+import pytest
+
+from repro.core.toolkit import XMIT
+from repro.errors import DiscoveryError, SchemaParseError
+from repro.http.server import DocumentStore, MetadataHTTPServer
+from repro.http.urls import publish_document, resolve_url
+
+XSD_NS = 'xmlns:xsd="http://www.w3.org/2001/XMLSchema"'
+
+COMMON = f"""
+<xsd:schema {XSD_NS}>
+  <xsd:complexType name="Point">
+    <xsd:element name="x" type="xsd:double" />
+    <xsd:element name="y" type="xsd:double" />
+  </xsd:complexType>
+</xsd:schema>
+"""
+
+
+def main_doc(location: str) -> str:
+    return f"""
+<xsd:schema {XSD_NS}>
+  <xsd:include schemaLocation="{location}" />
+  <xsd:complexType name="Track">
+    <xsd:element name="id" type="xsd:int" />
+    <xsd:element name="origin" type="Point" />
+  </xsd:complexType>
+</xsd:schema>
+"""
+
+
+class TestResolveURL:
+    @pytest.mark.parametrize("base,ref,expected", [
+        ("http://h:1/a/b.xsd", "c.xsd", "http://h:1/a/c.xsd"),
+        ("http://h:1/a/b.xsd", "/c.xsd", "http://h:1/c.xsd"),
+        ("http://h:1/a/b.xsd", "../c.xsd", "http://h:1/c.xsd"),
+        ("http://h:1/a/b.xsd", "./c.xsd", "http://h:1/a/c.xsd"),
+        ("http://h:1/b.xsd", "sub/c.xsd", "http://h:1/sub/c.xsd"),
+        ("mem:dir/b.xsd", "c.xsd", "mem:dir/c.xsd"),
+        ("mem:b.xsd", "c.xsd", "mem:c.xsd"),
+        ("file:///tmp/a/b.xsd", "c.xsd", "file:/tmp/a/c.xsd"),
+        ("http://h/a.xsd", "http://other/x.xsd",
+         "http://other/x.xsd"),
+    ])
+    def test_resolution(self, base, ref, expected):
+        assert resolve_url(base, ref) == expected
+
+
+class TestIncludes:
+    def test_include_via_mem(self):
+        publish_document("inc/common.xsd", COMMON)
+        url = publish_document("inc/main.xsd", main_doc("common.xsd"))
+        xmit = XMIT()
+        names = xmit.load_url(url)
+        assert set(names) == {"Point", "Track"}
+        assert xmit.ir.format("Track").field("origin").type \
+            .format_name == "Point"
+
+    def test_include_via_http_relative(self):
+        store = DocumentStore()
+        store.put("/formats/common.xsd", COMMON)
+        store.put("/formats/main.xsd", main_doc("common.xsd"))
+        with MetadataHTTPServer(store) as server:
+            xmit = XMIT()
+            names = xmit.load_url(server.url_for("/formats/main.xsd"))
+        assert set(names) == {"Point", "Track"}
+
+    def test_nested_and_diamond_includes(self):
+        publish_document("dia/leaf.xsd", COMMON)
+        publish_document("dia/left.xsd", f"""
+            <xsd:schema {XSD_NS}>
+              <xsd:include schemaLocation="leaf.xsd" />
+              <xsd:complexType name="Left">
+                <xsd:element name="p" type="Point" />
+              </xsd:complexType>
+            </xsd:schema>""")
+        publish_document("dia/right.xsd", f"""
+            <xsd:schema {XSD_NS}>
+              <xsd:include schemaLocation="leaf.xsd" />
+              <xsd:complexType name="Right">
+                <xsd:element name="p" type="Point" />
+              </xsd:complexType>
+            </xsd:schema>""")
+        url = publish_document("dia/top.xsd", f"""
+            <xsd:schema {XSD_NS}>
+              <xsd:include schemaLocation="left.xsd" />
+              <xsd:include schemaLocation="right.xsd" />
+              <xsd:complexType name="Top">
+                <xsd:element name="l" type="Left" />
+                <xsd:element name="r" type="Right" />
+              </xsd:complexType>
+            </xsd:schema>""")
+        xmit = XMIT()
+        assert set(xmit.load_url(url)) == {"Point", "Left", "Right",
+                                           "Top"}
+
+    def test_circular_include_terminates(self):
+        publish_document("circ/a.xsd", f"""
+            <xsd:schema {XSD_NS}>
+              <xsd:include schemaLocation="b.xsd" />
+              <xsd:complexType name="A">
+                <xsd:element name="x" type="xsd:int" />
+              </xsd:complexType>
+            </xsd:schema>""")
+        publish_document("circ/b.xsd", f"""
+            <xsd:schema {XSD_NS}>
+              <xsd:include schemaLocation="a.xsd" />
+              <xsd:complexType name="B">
+                <xsd:element name="a" type="A" />
+              </xsd:complexType>
+            </xsd:schema>""")
+        xmit = XMIT()
+        names = xmit.load_url("mem:circ/a.xsd")
+        assert set(names) == {"A", "B"}
+
+    def test_missing_include_errors(self):
+        url = publish_document("miss/main.xsd",
+                               main_doc("never-published.xsd"))
+        with pytest.raises(DiscoveryError):
+            XMIT().load_url(url)
+
+    def test_conflicting_definitions_rejected(self):
+        publish_document("dup/one.xsd", COMMON)
+        url = publish_document("dup/main.xsd", f"""
+            <xsd:schema {XSD_NS}>
+              <xsd:include schemaLocation="one.xsd" />
+              <xsd:complexType name="Point">
+                <xsd:element name="z" type="xsd:int" />
+              </xsd:complexType>
+            </xsd:schema>""")
+        with pytest.raises(SchemaParseError, match="collides"):
+            XMIT().load_url(url)
+
+    def test_end_to_end_binding_across_documents(self):
+        publish_document("e2e/common.xsd", COMMON)
+        url = publish_document("e2e/main.xsd",
+                               main_doc("common.xsd"))
+        from repro.pbio.context import IOContext
+        from repro.pbio.format_server import FormatServer
+        xmit = XMIT()
+        xmit.load_url(url)
+        ctx = IOContext(format_server=FormatServer())
+        xmit.register_with_context(ctx, "Track")
+        record = {"id": 1, "origin": {"x": 2.0, "y": 3.0}}
+        assert ctx.roundtrip("Track", record) == record

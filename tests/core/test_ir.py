@@ -1,0 +1,96 @@
+"""IR construction and queries."""
+
+import pytest
+
+from repro.core.ir import ArrayIR, EnumIR, FieldIR, FormatIR, IRSet, TypeRef
+from repro.errors import XMITError
+
+
+class TestTypeRef:
+    def test_exactly_one_identity(self):
+        with pytest.raises(XMITError):
+            TypeRef()
+        with pytest.raises(XMITError):
+            TypeRef(kind="integer", enum_name="E")
+
+    def test_unknown_kind(self):
+        with pytest.raises(XMITError):
+            TypeRef(kind="complex")
+
+    def test_predicates(self):
+        assert TypeRef(kind="integer", bits=32).is_primitive
+        assert TypeRef(enum_name="E").is_enum
+        assert TypeRef(format_name="F").is_nested
+
+    def test_describe(self):
+        assert TypeRef(kind="integer", bits=32).describe() == \
+            "integer/32"
+        assert TypeRef(kind="string").describe() == "string/text"
+        assert TypeRef(enum_name="E").describe() == "enum:E"
+
+
+class TestArrayIR:
+    def test_fixed_and_linked_exclusive(self):
+        with pytest.raises(XMITError):
+            ArrayIR(fixed_size=3, length_field="n")
+
+    def test_positive_size(self):
+        with pytest.raises(XMITError):
+            ArrayIR(fixed_size=0)
+
+
+def make_ir() -> IRSet:
+    ir = IRSet()
+    ir.add_enum(EnumIR(name="Mode", values=("a", "b")))
+    ir.add_format(FormatIR(name="Leaf", fields=(
+        FieldIR(name="v", type=TypeRef(kind="float", bits=32)),)))
+    ir.add_format(FormatIR(name="Mid", fields=(
+        FieldIR(name="leaf", type=TypeRef(format_name="Leaf")),
+        FieldIR(name="n", type=TypeRef(kind="integer", bits=32)),)))
+    ir.add_format(FormatIR(name="Top", fields=(
+        FieldIR(name="mid", type=TypeRef(format_name="Mid")),
+        FieldIR(name="also_leaf", type=TypeRef(format_name="Leaf")),
+        FieldIR(name="mode", type=TypeRef(enum_name="Mode")),)))
+    return ir
+
+
+class TestIRSet:
+    def test_lookup(self):
+        ir = make_ir()
+        assert ir.format("Top").field("mode").type.enum_name == "Mode"
+        assert ir.enum("Mode").values == ("a", "b")
+
+    def test_unknown_lookups(self):
+        ir = make_ir()
+        with pytest.raises(XMITError, match="no format"):
+            ir.format("Ghost")
+        with pytest.raises(XMITError, match="no enum"):
+            ir.enum("Ghost")
+        with pytest.raises(XMITError, match="no field"):
+            ir.format("Top").field("ghost")
+
+    def test_dependencies_ordered(self):
+        ir = make_ir()
+        deps = ir.dependencies("Top")
+        assert deps == ("Leaf", "Mid")  # dependencies first
+
+    def test_dependencies_deduplicated(self):
+        # Leaf reached via Mid and directly; appears once
+        ir = make_ir()
+        assert ir.dependencies("Top").count("Leaf") == 1
+
+    def test_leaf_has_no_dependencies(self):
+        assert make_ir().dependencies("Leaf") == ()
+
+    def test_complexity(self):
+        ir = make_ir()
+        assert ir.complexity("Leaf") == 1
+        assert ir.complexity("Mid") == 3  # 2 own + 1 Leaf
+        assert ir.complexity("Top") == 6  # 3 own + Leaf(1) + Mid(2)
+
+    def test_merge(self):
+        a, b = make_ir(), IRSet()
+        b.add_format(FormatIR(name="Extra", fields=(
+            FieldIR(name="x", type=TypeRef(kind="integer", bits=32)),)))
+        a.merge(b)
+        assert "Extra" in a.formats

@@ -1,0 +1,105 @@
+"""Property: IR -> exported XSD -> reparsed IR is the identity.
+
+Exercises the full publication loop the paper's deployment depends on
+(XMIT exporting formats for other components to discover) over
+randomly generated format sets.
+"""
+
+import string
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.ir import ArrayIR, EnumIR, FieldIR, FormatIR, IRSet, TypeRef
+from repro.core.schema_compiler import compile_schema
+from repro.core.toolkit import XMIT
+from repro.schema.parser import parse_schema_text
+
+_names = st.builds(
+    lambda a, b: a + b,
+    st.sampled_from(string.ascii_lowercase),
+    st.text(alphabet=string.ascii_lowercase + string.digits,
+            max_size=6))
+
+_prim_types = st.sampled_from([
+    ("integer", 8), ("integer", 16), ("integer", 32), ("integer", 64),
+    ("integer", None),
+    ("unsigned", 8), ("unsigned", 16), ("unsigned", 32),
+    ("unsigned", 64),
+    ("float", 32), ("float", 64), ("boolean", 8), ("string", None),
+])
+
+
+@st.composite
+def _ir_sets(draw) -> IRSet:
+    ir = IRSet()
+    n_formats = draw(st.integers(1, 3))
+    fmt_names = draw(st.lists(
+        _names.map(lambda s: "F" + s), min_size=n_formats,
+        max_size=n_formats, unique=True))
+    for i, fmt_name in enumerate(fmt_names):
+        n_fields = draw(st.integers(1, 5))
+        field_names = draw(st.lists(_names, min_size=n_fields,
+                                    max_size=n_fields, unique=True))
+        fields = []
+        int_fields = []
+        for fname in field_names:
+            kind, bits = draw(_prim_types)
+            tref = TypeRef(kind=kind, bits=bits)
+            shape = draw(st.integers(0, 3))
+            array = None
+            if kind != "string":
+                if shape == 1:
+                    # size 1 normalizes to scalar through XSD
+                    # (maxOccurs="1"); generate real arrays only
+                    array = ArrayIR(fixed_size=draw(
+                        st.integers(2, 8)))
+                elif shape == 2:
+                    array = ArrayIR()
+                elif shape == 3 and int_fields:
+                    # length-linked to an earlier *scalar* integer
+                    array = ArrayIR(length_field=draw(
+                        st.sampled_from(int_fields)))
+            if kind in ("integer", "unsigned") and array is None:
+                int_fields.append(fname)
+            fields.append(FieldIR(name=fname, type=tref, array=array))
+        # nested reference to a previously declared format
+        if i > 0 and draw(st.booleans()):
+            nested_name = draw(st.sampled_from(fmt_names[:i]))
+            fields.append(FieldIR(
+                name=f"nested{i}", type=TypeRef(format_name=nested_name)))
+        ir.add_format(FormatIR(name=fmt_name, fields=tuple(fields)))
+    return ir
+
+
+def _assert_ir_equal(a: IRSet, b: IRSet) -> None:
+    assert set(a.formats) == set(b.formats)
+    for name, fmt in a.formats.items():
+        other = b.formats[name]
+        assert other.field_names() == fmt.field_names()
+        for field in fmt.fields:
+            mirror = other.field(field.name)
+            assert mirror.type == field.type, (name, field.name)
+            assert mirror.array == field.array, (name, field.name)
+
+
+@settings(max_examples=50, deadline=None)
+@given(_ir_sets())
+def test_export_then_load_is_identity(ir):
+    xmit = XMIT()
+    xmit.registry.ir.merge(ir)
+    text = xmit.export_schema()
+    schema = parse_schema_text(text)
+    reparsed = compile_schema(schema)
+    _assert_ir_equal(ir, reparsed)
+
+
+def test_enums_roundtrip_through_export():
+    ir = IRSet()
+    ir.add_enum(EnumIR(name="Mode", values=("a", "b", "c")))
+    ir.add_format(FormatIR(name="F", fields=(
+        FieldIR(name="m", type=TypeRef(enum_name="Mode")),)))
+    xmit = XMIT()
+    xmit.registry.ir.merge(ir)
+    reparsed = compile_schema(parse_schema_text(xmit.export_schema()))
+    assert reparsed.enums["Mode"].values == ("a", "b", "c")
+    assert reparsed.format("F").field("m").type.enum_name == "Mode"

@@ -1,0 +1,64 @@
+"""Live-message matching and endpoint statistics."""
+
+import pytest
+
+from repro.core.toolkit import XMIT
+from repro.hydrology.formats import hydrology_xsd_for
+from repro.pbio.context import IOContext
+from repro.pbio.format_server import FormatServer
+
+
+class TestMatchMessage:
+    @pytest.fixture
+    def xmit(self):
+        toolkit = XMIT()
+        toolkit.load_text(hydrology_xsd_for("SimpleData",
+                                            "ControlMsg"))
+        return toolkit
+
+    def test_matches_by_name_and_structure(self, xmit):
+        message = ("<SimpleData><timestep>1</timestep>"
+                   "<size>2</size><data>1.0</data><data>2.0</data>"
+                   "</SimpleData>")
+        assert xmit.match_message(message) == "SimpleData"
+
+    def test_matches_structurally_despite_foreign_name(self, xmit):
+        message = ("<Telemetry><command>go</command>"
+                   "<target>flow2d</target><timestep>5</timestep>"
+                   "<value>0.5</value></Telemetry>")
+        assert xmit.match_message(message) == "ControlMsg"
+
+    def test_bytes_accepted(self, xmit):
+        message = (b"<ControlMsg><command>go</command>"
+                   b"<target>x</target><timestep>1</timestep>"
+                   b"<value>1.0</value></ControlMsg>")
+        assert xmit.match_message(message) == "ControlMsg"
+
+    def test_no_match(self, xmit):
+        assert xmit.match_message("<X><only>1</only></X>") is None
+
+
+class TestContextStats:
+    def test_counters_accumulate(self):
+        ctx = IOContext(format_server=FormatServer())
+        ctx.register_layout("T", [("a", "integer", 4)])
+        for i in range(3):
+            wire = ctx.encode("T", {"a": i})
+            ctx.decode(wire)
+        stats = ctx.stats.as_dict()
+        assert stats["records_encoded"] == 3
+        assert stats["records_decoded"] == 3
+        assert stats["bytes_encoded"] == stats["bytes_decoded"] == 60
+
+    def test_conversion_planned_once(self):
+        server = FormatServer()
+        sender = IOContext(format_server=server)
+        receiver = IOContext(format_server=server)
+        sender.register_layout("T", [("a", "integer", 4),
+                                     ("b", "integer", 4)])
+        receiver.register_layout("T", [("a", "integer", 4)])
+        for i in range(4):
+            wire = sender.encode("T", {"a": i, "b": i})
+            receiver.decode_as(wire, "T")
+        assert receiver.stats.conversions_planned == 1
+        assert receiver.stats.records_decoded == 4

@@ -1,0 +1,95 @@
+"""Schema -> IR compilation."""
+
+import pytest
+
+from repro.core.schema_compiler import compile_schema
+from repro.schema.parser import parse_schema_text
+
+XSD = """
+<xsd:schema xmlns:xsd="http://www.w3.org/2001/XMLSchema">
+  <xsd:simpleType name="Mode">
+    <xsd:restriction base="xsd:string">
+      <xsd:enumeration value="fast" />
+      <xsd:enumeration value="safe" />
+    </xsd:restriction>
+  </xsd:simpleType>
+  <xsd:complexType name="Point">
+    <xsd:element name="x" type="xsd:double" />
+    <xsd:element name="y" type="xsd:double" />
+  </xsd:complexType>
+  <xsd:complexType name="Msg">
+    <xsd:element name="id" type="xsd:int" />
+    <xsd:element name="big" type="xsd:long" />
+    <xsd:element name="tiny" type="xsd:byte" />
+    <xsd:element name="uword" type="xsd:unsignedShort" />
+    <xsd:element name="generic" type="xsd:integer" />
+    <xsd:element name="ratio" type="xsd:float" />
+    <xsd:element name="precise" type="xsd:double" />
+    <xsd:element name="ok" type="xsd:boolean" />
+    <xsd:element name="label" type="xsd:string" minOccurs="0" />
+    <xsd:element name="mode" type="Mode" />
+    <xsd:element name="origin" type="Point" />
+    <xsd:element name="size" type="xsd:int" />
+    <xsd:element name="data" type="xsd:float" maxOccurs="*"
+                 dimensionName="size" dimensionPlacement="after" />
+    <xsd:element name="pair" type="xsd:int" maxOccurs="2" />
+    <xsd:element name="free" type="xsd:float" maxOccurs="unbounded" />
+  </xsd:complexType>
+</xsd:schema>
+"""
+
+
+@pytest.fixture(scope="module")
+def ir():
+    return compile_schema(parse_schema_text(XSD))
+
+
+class TestDatatypeMapping:
+    @pytest.mark.parametrize("field,kind,bits", [
+        ("id", "integer", 32), ("big", "integer", 64),
+        ("tiny", "integer", 8), ("uword", "unsigned", 16),
+        ("generic", "integer", None), ("ratio", "float", 32),
+        ("precise", "float", 64), ("ok", "boolean", 8),
+        ("label", "string", None),
+    ])
+    def test_primitives(self, ir, field, kind, bits):
+        tref = ir.format("Msg").field(field).type
+        assert tref.kind == kind
+        assert tref.bits == bits
+
+    def test_enum_reference(self, ir):
+        assert ir.format("Msg").field("mode").type.enum_name == "Mode"
+        assert ir.enums["Mode"].values == ("fast", "safe")
+
+    def test_nested_reference(self, ir):
+        assert ir.format("Msg").field("origin").type.format_name == \
+            "Point"
+
+
+class TestArrayMapping:
+    def test_scalar(self, ir):
+        assert ir.format("Msg").field("id").array is None
+
+    def test_fixed(self, ir):
+        array = ir.format("Msg").field("pair").array
+        assert array.fixed_size == 2
+
+    def test_length_linked_with_placement(self, ir):
+        array = ir.format("Msg").field("data").array
+        assert array.length_field == "size"
+        assert array.placement == "after"
+
+    def test_self_sized(self, ir):
+        array = ir.format("Msg").field("free").array
+        assert array.fixed_size is None
+        assert array.length_field is None
+
+
+class TestFlags:
+    def test_optional(self, ir):
+        assert ir.format("Msg").field("label").optional
+        assert not ir.format("Msg").field("id").optional
+
+    def test_field_order_preserved(self, ir):
+        names = ir.format("Msg").field_names()
+        assert names[:3] == ("id", "big", "tiny")

@@ -1,0 +1,169 @@
+"""The XMIT facade: discovery, binding, refresh propagation."""
+
+import pytest
+
+from repro.core.toolkit import XMIT
+from repro.errors import XMITError
+from repro.http.server import DocumentStore, MetadataHTTPServer
+from repro.http.urls import publish_document
+from repro.pbio.context import IOContext
+from repro.pbio.format_server import FormatServer
+from repro.pbio.machine import SPARC_32
+from repro.schema.parser import parse_schema_text
+
+XSD_V1 = """
+<xsd:schema xmlns:xsd="http://www.w3.org/2001/XMLSchema">
+  <xsd:complexType name="SimpleData">
+    <xsd:element name="timestep" type="xsd:integer" />
+    <xsd:element name="size" type="xsd:integer" />
+    <xsd:element name="data" type="xsd:float" maxOccurs="*"
+                 dimensionName="size" />
+  </xsd:complexType>
+</xsd:schema>
+"""
+
+XSD_V2 = XSD_V1.replace(
+    "</xsd:complexType>",
+    '  <xsd:element name="units" type="xsd:string" />\n'
+    "</xsd:complexType>")
+
+
+class TestDiscovery:
+    def test_load_text(self):
+        xmit = XMIT()
+        assert xmit.load_text(XSD_V1) == ("SimpleData",)
+        assert xmit.format_names == ("SimpleData",)
+
+    def test_load_mem_url(self):
+        url = publish_document("toolkit-t1.xsd", XSD_V1)
+        xmit = XMIT()
+        assert xmit.load_url(url) == ("SimpleData",)
+
+    def test_load_http_url(self):
+        store = DocumentStore()
+        store.put("/f.xsd", XSD_V1)
+        with MetadataHTTPServer(store) as server:
+            xmit = XMIT()
+            assert xmit.load_url(server.url_for("/f.xsd")) == \
+                ("SimpleData",)
+
+    def test_load_file_url(self, tmp_path):
+        path = tmp_path / "f.xsd"
+        path.write_text(XSD_V1)
+        xmit = XMIT()
+        assert xmit.load_url(f"file://{path}") == ("SimpleData",)
+
+    def test_multiple_documents_merge(self):
+        other = XSD_V1.replace("SimpleData", "OtherData")
+        xmit = XMIT()
+        xmit.load_text(XSD_V1)
+        xmit.load_text(other)
+        assert set(xmit.format_names) == {"SimpleData", "OtherData"}
+
+
+class TestBinding:
+    def test_bind_unknown_format(self):
+        with pytest.raises(XMITError, match="not been discovered"):
+            XMIT().bind("Ghost")
+
+    def test_bind_caches_tokens(self):
+        xmit = XMIT()
+        xmit.load_text(XSD_V1)
+        assert xmit.bind("SimpleData") is xmit.bind("SimpleData")
+
+    def test_bind_cache_distinguishes_options(self):
+        xmit = XMIT()
+        xmit.load_text(XSD_V1)
+        a = xmit.bind("SimpleData", architecture=SPARC_32)
+        b = xmit.bind("SimpleData")
+        assert a is not b
+        assert a.artifact.architecture is SPARC_32
+
+    def test_register_with_context(self):
+        xmit = XMIT()
+        xmit.load_text(XSD_V1)
+        ctx = IOContext(format_server=FormatServer())
+        fmt = xmit.register_with_context(ctx, "SimpleData")
+        assert ctx.lookup_format("SimpleData") is fmt
+        record = {"timestep": 1, "data": [2.0]}
+        assert ctx.roundtrip("SimpleData", record)["data"] == [2.0]
+
+    def test_generators(self):
+        xmit = XMIT()
+        xmit.load_text(XSD_V1)
+        assert "class SimpleData" in \
+            xmit.generate_java_source("SimpleData")
+        assert "typedef struct _SimpleData" in \
+            xmit.generate_c_source("SimpleData")
+        cls = xmit.generate_python_class("SimpleData")
+        assert cls.FORMAT_NAME == "SimpleData"
+
+
+class TestRefresh:
+    def test_refresh_unchanged_is_noop(self):
+        url = publish_document("toolkit-r1.xsd", XSD_V1)
+        xmit = XMIT()
+        xmit.load_url(url)
+        assert xmit.refresh(url) == ()
+
+    def test_refresh_detects_change_and_notifies(self):
+        url = publish_document("toolkit-r2.xsd", XSD_V1)
+        xmit = XMIT()
+        xmit.load_url(url)
+        events = []
+        xmit.subscribe(lambda ev, name, fmt: events.append((ev, name)))
+        publish_document("toolkit-r2.xsd", XSD_V2)
+        assert xmit.refresh(url) == ("SimpleData",)
+        assert events == [("changed", "SimpleData")]
+        assert "units" in xmit.ir.format("SimpleData").field_names()
+
+    def test_refresh_invalidates_bindings(self):
+        url = publish_document("toolkit-r3.xsd", XSD_V1)
+        xmit = XMIT()
+        xmit.load_url(url)
+        before = xmit.bind("SimpleData")
+        publish_document("toolkit-r3.xsd", XSD_V2)
+        xmit.refresh(url)
+        after = xmit.bind("SimpleData")
+        assert before is not after
+        assert "units" in after.artifact.field_list
+
+    def test_refresh_reports_added_formats(self):
+        url = publish_document("toolkit-r4.xsd", XSD_V1)
+        xmit = XMIT()
+        xmit.load_url(url)
+        extra = XSD_V1.replace(
+            "</xsd:schema>",
+            '<xsd:complexType name="Extra">'
+            '<xsd:element name="x" type="xsd:int" /></xsd:complexType>'
+            "</xsd:schema>")
+        publish_document("toolkit-r4.xsd", extra)
+        assert set(xmit.refresh(url)) == {"Extra"}
+
+
+class TestExport:
+    def test_export_round_trips(self):
+        xmit = XMIT()
+        xmit.load_text(XSD_V1)
+        text = xmit.export_schema()
+        schema = parse_schema_text(text)
+        assert "SimpleData" in schema.complex_types
+        ct = schema.complex_type("SimpleData")
+        assert ct.element("data").array.length_field == "size"
+
+    def test_export_subset(self):
+        xmit = XMIT()
+        xmit.load_text(XSD_V1)
+        xmit.load_text(XSD_V1.replace("SimpleData", "Other"))
+        text = xmit.export_schema(["Other"])
+        schema = parse_schema_text(text)
+        assert set(schema.complex_types) == {"Other"}
+
+    def test_export_feeds_another_toolkit(self):
+        """Publish-and-rediscover loop: XMIT A exports, XMIT B loads."""
+        a = XMIT()
+        a.load_text(XSD_V1)
+        url = publish_document("toolkit-x1.xsd", a.export_schema())
+        b = XMIT()
+        assert b.load_url(url) == ("SimpleData",)
+        assert b.ir.format("SimpleData") == a.ir.format("SimpleData")

@@ -1,0 +1,143 @@
+"""HTTP server/client over loopback sockets."""
+
+import pytest
+
+from repro.errors import HTTPError
+from repro.http.client import http_get
+from repro.http.server import DocumentStore, MetadataHTTPServer
+from repro.http.urls import fetch
+
+
+@pytest.fixture(scope="module")
+def server():
+    store = DocumentStore()
+    store.put("/formats/a.xsd", "<a/>")
+    store.put("b.xsd", "<b/>")  # leading slash added by put
+    store.put("/big", "x" * 300_000)
+    with MetadataHTTPServer(store) as srv:
+        yield srv
+
+
+class TestDocumentStore:
+    def test_put_normalizes_path(self):
+        store = DocumentStore()
+        assert store.put("rel.xsd", "x") == "/rel.xsd"
+        assert store.get("/rel.xsd") == b"x"
+
+    def test_hit_miss_counters(self):
+        store = DocumentStore()
+        store.put("/a", "1")
+        store.get("/a")
+        store.get("/nope")
+        assert store.hits == 1 and store.misses == 1
+
+    def test_paths(self):
+        store = DocumentStore()
+        store.put("/b", "1")
+        store.put("/a", "1")
+        assert store.paths() == ("/a", "/b")
+
+
+class TestServer:
+    def test_get_ok(self, server):
+        response = http_get(server.host, server.port, "/formats/a.xsd")
+        assert response.status == 200
+        assert response.body == b"<a/>"
+        assert response.headers["content-length"] == "4"
+
+    def test_get_normalized_path(self, server):
+        assert http_get(server.host, server.port, "b.xsd").body == \
+            b"<b/>"
+
+    def test_404(self, server):
+        response = http_get(server.host, server.port, "/none")
+        assert response.status == 404
+
+    def test_large_body(self, server):
+        response = http_get(server.host, server.port, "/big")
+        assert len(response.body) == 300_000
+
+    def test_url_for_and_fetch_integration(self, server):
+        url = server.url_for("formats/a.xsd")
+        assert fetch(url) == b"<a/>"
+
+    def test_fetch_404_raises_with_status(self, server):
+        with pytest.raises(HTTPError) as info:
+            fetch(server.url_for("/gone"))
+        assert info.value.status == 404
+
+    def test_connection_refused(self):
+        with pytest.raises(HTTPError, match="failed"):
+            http_get("127.0.0.1", 1, "/x", timeout=2)
+
+    def test_concurrent_requests(self, server):
+        import threading
+        results = []
+
+        def get():
+            results.append(
+                http_get(server.host, server.port,
+                         "/formats/a.xsd").status)
+        threads = [threading.Thread(target=get) for _ in range(10)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert results == [200] * 10
+
+    def test_close_is_idempotent(self):
+        srv = MetadataHTTPServer(DocumentStore())
+        srv.close()
+        srv.close()
+
+
+class TestClientParsing:
+    def _respond(self, raw: bytes) -> "HTTPResponse":
+        import socket as _socket
+        import threading as _threading
+        from repro.http.client import http_get
+
+        listener = _socket.socket()
+        listener.bind(("127.0.0.1", 0))
+        listener.listen(1)
+        host, port = listener.getsockname()
+
+        def serve():
+            conn, _ = listener.accept()
+            conn.recv(65536)
+            conn.sendall(raw)
+            conn.close()
+        thread = _threading.Thread(target=serve, daemon=True)
+        thread.start()
+        try:
+            return http_get(host, port, "/x", timeout=5)
+        finally:
+            listener.close()
+            thread.join(5)
+
+    def test_body_truncated_to_content_length(self):
+        response = self._respond(
+            b"HTTP/1.0 200 OK\r\nContent-Length: 3\r\n\r\nabcEXTRA")
+        assert response.body == b"abc"
+
+    def test_short_body_rejected(self):
+        from repro.errors import HTTPError
+        with pytest.raises(HTTPError, match="truncated"):
+            self._respond(
+                b"HTTP/1.0 200 OK\r\nContent-Length: 99\r\n\r\nabc")
+
+    def test_malformed_status_line(self):
+        from repro.errors import HTTPError
+        with pytest.raises(HTTPError, match="status"):
+            self._respond(b"NOT-HTTP nonsense\r\n\r\n")
+
+    def test_headers_case_insensitive(self):
+        response = self._respond(
+            b"HTTP/1.0 200 OK\r\nX-Custom: Value\r\n"
+            b"Content-Length: 0\r\n\r\n")
+        assert response.headers["x-custom"] == "Value"
+
+    def test_no_header_terminator(self):
+        from repro.errors import HTTPError
+        with pytest.raises(HTTPError, match="terminator"):
+            self._respond(b"HTTP/1.0 200 OK\r\nnever-ends")

@@ -1,0 +1,96 @@
+"""URL parsing and resolver chain."""
+
+import pytest
+
+from repro.errors import DiscoveryError
+from repro.http.urls import (
+    fetch, parse_url, publish_document, register_resolver,
+    unpublish_document,
+)
+
+
+class TestParseURL:
+    def test_http_with_port(self):
+        u = parse_url("http://host.example:8080/a/b.xsd")
+        assert (u.scheme, u.host, u.port, u.path) == \
+            ("http", "host.example", 8080, "/a/b.xsd")
+
+    def test_http_default_port_unset(self):
+        u = parse_url("http://host/x")
+        assert u.port is None
+
+    def test_http_bare_host(self):
+        assert parse_url("http://host").path == "/"
+
+    def test_mem(self):
+        u = parse_url("mem:formats/hydrology.xsd")
+        assert u.scheme == "mem"
+        assert u.host is None
+        assert u.path == "formats/hydrology.xsd"
+
+    def test_file(self):
+        u = parse_url("file:///tmp/x.xsd")
+        assert u.scheme == "file"
+        assert u.path == "/tmp/x.xsd"
+
+    def test_scheme_case_insensitive(self):
+        assert parse_url("HTTP://h/x").scheme == "http"
+
+    def test_str_roundtrip(self):
+        for text in ("http://h:99/p", "mem:name"):
+            assert str(parse_url(text)) == text
+
+    def test_missing_scheme(self):
+        with pytest.raises(DiscoveryError, match="scheme"):
+            parse_url("/no/scheme")
+
+
+class TestMemScheme:
+    def test_publish_fetch(self):
+        url = publish_document("t1.xsd", "<doc/>")
+        assert url == "mem:t1.xsd"
+        assert fetch(url) == b"<doc/>"
+
+    def test_bytes_content(self):
+        url = publish_document("t2.bin", b"\x00\x01")
+        assert fetch(url) == b"\x00\x01"
+
+    def test_republish_replaces(self):
+        publish_document("t3", "one")
+        publish_document("t3", "two")
+        assert fetch("mem:t3") == b"two"
+
+    def test_unpublish(self):
+        publish_document("t4", "x")
+        unpublish_document("t4")
+        with pytest.raises(DiscoveryError, match="no document"):
+            fetch("mem:t4")
+
+    def test_unpublish_missing_is_noop(self):
+        unpublish_document("never-existed")
+
+
+class TestFileScheme:
+    def test_read(self, tmp_path):
+        path = tmp_path / "f.xsd"
+        path.write_text("<f/>")
+        assert fetch(f"file://{path}") == b"<f/>"
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(DiscoveryError, match="cannot read"):
+            fetch(f"file://{tmp_path}/missing.xsd")
+
+
+class TestResolverChain:
+    def test_unknown_scheme(self):
+        with pytest.raises(DiscoveryError, match="no resolver"):
+            fetch("gopher://x/y")
+
+    def test_custom_resolver(self):
+        register_resolver("test-custom", lambda u: b"custom:" +
+                          u.path.encode())
+        assert fetch("test-custom:abc") == b"custom:abc"
+
+    def test_fetch_accepts_parsed(self):
+        publish_document("t5", "z")
+        assert fetch(parse_url("mem:t5")) == b"z"

@@ -1,0 +1,168 @@
+"""Individual pipeline components, driven over real connections."""
+
+import numpy as np
+import pytest
+
+from repro.hydrology.components import (
+    Coupler, DataFileReader, Flow2D, Presend, Vis5DSink,
+)
+from repro.hydrology.datagen import generate_watershed
+from repro.hydrology.formats import publish_hydrology_schema
+from repro.pbio.context import IOContext
+from repro.pbio.format_server import FormatServer
+from repro.transport.connection import Connection
+from repro.transport.inproc import channel_pair
+
+
+@pytest.fixture(scope="module")
+def schema_url():
+    return publish_hydrology_schema("components-test.xsd")
+
+
+def drain(channel, timeout=5):
+    """Collect every message a component wrote to *channel*.
+
+    Loads the shared schema like a real component would, so format IDs
+    resolve locally without negotiation (send-only components do not
+    service metadata requests).
+    """
+    from repro.core.toolkit import XMIT
+    ctx = IOContext(format_server=FormatServer())
+    xmit = XMIT()
+    for name in xmit.load_url(publish_hydrology_schema()):
+        xmit.register_with_context(ctx, name)
+    conn = Connection(ctx, channel)
+    messages = []
+    while True:
+        msg = conn.receive(timeout=timeout)
+        if msg is None:
+            return messages
+        messages.append(msg)
+
+
+class TestDataFileReader:
+    def test_emits_meta_and_data_per_timestep(self, schema_url):
+        ds = generate_watershed(nx=8, ny=8, timesteps=3)
+        out, sink = channel_pair()
+        reader = DataFileReader(schema_url, ds, out)
+        reader.start()
+        messages = drain(sink)
+        reader.join(5)
+        assert reader.error is None
+        kinds = [m.format_name for m in messages]
+        assert kinds == ["GridMeta", "SimpleData"] * 3
+        assert messages[1].record["size"] == 64
+        assert reader.stats.sent == {"GridMeta": 3, "SimpleData": 3}
+
+
+class TestPresend:
+    def test_downsamples_by_factor(self, schema_url):
+        ds = generate_watershed(nx=8, ny=8, timesteps=2)
+        src_out, presend_in = channel_pair()
+        presend_out, sink = channel_pair()
+        reader = DataFileReader(schema_url, ds, src_out)
+        presend = Presend(schema_url, presend_in, presend_out,
+                          factor=2)
+        reader.start()
+        presend.start()
+        messages = drain(sink)
+        reader.join(5)
+        presend.join(5)
+        assert presend.error is None
+        metas = [m for m in messages if m.format_name == "GridMeta"]
+        frames = [m for m in messages if m.format_name == "SimpleData"]
+        assert metas[0].record["nx"] == 4
+        assert frames[0].record["size"] == 16
+
+    def test_mean_pooling_preserves_mass(self, schema_url):
+        presend = Presend(schema_url, None, None, factor=2)
+        grid = np.arange(16, dtype=np.float32).reshape(4, 4)
+        reduced = presend._downsample(grid)
+        assert reduced.shape == (2, 2)
+        assert float(reduced.mean()) == pytest.approx(
+            float(grid.mean()))
+
+    def test_factor_one_is_identity(self, schema_url):
+        presend = Presend(schema_url, None, None, factor=1)
+        grid = np.random.default_rng(0).random((4, 4)) \
+            .astype(np.float32)
+        assert np.array_equal(presend._downsample(grid), grid)
+
+    def test_bad_factor_rejected(self, schema_url):
+        with pytest.raises(ValueError):
+            Presend(schema_url, None, None, factor=0)
+
+
+class TestFlow2D:
+    def test_emits_flow_params_and_field(self, schema_url):
+        ds = generate_watershed(nx=8, ny=8, timesteps=2)
+        src_out, flow_in = channel_pair()
+        flow_out, sink = channel_pair()
+        reader = DataFileReader(schema_url, ds, src_out)
+        flow = Flow2D(schema_url, flow_in, flow_out)
+        reader.start()
+        flow.start()
+        messages = drain(sink)
+        reader.join(5)
+        flow.join(5)
+        assert flow.error is None
+        kinds = [m.format_name for m in messages]
+        assert kinds.count("FlowParams") == 2
+        assert kinds.count("SimpleData") == 2
+        params = [m.record for m in messages
+                  if m.format_name == "FlowParams"][0]
+        assert params["nx"] == 8 and params["viscosity"] == \
+            pytest.approx(0.2)
+
+    def test_flow_field_shape_and_finiteness(self, schema_url):
+        flow = Flow2D(schema_url, None, None)
+        flow._meta = {"nx": 8, "ny": 8, "cell_size": 30.0}
+        field = flow._flow_field(
+            np.random.default_rng(1).random(64).astype(np.float32))
+        assert field.shape == (8, 8)
+        assert np.isfinite(field).all()
+
+
+class TestVis5DSink:
+    def test_collects_stats(self, schema_url):
+        ds = generate_watershed(nx=8, ny=8, timesteps=3)
+        src_out, gui_in = channel_pair()
+        reader = DataFileReader(schema_url, ds, src_out)
+        gui = Vis5DSink(schema_url, gui_in)
+        reader.start()
+        gui.start()
+        reader.join(5)
+        gui.join(5)
+        assert gui.error is None
+        assert len(gui.frames) == 3
+        assert len(gui.metas) == 3
+        frame = gui.frames[0]
+        assert frame["cells"] == 64
+        assert frame["min"] <= frame["mean"] <= frame["max"]
+
+
+class TestRenderAscii:
+    def test_shape_and_palette(self):
+        import numpy as np
+        from repro.hydrology.components import render_ascii
+        grid = np.arange(64 * 64, dtype=float).reshape(64, 64)
+        art = render_ascii(grid, width=32)
+        lines = art.split("\n")
+        assert all(len(line) == len(lines[0]) for line in lines)
+        assert set(art) - {"\n"} <= set(" .:-=+*#%@")
+        # monotone field: darkest at top-left, brightest at bottom-right
+        assert lines[0][0] == " "
+        assert lines[-1][-1] == "@"
+
+    def test_constant_field(self):
+        import numpy as np
+        from repro.hydrology.components import render_ascii
+        art = render_ascii(np.ones((16, 16)), width=8)
+        assert set(art) - {"\n"} == {" "}
+
+    def test_rejects_non_2d(self):
+        import numpy as np
+        import pytest as _pytest
+        from repro.hydrology.components import render_ascii
+        with _pytest.raises(ValueError):
+            render_ascii(np.ones(16))

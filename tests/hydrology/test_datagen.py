@@ -1,0 +1,81 @@
+"""Synthetic watershed generator."""
+
+import numpy as np
+import pytest
+
+from repro.hydrology.datagen import generate_watershed
+
+
+class TestGeneration:
+    def test_shape_and_count(self):
+        ds = generate_watershed(nx=16, ny=24, timesteps=5)
+        assert ds.timesteps == 5
+        assert ds.frame(0).shape == (24, 16)
+        assert ds.frame(0).dtype == np.float32
+
+    def test_deterministic_for_seed(self):
+        a = generate_watershed(nx=8, ny=8, timesteps=3, seed=1)
+        b = generate_watershed(nx=8, ny=8, timesteps=3, seed=1)
+        for t in range(3):
+            assert np.array_equal(a.frame(t), b.frame(t))
+
+    def test_different_seeds_differ(self):
+        a = generate_watershed(nx=8, ny=8, timesteps=2, seed=1)
+        b = generate_watershed(nx=8, ny=8, timesteps=2, seed=2)
+        assert not np.array_equal(a.frame(1), b.frame(1))
+
+    def test_depths_nonnegative_and_finite(self):
+        ds = generate_watershed(nx=16, ny=16, timesteps=8)
+        for t in range(ds.timesteps):
+            frame = ds.frame(t)
+            assert np.isfinite(frame).all()
+            assert (frame >= 0).all()
+
+    def test_water_accumulates_in_low_cells(self):
+        ds = generate_watershed(nx=32, ny=32, timesteps=6)
+        last = ds.frame(ds.timesteps - 1).astype(np.float64)
+        low = ds.elevation < np.percentile(ds.elevation, 25)
+        high = ds.elevation > np.percentile(ds.elevation, 75)
+        assert last[low].mean() > last[high].mean()
+
+
+class TestRecords:
+    def test_as_record_matches_simple_data(self):
+        ds = generate_watershed(nx=4, ny=4, timesteps=2)
+        record = ds.as_record(1)
+        assert record["timestep"] == 1
+        assert record["size"] == 16
+        assert len(record["data"]) == 16
+
+    def test_meta_record_fields(self):
+        ds = generate_watershed(nx=8, ny=8, timesteps=2,
+                                gauge_count=5)
+        meta = ds.meta_record(0)
+        assert meta["nx"] == 8 and meta["ny"] == 8
+        assert meta["gauge_count"] == 5
+        assert len(meta["gauges"]) == 5
+        assert meta["min_depth"] <= meta["mean_depth"] <= \
+            meta["max_depth"]
+
+    def test_gauges_sample_the_grid(self):
+        ds = generate_watershed(nx=8, ny=8, timesteps=1,
+                                gauge_count=3)
+        gauges = ds.gauges(0)
+        frame = ds.frame(0)
+        for value in gauges:
+            assert value in frame
+
+    def test_records_encode_with_hydrology_formats(self):
+        from repro.hydrology.formats import hydrology_field_specs
+        from repro.pbio.context import IOContext
+        from repro.pbio.format_server import FormatServer
+        ds = generate_watershed(nx=8, ny=8, timesteps=1,
+                                gauge_count=24)
+        ctx = IOContext(format_server=FormatServer())
+        specs = hydrology_field_specs(ctx.architecture)
+        ctx.register_layout("SimpleData", specs["SimpleData"])
+        ctx.register_layout("GridMeta", specs["GridMeta"])
+        assert ctx.roundtrip("SimpleData",
+                             ds.as_record(0))["size"] == 64
+        out = ctx.roundtrip("GridMeta", ds.meta_record(0))
+        assert out["gauge_count"] == 24

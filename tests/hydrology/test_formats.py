@@ -1,0 +1,72 @@
+"""Hydrology format set: paper sizes and dual discovery paths."""
+
+import pytest
+
+from repro.core.toolkit import XMIT
+from repro.hydrology.formats import (
+    GAUGE_COUNT, HYDROLOGY_FRAGMENTS, HYDROLOGY_SCHEMA_XSD,
+    hydrology_field_specs, hydrology_xmit, hydrology_xsd_for,
+    publish_hydrology_schema,
+)
+from repro.pbio.context import IOContext
+from repro.pbio.format_server import FormatServer
+from repro.pbio.layout import field_list_for
+from repro.pbio.machine import SPARC_32, X86_32
+
+FORMAT_NAMES = ("SimpleData", "JoinRequest", "FlowParams", "GridMeta",
+                "ControlMsg")
+
+
+class TestPaperSizes:
+    """The ILP32 byte sizes Fig. 6's x axis reports."""
+
+    @pytest.mark.parametrize("name,expected", [
+        ("SimpleData", 12),   # {int; int; float*}
+        ("JoinRequest", 20),  # 5 x 4-byte words
+        ("FlowParams", 44),   # 11 words
+        ("GridMeta", 152),    # 14 words + 24 gauge floats
+    ])
+    def test_ilp32_struct_size(self, name, expected):
+        specs = hydrology_field_specs(SPARC_32)[name]
+        fl = field_list_for(specs, architecture=SPARC_32)
+        assert fl.record_length == expected
+
+    def test_gauge_count_consistent(self):
+        specs = hydrology_field_specs(X86_32)["GridMeta"]
+        gauges = [s for s in specs if s[0] == "gauges"][0]
+        assert gauges[1] == f"float[{GAUGE_COUNT}]"
+
+
+class TestDualPaths:
+    """XSD discovery and compiled-in specs must yield identical
+    formats (same wire metadata, hence same format IDs)."""
+
+    @pytest.mark.parametrize("name", FORMAT_NAMES)
+    def test_xmit_equals_compiled_in(self, name):
+        xmit = XMIT()
+        xmit.load_text(hydrology_xsd_for(name))
+        ctx_a = IOContext(format_server=FormatServer())
+        via_xmit = xmit.register_with_context(ctx_a, name)
+        ctx_b = IOContext(format_server=FormatServer())
+        compiled = ctx_b.register_layout(
+            name, hydrology_field_specs(ctx_b.architecture)[name])
+        assert via_xmit == compiled
+        assert via_xmit.format_id == compiled.format_id
+
+
+class TestHelpers:
+    def test_fragments_cover_all_formats(self):
+        assert set(HYDROLOGY_FRAGMENTS) == set(FORMAT_NAMES)
+
+    def test_full_schema_contains_all(self):
+        for name in FORMAT_NAMES:
+            assert f'name="{name}"' in HYDROLOGY_SCHEMA_XSD
+
+    def test_publish_and_load(self):
+        url = publish_hydrology_schema("test-hydrology.xsd")
+        xmit = XMIT()
+        assert set(xmit.load_url(url)) == set(FORMAT_NAMES)
+
+    def test_hydrology_xmit_preloaded(self):
+        xmit = hydrology_xmit()
+        assert set(xmit.format_names) == set(FORMAT_NAMES)

@@ -1,0 +1,97 @@
+"""The full Fig. 5 pipeline."""
+
+import pytest
+
+from repro.hydrology.datagen import generate_watershed
+from repro.hydrology.pipeline import build_pipeline, run_pipeline
+
+
+class TestRunPipeline:
+    def test_all_frames_delivered_to_both_guis(self):
+        report = run_pipeline(timesteps=5, grid=16)
+        assert report.frames_per_gui == (5, 5)
+        assert report.total_frames == 10
+
+    def test_component_message_accounting(self):
+        report = run_pipeline(timesteps=4, grid=16)
+        msgs = report.component_messages
+        assert msgs["reader"]["out"] == {"GridMeta": 4,
+                                         "SimpleData": 4}
+        assert msgs["presend"]["in"]["SimpleData"] == 4
+        assert msgs["flow2d"]["out"]["FlowParams"] == 4
+        # coupler fans out to two GUIs
+        assert msgs["coupler"]["out"]["SimpleData"] == 8
+
+    def test_presend_reduces_cells(self):
+        report = run_pipeline(timesteps=2, grid=16, presend_factor=4)
+        assert report.gui_stats[0][0]["cells"] == 16  # (16/4)^2
+
+    def test_gui_stats_are_physical(self):
+        report = run_pipeline(timesteps=3, grid=16)
+        for frames in report.gui_stats:
+            for frame in frames:
+                assert frame["min"] <= frame["mean"] <= frame["max"]
+
+    def test_dataset_can_be_supplied(self):
+        ds = generate_watershed(nx=8, ny=8, timesteps=2, seed=99)
+        report = run_pipeline(dataset=ds)
+        assert report.timesteps == 2
+
+    def test_tcp_transport(self):
+        report = run_pipeline(timesteps=3, grid=16, transport="tcp")
+        assert report.frames_per_gui == (3, 3)
+
+    def test_feedback_disabled(self):
+        report = run_pipeline(timesteps=4, grid=16, feedback_every=0)
+        assert report.control_messages_applied == 0
+
+
+class TestBuildPipeline:
+    def test_components_in_order(self):
+        ds = generate_watershed(nx=8, ny=8, timesteps=1)
+        components = build_pipeline(ds)
+        names = [c.component_name for c in components]
+        assert names == ["reader", "presend", "flow2d", "coupler",
+                         "vis5d-1", "vis5d-2"]
+
+    def test_unknown_transport_rejected(self):
+        ds = generate_watershed(nx=8, ny=8, timesteps=1)
+        with pytest.raises(Exception, match="unknown transport"):
+            build_pipeline(ds, transport="carrier-pigeon")
+
+
+class TestMixedArchitecturePipeline:
+    def test_sparc_presend_in_native_pipeline(self):
+        """Receiver-makes-right inside the application: one component
+        runs as a big-endian ILP32 'SPARC host' and the pipeline is
+        none the wiser."""
+        from repro.hydrology.components import (
+            Coupler, DataFileReader, Flow2D, Presend, Vis5DSink,
+        )
+        from repro.hydrology.formats import publish_hydrology_schema
+        from repro.pbio.machine import SPARC_32
+        from repro.transport.inproc import channel_pair
+
+        ds = generate_watershed(nx=16, ny=16, timesteps=3)
+        schema_url = publish_hydrology_schema()
+        r_out, p_in = channel_pair()
+        p_out, f_in = channel_pair()
+        f_out, c_in = channel_pair()
+        c_g1, g1_in = channel_pair()
+
+        reader = DataFileReader(schema_url, ds, r_out)
+        presend = Presend(schema_url, p_in, p_out,
+                          architecture=SPARC_32)
+        flow = Flow2D(schema_url, f_in, f_out)
+        coupler = Coupler(schema_url, c_in, [c_g1])
+        gui = Vis5DSink(schema_url, g1_in)
+        assert presend.context.architecture is SPARC_32
+
+        components = [reader, presend, flow, coupler, gui]
+        for comp in components:
+            comp.start()
+        for comp in components:
+            comp.join(30)
+            assert comp.error is None, comp.error
+        assert len(gui.frames) == 3
+        assert gui.frames[0]["cells"] == 64  # 16/2 squared

@@ -1,0 +1,141 @@
+"""Failure injection: corrupt records, broken metadata, dead peers."""
+
+import struct
+
+import pytest
+
+from repro.errors import (
+    DecodeError, DiscoveryError, EncodeError, ProtocolError,
+    SchemaParseError, TransportError, UnknownFormatError,
+    XMLWellFormednessError,
+)
+from repro.core.toolkit import XMIT
+from repro.http.urls import publish_document, register_resolver
+from repro.pbio.context import IOContext
+from repro.pbio.encode import HEADER_LEN
+from repro.pbio.format_server import FormatServer
+from repro.transport.connection import Connection
+from repro.transport.inproc import channel_pair
+from repro.transport.messages import Frame, FrameType
+
+from tests.conftest import SIMPLE_DATA_SPECS, SIMPLE_DATA_XSD
+
+
+@pytest.fixture
+def ctx():
+    context = IOContext(format_server=FormatServer())
+    context.register_layout("SimpleData", SIMPLE_DATA_SPECS)
+    return context
+
+
+class TestCorruptRecords:
+    def test_flipped_magic(self, ctx):
+        wire = bytearray(ctx.encode("SimpleData",
+                                    {"timestep": 1, "data": [1.0]}))
+        wire[0] ^= 0xFF
+        with pytest.raises(EncodeError, match="magic"):
+            ctx.decode(bytes(wire))
+
+    def test_corrupt_format_id(self, ctx):
+        wire = bytearray(ctx.encode("SimpleData",
+                                    {"timestep": 1, "data": [1.0]}))
+        wire[4] ^= 0xFF
+        with pytest.raises(UnknownFormatError):
+            ctx.decode(bytes(wire))
+
+    def test_corrupt_array_pointer(self, ctx):
+        wire = bytearray(ctx.encode("SimpleData",
+                                    {"timestep": 1, "data": [1.0]}))
+        # the data pointer lives at body offset 8 (LP64 layout)
+        struct.pack_into("<Q", wire, HEADER_LEN + 8, 1 << 30)
+        with pytest.raises(DecodeError, match="outside"):
+            ctx.decode(bytes(wire))
+
+    def test_truncation_every_prefix_is_safe(self, ctx):
+        """No prefix of a valid record may crash the decoder with
+        anything but a typed error."""
+        wire = ctx.encode("SimpleData",
+                          {"timestep": 1, "data": [1.0, 2.0]})
+        for cut in range(len(wire)):
+            with pytest.raises((DecodeError, EncodeError,
+                                UnknownFormatError)):
+                ctx.decode(wire[:cut])
+
+    def test_header_lies_about_length(self, ctx):
+        wire = bytearray(ctx.encode("SimpleData",
+                                    {"timestep": 1, "data": []}))
+        struct.pack_into(">I", wire, 12, 10_000)
+        with pytest.raises(DecodeError, match="truncated"):
+            ctx.decode(bytes(wire))
+
+
+class TestBrokenMetadata:
+    def test_malformed_xml_document(self):
+        url = publish_document("broken-1.xsd", "<xsd:schema")
+        with pytest.raises(XMLWellFormednessError):
+            XMIT().load_url(url)
+
+    def test_wrong_document_kind(self):
+        url = publish_document("broken-2.xsd", "<html><body/></html>")
+        with pytest.raises(SchemaParseError):
+            XMIT().load_url(url)
+
+    def test_unreachable_url(self):
+        with pytest.raises(DiscoveryError):
+            XMIT().load_url("mem:never-published.xsd")
+
+    def test_flaky_resolver(self):
+        calls = {"n": 0}
+
+        def flaky(url):
+            calls["n"] += 1
+            if calls["n"] == 1:
+                raise DiscoveryError("transient fetch failure")
+            return SIMPLE_DATA_XSD.encode()
+
+        register_resolver("flaky", flaky)
+        xmit = XMIT()
+        with pytest.raises(DiscoveryError):
+            xmit.load_url("flaky:doc")
+        # retry succeeds; toolkit state was not corrupted
+        assert xmit.load_url("flaky:doc") == ("SimpleData",)
+
+    def test_corrupted_server_metadata(self):
+        server = FormatServer()
+        with pytest.raises(UnknownFormatError):
+            server.import_bytes(b"PBIOFMT\t1\nname\tX\ngarbage")
+
+
+class TestProtocolViolations:
+    def test_peer_requests_unknown_format(self, ctx):
+        a_ch, b_ch = channel_pair()
+        conn = Connection(ctx, a_ch)
+        b_ch.send(Frame(FrameType.FMT_REQ, b"\x00" * 8))
+        b_ch.send(Frame(FrameType.DATA, b"ignored"))
+        with pytest.raises(ProtocolError, match="unknown format"):
+            conn.receive(timeout=2)
+
+    def test_garbage_frame_type(self, ctx):
+        a_ch, b_ch = channel_pair()
+        conn = Connection(ctx, a_ch)
+        # raw bytes with an invalid type tag
+        import queue
+        b_ch._outbox.put(Frame.__new__(Frame))  # bypassed construction
+        # a frame with invalid type cannot be built through the API;
+        # instead check decode path via messages.decode_frame
+        from repro.transport.messages import decode_frame
+        with pytest.raises(ProtocolError):
+            decode_frame(bytes([99]) + b"x")
+
+    def test_send_on_closed_connection(self, ctx):
+        a_ch, _b_ch = channel_pair()
+        conn = Connection(ctx, a_ch)
+        conn.close()
+        with pytest.raises(TransportError):
+            conn.send("SimpleData", {"timestep": 1, "data": []})
+
+    def test_double_close_is_safe(self, ctx):
+        a_ch, _b_ch = channel_pair()
+        conn = Connection(ctx, a_ch)
+        conn.close()
+        conn.close()

@@ -1,0 +1,71 @@
+"""Scale checks: larger volumes through the full stack."""
+
+import numpy as np
+import pytest
+
+from repro.hydrology.datagen import generate_watershed
+from repro.hydrology.pipeline import run_pipeline
+from repro.pbio.context import IOContext
+from repro.pbio.format_server import FormatServer
+from repro.pbio.iofile import IOFileReader, IOFileWriter
+
+
+class TestPipelineScale:
+    def test_twenty_timesteps_64x64(self):
+        dataset = generate_watershed(nx=64, ny=64, timesteps=20)
+        report = run_pipeline(dataset, feedback_every=4)
+        assert report.frames_per_gui == (20, 20)
+        # monotone mass buildup early in the run is visible at the GUIs
+        means = [f["mean"] for f in report.gui_stats[0]]
+        assert means[0] < means[5]
+
+    def test_large_frames_over_tcp(self):
+        dataset = generate_watershed(nx=96, ny=96, timesteps=4)
+        report = run_pipeline(dataset, transport="tcp",
+                              presend_factor=1)
+        assert report.frames_per_gui == (4, 4)
+        assert report.gui_stats[0][0]["cells"] == 96 * 96
+
+
+class TestMarshalingScale:
+    def test_megabyte_record_roundtrip(self):
+        ctx = IOContext(format_server=FormatServer())
+        ctx.register_layout("Big", [
+            ("n", "integer", 4), ("data", "double[n]", 8)])
+        data = np.random.default_rng(3).random(262_144)  # 2 MiB
+        wire = ctx.encode("Big", {"data": data})
+        assert len(wire) > 2 * 1024 * 1024
+        out = ctx.decode(wire).record
+        assert out["n"] == 262_144
+        assert out["data"][::65536] == data[::65536].tolist()
+
+    def test_many_small_records_amortize(self):
+        ctx = IOContext(format_server=FormatServer())
+        ctx.register_layout("Tick", [("seq", "integer", 4),
+                                     ("value", "float", 8)])
+        for i in range(5_000):
+            wire = ctx.encode("Tick", {"seq": i, "value": i * 0.5})
+        assert ctx.stats.records_encoded == 5_000
+        # one compiled encoder served all of them
+        assert len(ctx._encoders) == 1
+
+    def test_large_data_file(self, tmp_path):
+        path = tmp_path / "big.pbio"
+        ctx = IOContext(format_server=FormatServer())
+        ctx.register_layout("Frame", [
+            ("t", "integer", 4), ("n", "integer", 4),
+            ("data", "float[n]", 4)])
+        frames = 50
+        with IOFileWriter(path, ctx) as writer:
+            for t in range(frames):
+                writer.write("Frame", {
+                    "t": t, "data": np.full(4096, float(t),
+                                            dtype=np.float32)})
+        assert path.stat().st_size > frames * 4096 * 4
+        with IOFileReader(path) as reader:
+            count = 0
+            for record in reader:
+                assert record.record["data"][0] == float(
+                    record.record["t"])
+                count += 1
+        assert count == frames

@@ -1,0 +1,132 @@
+"""IOContext: registration, caching, decode paths."""
+
+import pytest
+
+from repro.errors import (
+    DecodeError, FormatRegistrationError, UnknownFormatError,
+)
+from repro.pbio.context import IOContext
+from repro.pbio.format_server import FormatServer
+from repro.pbio.machine import SPARC_32, X86_64
+
+
+class TestRegistration:
+    def test_register_layout(self, context):
+        fmt = context.register_layout("T", [("a", "integer", 4)])
+        assert context.lookup_format("T") is fmt
+        assert "T" in context.format_names
+
+    def test_reregistering_same_format_ok(self, context):
+        a = context.register_layout("T", [("a", "integer", 4)])
+        b = context.register_layout("T", [("a", "integer", 4)])
+        assert a == b
+
+    def test_conflicting_reregistration_rejected(self, context):
+        context.register_layout("T", [("a", "integer", 4)])
+        with pytest.raises(FormatRegistrationError, match="different"):
+            context.register_layout("T", [("a", "float", 4)])
+
+    def test_unknown_format_lookup(self, context):
+        with pytest.raises(UnknownFormatError):
+            context.lookup_format("Ghost")
+
+    def test_register_pushes_to_server(self, context, format_server):
+        fmt = context.register_layout("T", [("a", "integer", 4)])
+        assert format_server.lookup(fmt.format_id) == fmt
+
+
+class TestEncodeDecode:
+    def test_roundtrip_helper(self, context, simple_data_specs):
+        context.register_layout("SimpleData", simple_data_specs)
+        record = {"timestep": 3, "size": 2, "data": [1.0, 2.0]}
+        assert context.roundtrip("SimpleData", record) == record
+
+    def test_decode_reports_format(self, context):
+        context.register_layout("T", [("a", "integer", 4)])
+        out = context.decode(context.encode("T", {"a": 5}))
+        assert out.format_name == "T"
+        assert out.record == {"a": 5}
+        assert out.format_id == context.lookup_format("T").format_id
+
+    def test_encode_accepts_format_object(self, context):
+        fmt = context.register_layout("T", [("a", "integer", 4)])
+        wire = context.encode(fmt, {"a": 1})
+        assert context.decode(wire).record == {"a": 1}
+
+    def test_encoded_size_includes_header(self, context):
+        context.register_layout("T", [("a", "integer", 4)])
+        assert context.encoded_size("T", {"a": 1}) == 16 + \
+            context.lookup_format("T").field_list.record_length
+
+    def test_encoder_decoder_caching(self, context):
+        fmt = context.register_layout("T", [("a", "integer", 4)])
+        assert context.encoder_for(fmt) is context.encoder_for(fmt)
+        assert context.decoder_for(fmt) is context.decoder_for(fmt)
+
+    def test_truncated_wire_rejected(self, context):
+        context.register_layout("T", [("a", "integer", 4)])
+        wire = context.encode("T", {"a": 1})
+        with pytest.raises(DecodeError, match="truncated"):
+            context.decode(wire[:-2])
+
+    def test_unknown_wire_format(self, context):
+        other = IOContext(format_server=FormatServer())
+        other.register_layout("T", [("a", "integer", 4)])
+        wire = other.encode("T", {"a": 1})
+        with pytest.raises(UnknownFormatError):
+            context.decode(wire)
+
+
+class TestCrossContextViaServer:
+    def test_receiver_resolves_via_server(self, format_server):
+        sender = IOContext(architecture=SPARC_32,
+                           format_server=format_server)
+        receiver = IOContext(architecture=X86_64,
+                             format_server=format_server)
+        sender.register_layout("T", [("a", "integer", 4),
+                                     ("s", "string")])
+        wire = sender.encode("T", {"a": 7, "s": "hi"})
+        out = receiver.decode(wire)
+        assert out.record == {"a": 7, "s": "hi"}
+
+    def test_decode_as_receiver_view(self, format_server):
+        sender = IOContext(format_server=format_server)
+        receiver = IOContext(format_server=format_server)
+        # sender's format has an extra field the receiver predates
+        sender.register_layout("T", [("a", "integer", 4),
+                                     ("extra", "integer", 4)])
+        receiver.register_layout("T", [("a", "integer", 4),
+                                       ("newer", "float", 8)])
+        wire = sender.encode("T", {"a": 1, "extra": 2})
+        out = receiver.decode_as(wire, "T")
+        assert out == {"a": 1, "newer": 0.0}
+
+    def test_decode_as_identity_when_same(self, format_server):
+        ctx = IOContext(format_server=format_server)
+        ctx.register_layout("T", [("a", "integer", 4)])
+        wire = ctx.encode("T", {"a": 1})
+        assert ctx.decode_as(wire, "T") == {"a": 1}
+
+
+class TestUnregister:
+    def test_reregister_after_change(self, context):
+        context.register_layout("T", [("a", "integer", 4)])
+        with pytest.raises(FormatRegistrationError):
+            context.register_layout("T", [("a", "float", 4)])
+        context.unregister("T")
+        changed = context.register_layout("T", [("a", "float", 4)])
+        assert context.lookup_format("T") is changed
+
+    def test_unregister_unknown(self, context):
+        with pytest.raises(UnknownFormatError):
+            context.unregister("Ghost")
+
+    def test_old_wire_records_still_decode(self, context):
+        old = context.register_layout("T", [("a", "integer", 4)])
+        wire = context.encode("T", {"a": 5})
+        context.unregister("T")
+        context.register_layout("T", [("a", "integer", 4),
+                                      ("b", "float", 8)])
+        # the old record resolves by ID regardless of the re-binding
+        assert context.decode(wire).record == {"a": 5}
+        assert context.decode(wire).format_id == old.format_id

@@ -1,0 +1,126 @@
+"""Conversion planning between wire and native formats."""
+
+import pytest
+
+from repro.errors import ConversionError
+from repro.pbio.convert import default_value, plan_conversion
+from repro.pbio.format import IOFormat
+from repro.pbio.layout import field_list_for
+from repro.pbio.types import parse_field_type
+
+
+def fmt(name, specs, subformats=None):
+    return IOFormat(name, field_list_for(specs, subformats=subformats))
+
+
+class TestPlanning:
+    def test_identity_plan(self):
+        a = fmt("T", [("x", "integer", 4)])
+        plan = plan_conversion(a, a)
+        assert plan.is_identity
+        record = {"x": 1}
+        assert plan.apply(record) is record
+
+    def test_dropped_fields(self):
+        wire = fmt("T", [("x", "integer", 4), ("added", "float", 4)])
+        native = fmt("T", [("x", "integer", 4)])
+        plan = plan_conversion(wire, native)
+        assert plan.dropped == ("added",)
+        assert plan.apply({"x": 1, "added": 2.0}) == {"x": 1}
+
+    def test_defaulted_fields(self):
+        wire = fmt("T", [("x", "integer", 4)])
+        native = fmt("T", [("x", "integer", 4), ("label", "string"),
+                           ("w", "double", 8)])
+        plan = plan_conversion(wire, native)
+        out = plan.apply({"x": 5})
+        assert out == {"x": 5, "label": None, "w": 0.0}
+
+    def test_integer_widening_allowed(self):
+        wire = fmt("T", [("x", "integer", 2)])
+        native = fmt("T", [("x", "integer", 8)])
+        assert plan_conversion(wire, native).matched == ("x",)
+
+    def test_int_to_float_allowed(self):
+        wire = fmt("T", [("x", "integer", 4)])
+        native = fmt("T", [("x", "float", 8)])
+        plan_conversion(wire, native)
+
+    def test_float_to_int_rejected(self):
+        wire = fmt("T", [("x", "float", 4)])
+        native = fmt("T", [("x", "integer", 4)])
+        with pytest.raises(ConversionError, match="lossy"):
+            plan_conversion(wire, native)
+
+    def test_string_to_int_rejected(self):
+        wire = fmt("T", [("x", "string")])
+        native = fmt("T", [("x", "integer", 4)])
+        with pytest.raises(ConversionError):
+            plan_conversion(wire, native)
+
+    def test_fixed_array_size_mismatch_rejected(self):
+        wire = fmt("T", [("v", "float[4]", 4)])
+        native = fmt("T", [("v", "float[8]", 4)])
+        with pytest.raises(ConversionError, match="sizes differ"):
+            plan_conversion(wire, native)
+
+    def test_dynamic_to_fixed_rejected(self):
+        wire = fmt("T", [("n", "integer", 4), ("v", "float[n]", 4)])
+        native = fmt("T", [("n", "integer", 4), ("v", "float[4]", 4)])
+        with pytest.raises(ConversionError, match="dynamic"):
+            plan_conversion(wire, native)
+
+    def test_fixed_to_dynamic_allowed(self):
+        wire = fmt("T", [("v", "float[4]", 4)])
+        native = fmt("T", [("n", "integer", 4), ("v", "float[n]", 4)])
+        plan = plan_conversion(wire, native)
+        out = plan.apply({"v": [1.0] * 4})
+        assert out["v"] == [1.0] * 4
+        assert out["n"] == 0  # defaulted; sender had no n
+
+    def test_nested_compatibility_checked(self):
+        old_point = field_list_for([("x", "double", 8)])
+        new_point = field_list_for([("x", "string")])
+        wire = fmt("T", [("p", "P")], subformats={"P": old_point})
+        native = fmt("T", [("p", "P")], subformats={"P": new_point})
+        with pytest.raises(ConversionError):
+            plan_conversion(wire, native)
+
+    def test_subformat_vs_scalar_rejected(self):
+        point = field_list_for([("x", "double", 8)])
+        wire = fmt("T", [("p", "P")], subformats={"P": point})
+        native = fmt("T", [("p", "integer", 4)])
+        with pytest.raises(ConversionError):
+            plan_conversion(wire, native)
+
+
+class TestDefaults:
+    def test_scalar_defaults(self):
+        fl = field_list_for([("i", "integer", 4), ("f", "float", 4),
+                             ("b", "boolean", 1), ("c", "char", 1),
+                             ("s", "string")])
+        assert default_value(fl, parse_field_type("integer")) == 0
+        assert default_value(fl, parse_field_type("float")) == 0.0
+        assert default_value(fl, parse_field_type("boolean")) is False
+        assert default_value(fl, parse_field_type("string")) is None
+
+    def test_array_defaults(self):
+        fl = field_list_for([("v", "float[3]", 4)])
+        assert default_value(fl, parse_field_type("float[3]")) == \
+            [0.0, 0.0, 0.0]
+        assert default_value(fl, parse_field_type("float[*]")) == []
+        assert default_value(fl, parse_field_type("char[8]")) == ""
+
+    def test_nested_default(self):
+        point = field_list_for([("x", "double", 8), ("y", "double", 8)])
+        fl = field_list_for([("p", "Point")],
+                            subformats={"Point": point})
+        assert default_value(fl, parse_field_type("Point")) == \
+            {"x": 0.0, "y": 0.0}
+
+    def test_nested_fixed_array_default(self):
+        point = field_list_for([("x", "double", 8)])
+        fl = field_list_for([("ps", "Point[2]")],
+                            subformats={"Point": point})
+        assert default_value(fl, parse_field_type("Point[2]")) == \
+            [{"x": 0.0}, {"x": 0.0}]

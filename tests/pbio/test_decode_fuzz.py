@@ -1,0 +1,88 @@
+"""Decode fuzzing: corrupt wire bytes must fail with *typed* errors.
+
+A receiver on an open network sees garbage; the decoder's contract is
+that any byte sequence either decodes to a record or raises a
+``PBIOError`` subclass — never an unhandled ``struct.error``,
+``UnicodeDecodeError``, ``IndexError``, ``MemoryError`` or similar.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import PBIOError
+from repro.pbio.context import IOContext
+from repro.pbio.decode import RecordDecoder
+from repro.pbio.format import IOFormat
+from repro.pbio.format_server import FormatServer
+from repro.pbio.layout import field_list_for
+
+SPECS = [
+    ("tag", "char"), ("count", "integer", 4), ("label", "string"),
+    ("values", "float[count]", 4), ("blob", "char[*]", 1),
+    ("fixed", "integer[3]", 2),
+]
+RECORD = {"tag": "x", "label": "hello world", "values": [1.0, 2.0],
+          "blob": "payload", "fixed": [1, 2, 3]}
+
+
+def _wire() -> bytes:
+    ctx = IOContext(format_server=FormatServer())
+    ctx.register_layout("Fuzz", SPECS)
+    return ctx.encode("Fuzz", RECORD)
+
+
+_BASE_WIRE = _wire()
+
+
+def _fresh_context() -> IOContext:
+    ctx = IOContext(format_server=FormatServer())
+    ctx.register_layout("Fuzz", SPECS)
+    return ctx
+
+
+@settings(max_examples=300, deadline=None)
+@given(
+    position=st.integers(0, len(_BASE_WIRE) - 1),
+    value=st.integers(0, 255),
+)
+def test_single_byte_corruption_is_typed(position, value):
+    wire = bytearray(_BASE_WIRE)
+    wire[position] = value
+    ctx = _fresh_context()
+    try:
+        out = ctx.decode(bytes(wire))
+        assert isinstance(out.record, dict)
+    except PBIOError:
+        pass  # typed rejection is the other acceptable outcome
+
+
+@settings(max_examples=150, deadline=None)
+@given(data=st.binary(min_size=0, max_size=200))
+def test_random_bytes_are_typed(data):
+    ctx = _fresh_context()
+    try:
+        ctx.decode(data)
+    except PBIOError:
+        pass
+
+
+@settings(max_examples=150, deadline=None)
+@given(body=st.binary(min_size=0, max_size=120))
+def test_random_body_against_real_format(body):
+    fmt = IOFormat("Fuzz", field_list_for(SPECS))
+    decoder = RecordDecoder(fmt)
+    try:
+        record = decoder.decode(body)
+        assert isinstance(record, dict)
+    except PBIOError:
+        pass
+
+
+@settings(max_examples=100, deadline=None)
+@given(cut=st.integers(0, len(_BASE_WIRE)))
+def test_every_truncation_is_typed(cut):
+    ctx = _fresh_context()
+    try:
+        ctx.decode(_BASE_WIRE[:cut])
+    except PBIOError:
+        pass

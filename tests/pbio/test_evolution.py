@@ -1,0 +1,90 @@
+"""Restricted format evolution (paper section 5)."""
+
+from repro.pbio.context import IOContext
+from repro.pbio.evolution import can_evolve, evolution_report
+from repro.pbio.format import IOFormat
+from repro.pbio.format_server import FormatServer
+from repro.pbio.layout import field_list_for
+
+
+def fmt(name, specs):
+    return IOFormat(name, field_list_for(specs))
+
+
+V1 = [("timestep", "integer", 4), ("size", "integer", 4),
+      ("data", "float[size]", 4)]
+V2 = V1 + [("units", "string"), ("quality", "float", 8)]
+
+
+class TestEvolutionReports:
+    def test_added_fields_are_compatible(self):
+        report = evolution_report(fmt("S", V1), fmt("S", V2))
+        assert report.added == ("quality", "units")
+        assert report.removed == ()
+        assert report.compatible
+        assert can_evolve(fmt("S", V1), fmt("S", V2))
+
+    def test_removed_fields_break_compatibility(self):
+        report = evolution_report(fmt("S", V2), fmt("S", V1))
+        assert report.removed == ("quality", "units")
+        assert not report.compatible
+
+    def test_type_change_breaks_compatibility(self):
+        changed = [("timestep", "float", 4), ("size", "integer", 4),
+                   ("data", "float[size]", 4)]
+        report = evolution_report(fmt("S", V1), fmt("S", changed))
+        assert "timestep" in report.incompatible
+        assert not report.compatible
+
+    def test_widening_is_compatible(self):
+        widened = [("timestep", "integer", 8), ("size", "integer", 4),
+                   ("data", "float[size]", 4)]
+        assert can_evolve(fmt("S", V1), fmt("S", widened))
+
+    def test_identical_formats(self):
+        report = evolution_report(fmt("S", V1), fmt("S", V1))
+        assert report.added == () and report.removed == ()
+        assert report.compatible
+
+
+class TestRuntimeEvolution:
+    """The paper's scenario end to end: a new sender adds fields and
+    an old receiver keeps working."""
+
+    def test_old_receiver_new_sender(self):
+        server = FormatServer()
+        new_sender = IOContext(format_server=server)
+        old_receiver = IOContext(format_server=server)
+        new_sender.register_layout("S", V2)
+        old_receiver.register_layout("S_old", V1)
+        # receiver registered under its own name; convert explicitly
+        wire = new_sender.encode("S", {
+            "timestep": 1, "size": 2, "data": [1.0, 2.0],
+            "units": "m", "quality": 0.9})
+        # sender-view decode sees everything
+        assert old_receiver.decode(wire).record["units"] == "m"
+
+    def test_new_receiver_old_sender_gets_defaults(self):
+        server = FormatServer()
+        old_sender = IOContext(format_server=server)
+        new_receiver = IOContext(format_server=server)
+        old_sender.register_layout("S", V1)
+        new_receiver.register_layout("S", V2)
+        wire = old_sender.encode("S", {"timestep": 1, "size": 1,
+                                       "data": [5.0]})
+        out = new_receiver.decode_as(wire, "S")
+        assert out["data"] == [5.0]
+        assert out["units"] is None
+        assert out["quality"] == 0.0
+
+    def test_old_receiver_drops_new_fields(self):
+        server = FormatServer()
+        new_sender = IOContext(format_server=server)
+        old_receiver = IOContext(format_server=server)
+        new_sender.register_layout("S", V2)
+        old_receiver.register_layout("S", V1)
+        wire = new_sender.encode("S", {
+            "timestep": 1, "size": 1, "data": [5.0],
+            "units": "m", "quality": 0.9})
+        out = old_receiver.decode_as(wire, "S")
+        assert out == {"timestep": 1, "size": 1, "data": [5.0]}

@@ -1,0 +1,132 @@
+"""IOField / FieldList validation."""
+
+import pytest
+
+from repro.errors import LayoutError
+from repro.pbio.fields import FieldList, IOField
+from repro.pbio.layout import field_list_for
+from repro.pbio.machine import X86_64
+
+
+def fl(fields, **kw):
+    return FieldList(fields, architecture=X86_64, **kw)
+
+
+class TestIOField:
+    def test_valid(self):
+        f = IOField(name="x", type="integer", size=4, offset=0)
+        assert f.field_type.kind == "integer"
+
+    def test_empty_name(self):
+        with pytest.raises(LayoutError):
+            IOField(name="", type="integer", size=4, offset=0)
+
+    def test_bad_size(self):
+        with pytest.raises(LayoutError):
+            IOField(name="x", type="integer", size=0, offset=0)
+
+    def test_negative_offset(self):
+        with pytest.raises(LayoutError):
+            IOField(name="x", type="integer", size=4, offset=-4)
+
+
+class TestFieldListValidation:
+    def test_empty_rejected(self):
+        with pytest.raises(LayoutError):
+            fl([])
+
+    def test_duplicate_names(self):
+        with pytest.raises(LayoutError, match="duplicate"):
+            fl([IOField("x", "integer", 4, 0),
+                IOField("x", "integer", 4, 4)])
+
+    def test_overlap_rejected(self):
+        with pytest.raises(LayoutError, match="overlaps"):
+            fl([IOField("a", "integer", 4, 0),
+                IOField("b", "integer", 4, 2)])
+
+    def test_field_beyond_record_length(self):
+        with pytest.raises(LayoutError, match="beyond"):
+            fl([IOField("a", "integer", 4, 0)], record_length=2)
+
+    def test_gap_allowed_as_padding(self):
+        lst = fl([IOField("c", "char", 1, 0),
+                  IOField("i", "integer", 4, 4)])
+        assert lst.record_length == 8
+
+    def test_float_size_restricted(self):
+        with pytest.raises(LayoutError, match="float size"):
+            fl([IOField("f", "float", 2, 0)])
+
+    def test_integer_size_restricted(self):
+        with pytest.raises(LayoutError, match="integer size"):
+            fl([IOField("i", "integer", 3, 0)])
+
+    def test_char_must_be_one_byte(self):
+        with pytest.raises(LayoutError):
+            fl([IOField("c", "char", 2, 0)])
+
+    def test_string_must_be_pointer_sized(self):
+        with pytest.raises(LayoutError, match="pointer"):
+            fl([IOField("s", "string", 4, 0)])
+        fl([IOField("s", "string", 8, 0)])  # 8 = x86_64 pointer
+
+    def test_sizing_field_must_exist(self):
+        with pytest.raises(LayoutError, match="sizing field"):
+            fl([IOField("v", "float[count]", 4, 0)])
+
+    def test_sizing_field_must_be_integer(self):
+        with pytest.raises(LayoutError, match="scalar integer"):
+            fl([IOField("count", "float", 4, 0),
+                IOField("v", "float[count]", 4, 8)])
+
+    def test_unknown_subformat_rejected(self):
+        with pytest.raises(LayoutError, match="unknown subformat"):
+            fl([IOField("p", "Ghost", 8, 0)])
+
+
+class TestFieldListAccess:
+    def test_ordering_by_offset(self):
+        lst = fl([IOField("b", "integer", 4, 4),
+                  IOField("a", "integer", 4, 0)])
+        assert lst.names() == ("a", "b")
+
+    def test_contains_and_getitem(self):
+        lst = fl([IOField("a", "integer", 4, 0)])
+        assert "a" in lst and "z" not in lst
+        assert lst["a"].offset == 0
+        with pytest.raises(LayoutError):
+            lst["z"]
+
+    def test_len_and_iter(self):
+        lst = fl([IOField("a", "integer", 4, 0),
+                  IOField("b", "integer", 4, 4)])
+        assert len(lst) == 2
+        assert [f.name for f in lst] == ["a", "b"]
+
+
+class TestDynamicContent:
+    def test_static_format(self):
+        lst = field_list_for([("a", "integer", 4), ("b", "float[4]", 4)])
+        assert not lst.has_dynamic_content()
+
+    def test_string_is_dynamic(self):
+        lst = field_list_for([("s", "string")])
+        assert lst.has_dynamic_content()
+
+    def test_dynamic_array_is_dynamic(self):
+        lst = field_list_for([("n", "integer", 4),
+                              ("v", "float[n]", 4)])
+        assert lst.has_dynamic_content()
+
+    def test_nested_dynamic_detected(self):
+        inner = field_list_for([("s", "string")])
+        outer = field_list_for([("i", "Inner")],
+                               subformats={"Inner": inner})
+        assert outer.has_dynamic_content()
+
+    def test_nested_static(self):
+        inner = field_list_for([("x", "double", 8)])
+        outer = field_list_for([("i", "Inner")],
+                               subformats={"Inner": inner})
+        assert not outer.has_dynamic_content()

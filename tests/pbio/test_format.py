@@ -1,0 +1,126 @@
+"""IOFormat identity and canonical metadata round-trips."""
+
+import pytest
+
+from repro.errors import (
+    FormatRegistrationError, UnknownFormatError,
+)
+from repro.pbio.format import (
+    FormatID, IOFormat, deserialize_format, serialize_format,
+)
+from repro.pbio.layout import field_list_for
+from repro.pbio.machine import SPARC_32, X86_64
+
+
+def make_format(name="T", arch=X86_64, enums=None):
+    fl = field_list_for([
+        ("label", "string"), ("n", "integer", 4),
+        ("values", "float[n]", 4), ("mode", "enumeration", 4),
+    ], architecture=arch)
+    return IOFormat(name, fl, enums or {"mode": ("fast", "safe")})
+
+
+class TestFormatID:
+    def test_roundtrip(self):
+        fid = FormatID(0x1234_5678_9ABC_DEF0)
+        assert FormatID.from_bytes(fid.to_bytes()) == fid
+
+    def test_range_check(self):
+        with pytest.raises(FormatRegistrationError):
+            FormatID(-1)
+        with pytest.raises(FormatRegistrationError):
+            FormatID(1 << 64)
+
+    def test_bad_byte_length(self):
+        with pytest.raises(UnknownFormatError):
+            FormatID.from_bytes(b"\x00" * 7)
+
+    def test_string_form(self):
+        assert str(FormatID(0xAB)) == "00000000000000ab"
+
+
+class TestIdentity:
+    def test_same_metadata_same_id(self):
+        assert make_format().format_id == make_format().format_id
+
+    def test_different_name_different_id(self):
+        assert make_format("A").format_id != make_format("B").format_id
+
+    def test_different_arch_different_id(self):
+        assert make_format(arch=X86_64).format_id != \
+            make_format(arch=SPARC_32).format_id
+
+    def test_different_enums_different_id(self):
+        a = make_format(enums={"mode": ("fast", "safe")})
+        b = make_format(enums={"mode": ("safe", "fast")})
+        assert a.format_id != b.format_id
+
+    def test_equality_and_hash(self):
+        assert make_format() == make_format()
+        assert len({make_format(), make_format()}) == 1
+
+
+class TestMetadataRoundtrip:
+    def test_roundtrip_preserves_everything(self):
+        original = make_format()
+        data = serialize_format(original)
+        back = deserialize_format(data)
+        assert back == original
+        assert back.name == original.name
+        assert back.enums == original.enums
+        assert back.architecture.byte_order == "little"
+        assert [(f.name, f.type, f.size, f.offset)
+                for f in back.field_list] == \
+            [(f.name, f.type, f.size, f.offset)
+             for f in original.field_list]
+
+    def test_roundtrip_with_subformats(self):
+        point = field_list_for([("x", "double", 8), ("y", "double", 8)])
+        fl = field_list_for([("id", "integer", 4), ("p", "Point"),
+                             ("trail", "Point[*]")],
+                            subformats={"Point": point})
+        original = IOFormat("Track", fl)
+        back = deserialize_format(serialize_format(original))
+        assert back == original
+        assert "Point" in back.field_list.subformats
+
+    def test_garbage_rejected(self):
+        with pytest.raises(UnknownFormatError):
+            deserialize_format(b"not metadata")
+
+    def test_non_utf8_rejected(self):
+        with pytest.raises(UnknownFormatError):
+            deserialize_format(b"\xff\xfe\x00")
+
+    def test_truncated_rejected(self):
+        data = serialize_format(make_format())
+        with pytest.raises(UnknownFormatError):
+            deserialize_format(data[: len(data) // 2])
+
+    def test_corrupt_numeric_rejected(self):
+        data = serialize_format(make_format()).decode()
+        data = data.replace("record\t", "record\tbogus-", 1)
+        with pytest.raises(UnknownFormatError):
+            deserialize_format(data.encode())
+
+
+class TestConstruction:
+    def test_tab_in_name_rejected(self):
+        fl = field_list_for([("a", "integer", 4)])
+        with pytest.raises(FormatRegistrationError):
+            IOFormat("bad\tname", fl)
+
+    def test_enum_field_requires_table(self):
+        fl = field_list_for([("mode", "enumeration", 4)])
+        with pytest.raises(FormatRegistrationError, match="value"):
+            IOFormat("T", fl)
+
+    def test_enum_table_for_unknown_field(self):
+        fl = field_list_for([("a", "integer", 4)])
+        with pytest.raises(FormatRegistrationError, match="unknown"):
+            IOFormat("T", fl, {"ghost": ("x",)})
+
+    def test_empty_enum_table(self):
+        fl = field_list_for([("mode", "enumeration", 4)])
+        with pytest.raises(FormatRegistrationError, match="empty"):
+            IOFormat("T", fl, {"mode": ()})

@@ -1,0 +1,146 @@
+"""PBIO data files."""
+
+import io
+
+import pytest
+
+from repro.errors import DecodeError
+from repro.pbio.context import IOContext
+from repro.pbio.format_server import FormatServer
+from repro.pbio.iofile import IOFileReader, IOFileWriter, scan_file
+from repro.pbio.machine import SPARC_32
+
+
+def writer_context(arch=None):
+    ctx = IOContext(format_server=FormatServer(),
+                    **({"architecture": arch} if arch else {}))
+    ctx.register_layout("SimpleData", [
+        ("timestep", "integer", 4), ("size", "integer", 4),
+        ("data", "float[size]", 4)])
+    ctx.register_layout("Note", [("text", "string")])
+    return ctx
+
+
+class TestRoundTrip:
+    def test_write_read_single_format(self, tmp_path):
+        path = tmp_path / "data.pbio"
+        ctx = writer_context()
+        with IOFileWriter(path, ctx) as writer:
+            for t in range(5):
+                writer.write("SimpleData",
+                             {"timestep": t, "data": [float(t)] * 3})
+        with IOFileReader(path) as reader:
+            records = reader.read_all()
+        assert len(records) == 5
+        assert records[2].format_name == "SimpleData"
+        assert records[2].record["data"] == [2.0, 2.0, 2.0]
+
+    def test_mixed_formats_and_filter(self, tmp_path):
+        path = tmp_path / "mixed.pbio"
+        ctx = writer_context()
+        with IOFileWriter(path, ctx) as writer:
+            writer.write("Note", {"text": "begin"})
+            writer.write("SimpleData", {"timestep": 1, "data": []})
+            writer.write("Note", {"text": "end"})
+        with IOFileReader(path) as reader:
+            notes = reader.read_all("Note")
+        assert [n.record["text"] for n in notes] == ["begin", "end"]
+
+    def test_metadata_written_once_per_format(self, tmp_path):
+        path = tmp_path / "meta.pbio"
+        ctx = writer_context()
+        with IOFileWriter(path, ctx) as writer:
+            for t in range(10):
+                writer.write("SimpleData", {"timestep": t, "data": []})
+        # only one metadata chunk despite ten records
+        summary = scan_file(path)
+        assert summary["records"] == {"SimpleData": 10}
+
+    def test_self_contained_no_prior_registration(self, tmp_path):
+        path = tmp_path / "self.pbio"
+        with IOFileWriter(path, writer_context()) as writer:
+            writer.write("Note", {"text": "portable"})
+        # a completely fresh reader context decodes it
+        with IOFileReader(path) as reader:
+            (record,) = reader.read_all()
+        assert record.record == {"text": "portable"}
+        assert "Note" in reader.formats_seen
+
+    def test_cross_architecture_file(self, tmp_path):
+        path = tmp_path / "sparc.pbio"
+        ctx = writer_context(arch=SPARC_32)
+        with IOFileWriter(path, ctx) as writer:
+            writer.write("SimpleData",
+                         {"timestep": 9, "data": [1.5, 2.5]})
+        with IOFileReader(path) as reader:
+            (record,) = reader.read_all()
+        assert record.record == {"timestep": 9, "size": 2,
+                                 "data": [1.5, 2.5]}
+
+    def test_in_memory_streams(self):
+        buffer = io.BytesIO()
+        with IOFileWriter(buffer, writer_context()) as writer:
+            writer.write("Note", {"text": "ram"})
+        buffer.seek(0)
+        with IOFileReader(buffer) as reader:
+            (record,) = reader.read_all()
+        assert record.record["text"] == "ram"
+
+    def test_iteration_protocol(self, tmp_path):
+        path = tmp_path / "iter.pbio"
+        ctx = writer_context()
+        with IOFileWriter(path, ctx) as writer:
+            for t in range(3):
+                writer.write("SimpleData", {"timestep": t, "data": []})
+        with IOFileReader(path) as reader:
+            timesteps = [r.record["timestep"] for r in reader]
+        assert timesteps == [0, 1, 2]
+        assert reader.records_read == 3
+
+    def test_empty_file_has_no_records(self, tmp_path):
+        path = tmp_path / "empty.pbio"
+        with IOFileWriter(path, writer_context()):
+            pass
+        with IOFileReader(path) as reader:
+            assert reader.read() is None
+
+
+class TestFailureModes:
+    def test_not_a_pbio_file(self, tmp_path):
+        path = tmp_path / "junk.bin"
+        path.write_bytes(b"definitely not pbio data")
+        with pytest.raises(DecodeError, match="magic"):
+            IOFileReader(path)
+
+    def test_truncated_header(self, tmp_path):
+        path = tmp_path / "short.bin"
+        path.write_bytes(b"PBIO")
+        with pytest.raises(DecodeError, match="truncated"):
+            IOFileReader(path)
+
+    def test_truncated_chunk(self, tmp_path):
+        path = tmp_path / "cut.pbio"
+        ctx = writer_context()
+        with IOFileWriter(path, ctx) as writer:
+            writer.write("Note", {"text": "whole"})
+        data = path.read_bytes()
+        path.write_bytes(data[:-4])
+        with IOFileReader(path) as reader:
+            with pytest.raises(DecodeError, match="truncated"):
+                reader.read_all()
+
+    def test_unknown_chunk_type(self, tmp_path):
+        path = tmp_path / "weird.pbio"
+        with IOFileWriter(path, writer_context()):
+            pass
+        with open(path, "ab") as stream:
+            stream.write(bytes([9]) + (0).to_bytes(4, "big"))
+        with IOFileReader(path) as reader:
+            with pytest.raises(DecodeError, match="unknown chunk"):
+                reader.read()
+
+    def test_unregistered_format_name_rejected_on_write(self, tmp_path):
+        path = tmp_path / "x.pbio"
+        with IOFileWriter(path, writer_context()) as writer:
+            with pytest.raises(Exception):
+                writer.write("Ghost", {})

@@ -1,0 +1,173 @@
+"""C-structure layout computation, including property-based invariants."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import LayoutError
+from repro.pbio.layout import compute_layout, field_list_for
+from repro.pbio.machine import SPARC_32, SPARC_V9, X86_32, X86_64
+
+ARCHS = (SPARC_32, SPARC_V9, X86_32, X86_64)
+
+
+class TestScalarLayout:
+    def test_packed_when_aligned(self):
+        fl = field_list_for([("a", "integer", 4), ("b", "integer", 4)],
+                            architecture=X86_64)
+        assert [f.offset for f in fl] == [0, 4]
+        assert fl.record_length == 8
+
+    def test_padding_before_wider_member(self):
+        fl = field_list_for([("c", "char"), ("i", "integer", 4)],
+                            architecture=X86_64)
+        assert fl["i"].offset == 4
+        assert fl.record_length == 8
+
+    def test_trailing_padding(self):
+        fl = field_list_for([("i", "integer", 4), ("c", "char")],
+                            architecture=X86_64)
+        assert fl.record_length == 8  # rounded to int alignment
+
+    def test_double_alignment_differs_by_abi(self):
+        specs = [("c", "char"), ("d", "double", 8)]
+        assert field_list_for(specs,
+                              architecture=SPARC_32)["d"].offset == 8
+        assert field_list_for(specs,
+                              architecture=X86_32)["d"].offset == 4
+
+    def test_fig2_asdoff_layout_ilp32(self):
+        # the paper's Fig. 2 struct on an ILP32 machine
+        fl = field_list_for([
+            ("centerID", "string"), ("airline", "string"),
+            ("flight", "integer", 4), ("off", "unsigned integer", 4),
+        ], architecture=SPARC_32)
+        assert [f.offset for f in fl] == [0, 4, 8, 12]
+        assert fl.record_length == 16
+
+    def test_simple_data_sizes(self):
+        # {int timestep; int size; float *data;}: 12 bytes ILP32,
+        # 16 bytes LP64 (pointer alignment)
+        specs = [("timestep", "integer", 4), ("size", "integer", 4),
+                 ("data", "float[size]", 4)]
+        assert field_list_for(specs,
+                              architecture=SPARC_32).record_length == 12
+        assert field_list_for(specs,
+                              architecture=X86_64).record_length == 16
+
+
+class TestArrayLayout:
+    def test_fixed_array_inline(self):
+        fl = field_list_for([("v", "float[8]", 4), ("t", "integer", 4)],
+                            architecture=X86_64)
+        assert fl["t"].offset == 32
+        assert fl.record_length == 36
+
+    def test_dynamic_array_is_pointer(self):
+        fl = field_list_for([("n", "integer", 4), ("v", "float[n]", 4)],
+                            architecture=X86_64)
+        assert fl["v"].offset == 8  # pointer-aligned
+        assert fl.record_length == 16
+
+    def test_char_array(self):
+        fl = field_list_for([("name", "char[13]"), ("x", "integer", 4)],
+                            architecture=X86_64)
+        assert fl["x"].offset == 16
+
+
+class TestNestedLayout:
+    def test_subformat_inline(self):
+        point = field_list_for([("x", "double", 8), ("y", "double", 8)],
+                               architecture=X86_64)
+        fl = field_list_for([("id", "integer", 4), ("p", "Point")],
+                            architecture=X86_64,
+                            subformats={"Point": point})
+        assert fl["p"].offset == 8
+        assert fl.record_length == 24
+
+    def test_subformat_array(self):
+        point = field_list_for([("x", "double", 8), ("y", "double", 8)],
+                               architecture=X86_64)
+        fl = field_list_for([("ps", "Point[3]")], architecture=X86_64,
+                            subformats={"Point": point})
+        assert fl.record_length == 48
+
+    def test_subformat_arch_mismatch_rejected(self):
+        point = field_list_for([("x", "double", 8)],
+                               architecture=X86_64)
+        with pytest.raises(LayoutError, match="laid out for"):
+            field_list_for([("p", "Point")], architecture=SPARC_32,
+                           subformats={"Point": point})
+
+    def test_unknown_subformat(self):
+        with pytest.raises(LayoutError, match="unknown subformat"):
+            field_list_for([("p", "Ghost")], architecture=X86_64)
+
+
+class TestSpecErrors:
+    def test_bad_spec_shape(self):
+        with pytest.raises(LayoutError):
+            compute_layout([("just-a-name",)])
+
+
+# -- property-based invariants ---------------------------------------------------
+
+_atomic = st.sampled_from([
+    ("integer", 1), ("integer", 2), ("integer", 4), ("integer", 8),
+    ("unsigned integer", 4), ("float", 4), ("float", 8),
+    ("char", 1), ("boolean", 1), ("string", None),
+])
+
+
+@st.composite
+def _spec_lists(draw):
+    n = draw(st.integers(1, 10))
+    specs = []
+    for i in range(n):
+        base, size = draw(_atomic)
+        if size is None:
+            specs.append((f"f{i}", base))
+        else:
+            specs.append((f"f{i}", base, size))
+    return specs
+
+
+@given(_spec_lists(), st.sampled_from(ARCHS))
+def test_offsets_strictly_increase_and_never_overlap(specs, arch):
+    fl = field_list_for(specs, architecture=arch)
+    end = 0
+    for field in fl:
+        assert field.offset >= end
+        end = field.offset + fl.inline_extent(field)
+    assert fl.record_length >= end
+
+
+@given(_spec_lists(), st.sampled_from(ARCHS))
+def test_every_field_is_naturally_aligned(specs, arch):
+    layout = compute_layout(specs, architecture=arch)
+    fl = layout.field_list
+    for field in fl:
+        ftype = fl.field_type(field.name)
+        if ftype.is_inline:
+            align = min(field.size, arch.max_alignment)
+        else:
+            align = arch.alignof("pointer")
+        assert field.offset % align == 0
+    assert fl.record_length % layout.alignment == 0
+
+
+@given(_spec_lists(), st.sampled_from(ARCHS))
+def test_layout_is_deterministic(specs, arch):
+    a = field_list_for(specs, architecture=arch)
+    b = field_list_for(specs, architecture=arch)
+    assert [(f.name, f.offset, f.size) for f in a] == \
+        [(f.name, f.offset, f.size) for f in b]
+    assert a.record_length == b.record_length
+
+
+@given(_spec_lists())
+def test_ilp32_never_larger_than_lp64(specs):
+    # pointers and longs only shrink going to ILP32; with identical
+    # explicit sizes the ILP32 layout can never exceed LP64's.
+    small = field_list_for(specs, architecture=X86_32).record_length
+    large = field_list_for(specs, architecture=X86_64).record_length
+    assert small <= large

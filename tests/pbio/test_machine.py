@@ -1,0 +1,90 @@
+"""Architecture models."""
+
+import pytest
+
+from repro.errors import LayoutError
+from repro.pbio.machine import (
+    Architecture, NATIVE, SPARC_32, SPARC_V9, X86_32, X86_64,
+    all_architectures, architecture_by_name, register_architecture,
+)
+
+
+class TestModels:
+    def test_ilp32_sizes(self):
+        for arch in (SPARC_32, X86_32):
+            assert arch.sizeof("int") == 4
+            assert arch.sizeof("long") == 4
+            assert arch.sizeof("pointer") == 4
+            assert arch.sizeof("long_long") == 8
+
+    def test_lp64_sizes(self):
+        for arch in (SPARC_V9, X86_64):
+            assert arch.sizeof("long") == 8
+            assert arch.sizeof("pointer") == 8
+            assert arch.sizeof("int") == 4
+
+    def test_endianness(self):
+        assert SPARC_32.byte_order == "big"
+        assert SPARC_V9.byte_order == "big"
+        assert X86_32.byte_order == "little"
+        assert X86_64.byte_order == "little"
+
+    def test_struct_prefix(self):
+        assert SPARC_32.struct_byte_order_char == ">"
+        assert X86_64.struct_byte_order_char == "<"
+
+    def test_ia32_alignment_cap(self):
+        # classic IA-32 quirk: 8-byte doubles align to 4 in structs
+        assert X86_32.alignof("double") == 4
+        assert SPARC_32.alignof("double") == 8
+
+    def test_native_is_lp64(self):
+        assert NATIVE.sizeof("pointer") == 8
+
+
+class TestIntSizeFor:
+    def test_default_is_int(self):
+        assert X86_64.int_size_for(None) == 4
+
+    @pytest.mark.parametrize("bits,size", [
+        (8, 1), (16, 2), (32, 4), (64, 8),
+    ])
+    def test_width_selection(self, bits, size):
+        assert X86_64.int_size_for(bits) == size
+
+    def test_odd_widths_round_up(self):
+        assert X86_64.int_size_for(12) == 2
+        assert X86_64.int_size_for(33) == 8
+
+
+class TestRegistry:
+    def test_lookup(self):
+        assert architecture_by_name("sparc-solaris") is SPARC_32
+
+    def test_unknown(self):
+        with pytest.raises(LayoutError, match="unknown architecture"):
+            architecture_by_name("pdp-11")
+
+    def test_register_custom(self):
+        custom = Architecture(name="test-weird", byte_order="big",
+                              sizes=dict(X86_64.sizes),
+                              max_alignment=2)
+        register_architecture(custom)
+        assert architecture_by_name("test-weird") is custom
+        assert custom in all_architectures()
+
+
+class TestValidation:
+    def test_bad_byte_order(self):
+        with pytest.raises(LayoutError):
+            Architecture(name="x", byte_order="middle",
+                         sizes=dict(X86_64.sizes))
+
+    def test_missing_sizes(self):
+        with pytest.raises(LayoutError, match="missing sizes"):
+            Architecture(name="x", byte_order="big",
+                         sizes={"int": 4})
+
+    def test_unknown_atomic_sizeof(self):
+        with pytest.raises(LayoutError):
+            X86_64.sizeof("int128")

@@ -1,0 +1,95 @@
+"""Property-based invariants on format metadata and conversion."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.pbio.convert import plan_conversion
+from repro.pbio.format import IOFormat, deserialize_format, serialize_format
+from repro.pbio.layout import field_list_for
+from repro.pbio.machine import SPARC_32, SPARC_V9, X86_32, X86_64
+
+from tests.strategies import format_case
+
+ARCHS = (SPARC_32, SPARC_V9, X86_32, X86_64)
+
+
+@settings(max_examples=60, deadline=None)
+@given(case=format_case(), arch=st.sampled_from(ARCHS))
+def test_metadata_roundtrips_canonically(case, arch):
+    """serialize -> deserialize is the identity on formats, and the
+    canonical bytes (hence the format ID) are a fixpoint."""
+    specs, _ = case
+    fmt = IOFormat("P", field_list_for(specs, architecture=arch))
+    data = serialize_format(fmt)
+    back = deserialize_format(data)
+    assert back == fmt
+    assert serialize_format(back) == data
+    assert back.format_id == fmt.format_id
+
+
+@settings(max_examples=60, deadline=None)
+@given(case=format_case(), arch_a=st.sampled_from(ARCHS),
+       arch_b=st.sampled_from(ARCHS))
+def test_format_id_depends_only_on_metadata(case, arch_a, arch_b):
+    """Same specs + same architecture -> same ID; different
+    architectures -> different IDs (layout differs or at least the
+    architecture stanza does)."""
+    specs, _ = case
+    a1 = IOFormat("P", field_list_for(specs, architecture=arch_a))
+    a2 = IOFormat("P", field_list_for(specs, architecture=arch_a))
+    b = IOFormat("P", field_list_for(specs, architecture=arch_b))
+    assert a1.format_id == a2.format_id
+    if arch_a is not arch_b:
+        assert a1.format_id != b.format_id
+
+
+@settings(max_examples=60, deadline=None)
+@given(case=format_case(min_fields=2), data=st.data())
+def test_conversion_plan_projects_exactly_native_fields(case, data):
+    """For any wire format and any subset-native format, applying the
+    plan yields exactly the native field set, with wire values where
+    shared and defaults where not."""
+    specs, record_strategy = case
+    record = data.draw(record_strategy)
+    keep = data.draw(st.sets(
+        st.sampled_from([s[0] for s in specs]), min_size=1))
+    native_specs = [s for s in specs if s[0] in keep]
+    # sizing fields must survive with their arrays
+    names = {s[0] for s in native_specs}
+    for s in specs:
+        type_string = s[1]
+        if "[" in type_string and s[0] in names:
+            dim = type_string[type_string.index("[") + 1:
+                              type_string.index("]")]
+            if dim not in ("", "*") and not dim.isdigit():
+                if dim not in names:
+                    native_specs = [t for t in specs
+                                    if t[0] in names | {dim}]
+                    names.add(dim)
+
+    wire = IOFormat("P", field_list_for(specs))
+    native = IOFormat("P", field_list_for(native_specs))
+    plan = plan_conversion(wire, native)
+    out = plan.apply(record)
+    assert set(out) == {s[0] for s in native_specs}
+    for name in out:
+        if name in record:
+            assert out[name] == record[name]
+
+
+@settings(max_examples=40, deadline=None)
+@given(case=format_case(), extra=format_case(max_fields=2),
+       data=st.data())
+def test_evolution_superset_always_plans(case, extra, data):
+    """Adding fresh fields to a format never breaks conversion to the
+    original (the restricted-evolution guarantee), regardless of the
+    added fields' types."""
+    specs, _ = case
+    extra_specs, _ = extra
+    taken = {s[0] for s in specs}
+    added = [s for s in extra_specs if s[0] not in taken]
+    evolved_specs = specs + added
+    old = IOFormat("P", field_list_for(specs))
+    new = IOFormat("P", field_list_for(evolved_specs))
+    plan = plan_conversion(new, old)  # new sender -> old receiver
+    assert set(plan.dropped) == {s[0] for s in added}
+    assert not plan.defaulted

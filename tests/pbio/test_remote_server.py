@@ -1,0 +1,100 @@
+"""The networked format-server service."""
+
+import pytest
+
+from repro.errors import UnknownFormatError
+from repro.pbio.context import IOContext
+from repro.pbio.format import FormatID, IOFormat
+from repro.pbio.format_server import FormatServer
+from repro.pbio.layout import field_list_for
+from repro.pbio.remote_server import (
+    FormatServerService, RemoteFormatServer,
+)
+
+
+def make_format(name="T"):
+    return IOFormat(name, field_list_for(
+        [("a", "integer", 4), ("s", "string")]))
+
+
+@pytest.fixture
+def service():
+    with FormatServerService() as svc:
+        yield svc
+
+
+@pytest.fixture
+def remote(service):
+    client = RemoteFormatServer.connect(service.host, service.port)
+    yield client
+    client.close()
+
+
+class TestProtocol:
+    def test_register_and_lookup(self, service, remote):
+        fid = remote.register(make_format())
+        assert service.backing.lookup(fid) == make_format()
+        assert remote.lookup(fid) == make_format()
+
+    def test_lookup_from_second_client(self, service, remote):
+        fid = remote.register(make_format())
+        other = RemoteFormatServer.connect(service.host, service.port)
+        try:
+            assert other.lookup(fid) == make_format()
+        finally:
+            other.close()
+
+    def test_unknown_id_errors(self, remote):
+        with pytest.raises(UnknownFormatError):
+            remote.lookup(FormatID(0xDEAD))
+
+    def test_lookup_cached_after_first_fetch(self, service, remote):
+        fid = remote.register(make_format())
+        other = RemoteFormatServer.connect(service.host, service.port)
+        try:
+            other.lookup(fid)
+            other.lookup(fid)
+            other.lookup(fid)
+            assert other.network_lookups == 1
+        finally:
+            other.close()
+
+    def test_register_idempotent_without_network(self, remote):
+        remote.register(make_format())
+        remote.register(make_format())
+        assert remote.network_registrations == 1
+
+    def test_import_bytes(self, remote):
+        canonical = make_format().canonical_bytes()
+        fid = remote.import_bytes(canonical)
+        assert fid == make_format().format_id
+
+
+class TestContextIntegration:
+    def test_contexts_share_formats_through_the_service(self, service):
+        sender_server = RemoteFormatServer.connect(service.host,
+                                                   service.port)
+        receiver_server = RemoteFormatServer.connect(service.host,
+                                                     service.port)
+        try:
+            sender = IOContext(format_server=sender_server)
+            receiver = IOContext(format_server=receiver_server)
+            sender.register_layout("Msg", [("x", "integer", 4),
+                                           ("s", "string")])
+            wire = sender.encode("Msg", {"x": 7, "s": "over the net"})
+            out = receiver.decode(wire)
+            assert out.record == {"x": 7, "s": "over the net"}
+            assert receiver_server.network_lookups == 1
+        finally:
+            sender_server.close()
+            receiver_server.close()
+
+    def test_service_backed_by_existing_server(self):
+        backing = FormatServer()
+        fid = backing.register(make_format())
+        with FormatServerService(backing) as svc:
+            client = RemoteFormatServer.connect(svc.host, svc.port)
+            try:
+                assert client.lookup(fid) == make_format()
+            finally:
+                client.close()

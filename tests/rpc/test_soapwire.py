@@ -1,0 +1,93 @@
+"""SOAP-style envelopes."""
+
+import pytest
+
+from repro.errors import WireFormatError
+from repro.rpc import RPCClient, RPCFault, RPCServer, SOAPCodec
+from repro.rpc.soapwire import SOAP_NS
+from repro.transport.inproc import channel_pair
+from repro.xmlcore.parser import parse
+
+
+class TestEnvelopes:
+    def test_call_shape(self):
+        codec = SOAPCodec()
+        data = codec.encode_call("stats", {"count": 2,
+                                           "values": [1.5, 2.5]})
+        root = parse(data.decode()).root
+        assert root.local_name == "Envelope"
+        assert root.namespace == SOAP_NS
+        body = root.find("Body", namespace=SOAP_NS)
+        operation = next(iter(body))
+        assert operation.local_name == "stats"
+        assert len(operation.find_all("values")) == 2
+
+    def test_call_roundtrip(self):
+        codec = SOAPCodec(array_fields={"values"})
+        data = codec.encode_call("stats", {"count": 2,
+                                           "values": [1.5, 2.5],
+                                           "label": "x"})
+        method, params = codec.decode_call(data)
+        assert method == "stats"
+        assert params == {"count": 2, "values": [1.5, 2.5],
+                          "label": "x"}
+
+    def test_single_element_array_fixed(self):
+        codec = SOAPCodec(array_fields={"values"})
+        data = codec.encode_call("m", {"values": [7.0]})
+        _, params = codec.decode_call(data)
+        assert params["values"] == [7.0]
+
+    def test_nested_struct(self):
+        codec = SOAPCodec()
+        record = {"origin": {"x": 1.0, "y": 2.0}, "id": 3}
+        data = codec.encode_call("track", record)
+        _, params = codec.decode_call(data)
+        assert params == record
+
+    def test_reply_roundtrip(self):
+        codec = SOAPCodec()
+        data = codec.encode_reply("stats", {"mean": 2.0})
+        assert codec.decode_reply("stats", data) == {"mean": 2.0}
+
+    def test_reply_method_mismatch(self):
+        codec = SOAPCodec()
+        data = codec.encode_reply("stats", {"mean": 2.0})
+        with pytest.raises(WireFormatError, match="expected"):
+            codec.decode_reply("other", data)
+
+    def test_fault_roundtrip(self):
+        codec = SOAPCodec()
+        data = codec.encode_fault(3, "went wrong")
+        out = codec.decode_reply("anything", data)
+        assert out["__fault__"]["faultCode"] == 3
+        assert out["__fault__"]["faultString"] == "went wrong"
+
+    def test_booleans_and_strings(self):
+        codec = SOAPCodec()
+        record = {"flag": True, "off": False, "name": "word",
+                  "num_like": "12abc"}
+        _, params = codec.decode_call(codec.encode_call("m", record))
+        assert params == record
+
+    def test_not_an_envelope(self):
+        with pytest.raises(WireFormatError, match="envelope"):
+            SOAPCodec().decode_call(b"<notsoap/>")
+
+
+class TestSOAPEndpoints:
+    def test_full_call_over_channel(self):
+        client_ch, server_ch = channel_pair()
+        server = RPCServer(SOAPCodec(array_fields={"values"}),
+                           server_ch)
+        server.register("stats", lambda p: {
+            "mean": sum(p["values"]) / len(p["values"])})
+        thread = server.serve_in_thread()
+        client = RPCClient(SOAPCodec(array_fields={"values"}),
+                           client_ch)
+        assert client.call("stats", {"values": [2.0, 4.0]}) == \
+            {"mean": 3.0}
+        with pytest.raises(RPCFault):
+            client.call("missing", {"values": [1.0]})
+        client.close()
+        thread.join(5)

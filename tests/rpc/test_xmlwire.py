@@ -1,0 +1,86 @@
+"""XML-RPC message encoding."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import WireFormatError
+from repro.rpc.xmlwire import (
+    decode_call, decode_response, encode_call, encode_fault,
+    encode_response,
+)
+
+
+class TestCalls:
+    def test_roundtrip_scalars(self):
+        method, params = decode_call(encode_call(
+            "compute", [7, 2.5, "text", True, None]))
+        assert method == "compute"
+        assert params == [7, 2.5, "text", True, None]
+
+    def test_roundtrip_struct_and_array(self):
+        params = [{"name": "x", "values": [1, 2, 3],
+                   "nested": {"deep": False}}]
+        _, out = decode_call(encode_call("m", params))
+        assert out == params
+
+    def test_empty_params(self):
+        method, params = decode_call(encode_call("ping", []))
+        assert method == "ping" and params == []
+
+    def test_document_shape(self):
+        text = encode_call("add", [1]).decode()
+        assert "<methodCall>" in text
+        assert "<methodName>add</methodName>" in text
+        assert "<int>1</int>" in text
+
+    def test_wrong_root_rejected(self):
+        with pytest.raises(WireFormatError, match="methodCall"):
+            decode_call(b"<notACall/>")
+
+
+class TestResponses:
+    def test_roundtrip_result(self):
+        assert decode_response(encode_response({"ok": True})) == \
+            {"ok": True}
+
+    def test_fault_roundtrip(self):
+        out = decode_response(encode_fault(42, "boom"))
+        assert out == {"__fault__": {"faultCode": 42,
+                                     "faultString": "boom"}}
+
+    def test_wrong_root_rejected(self):
+        with pytest.raises(WireFormatError, match="methodResponse"):
+            decode_response(b"<methodCall/>")
+
+    def test_unknown_value_type_rejected(self):
+        with pytest.raises(WireFormatError, match="unknown"):
+            decode_response(
+                b"<methodResponse><params><param>"
+                b"<value><complex>1</complex></value>"
+                b"</param></params></methodResponse>")
+
+
+_values = st.recursive(
+    st.one_of(
+        st.integers(-2**31, 2**31 - 1),
+        st.floats(allow_nan=False, allow_infinity=False),
+        st.text(max_size=20).filter(
+            lambda s: all(ord(c) >= 0x20 or c in "\t\n" for c in s)),
+        st.booleans(),
+    ),
+    lambda children: st.one_of(
+        st.lists(children, max_size=4),
+        st.dictionaries(
+            st.text(
+                alphabet="abcdefghijklmnopqrstuvwxyz",
+                min_size=1, max_size=8),
+            children, max_size=4),
+    ),
+    max_leaves=12,
+)
+
+
+@given(st.lists(_values, max_size=4))
+def test_property_call_roundtrip(params):
+    _, out = decode_call(encode_call("m", params))
+    assert out == params

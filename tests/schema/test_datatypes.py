@@ -1,0 +1,154 @@
+"""Primitive datatype lexical <-> value behaviour."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import SchemaTypeError, SchemaValidationError
+from repro.schema.datatypes import all_datatypes, lookup_datatype
+
+
+class TestLookup:
+    def test_known_types(self):
+        for name in ("string", "integer", "int", "long", "short",
+                     "byte", "unsignedLong", "unsignedInt",
+                     "unsignedShort", "unsignedByte", "float", "double",
+                     "boolean"):
+            assert lookup_datatype(name).name == name
+
+    def test_unknown_type(self):
+        with pytest.raises(SchemaTypeError, match="unknown"):
+            lookup_datatype("quaternion")
+
+    def test_registry_copy_is_defensive(self):
+        table = all_datatypes()
+        table["string"] = None
+        assert lookup_datatype("string") is not None
+
+
+class TestIntegerParsing:
+    def test_basic(self):
+        assert lookup_datatype("int").parse("42") == 42
+        assert lookup_datatype("int").parse("-7") == -7
+        assert lookup_datatype("int").parse("  13  ") == 13
+
+    def test_int_range(self):
+        int_t = lookup_datatype("int")
+        assert int_t.parse("2147483647") == 2**31 - 1
+        with pytest.raises(SchemaValidationError, match="out of range"):
+            int_t.parse("2147483648")
+        with pytest.raises(SchemaValidationError, match="out of range"):
+            int_t.parse("-2147483649")
+
+    def test_byte_range(self):
+        byte_t = lookup_datatype("byte")
+        assert byte_t.parse("-128") == -128
+        with pytest.raises(SchemaValidationError):
+            byte_t.parse("128")
+
+    def test_unsigned_rejects_negative(self):
+        with pytest.raises(SchemaValidationError):
+            lookup_datatype("unsignedLong").parse("-1")
+
+    def test_unsigned_long_max(self):
+        assert lookup_datatype("unsignedLong").parse(
+            "18446744073709551615") == 2**64 - 1
+        with pytest.raises(SchemaValidationError):
+            lookup_datatype("unsignedLong").parse("18446744073709551616")
+
+    def test_unbounded_integer(self):
+        huge = "9" * 40
+        assert lookup_datatype("integer").parse(huge) == int(huge)
+
+    def test_garbage_rejected(self):
+        for bad in ("", "abc", "1.5", "0x10"):
+            with pytest.raises(SchemaValidationError):
+                lookup_datatype("int").parse(bad)
+
+    def test_format_rejects_non_int(self):
+        with pytest.raises(SchemaValidationError):
+            lookup_datatype("int").format("42")
+        with pytest.raises(SchemaValidationError):
+            lookup_datatype("int").format(True)
+
+
+class TestFloatParsing:
+    def test_basic(self):
+        assert lookup_datatype("float").parse("12.5") == 12.5
+        assert lookup_datatype("double").parse("-1e10") == -1e10
+
+    def test_special_values(self):
+        f = lookup_datatype("float")
+        assert f.parse("INF") == math.inf
+        assert f.parse("-INF") == -math.inf
+        assert math.isnan(f.parse("NaN"))
+
+    def test_special_values_format(self):
+        f = lookup_datatype("float")
+        assert f.format(math.inf) == "INF"
+        assert f.format(-math.inf) == "-INF"
+        assert f.format(math.nan) == "NaN"
+
+    def test_garbage_rejected(self):
+        with pytest.raises(SchemaValidationError):
+            lookup_datatype("float").parse("fast")
+
+    def test_int_accepted_as_float_value(self):
+        assert lookup_datatype("float").format(3) == "3.0"
+
+
+class TestBoolean:
+    @pytest.mark.parametrize("text,value", [
+        ("true", True), ("1", True), ("false", False), ("0", False),
+    ])
+    def test_lexical_forms(self, text, value):
+        assert lookup_datatype("boolean").parse(text) is value
+
+    def test_bad_forms(self):
+        for bad in ("TRUE", "yes", "2", ""):
+            with pytest.raises(SchemaValidationError):
+                lookup_datatype("boolean").parse(bad)
+
+    def test_format(self):
+        b = lookup_datatype("boolean")
+        assert b.format(True) == "true"
+        assert b.format(False) == "false"
+        with pytest.raises(SchemaValidationError):
+            b.format(1)
+
+
+class TestString:
+    def test_identity(self):
+        s = lookup_datatype("string")
+        assert s.parse("hello world ") == "hello world "
+
+    def test_non_string_rejected(self):
+        with pytest.raises(SchemaValidationError):
+            lookup_datatype("string").format(42)
+
+
+# -- property-based: format/parse is the identity on the value space ---------
+
+@given(st.integers(-(2**31), 2**31 - 1))
+def test_int_roundtrip(value):
+    t = lookup_datatype("int")
+    assert t.parse(t.format(value)) == value
+
+
+@given(st.integers(0, 2**64 - 1))
+def test_unsigned_long_roundtrip(value):
+    t = lookup_datatype("unsignedLong")
+    assert t.parse(t.format(value)) == value
+
+
+@given(st.floats(allow_nan=False))
+def test_double_roundtrip(value):
+    t = lookup_datatype("double")
+    assert t.parse(t.format(value)) == value
+
+
+@given(st.text())
+def test_string_roundtrip(value):
+    t = lookup_datatype("string")
+    assert t.parse(t.format(value)) == value

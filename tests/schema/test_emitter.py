@@ -1,0 +1,89 @@
+"""Schema emission and parse/emit round-trips."""
+
+from repro.schema.emitter import emit_schema
+from repro.schema.model import (
+    ArraySpec, ComplexType, ElementDecl, EnumerationType, FIXED, Schema,
+    VARIABLE,
+)
+from repro.schema.parser import parse_schema, parse_schema_text
+from repro.xmlcore import serialize
+
+
+def build_schema() -> Schema:
+    s = Schema()
+    s.add(EnumerationType(name="Mode", values=("fast", "safe")))
+    s.add(ComplexType(name="Point", elements=(
+        ElementDecl(name="x", type_name="double"),
+        ElementDecl(name="y", type_name="double"),
+    )))
+    s.add(ComplexType(name="Msg", elements=(
+        ElementDecl(name="id", type_name="int"),
+        ElementDecl(name="label", type_name="string", min_occurs=0),
+        ElementDecl(name="mode", type_name="Mode"),
+        ElementDecl(name="origin", type_name="Point"),
+        ElementDecl(name="size", type_name="int"),
+        ElementDecl(name="data", type_name="float",
+                    array=ArraySpec(kind=VARIABLE, length_field="size"),
+                    min_occurs=0),
+        ElementDecl(name="pair", type_name="int",
+                    array=ArraySpec(kind=FIXED, size=2)),
+    )))
+    s.check_references()
+    return s
+
+
+def assert_equivalent(a: Schema, b: Schema) -> None:
+    assert set(a.complex_types) == set(b.complex_types)
+    assert set(a.enumerations) == set(b.enumerations)
+    for name, enum in a.enumerations.items():
+        assert b.enumerations[name].values == enum.values
+    for name, ct in a.complex_types.items():
+        other = b.complex_types[name]
+        assert other.field_names() == ct.field_names()
+        for decl in ct.elements:
+            mirror = other.element(decl.name)
+            assert mirror.type_name == decl.type_name
+            assert mirror.array == decl.array
+            assert mirror.min_occurs == decl.min_occurs
+
+
+class TestEmit:
+    def test_roundtrip_full_schema(self):
+        original = build_schema()
+        text = serialize(emit_schema(original), indent="  ")
+        reparsed = parse_schema_text(text)
+        assert_equivalent(original, reparsed)
+
+    def test_subset_emission(self):
+        original = build_schema()
+        doc = emit_schema(original, names=["Point"])
+        reparsed = parse_schema(doc)
+        assert set(reparsed.complex_types) == {"Point"}
+
+    def test_subset_includes_referenced_enums(self):
+        original = build_schema()
+        # Msg references Mode and Point; Point must be passed in the
+        # subset explicitly, enums come along automatically.
+        doc = emit_schema(original, names=["Point", "Msg"])
+        reparsed = parse_schema(doc)
+        assert "Mode" in reparsed.enumerations
+
+    def test_target_namespace_preserved(self):
+        s = build_schema()
+        s.target_namespace = "urn:hydrology"
+        doc = emit_schema(s)
+        assert doc.root.get("targetNamespace") == "urn:hydrology"
+
+    def test_dimension_attributes_emitted(self):
+        text = serialize(emit_schema(build_schema()))
+        assert 'dimensionName="size"' in text
+        assert 'maxOccurs="*"' in text
+
+    def test_documentation_emitted(self):
+        s = Schema()
+        s.add(ComplexType(name="T", documentation="About T.", elements=(
+            ElementDecl(name="a", type_name="int"),)))
+        text = serialize(emit_schema(s))
+        assert "About T." in text
+        reparsed = parse_schema_text(text)
+        assert reparsed.complex_type("T").documentation == "About T."

@@ -1,0 +1,83 @@
+"""dump_instance / load_instance symmetry."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.schema.parser import parse_schema_text
+from repro.schema.validator import dump_instance, load_instance
+from repro.xmlcore.serializer import serialize
+from repro.xmlcore.parser import parse
+
+SCHEMA = parse_schema_text("""
+<xsd:schema xmlns:xsd="http://www.w3.org/2001/XMLSchema">
+  <xsd:complexType name="Point">
+    <xsd:element name="x" type="xsd:double" />
+    <xsd:element name="y" type="xsd:double" />
+  </xsd:complexType>
+  <xsd:complexType name="Msg">
+    <xsd:element name="id" type="xsd:int" />
+    <xsd:element name="label" type="xsd:string" minOccurs="0" />
+    <xsd:element name="origin" type="Point" />
+    <xsd:element name="size" type="xsd:int" />
+    <xsd:element name="data" type="xsd:float" minOccurs="0"
+                 maxOccurs="*" dimensionName="size" />
+  </xsd:complexType>
+</xsd:schema>
+""")
+
+
+def sample():
+    return {"id": 7, "label": "L", "origin": {"x": 1.5, "y": -2.0},
+            "size": 2, "data": [0.5, 1.5]}
+
+
+class TestDumpInstance:
+    def test_document_shape(self):
+        elem = dump_instance(SCHEMA, "Msg", sample())
+        text = serialize(elem)
+        assert text.startswith("<Msg>")
+        assert "<id>7</id>" in text
+        assert text.count("<data>") == 2
+        assert "<origin><x>1.5</x>" in text
+
+    def test_roundtrip(self):
+        elem = dump_instance(SCHEMA, "Msg", sample())
+        assert load_instance(SCHEMA, "Msg", elem) == sample()
+
+    def test_roundtrip_through_text(self):
+        text = serialize(dump_instance(SCHEMA, "Msg", sample()))
+        reparsed = parse(text).root
+        assert load_instance(SCHEMA, "Msg", reparsed) == sample()
+
+    def test_optional_omitted(self):
+        record = sample()
+        del record["label"]
+        text = serialize(dump_instance(SCHEMA, "Msg", record))
+        assert "<label>" not in text
+
+    def test_invalid_record_rejected(self):
+        from repro.errors import SchemaValidationError
+        record = sample() | {"id": "seven"}
+        with pytest.raises(SchemaValidationError):
+            dump_instance(SCHEMA, "Msg", record)
+
+
+_records = st.fixed_dictionaries({
+    "id": st.integers(-2**31, 2**31 - 1),
+    "label": st.text(
+        alphabet=st.characters(codec="utf-8",
+                               blacklist_categories=("Cs", "Cc")),
+        max_size=15),
+    "origin": st.fixed_dictionaries({
+        "x": st.floats(allow_nan=False),
+        "y": st.floats(allow_nan=False)}),
+    "data": st.lists(st.floats(width=32, allow_nan=False),
+                     max_size=6),
+}).map(lambda r: dict(r, size=len(r["data"])))
+
+
+@settings(max_examples=60, deadline=None)
+@given(_records)
+def test_property_dump_load_identity(record):
+    elem = dump_instance(SCHEMA, "Msg", record)
+    assert load_instance(SCHEMA, "Msg", elem) == record

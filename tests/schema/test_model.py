@@ -1,0 +1,158 @@
+"""Schema component model invariants."""
+
+import pytest
+
+from repro.errors import SchemaParseError, SchemaTypeError
+from repro.schema.model import (
+    ArraySpec, ComplexType, ElementDecl, EnumerationType, FIXED, SCALAR,
+    Schema, VARIABLE,
+)
+
+
+def ct(name, *decls):
+    return ComplexType(name=name, elements=tuple(decls))
+
+
+def el(name, type_name, **kw):
+    return ElementDecl(name=name, type_name=type_name, **kw)
+
+
+class TestArraySpec:
+    def test_scalar_default(self):
+        spec = ArraySpec()
+        assert spec.kind == SCALAR and not spec.is_array
+
+    def test_fixed_requires_size(self):
+        with pytest.raises(SchemaParseError):
+            ArraySpec(kind=FIXED)
+        with pytest.raises(SchemaParseError):
+            ArraySpec(kind=FIXED, size=0)
+
+    def test_bad_kind(self):
+        with pytest.raises(SchemaParseError):
+            ArraySpec(kind="jagged")
+
+    def test_bad_placement(self):
+        with pytest.raises(SchemaParseError):
+            ArraySpec(kind=VARIABLE, placement="middle")
+
+
+class TestComplexType:
+    def test_duplicate_fields_rejected(self):
+        with pytest.raises(SchemaParseError, match="duplicate"):
+            ct("T", el("x", "int"), el("x", "float"))
+
+    def test_field_lookup(self):
+        t = ct("T", el("a", "int"), el("b", "float"))
+        assert t.element("b").type_name == "float"
+        assert t.field_names() == ("a", "b")
+        with pytest.raises(SchemaTypeError):
+            t.element("c")
+
+
+class TestEnumeration:
+    def test_empty_rejected(self):
+        with pytest.raises(SchemaParseError):
+            EnumerationType(name="E", values=())
+
+    def test_duplicates_rejected(self):
+        with pytest.raises(SchemaParseError):
+            EnumerationType(name="E", values=("a", "a"))
+
+    def test_index_of(self):
+        e = EnumerationType(name="E", values=("x", "y"))
+        assert e.index_of("y") == 1
+        with pytest.raises(SchemaTypeError):
+            e.index_of("z")
+
+
+class TestSchema:
+    def test_add_and_resolve(self):
+        s = Schema()
+        s.add(ct("T", el("a", "int")))
+        assert s.complex_type("T").name == "T"
+        assert s.resolve("T").name == "T"
+        assert s.resolve("int").name == "int"
+
+    def test_name_collision_with_primitive(self):
+        s = Schema()
+        with pytest.raises(SchemaParseError, match="collides"):
+            s.add(ct("string", el("a", "int")))
+
+    def test_name_collision_between_components(self):
+        s = Schema()
+        s.add(ct("T", el("a", "int")))
+        with pytest.raises(SchemaParseError):
+            s.add(EnumerationType(name="T", values=("x",)))
+
+    def test_unknown_type_lookup(self):
+        with pytest.raises(SchemaTypeError, match="unknown complexType"):
+            Schema().complex_type("Nope")
+
+    def test_merge(self):
+        a, b = Schema(), Schema()
+        a.add(ct("A", el("x", "int")))
+        b.add(ct("B", el("y", "int")))
+        a.merge(b)
+        assert set(a.complex_types) == {"A", "B"}
+
+
+class TestReferenceChecking:
+    def test_dangling_reference(self):
+        s = Schema()
+        s.add(ct("T", el("p", "Missing")))
+        with pytest.raises(SchemaTypeError):
+            s.check_references()
+
+    def test_direct_recursion_rejected(self):
+        s = Schema()
+        s.add(ct("T", el("next", "T")))
+        with pytest.raises(SchemaTypeError, match="recursive"):
+            s.check_references()
+
+    def test_mutual_recursion_rejected(self):
+        s = Schema()
+        s.add(ct("A", el("b", "B")))
+        s.add(ct("B", el("a", "A")))
+        with pytest.raises(SchemaTypeError, match="recursive"):
+            s.check_references()
+
+    def test_diamond_composition_allowed(self):
+        s = Schema()
+        s.add(ct("Leaf", el("v", "int")))
+        s.add(ct("L", el("leaf", "Leaf")))
+        s.add(ct("R", el("leaf", "Leaf")))
+        s.add(ct("Top", el("l", "L"), el("r", "R")))
+        s.check_references()
+
+    def test_length_field_must_exist(self):
+        s = Schema()
+        s.add(ct("T", el("data", "float",
+                         array=ArraySpec(kind=VARIABLE,
+                                         length_field="n"))))
+        with pytest.raises(SchemaTypeError):
+            s.check_references()
+
+    def test_length_field_must_be_integer(self):
+        s = Schema()
+        s.add(ct("T", el("n", "string"),
+                 el("data", "float",
+                    array=ArraySpec(kind=VARIABLE, length_field="n"))))
+        with pytest.raises(SchemaTypeError, match="integer"):
+            s.check_references()
+
+    def test_length_field_cannot_be_array(self):
+        s = Schema()
+        s.add(ct("T",
+                 el("n", "int", array=ArraySpec(kind=FIXED, size=2)),
+                 el("data", "float",
+                    array=ArraySpec(kind=VARIABLE, length_field="n"))))
+        with pytest.raises(SchemaTypeError, match="array"):
+            s.check_references()
+
+    def test_valid_length_field(self):
+        s = Schema()
+        s.add(ct("T", el("n", "int"),
+                 el("data", "float",
+                    array=ArraySpec(kind=VARIABLE, length_field="n"))))
+        s.check_references()

@@ -1,0 +1,167 @@
+"""Instance validation: record dicts and XML instances."""
+
+import pytest
+
+from repro.errors import SchemaValidationError
+from repro.schema.parser import parse_schema_text
+from repro.schema.validator import (
+    load_instance, match_format, validate_record,
+)
+from repro.xmlcore import parse
+
+SCHEMA = parse_schema_text("""
+<xsd:schema xmlns:xsd="http://www.w3.org/2001/XMLSchema">
+  <xsd:simpleType name="Mode">
+    <xsd:restriction base="xsd:string">
+      <xsd:enumeration value="fast" />
+      <xsd:enumeration value="safe" />
+    </xsd:restriction>
+  </xsd:simpleType>
+  <xsd:complexType name="Point">
+    <xsd:element name="x" type="xsd:double" />
+    <xsd:element name="y" type="xsd:double" />
+  </xsd:complexType>
+  <xsd:complexType name="Msg">
+    <xsd:element name="id" type="xsd:int" />
+    <xsd:element name="label" type="xsd:string" minOccurs="0" />
+    <xsd:element name="mode" type="Mode" />
+    <xsd:element name="origin" type="Point" />
+    <xsd:element name="size" type="xsd:int" />
+    <xsd:element name="data" type="xsd:float" minOccurs="0"
+                 maxOccurs="*" dimensionName="size" />
+    <xsd:element name="pair" type="xsd:int" maxOccurs="2" />
+  </xsd:complexType>
+</xsd:schema>
+""")
+
+
+def good_record():
+    return {"id": 1, "label": "L", "mode": "fast",
+            "origin": {"x": 1.0, "y": 2.0}, "size": 2,
+            "data": [1.5, 2.5], "pair": [7, 8]}
+
+
+class TestValidateRecord:
+    def test_valid(self):
+        out = validate_record(SCHEMA, "Msg", good_record())
+        assert out["origin"] == {"x": 1.0, "y": 2.0}
+
+    def test_optional_field_may_be_absent(self):
+        rec = good_record()
+        del rec["label"]
+        out = validate_record(SCHEMA, "Msg", rec)
+        assert "label" not in out
+
+    def test_required_field_missing(self):
+        rec = good_record()
+        del rec["id"]
+        with pytest.raises(SchemaValidationError, match="id"):
+            validate_record(SCHEMA, "Msg", rec)
+
+    def test_unknown_field(self):
+        rec = good_record() | {"bogus": 1}
+        with pytest.raises(SchemaValidationError, match="bogus"):
+            validate_record(SCHEMA, "Msg", rec)
+
+    def test_type_violation(self):
+        rec = good_record() | {"id": "one"}
+        with pytest.raises(SchemaValidationError):
+            validate_record(SCHEMA, "Msg", rec)
+
+    def test_enum_violation(self):
+        rec = good_record() | {"mode": "reckless"}
+        with pytest.raises(SchemaValidationError):
+            validate_record(SCHEMA, "Msg", rec)
+
+    def test_nested_violation_reports_path(self):
+        rec = good_record()
+        rec["origin"] = {"x": 1.0}
+        with pytest.raises(SchemaValidationError, match="origin"):
+            validate_record(SCHEMA, "Msg", rec)
+
+    def test_fixed_array_size_enforced(self):
+        rec = good_record() | {"pair": [1]}
+        with pytest.raises(SchemaValidationError, match="fixed array"):
+            validate_record(SCHEMA, "Msg", rec)
+
+    def test_length_field_mismatch(self):
+        rec = good_record() | {"size": 5}
+        with pytest.raises(SchemaValidationError, match="length field"):
+            validate_record(SCHEMA, "Msg", rec)
+
+    def test_scalar_where_array_expected(self):
+        rec = good_record() | {"data": 1.5}
+        with pytest.raises(SchemaValidationError, match="sequence"):
+            validate_record(SCHEMA, "Msg", rec)
+
+    def test_non_dict_record(self):
+        with pytest.raises(SchemaValidationError):
+            validate_record(SCHEMA, "Msg", [1, 2])
+
+
+INSTANCE = """
+<Msg>
+  <id>5</id>
+  <mode>safe</mode>
+  <origin><x>0.5</x><y>1.5</y></origin>
+  <size>3</size>
+  <data>1.0</data><data>2.0</data><data>3.0</data>
+  <pair>1</pair><pair>2</pair>
+</Msg>
+"""
+
+
+class TestLoadInstance:
+    def test_load(self):
+        rec = load_instance(SCHEMA, "Msg", parse(INSTANCE).root)
+        assert rec["id"] == 5
+        assert rec["mode"] == "safe"
+        assert rec["origin"] == {"x": 0.5, "y": 1.5}
+        assert rec["data"] == [1.0, 2.0, 3.0]
+        assert rec["pair"] == [1, 2]
+        assert "label" not in rec
+
+    def test_duplicate_scalar_rejected(self):
+        text = INSTANCE.replace("<id>5</id>", "<id>5</id><id>6</id>")
+        with pytest.raises(SchemaValidationError, match="scalar"):
+            load_instance(SCHEMA, "Msg", parse(text).root)
+
+    def test_unexpected_element_rejected(self):
+        text = INSTANCE.replace("<id>5</id>", "<id>5</id><zz>1</zz>")
+        with pytest.raises(SchemaValidationError, match="zz"):
+            load_instance(SCHEMA, "Msg", parse(text).root)
+
+    def test_missing_required_rejected(self):
+        text = INSTANCE.replace("<mode>safe</mode>", "")
+        with pytest.raises(SchemaValidationError, match="mode"):
+            load_instance(SCHEMA, "Msg", parse(text).root)
+
+    def test_length_field_cross_check(self):
+        text = INSTANCE.replace("<size>3</size>", "<size>2</size>")
+        with pytest.raises(SchemaValidationError, match="length field"):
+            load_instance(SCHEMA, "Msg", parse(text).root)
+
+    def test_fixed_occurrence_count(self):
+        text = INSTANCE.replace("<pair>2</pair>", "")
+        with pytest.raises(SchemaValidationError, match="pair"):
+            load_instance(SCHEMA, "Msg", parse(text).root)
+
+
+class TestMatchFormat:
+    def test_matches_by_structure(self):
+        # the paper: schema checking applied to live messages "to
+        # determine which of several structure definitions a message
+        # best matches"
+        assert match_format(SCHEMA, parse(INSTANCE).root) == "Msg"
+
+    def test_match_point(self):
+        doc = parse("<Anything><x>1.0</x><y>2.0</y></Anything>")
+        assert match_format(SCHEMA, doc.root) == "Point"
+
+    def test_no_match(self):
+        doc = parse("<W><only>1</only></W>")
+        assert match_format(SCHEMA, doc.root) is None
+
+    def test_prefers_name_match(self):
+        doc = parse("<Point><x>1.0</x><y>2.0</y></Point>")
+        assert match_format(SCHEMA, doc.root) == "Point"

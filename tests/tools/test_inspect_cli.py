@@ -1,0 +1,60 @@
+"""The repro-inspect CLI."""
+
+import pytest
+
+from repro.pbio.context import IOContext
+from repro.pbio.format_server import FormatServer
+from repro.tools.inspect import main
+
+XSD = """\
+<xsd:schema xmlns:xsd="http://www.w3.org/2001/XMLSchema">
+  <xsd:complexType name="Msg">
+    <xsd:element name="x" type="xsd:int" />
+    <xsd:element name="s" type="xsd:string" />
+  </xsd:complexType>
+</xsd:schema>
+"""
+
+
+@pytest.fixture
+def record_file(tmp_path):
+    ctx = IOContext(format_server=FormatServer())
+    ctx.register_layout("Msg", [("x", "integer", 4), ("s", "string")])
+    path = tmp_path / "record.bin"
+    path.write_bytes(ctx.encode("Msg", {"x": 7, "s": "hi"}))
+    return path
+
+
+class TestInspectCLI:
+    def test_plain_dump(self, record_file, capsys):
+        assert main([str(record_file)]) == 0
+        out = capsys.readouterr().out
+        assert "magic PB" in out
+        assert "-- body" in out
+
+    def test_with_schema(self, record_file, tmp_path, capsys):
+        schema = tmp_path / "msg.xsd"
+        schema.write_text(XSD)
+        assert main([str(record_file), "--schema", str(schema),
+                     "--format", "Msg"]) == 0
+        out = capsys.readouterr().out
+        assert "x: integer" in out
+        assert "s: string" in out
+        assert "variable section" in out
+
+    def test_schema_requires_format(self, record_file, tmp_path,
+                                    capsys):
+        schema = tmp_path / "msg.xsd"
+        schema.write_text(XSD)
+        assert main([str(record_file), "--schema", str(schema)]) == 1
+        assert "requires --format" in capsys.readouterr().err
+
+    def test_missing_record_file(self, capsys):
+        assert main(["/no/such/record.bin"]) == 1
+        assert "repro-inspect" in capsys.readouterr().err
+
+    def test_garbage_record(self, tmp_path, capsys):
+        path = tmp_path / "junk.bin"
+        path.write_bytes(b"not a record")
+        assert main([str(path)]) == 1
+        assert "cannot parse" in capsys.readouterr().err

@@ -1,0 +1,110 @@
+"""The xmitgen command-line generator."""
+
+import pytest
+
+from repro.http.urls import publish_document
+from repro.tools.xmitgen import main
+
+XSD = """\
+<xsd:schema xmlns:xsd="http://www.w3.org/2001/XMLSchema">
+  <xsd:complexType name="Point">
+    <xsd:element name="x" type="xsd:double" />
+    <xsd:element name="y" type="xsd:double" />
+  </xsd:complexType>
+  <xsd:complexType name="Msg">
+    <xsd:element name="id" type="xsd:int" />
+    <xsd:element name="origin" type="Point" />
+  </xsd:complexType>
+</xsd:schema>
+"""
+
+
+@pytest.fixture
+def schema_file(tmp_path):
+    path = tmp_path / "formats.xsd"
+    path.write_text(XSD)
+    return path
+
+
+class TestCLI:
+    def test_default_c_to_stdout(self, schema_file, capsys):
+        assert main([str(schema_file)]) == 0
+        out = capsys.readouterr().out
+        assert "typedef struct _Point" in out
+        assert "typedef struct _Msg" in out
+        assert "[c]" in out
+
+    def test_list(self, schema_file, capsys):
+        assert main([str(schema_file), "--list"]) == 0
+        out = capsys.readouterr().out
+        assert "Point: x, y" in out
+        assert "Msg: id, origin" in out
+
+    def test_multiple_targets_and_format_filter(self, schema_file,
+                                                capsys):
+        assert main([str(schema_file), "-f", "Point", "-t", "java",
+                     "-t", "idl"]) == 0
+        out = capsys.readouterr().out
+        assert "public class Point" in out
+        assert "struct Point" in out
+        assert "Msg" not in out.replace("[idl]", "").replace(
+            "// =====", "")
+
+    def test_out_dir_writes_files(self, schema_file, tmp_path,
+                                  capsys):
+        out_dir = tmp_path / "gen"
+        assert main([str(schema_file), "-t", "cpp", "-t", "c",
+                     "-o", str(out_dir)]) == 0
+        assert (out_dir / "Point.hpp").exists()
+        assert (out_dir / "Msg.h").exists()
+        assert "XMIT_GENERATED_POINT_HPP" in \
+            (out_dir / "Point.hpp").read_text()
+
+    def test_url_source(self, capsys):
+        url = publish_document("xmitgen-test.xsd", XSD)
+        assert main([url, "--list"]) == 0
+        assert "Point" in capsys.readouterr().out
+
+    def test_unknown_format_errors(self, schema_file, capsys):
+        assert main([str(schema_file), "-f", "Ghost"]) == 1
+        assert "unknown formats" in capsys.readouterr().err
+
+    def test_missing_source_errors(self, capsys):
+        assert main(["/nonexistent/path.xsd"]) == 1
+        assert "cannot load" in capsys.readouterr().err
+
+
+class TestValidateMode:
+    @pytest.fixture
+    def instance_file(self, tmp_path):
+        path = tmp_path / "msg.xml"
+        path.write_text("<Msg><id>1</id>"
+                        "<origin><x>1.0</x><y>2.0</y></origin></Msg>")
+        return path
+
+    def test_valid_matches(self, schema_file, instance_file, capsys):
+        assert main([str(schema_file), "--validate",
+                     str(instance_file)]) == 0
+        assert "VALID: matches Msg" in capsys.readouterr().out
+
+    def test_valid_against_named_format(self, schema_file,
+                                        instance_file, capsys):
+        assert main([str(schema_file), "--validate",
+                     str(instance_file), "-f", "Msg"]) == 0
+        assert "VALID: Msg" in capsys.readouterr().out
+
+    def test_invalid_against_named_format(self, schema_file,
+                                          instance_file, capsys):
+        assert main([str(schema_file), "--validate",
+                     str(instance_file), "-f", "Point"]) == 2
+        assert "INVALID against Point" in capsys.readouterr().out
+
+    def test_no_match(self, schema_file, tmp_path, capsys):
+        bad = tmp_path / "bad.xml"
+        bad.write_text("<Nope><zz>1</zz></Nope>")
+        assert main([str(schema_file), "--validate", str(bad)]) == 2
+        assert "INVALID" in capsys.readouterr().out
+
+    def test_missing_instance_file(self, schema_file, capsys):
+        assert main([str(schema_file), "--validate",
+                     "/no/such.xml"]) == 1

@@ -1,0 +1,153 @@
+"""Channel semantics: in-process and TCP."""
+
+import threading
+
+import pytest
+
+from repro.errors import TransportError
+from repro.transport.inproc import channel_pair
+from repro.transport.messages import Frame, FrameType
+from repro.transport.tcp import TCPChannel, TCPListener, tcp_pair
+
+
+def data(payload: bytes) -> Frame:
+    return Frame(FrameType.DATA, payload)
+
+
+@pytest.fixture(params=["inproc", "tcp"])
+def pair(request):
+    if request.param == "inproc":
+        a, b = channel_pair()
+    else:
+        a, b = tcp_pair()
+    yield a, b
+    a.close()
+    b.close()
+
+
+class TestChannelSemantics:
+    def test_send_recv(self, pair):
+        a, b = pair
+        a.send(data(b"hello"))
+        assert b.recv(timeout=5).payload == b"hello"
+
+    def test_bidirectional(self, pair):
+        a, b = pair
+        a.send(data(b"ping"))
+        assert b.recv(timeout=5).payload == b"ping"
+        b.send(data(b"pong"))
+        assert a.recv(timeout=5).payload == b"pong"
+
+    def test_ordering(self, pair):
+        a, b = pair
+        for i in range(20):
+            a.send(data(str(i).encode()))
+        got = [b.recv(timeout=5).payload for _ in range(20)]
+        assert got == [str(i).encode() for i in range(20)]
+
+    def test_close_delivers_none(self, pair):
+        a, b = pair
+        a.send(data(b"last"))
+        a.close()
+        assert b.recv(timeout=5).payload == b"last"
+        assert b.recv(timeout=5) is None
+
+    def test_send_after_close_raises(self, pair):
+        a, _b = pair
+        a.close()
+        with pytest.raises(TransportError):
+            a.send(data(b"x"))
+
+    def test_recv_timeout(self, pair):
+        _a, b = pair
+        with pytest.raises(TransportError, match="timed out"):
+            b.recv(timeout=0.05)
+
+    def test_large_frame(self, pair):
+        a, b = pair
+        payload = bytes(range(256)) * 4096  # 1 MiB
+        a.send(data(payload))
+        assert b.recv(timeout=10).payload == payload
+
+    def test_stats_counters(self, pair):
+        a, _b = pair
+        a.send(data(b"xyz"))
+        assert a.frames_sent == 1
+        assert a.bytes_sent >= 3
+
+
+class TestTCPSpecifics:
+    def test_connect_refused(self):
+        with pytest.raises(TransportError, match="cannot connect"):
+            TCPChannel.connect("127.0.0.1", 1, timeout=2)
+
+    def test_listener_accept_timeout(self):
+        with TCPListener() as listener:
+            with pytest.raises(TransportError, match="timed out"):
+                listener.accept(timeout=0.05)
+
+    def test_threaded_exchange(self):
+        a, b = tcp_pair()
+        received = []
+
+        def reader():
+            while True:
+                frame = b.recv(timeout=5)
+                if frame is None:
+                    break
+                received.append(frame.payload)
+
+        t = threading.Thread(target=reader)
+        t.start()
+        for i in range(50):
+            a.send(data(f"m{i}".encode()))
+        a.close()
+        t.join(5)
+        assert received == [f"m{i}".encode() for i in range(50)]
+        b.close()
+
+
+class TestInprocSpecifics:
+    def test_byte_time_slows_send(self):
+        import time
+        a, _b = channel_pair(byte_time=1e-5)
+        start = time.perf_counter()
+        a.send(data(b"x" * 1000))
+        assert time.perf_counter() - start >= 0.01
+
+
+class TestTCPCloseSemantics:
+    def test_send_only_close_does_not_destroy_in_flight_frames(self):
+        """Regression: a sender that never reads (its peer's HELLO is
+        unread) closing right after large sends must not RST the
+        stream — every frame plus end-of-stream must arrive."""
+        payload = bytes(range(256)) * 512  # 128 KiB per frame
+        a, b = tcp_pair()
+        b.send(data(b"unread-greeting"))  # sits unread at a's socket
+        for i in range(6):
+            a.send(data(payload + bytes([i])))
+        a.close()  # immediately after the sends
+        got = []
+        while True:
+            frame = b.recv(timeout=10)
+            if frame is None:
+                break
+            got.append(frame.payload)
+        assert len(got) == 6
+        assert all(g[:-1] == payload for g in got)
+        b.close()
+
+    def test_partial_frame_survives_recv_timeout(self):
+        """Regression: a short-timeout recv that fires mid-frame must
+        not desynchronize the stream."""
+        import time
+        a, b = tcp_pair()
+        raw = data(b"x" * 100).encode()
+        a._sock.sendall(raw[:7])  # first half of a frame
+        with pytest.raises(TransportError, match="timed out"):
+            b.recv(timeout=0.05)
+        a._sock.sendall(raw[7:])
+        frame = b.recv(timeout=5)
+        assert frame.payload == b"x" * 100
+        a.close()
+        b.close()

@@ -1,0 +1,159 @@
+"""Connection protocol: records + on-demand format negotiation."""
+
+import threading
+
+import pytest
+
+from repro.pbio.context import IOContext
+from repro.pbio.format_server import FormatServer
+from repro.pbio.machine import SPARC_32, X86_64
+from repro.transport.connection import Connection
+from repro.transport.inproc import channel_pair
+
+SPECS = [("timestep", "integer"), ("size", "integer"),
+         ("data", "float[size]")]
+
+
+def make_pair(shared_server: bool = True,
+              sender_arch=X86_64, receiver_arch=X86_64):
+    a_ch, b_ch = channel_pair()
+    if shared_server:
+        server = FormatServer()
+        actx = IOContext(architecture=sender_arch, format_server=server)
+        bctx = IOContext(architecture=receiver_arch,
+                         format_server=server)
+    else:
+        actx = IOContext(architecture=sender_arch,
+                         format_server=FormatServer())
+        bctx = IOContext(architecture=receiver_arch,
+                         format_server=FormatServer())
+    return Connection(actx, a_ch), Connection(bctx, b_ch)
+
+
+def recv_in_thread(conn, method="receive", arg=None, timeout=5):
+    box = {}
+
+    def run():
+        try:
+            if method == "receive":
+                box["msg"] = conn.receive(timeout=timeout)
+            else:
+                box["msg"] = conn.receive_as(arg, timeout=timeout)
+        except Exception as exc:  # pump threads may time out benignly
+            box["error"] = exc
+    thread = threading.Thread(target=run)
+    thread.start()
+    return thread, box
+
+
+class TestSharedServer:
+    def test_send_receive_no_negotiation(self):
+        a, b = make_pair(shared_server=True)
+        a.context.register_layout("SimpleData", SPECS)
+        a.send("SimpleData", {"timestep": 1, "data": [1.0]})
+        msg = b.receive(timeout=5)
+        assert msg.format_name == "SimpleData"
+        assert msg.record["data"] == [1.0]
+        assert b.negotiations == 0
+
+    def test_counters(self):
+        a, b = make_pair()
+        a.context.register_layout("SimpleData", SPECS)
+        for i in range(3):
+            a.send("SimpleData", {"timestep": i, "data": []})
+        for _ in range(3):
+            b.receive(timeout=5)
+        assert a.records_sent == 3
+        assert b.records_received == 3
+
+    def test_close_delivers_none(self):
+        a, b = make_pair()
+        a.close()
+        assert b.receive(timeout=5) is None
+
+    def test_hello_exchanges_architecture(self):
+        a, b = make_pair(sender_arch=SPARC_32)
+        a.context.register_layout("SimpleData", SPECS)
+        a.send("SimpleData", {"timestep": 1, "data": []})
+        b.receive(timeout=5)
+        assert b.peer_architecture == SPARC_32.name
+
+    def test_cross_architecture_over_connection(self):
+        a, b = make_pair(sender_arch=SPARC_32, receiver_arch=X86_64)
+        a.context.register_layout("SimpleData", SPECS)
+        a.send("SimpleData", {"timestep": 7, "data": [2.5, 3.5]})
+        msg = b.receive(timeout=5)
+        assert msg.record == {"timestep": 7, "size": 2,
+                              "data": [2.5, 3.5]}
+
+
+class TestNegotiation:
+    def test_metadata_fetched_on_demand(self):
+        a, b = make_pair(shared_server=False)
+        a.context.register_layout("SimpleData", SPECS)
+        thread, box = recv_in_thread(b)
+        a.send("SimpleData", {"timestep": 1, "data": [9.0]})
+        # a must service b's FMT_REQ; it does so inside receive()
+        pump, _ = recv_in_thread(a, timeout=3)
+        thread.join(5)
+        a.close()
+        pump.join(5)
+        assert box["msg"].record["data"] == [9.0]
+        assert b.negotiations == 1
+
+    def test_negotiation_happens_once_per_format(self):
+        a, b = make_pair(shared_server=False)
+        a.context.register_layout("SimpleData", SPECS)
+        results = []
+
+        def receiver():
+            for _ in range(3):
+                results.append(b.receive(timeout=5))
+
+        def pump():
+            try:
+                a.receive(timeout=2)
+            except Exception:
+                pass
+
+        rt = threading.Thread(target=receiver)
+        pt = threading.Thread(target=pump)
+        rt.start()
+        pt.start()
+        for i in range(3):
+            a.send("SimpleData", {"timestep": i, "data": []})
+        rt.join(5)
+        a.close()
+        pt.join(5)
+        assert len(results) == 3
+        assert b.negotiations == 1
+
+    def test_receive_as_applies_conversion(self):
+        a, b = make_pair(shared_server=True)
+        a.context.register_layout("SimpleData",
+                                  SPECS + [("quality", "float", 8)])
+        b.context.register_layout("SimpleData", SPECS)
+        a.send("SimpleData", {"timestep": 1, "data": [1.0],
+                              "quality": 0.5})
+        out = b.receive_as("SimpleData", timeout=5)
+        assert out == {"timestep": 1, "size": 1, "data": [1.0]}
+
+
+class TestSendEncoded:
+    def test_fan_out_same_bytes(self):
+        a, b = make_pair()
+        a.context.register_layout("SimpleData", SPECS)
+        wire = a.context.encode("SimpleData",
+                                {"timestep": 1, "data": [1.0]})
+        for _ in range(3):
+            a.send_encoded(wire)
+        for _ in range(3):
+            assert b.receive(timeout=5).record["data"] == [1.0]
+        assert a.records_sent == 3
+
+    def test_garbage_rejected_before_send(self):
+        import pytest as _pytest
+        from repro.errors import EncodeError
+        a, _b = make_pair()
+        with _pytest.raises(EncodeError):
+            a.send_encoded(b"not a record")

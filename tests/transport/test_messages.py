@@ -1,0 +1,66 @@
+"""Frame encoding."""
+
+import pytest
+
+from repro.errors import ProtocolError
+from repro.transport.messages import (
+    Frame, FrameType, decode_frame, read_frame_from,
+)
+
+
+class TestFrames:
+    def test_encode_decode(self):
+        frame = Frame(FrameType.DATA, b"payload")
+        encoded = frame.encode()
+        assert encoded[:4] == (8).to_bytes(4, "big")
+        assert decode_frame(encoded[4:]) == frame
+
+    def test_empty_payload(self):
+        frame = Frame(FrameType.BYE, b"")
+        assert decode_frame(frame.encode()[4:]) == frame
+
+    def test_unknown_type(self):
+        with pytest.raises(ProtocolError, match="unknown frame type"):
+            decode_frame(b"\x7fxx")
+
+    def test_empty_frame(self):
+        with pytest.raises(ProtocolError, match="empty"):
+            decode_frame(b"")
+
+
+class TestReadFrameFrom:
+    def _reader(self, data: bytes):
+        view = memoryview(data)
+        state = {"pos": 0}
+
+        def read_exactly(n: int):
+            start = state["pos"]
+            if start >= len(view):
+                return None
+            if start + n > len(view):
+                return None
+            state["pos"] = start + n
+            return bytes(view[start:start + n])
+        return read_exactly
+
+    def test_reads_one_frame(self):
+        data = Frame(FrameType.HELLO, b"arch").encode()
+        frame = read_frame_from(self._reader(data))
+        assert frame.type == FrameType.HELLO
+        assert frame.payload == b"arch"
+
+    def test_eof_returns_none(self):
+        assert read_frame_from(self._reader(b"")) is None
+
+    def test_truncated_body(self):
+        data = Frame(FrameType.DATA, b"full-payload").encode()[:-4]
+        with pytest.raises(ProtocolError, match="mid-frame"):
+            read_frame_from(self._reader(data))
+
+    def test_zero_length_rejected(self):
+        with pytest.raises(ProtocolError, match="bad frame length"):
+            read_frame_from(self._reader(b"\x00\x00\x00\x00"))
+
+    def test_oversized_rejected(self):
+        with pytest.raises(ProtocolError, match="bad frame length"):
+            read_frame_from(self._reader(b"\xff\xff\xff\xff"))

@@ -1,0 +1,100 @@
+"""DocumentBuilder construction API."""
+
+import pytest
+
+from repro.xmlcore import DocumentBuilder, parse, serialize
+
+
+class TestBuilder:
+    def test_simple_document(self):
+        b = DocumentBuilder()
+        with b.element("SimpleData"):
+            b.leaf("Timestep", 9999)
+            b.leaf("Size", 3355)
+        doc = b.document()
+        assert doc.root.tag == "SimpleData"
+        assert doc.root.find("Timestep").text == "9999"
+
+    def test_nested_contexts(self):
+        b = DocumentBuilder()
+        with b.element("a"):
+            with b.element("b"):
+                b.leaf("c", "x")
+        assert serialize(b.document(), xml_declaration=False) == \
+            "<a><b><c>x</c></b></a>"
+
+    def test_attributes_via_kwargs_and_mapping(self):
+        b = DocumentBuilder()
+        with b.element("a", {"m": "1"}, k="2"):
+            pass
+        root = b.document().root
+        assert root.get("m") == "1" and root.get("k") == "2"
+
+    def test_text_and_cdata_and_comment(self):
+        b = DocumentBuilder()
+        with b.element("a"):
+            b.text("plain")
+            b.cdata("<raw>")
+            b.comment(" note ")
+        out = serialize(b.document(), xml_declaration=False)
+        assert out == "<a>plain<![CDATA[<raw>]]><!-- note --></a>"
+
+    def test_output_reparses(self):
+        b = DocumentBuilder()
+        with b.element("root", version="1"):
+            for i in range(3):
+                b.leaf("item", i, idx=str(i))
+        doc2 = parse(serialize(b.document()))
+        assert [e.text for e in doc2.root] == ["0", "1", "2"]
+
+    def test_non_string_text_coerced(self):
+        b = DocumentBuilder()
+        with b.element("a"):
+            b.text(12.5)
+        assert b.document().root.text == "12.5"
+
+
+class TestBuilderErrors:
+    def test_unclosed_element_rejected(self):
+        b = DocumentBuilder()
+        b.start("a")
+        with pytest.raises(ValueError, match="unclosed"):
+            b.document()
+
+    def test_empty_document_rejected(self):
+        with pytest.raises(ValueError, match="no root"):
+            DocumentBuilder().document()
+
+    def test_second_root_rejected(self):
+        b = DocumentBuilder()
+        with b.element("a"):
+            pass
+        with pytest.raises(ValueError, match="already has a root"):
+            b.start("b")
+
+    def test_invalid_element_name(self):
+        with pytest.raises(ValueError, match="invalid element name"):
+            DocumentBuilder().start("1bad")
+
+    def test_invalid_attribute_name(self):
+        with pytest.raises(ValueError, match="invalid attribute name"):
+            DocumentBuilder().start("a", {"bad name": "v"})
+
+    def test_text_outside_element(self):
+        with pytest.raises(ValueError):
+            DocumentBuilder().text("orphan")
+
+    def test_end_without_start(self):
+        with pytest.raises(ValueError):
+            DocumentBuilder().end()
+
+    def test_cdata_terminator_rejected(self):
+        b = DocumentBuilder()
+        b.start("a")
+        with pytest.raises(ValueError):
+            b.cdata("bad ]]> here")
+
+    def test_comment_double_hyphen_rejected(self):
+        b = DocumentBuilder()
+        with pytest.raises(ValueError):
+            b.comment("a -- b")

@@ -1,0 +1,86 @@
+"""Character-class predicates (XML 1.0 productions)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.xmlcore import chars
+
+
+class TestWhitespace:
+    def test_the_four_whitespace_chars(self):
+        for ch in " \t\r\n":
+            assert chars.is_whitespace(ch)
+
+    def test_non_whitespace(self):
+        for ch in "a0-\x0b\x0c ":
+            assert not chars.is_whitespace(ch)
+
+
+class TestXMLChar:
+    def test_common_characters_are_legal(self):
+        for ch in "aZ0 é中\U0001F600":
+            assert chars.is_xml_char(ch)
+
+    def test_control_characters_are_illegal(self):
+        for cp in (0x00, 0x01, 0x08, 0x0B, 0x0C, 0x0E, 0x1F):
+            assert not chars.is_xml_char(chr(cp))
+
+    def test_tab_cr_lf_are_legal(self):
+        for ch in "\t\r\n":
+            assert chars.is_xml_char(ch)
+
+    def test_surrogate_block_is_illegal(self):
+        assert not chars.is_xml_char("\ud800")
+        assert not chars.is_xml_char("\udfff")
+
+    def test_fffe_ffff_are_illegal(self):
+        assert not chars.is_xml_char("￾")
+        assert not chars.is_xml_char("￿")
+
+
+class TestNameChars:
+    def test_name_start(self):
+        for ch in "aZ_:À中":
+            assert chars.is_name_start_char(ch)
+
+    def test_digits_cannot_start_names(self):
+        for ch in "059":
+            assert not chars.is_name_start_char(ch)
+            assert chars.is_name_char(ch)
+
+    def test_hyphen_and_dot_are_name_chars_only(self):
+        for ch in "-.":
+            assert not chars.is_name_start_char(ch)
+            assert chars.is_name_char(ch)
+
+    def test_space_is_not_a_name_char(self):
+        assert not chars.is_name_char(" ")
+
+
+class TestIsName:
+    @pytest.mark.parametrize("name", [
+        "a", "foo", "foo-bar", "foo.bar", "_x", "ns:local", "x1",
+        "élément",
+    ])
+    def test_valid_names(self, name):
+        assert chars.is_name(name)
+
+    @pytest.mark.parametrize("name", ["", "1x", "-a", ".a", "a b"])
+    def test_invalid_names(self, name):
+        assert not chars.is_name(name)
+
+    def test_ncname_excludes_colon(self):
+        assert chars.is_ncname("foo")
+        assert not chars.is_ncname("ns:foo")
+
+
+@given(st.characters())
+def test_name_start_implies_name_char(ch):
+    if chars.is_name_start_char(ch):
+        assert chars.is_name_char(ch)
+
+
+@given(st.characters())
+def test_name_chars_are_xml_chars(ch):
+    if chars.is_name_char(ch):
+        assert chars.is_xml_char(ch)

@@ -1,0 +1,118 @@
+"""Namespace resolution."""
+
+import pytest
+
+from repro.errors import XMLNamespaceError
+from repro.xmlcore import QName, XML_NAMESPACE, parse
+
+XSD = "http://www.w3.org/2001/XMLSchema"
+
+
+class TestElementResolution:
+    def test_prefixed_element(self):
+        doc = parse(f'<x:a xmlns:x="{XSD}"/>')
+        root = doc.root
+        assert root.namespace == XSD
+        assert root.prefix == "x"
+        assert root.local_name == "a"
+        assert root.tag == "x:a"
+
+    def test_default_namespace(self):
+        doc = parse(f'<a xmlns="{XSD}"><b/></a>')
+        assert doc.root.namespace == XSD
+        assert doc.root.find("b").namespace == XSD
+
+    def test_no_namespace(self):
+        doc = parse("<a/>")
+        assert doc.root.namespace is None
+        assert doc.root.prefix is None
+
+    def test_default_namespace_undeclared_by_empty(self):
+        doc = parse(f'<a xmlns="{XSD}"><b xmlns=""/></a>')
+        assert doc.root.find("b").namespace is None
+
+    def test_inner_redeclaration_shadows(self):
+        doc = parse('<a xmlns:p="urn:one">'
+                    '<p:b xmlns:p="urn:two"/><p:c/></a>')
+        assert doc.root.find("b").namespace == "urn:two"
+        assert doc.root.find("c").namespace == "urn:one"
+
+    def test_xml_prefix_is_builtin(self):
+        doc = parse('<a xml:space="preserve"/>')
+        attr = doc.root.attributes["xml:space"]
+        assert attr.namespace == XML_NAMESPACE
+
+
+class TestAttributeResolution:
+    def test_unprefixed_attributes_have_no_namespace(self):
+        doc = parse(f'<a xmlns="{XSD}" x="1"/>')
+        assert doc.root.attributes["x"].namespace is None
+
+    def test_prefixed_attribute(self):
+        doc = parse('<a xmlns:p="urn:p" p:x="1"/>')
+        attr = doc.root.attributes["p:x"]
+        assert attr.namespace == "urn:p"
+        assert attr.local_name == "x"
+
+    def test_get_ns(self):
+        doc = parse('<a xmlns:p="urn:p" p:x="1" x="2"/>')
+        assert doc.root.get_ns("urn:p", "x") == "1"
+        assert doc.root.get_ns(None, "x") == "2"
+
+    def test_duplicate_expanded_attribute_rejected(self):
+        with pytest.raises(XMLNamespaceError):
+            parse('<a xmlns:p="urn:p" xmlns:q="urn:p" '
+                  'p:x="1" q:x="2"/>')
+
+
+class TestNamespaceErrors:
+    def test_undeclared_element_prefix(self):
+        with pytest.raises(XMLNamespaceError):
+            parse("<p:a/>")
+
+    def test_undeclared_attribute_prefix(self):
+        with pytest.raises(XMLNamespaceError):
+            parse('<a p:x="1"/>')
+
+    def test_empty_prefixed_declaration_rejected(self):
+        with pytest.raises(XMLNamespaceError):
+            parse('<a xmlns:p=""/>')
+
+    def test_xmlns_prefix_cannot_be_declared(self):
+        with pytest.raises(XMLNamespaceError):
+            parse('<a xmlns:xmlns="urn:x"/>')
+
+    def test_xml_prefix_cannot_be_rebound(self):
+        with pytest.raises(XMLNamespaceError):
+            parse('<a xmlns:xml="urn:not-the-xml-ns"/>')
+
+    def test_multiple_colons_rejected(self):
+        with pytest.raises(XMLNamespaceError):
+            parse('<a:b:c xmlns:a="urn:a"/>')
+
+    def test_namespaces_can_be_disabled(self):
+        doc = parse("<p:a/>", namespaces=False)
+        assert doc.root.tag == "p:a"
+
+
+class TestQName:
+    def test_clark_notation(self):
+        q = QName.from_clark("{urn:x}local")
+        assert q.namespace == "urn:x"
+        assert q.local == "local"
+        assert str(q) == "{urn:x}local"
+
+    def test_no_namespace(self):
+        q = QName.from_clark("local")
+        assert q.namespace is None
+        assert str(q) == "local"
+
+    def test_equality_and_hash(self):
+        assert QName("u", "l") == QName("u", "l")
+        assert QName("u", "l") != QName("v", "l")
+        assert len({QName("u", "l"), QName("u", "l")}) == 1
+
+    def test_declarations_recorded_per_element(self):
+        doc = parse('<a xmlns:p="urn:p"><b xmlns="urn:d"/></a>')
+        assert doc.root.ns_declarations == {"p": "urn:p"}
+        assert doc.root.find("b").ns_declarations == {"": "urn:d"}

@@ -1,0 +1,115 @@
+"""Parser edge cases: boundary inputs that trip real parsers."""
+
+import pytest
+
+from repro.errors import XMLWellFormednessError
+from repro.xmlcore import parse, serialize
+
+
+class TestDeepAndWide:
+    def test_deep_nesting(self):
+        depth = 300
+        text = "".join(f"<n{i}>" for i in range(depth)) + "x" + \
+            "".join(f"</n{i}>" for i in reversed(range(depth)))
+        doc = parse(text)
+        node = doc.root
+        for _ in range(depth - 1):
+            node = next(iter(node))
+        assert node.text == "x"
+
+    def test_many_siblings(self):
+        text = "<r>" + "<c/>" * 5000 + "</r>"
+        assert len(parse(text).root) == 5000
+
+    def test_many_attributes(self):
+        attrs = " ".join(f'a{i}="{i}"' for i in range(500))
+        doc = parse(f"<r {attrs}/>")
+        assert doc.root.get("a499") == "499"
+
+    def test_long_text_run(self):
+        body = "word " * 100_000
+        assert parse(f"<r>{body}</r>").root.text == body
+
+    def test_long_names(self):
+        name = "n" + "x" * 2000
+        assert parse(f"<{name}/>").root.tag == name
+
+
+class TestBoundaryCharRefs:
+    @pytest.mark.parametrize("ref,char", [
+        ("&#x9;", "\t"), ("&#xA;", "\n"), ("&#x20;", " "),
+        ("&#xD7FF;", "퟿"), ("&#xE000;", ""),
+        ("&#xFFFD;", "�"), ("&#x10000;", "\U00010000"),
+        ("&#x10FFFF;", "\U0010FFFF"),
+    ])
+    def test_legal_boundaries(self, ref, char):
+        assert parse(f"<r>{ref}</r>").root.text == char
+
+    @pytest.mark.parametrize("ref", [
+        "&#x8;", "&#xB;", "&#x1F;", "&#xD800;", "&#xDFFF;",
+        "&#xFFFE;", "&#xFFFF;",
+    ])
+    def test_illegal_boundaries(self, ref):
+        with pytest.raises(XMLWellFormednessError):
+            parse(f"<r>{ref}</r>")
+
+    def test_leading_zeros_accepted(self):
+        assert parse("<r>&#0000065;</r>").root.text == "A"
+
+    def test_cr_via_reference_survives(self):
+        # literal \r normalizes to \n, but &#13; must stay a CR
+        assert parse("<r>&#13;</r>").root.text == "\r"
+
+
+class TestEntityEdgeCases:
+    def test_entity_expanding_to_markup_is_text_here(self):
+        # our subset treats general-entity replacement as text, which
+        # is the conservative reading for data documents
+        doc = parse('<!DOCTYPE r [<!ENTITY e "&#60;notatag&#62;">]>'
+                    "<r>&e;</r>")
+        assert doc.root.text == "<notatag>"
+        assert len(doc.root) == 0
+
+    def test_entity_used_twice(self):
+        doc = parse('<!DOCTYPE r [<!ENTITY e "v">]><r>&e;&e;</r>')
+        assert doc.root.text == "vv"
+
+    def test_first_entity_declaration_wins(self):
+        doc = parse('<!DOCTYPE r [<!ENTITY e "one">'
+                    '<!ENTITY e "two">]><r>&e;</r>')
+        assert doc.root.text == "one"
+
+    def test_predefined_entities_not_overridable(self):
+        doc = parse('<!DOCTYPE r [<!ENTITY amp "nope">]><r>&amp;</r>')
+        assert doc.root.text == "&"
+
+    def test_billion_laughs_is_bounded(self):
+        # expansion depth guard: deeply nested entities must error,
+        # not consume unbounded memory
+        decls = '<!ENTITY a0 "lol">' + "".join(
+            f'<!ENTITY a{i} "&a{i-1};&a{i-1};">' for i in range(1, 40))
+        with pytest.raises(XMLWellFormednessError, match="depth"):
+            parse(f"<!DOCTYPE r [{decls}]><r>&a39;</r>")
+
+
+class TestWhitespaceHandling:
+    def test_whitespace_only_content_preserved(self):
+        assert parse("<r>   </r>").root.text == "   "
+
+    def test_whitespace_in_tags(self):
+        assert parse("<r  \n a='1'\t/>").root.get("a") == "1"
+
+    def test_crlf_in_attribute_normalizes_to_space(self):
+        assert parse('<r a="x\r\ny"/>').root.get("a") == "x y"
+
+
+class TestRoundTripEdgeCases:
+    @pytest.mark.parametrize("text", [
+        "<r>]] &gt;</r>",          # almost-CDATA-end
+        "<r>a&amp;&amp;b</r>",     # adjacent escapes
+        "<r><![CDATA[]]></r>",     # empty CDATA
+        "<r><!----></r>",          # empty comment
+    ])
+    def test_stable(self, text):
+        once = serialize(parse(text), xml_declaration=False)
+        assert serialize(parse(once), xml_declaration=False) == once

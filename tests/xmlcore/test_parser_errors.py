@@ -1,0 +1,132 @@
+"""Well-formedness violations must be rejected with positions."""
+
+import pytest
+
+from repro.errors import XMLWellFormednessError
+from repro.xmlcore import parse
+
+
+def reject(text: str) -> XMLWellFormednessError:
+    with pytest.raises(XMLWellFormednessError) as info:
+        parse(text)
+    return info.value
+
+
+class TestStructuralErrors:
+    def test_mismatched_tags(self):
+        assert "does not match" in str(reject("<a></b>"))
+
+    def test_unclosed_element(self):
+        reject("<a><b></a>")
+
+    def test_unterminated_document(self):
+        reject("<a>")
+
+    def test_no_root_element(self):
+        reject("")
+        reject("<!-- only a comment -->")
+
+    def test_content_after_root(self):
+        reject("<a/><b/>")
+        reject("<a/>text")
+
+    def test_content_before_root(self):
+        reject("text<a/>")
+
+    def test_bad_tag_name(self):
+        reject("<1a/>")
+        reject("< a/>")
+
+    def test_markup_decl_in_content(self):
+        reject("<a><!ELEMENT x (y)></a>")
+
+
+class TestAttributeErrors:
+    def test_duplicate_attribute(self):
+        assert "duplicate" in str(reject('<a x="1" x="2"/>'))
+
+    def test_unquoted_value(self):
+        reject("<a x=1/>")
+
+    def test_missing_equals(self):
+        reject('<a x "1"/>')
+
+    def test_less_than_in_value(self):
+        reject('<a x="a<b"/>')
+
+    def test_missing_whitespace_between_attributes(self):
+        reject('<a x="1"y="2"/>')
+
+
+class TestReferenceErrors:
+    def test_undeclared_entity(self):
+        assert "undeclared entity" in str(reject("<a>&nope;</a>"))
+
+    def test_bare_ampersand(self):
+        reject("<a>a & b</a>")
+
+    def test_malformed_char_reference(self):
+        reject("<a>&#xZZ;</a>")
+        reject("<a>&#;</a>")
+
+    def test_char_reference_out_of_range(self):
+        reject("<a>&#x110000;</a>")
+
+    def test_char_reference_to_illegal_char(self):
+        reject("<a>&#0;</a>")
+        reject("<a>&#x8;</a>")
+
+    def test_circular_entities(self):
+        reject('<!DOCTYPE r [<!ENTITY a "&b;"><!ENTITY b "&a;">]>'
+               "<r>&a;</r>")
+
+    def test_entity_with_lt_in_attribute(self):
+        reject('<!DOCTYPE r [<!ENTITY bad "<">]><r x="&bad;"/>')
+
+
+class TestCommentAndPIErrors:
+    def test_double_hyphen_in_comment(self):
+        reject("<a><!-- x -- y --></a>")
+
+    def test_unterminated_comment(self):
+        reject("<a><!-- never ends</a>")
+
+    def test_reserved_pi_target(self):
+        reject("<a><?xml bad?></a>")
+        reject("<a><?XML bad?></a>")
+
+    def test_unterminated_cdata(self):
+        reject("<a><![CDATA[never ends</a>")
+
+
+class TestCharacterErrors:
+    def test_illegal_control_char_in_content(self):
+        reject("<a>\x01</a>")
+
+    def test_illegal_control_char_in_attribute(self):
+        reject('<a x="\x01"/>')
+
+    def test_cdata_end_in_char_data(self):
+        reject("<a>bad ]]> here</a>")
+
+
+class TestErrorPositions:
+    def test_line_and_column_reported(self):
+        err = reject("<a>\n  <b>\n</a>")
+        assert err.line == 3
+        assert "line 3" in str(err)
+
+    def test_first_line_position(self):
+        err = reject("<a x=1/>")
+        assert err.line == 1
+
+
+class TestDeclarationErrors:
+    def test_bad_version(self):
+        reject('<?xml version="2.0"?><a/>')
+
+    def test_bad_standalone(self):
+        reject('<?xml version="1.0" standalone="maybe"?><a/>')
+
+    def test_misplaced_doctype(self):
+        reject("<a/><!DOCTYPE a []>")

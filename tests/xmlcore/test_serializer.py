@@ -1,0 +1,138 @@
+"""Serialization and parse/serialize round-trips."""
+
+import string
+
+from hypothesis import given, strategies as st
+
+from repro.xmlcore import (
+    CData, Comment, DocumentBuilder, Element, Text, parse, serialize,
+)
+
+
+class TestSerialization:
+    def test_empty_element(self):
+        doc = parse("<a/>")
+        assert serialize(doc, xml_declaration=False) == "<a />"
+
+    def test_attributes_escaped(self):
+        doc = parse('<a x="a&amp;b&quot;c"/>')
+        out = serialize(doc, xml_declaration=False)
+        assert "&amp;" in out and "&quot;" in out
+
+    def test_text_escaped(self):
+        doc = parse("<a>&lt;tag&gt; &amp; more</a>")
+        out = serialize(doc, xml_declaration=False)
+        assert out == "<a>&lt;tag&gt; &amp; more</a>"
+
+    def test_cdata_preserved(self):
+        doc = parse("<a><![CDATA[<raw>]]></a>")
+        assert "<![CDATA[<raw>]]>" in serialize(doc)
+
+    def test_comment_preserved(self):
+        assert "<!-- hi -->" in serialize(parse("<a><!-- hi --></a>"))
+
+    def test_pi_preserved(self):
+        assert "<?t d?>" in serialize(parse("<a><?t d?></a>"))
+
+    def test_xml_declaration_with_encoding(self):
+        doc = parse('<?xml version="1.0" encoding="UTF-8"?><a/>')
+        assert serialize(doc).startswith(
+            '<?xml version="1.0" encoding="UTF-8"?>')
+
+    def test_subtree_serialization(self):
+        doc = parse("<a><b x='1'>t</b></a>")
+        assert serialize(doc.root.find("b")) == '<b x="1">t</b>'
+
+    def test_pretty_print_element_only_content(self):
+        b = DocumentBuilder()
+        with b.element("a"):
+            b.leaf("b", "x")
+        out = serialize(b.document(), indent="  ")
+        assert "\n  <b>" in out
+
+    def test_pretty_print_leaves_mixed_content_alone(self):
+        doc = parse("<a>text<b/>more</a>")
+        out = serialize(doc, indent="  ", xml_declaration=False)
+        assert out == "<a>text<b />more</a>\n"
+
+
+class TestRoundTrip:
+    def assert_stable(self, text: str) -> None:
+        """serialize(parse(x)) is a fixpoint after one round."""
+        once = serialize(parse(text), xml_declaration=False)
+        twice = serialize(parse(once), xml_declaration=False)
+        assert once == twice
+
+    def test_stability_cases(self):
+        for text in [
+            "<a/>",
+            "<a>text</a>",
+            '<a x="1" y="&amp;"/>',
+            "<a><b/>mid<c>deep</c></a>",
+            "<a><![CDATA[x]]><!--c--><?p d?></a>",
+            '<x:a xmlns:x="urn:u"><x:b/></x:a>',
+        ]:
+            self.assert_stable(text)
+
+
+# -- property-based round trip ------------------------------------------------
+
+_names = st.builds(
+    lambda a, b: a + b,
+    st.sampled_from(string.ascii_lowercase),
+    st.text(alphabet=string.ascii_lowercase + string.digits,
+            max_size=6))
+
+_texts = st.text(
+    alphabet=st.characters(codec="utf-8",
+                           blacklist_categories=("Cs", "Cc")),
+    max_size=30)
+
+_attr_values = _texts
+
+
+@st.composite
+def _elements(draw, depth: int = 0) -> Element:
+    elem = Element(draw(_names))
+    for name in draw(st.lists(_names, max_size=3, unique=True)):
+        elem.set(name, draw(_attr_values))
+    if depth < 2:
+        children = draw(st.lists(st.integers(0, 2), max_size=3))
+        for kind in children:
+            if kind == 0:
+                # empty text nodes vanish on reparse; skip them
+                text = draw(_texts)
+                if text:
+                    elem.append(Text(text))
+            elif kind == 1:
+                elem.append(draw(_elements(depth=depth + 1)))
+            else:
+                data = draw(st.text(alphabet=string.ascii_letters,
+                                    max_size=10))
+                elem.append(Comment(data))
+    return elem
+
+
+@given(_elements())
+def test_random_tree_roundtrips(elem):
+    text = serialize(elem)
+    reparsed = parse(text, namespaces=False).root
+    assert serialize(reparsed) == text
+
+
+@given(_texts)
+def test_text_content_roundtrips_exactly(data):
+    elem = Element("t")
+    elem.append(Text(data))
+    reparsed = parse(serialize(elem), namespaces=False).root
+    # parser normalizes \r\n and \r to \n per XML 1.0
+    expected = data.replace("\r\n", "\n").replace("\r", "\n")
+    assert reparsed.text == expected
+
+
+@given(_attr_values)
+def test_attribute_value_roundtrips_exactly(value):
+    elem = Element("t")
+    elem.set("a", value)
+    reparsed = parse(serialize(elem), namespaces=False).root
+    assert reparsed.get("a") == value
