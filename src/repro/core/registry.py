@@ -6,21 +6,49 @@ XMIT ensures that they are propagated to all program components using
 these formats."  The registry remembers which URL produced which
 formats; :meth:`refresh` re-fetches a URL, recompiles, diffs, and
 notifies subscribers of every changed or added format.
+
+The discovery path is resilient (the paper's amortization story
+assumes discovery is rare and reliable; a real network makes it
+neither):
+
+* fetches go through :func:`repro.http.urls.fetch` under a
+  :class:`~repro.http.retry.RetryPolicy` (bounded exponential backoff,
+  deterministic jitter);
+* fetched documents are held in a digest-keyed cache with a TTL, so a
+  re-load inside the TTL costs no fetch and an unchanged digest costs
+  no recompile;
+* URLs that exhausted their retry budget are negative-cached for a
+  short interval, failing fast instead of hammering a dead server;
+* a failed :meth:`refresh` (or re-load) of a URL that loaded
+  successfully before is logged and counted, and the registry keeps
+  serving the **last-known-good** compiled formats instead of raising;
+* all mutation happens under a lock, listener notification included,
+  so concurrent loaders see exactly one compile per digest and never a
+  torn notification batch.
+
+Counters live in :attr:`FormatRegistry.stats`
+(:class:`~repro.http.retry.DiscoveryStats`).
 """
 
 from __future__ import annotations
 
 import hashlib
+import logging
+import threading
+import time
 from dataclasses import dataclass, field
 from typing import Callable
 
 from repro.core.ir import FormatIR, IRSet
 from repro.core.schema_compiler import compile_schema
-from repro.errors import DiscoveryError
+from repro.errors import DiscoveryError, ReproError
+from repro.http.retry import DiscoveryStats, RetryPolicy
 from repro.http.urls import fetch, resolve_url
 from repro.schema.model import Schema
 from repro.schema.parser import parse_schema, schema_locations
 from repro.xmlcore.parser import parse_bytes
+
+logger = logging.getLogger("repro.discovery")
 
 #: subscriber signature: (event, format_name, format_ir_or_None)
 #: where event is "added" | "changed" | "removed".
@@ -36,70 +64,191 @@ class _Source:
 
 
 @dataclass
+class _CachedDocument:
+    data: bytes
+    digest: str
+    fetched_at: float
+
+
+@dataclass
 class FormatRegistry:
     """Tracks loaded metadata documents and their formats."""
 
     ir: IRSet = field(default_factory=IRSet)
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
+    cache_ttl: float = 300.0
+    negative_ttl: float = 1.0
+    clock: Callable[[], float] = field(default=time.monotonic,
+                                       repr=False)
+    stats: DiscoveryStats = field(default_factory=DiscoveryStats)
+    loads: int = 0
     _sources: dict[str, _Source] = field(default_factory=dict)
     _listeners: list[ChangeListener] = field(default_factory=list)
-    loads: int = 0
+    _documents: dict[str, _CachedDocument] = field(default_factory=dict)
+    _negative: dict[str, float] = field(default_factory=dict)
+    #: digest -> (format names, enum names) of a completed compile.
+    _compiled: dict[str, tuple[tuple[str, ...], tuple[str, ...]]] = \
+        field(default_factory=dict)
+    _lock: threading.RLock = field(default_factory=threading.RLock,
+                                   repr=False)
 
     # -- loading ------------------------------------------------------------
 
     def load_url(self, url: str) -> tuple[str, ...]:
         """Fetch, parse and compile the schema document at *url*.
 
-        Returns the names of the formats it defined.  Loading the same
-        URL again is treated as a refresh.
+        Returns the names of the formats it defined.  A re-load inside
+        the cache TTL is served from the document cache without a
+        fetch; past the TTL it behaves like :meth:`refresh`.  If the
+        URL loaded successfully before and now fails (fetch or
+        compile), the failure is counted and the previously compiled
+        formats keep being served.
         """
-        data = fetch(url)
-        return self._ingest(url, data)
+        with self._lock:
+            cached = self._fresh_document(url)
+            if cached is not None:
+                self.stats.count("cache_hits")
+                return self._ingest(url, cached.data,
+                                    digest=cached.digest)
+            self.stats.count("cache_misses")
+            return self._load_or_fallback(url).format_names
 
     def load_text(self, text: str, *, source: str = "<inline>") \
             -> tuple[str, ...]:
         """Compile schema *text* not associated with a fetchable URL."""
-        return self._ingest(source, text.encode("utf-8"))
+        with self._lock:
+            return self._ingest(source, text.encode("utf-8"))
 
     def refresh(self, url: str) -> tuple[str, ...]:
         """Re-fetch *url*; returns names of formats that changed.
 
         An unchanged document (same digest) is a no-op returning ().
+        The TTL cache is bypassed — refresh is an explicit re-fetch.
+        A failing refresh of a previously loaded URL is a counted
+        no-op (last-known-good); only a URL that never loaded raises.
         """
+        with self._lock:
+            old = self._sources.get(url)
+            try:
+                data = self._fetch_checked(url)
+            except ReproError as exc:
+                fallback = self._serve_last_known_good(url, exc)
+                if fallback is None:
+                    raise
+                return ()
+            digest = hashlib.sha256(data).hexdigest()
+            if old is not None and old.digest == digest:
+                return ()
+            before = {name: self.ir.formats.get(name)
+                      for name in (old.format_names if old else ())}
+            try:
+                self._ingest(url, data, digest=digest)
+            except ReproError as exc:
+                fallback = self._serve_last_known_good(url, exc)
+                if fallback is None:
+                    raise
+                return ()
+            changed: list[str] = []
+            now = self._sources[url]
+            for name in now.format_names:
+                previous = before.get(name)
+                if previous is None:
+                    self._notify("added", name, self.ir.formats[name])
+                    changed.append(name)
+                elif previous != self.ir.formats[name]:
+                    self._notify("changed", name,
+                                 self.ir.formats[name])
+                    changed.append(name)
+            for name in set(before) - set(now.format_names):
+                self.ir.formats.pop(name, None)
+                self._notify("removed", name, None)
+                changed.append(name)
+            return tuple(changed)
+
+    # -- resilience internals ------------------------------------------------
+
+    def _fresh_document(self, url: str) -> _CachedDocument | None:
+        cached = self._documents.get(url)
+        if cached is None:
+            return None
+        if self.clock() - cached.fetched_at >= self.cache_ttl:
+            return None
+        return cached
+
+    def _fetch_checked(self, url: str) -> bytes:
+        """Fetch under the retry policy, honouring the negative cache
+        and refreshing the document cache on success."""
+        expiry = self._negative.get(url)
+        if expiry is not None:
+            if self.clock() < expiry:
+                self.stats.count("negative_hits")
+                raise DiscoveryError(
+                    f"{url} is negative-cached after a recent fetch "
+                    f"failure (retry in <= {self.negative_ttl:g}s)")
+            del self._negative[url]
+        try:
+            data = fetch(url, retry=self.retry, stats=self.stats)
+        except ReproError:
+            self._negative[url] = self.clock() + self.negative_ttl
+            raise
+        self._documents[url] = _CachedDocument(
+            data=data, digest=hashlib.sha256(data).hexdigest(),
+            fetched_at=self.clock())
+        return data
+
+    def _load_or_fallback(self, url: str) -> _Source:
+        """Fetch + ingest *url*, falling back to the last-known-good
+        source on any failure (when one exists)."""
+        try:
+            data = self._fetch_checked(url)
+            self._ingest(url, data,
+                         digest=self._documents[url].digest)
+        except ReproError as exc:
+            fallback = self._serve_last_known_good(url, exc)
+            if fallback is None:
+                raise
+            return fallback
+        return self._sources[url]
+
+    def _serve_last_known_good(self, url: str,
+                               exc: ReproError) -> _Source | None:
         old = self._sources.get(url)
-        data = fetch(url)
-        digest = hashlib.sha256(data).hexdigest()
-        if old is not None and old.digest == digest:
-            return ()
-        before = {name: self.ir.formats.get(name)
-                  for name in (old.format_names if old else ())}
-        self._ingest(url, data, digest=digest)
-        changed: list[str] = []
-        now = self._sources[url]
-        for name in now.format_names:
-            previous = before.get(name)
-            if previous is None:
-                self._notify("added", name, self.ir.formats[name])
-                changed.append(name)
-            elif previous != self.ir.formats[name]:
-                self._notify("changed", name, self.ir.formats[name])
-                changed.append(name)
-        for name in set(before) - set(now.format_names):
-            self.ir.formats.pop(name, None)
-            self._notify("removed", name, None)
-            changed.append(name)
-        return tuple(changed)
+        if old is None:
+            return None
+        self.stats.count("fallbacks")
+        logger.warning(
+            "discovery of %s failed (%s: %s); serving last-known-good "
+            "formats %s", url, type(exc).__name__, exc,
+            list(old.format_names))
+        return old
+
+    # -- compilation ----------------------------------------------------------
 
     def _ingest(self, url: str, data: bytes,
                 digest: str | None = None) -> tuple[str, ...]:
+        digest = digest or hashlib.sha256(data).hexdigest()
+        known = self._compiled.get(digest)
+        if known is not None and \
+                all(name in self.ir.formats for name in known[0]):
+            # identical document already compiled and still merged;
+            # just (re)point the source at it.
+            format_names, enum_names = known
+            self._sources[url] = _Source(
+                url=url, digest=digest, format_names=format_names,
+                enum_names=enum_names)
+            return format_names
         schema = self._parse_with_includes(url, data)
         compiled = compile_schema(schema)
+        self.stats.count("compiles")
         self.ir.merge(compiled)
         self.loads += 1
         self._sources[url] = _Source(
             url=url,
-            digest=digest or hashlib.sha256(data).hexdigest(),
+            digest=digest,
             format_names=tuple(compiled.formats),
             enum_names=tuple(compiled.enums))
+        self._compiled[digest] = (tuple(compiled.formats),
+                                  tuple(compiled.enums))
         return tuple(compiled.formats)
 
     def _parse_with_includes(self, url: str, data: bytes) -> Schema:
@@ -120,7 +269,10 @@ class FormatRegistry:
                 if target in visited:
                     continue  # diamond/repeat includes are fine
                 visited.add(target)
-                ingest_one(target, fetch(target), depth + 1)
+                ingest_one(target,
+                           fetch(target, retry=self.retry,
+                                 stats=self.stats),
+                           depth + 1)
             merged.merge(parse_schema(doc, check=False))
 
         visited.add(url)
@@ -132,25 +284,29 @@ class FormatRegistry:
 
     def source_of(self, format_name: str) -> str | None:
         """The URL whose document most recently defined *format_name*."""
-        found = None
-        for source in self._sources.values():
-            if format_name in source.format_names:
-                found = source.url
-        return found
+        with self._lock:
+            found = None
+            for source in self._sources.values():
+                if format_name in source.format_names:
+                    found = source.url
+            return found
 
     def urls(self) -> tuple[str, ...]:
-        return tuple(self._sources)
+        with self._lock:
+            return tuple(self._sources)
 
     # -- change propagation ----------------------------------------------------
 
     def subscribe(self, listener: ChangeListener) -> None:
-        self._listeners.append(listener)
+        with self._lock:
+            self._listeners.append(listener)
 
     def unsubscribe(self, listener: ChangeListener) -> None:
-        try:
-            self._listeners.remove(listener)
-        except ValueError:
-            pass
+        with self._lock:
+            try:
+                self._listeners.remove(listener)
+            except ValueError:
+                pass
 
     def _notify(self, event: str, name: str,
                 fmt: FormatIR | None) -> None:

@@ -22,6 +22,7 @@ from __future__ import annotations
 from repro.core.binding import BindingToken
 from repro.core.ir import IRSet
 from repro.core.registry import FormatRegistry
+from repro.http.retry import DiscoveryStats, RetryPolicy
 from repro.core.targets.base import target_by_name
 from repro.errors import XMITError
 from repro.pbio.context import IOContext
@@ -35,8 +36,14 @@ from repro.xmlcore.serializer import serialize
 class XMIT:
     """XML Metadata Integration Toolkit."""
 
-    def __init__(self) -> None:
-        self.registry = FormatRegistry()
+    def __init__(self, *, retry: RetryPolicy | None = None,
+                 cache_ttl: float | None = None) -> None:
+        kwargs = {}
+        if retry is not None:
+            kwargs["retry"] = retry
+        if cache_ttl is not None:
+            kwargs["cache_ttl"] = cache_ttl
+        self.registry = FormatRegistry(**kwargs)
         self._bindings: dict[tuple, BindingToken] = {}
 
     # -- discovery ----------------------------------------------------------
@@ -67,6 +74,12 @@ class XMIT:
     def ir(self) -> IRSet:
         """The toolkit's compiled internal representation."""
         return self.registry.ir
+
+    @property
+    def discovery_stats(self) -> DiscoveryStats:
+        """Counters for the discovery path: fetch attempts, retries,
+        cache hits/misses, last-known-good fallbacks, compiles."""
+        return self.registry.stats
 
     @property
     def format_names(self) -> tuple[str, ...]:

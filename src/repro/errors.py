@@ -111,6 +111,11 @@ class DiscoveryError(ReproError):
     """Metadata discovery failed (URL unresolvable, fetch error)."""
 
 
+class MetadataNotFoundError(DiscoveryError):
+    """The document definitively does not exist at the URL (missing
+    ``mem:`` publication, missing file).  Never worth retrying."""
+
+
 class HTTPError(DiscoveryError):
     """HTTP substrate failure; carries the response status when known."""
 

@@ -13,26 +13,38 @@ package is the hermetic replacement:
 * :mod:`repro.http.client` -- the matching GET client.
 """
 
+from repro.http.retry import (
+    DiscoveryStats,
+    RetryPolicy,
+    call_with_retry,
+    default_retryable,
+)
 from repro.http.urls import (
     ParsedURL,
     URLResolver,
     fetch,
     parse_url,
     publish_document,
+    register_resolver,
     unpublish_document,
 )
 from repro.http.server import DocumentStore, MetadataHTTPServer
 from repro.http.client import http_get, HTTPResponse
 
 __all__ = [
+    "DiscoveryStats",
     "DocumentStore",
     "HTTPResponse",
     "MetadataHTTPServer",
     "ParsedURL",
+    "RetryPolicy",
     "URLResolver",
+    "call_with_retry",
+    "default_retryable",
     "fetch",
     "http_get",
     "parse_url",
     "publish_document",
+    "register_resolver",
     "unpublish_document",
 ]

@@ -12,6 +12,7 @@ import socket
 from dataclasses import dataclass, field
 
 from repro.errors import HTTPError
+from repro.http.retry import RetryPolicy, call_with_retry
 
 _MAX_HEADER_BYTES = 64 * 1024
 _RECV_CHUNK = 64 * 1024
@@ -28,8 +29,26 @@ class HTTPResponse:
 
 
 def http_get(host: str, port: int, path: str, *,
-             timeout: float = 10.0) -> HTTPResponse:
-    """Issue ``GET path`` and return the parsed response."""
+             timeout: float = 10.0,
+             retry: RetryPolicy | None = None) -> HTTPResponse:
+    """Issue ``GET path`` and return the parsed response.
+
+    With *retry*, connection-level failures (refused, dropped,
+    truncated, malformed response) are retried under the policy, whose
+    per-attempt ``timeout`` overrides *timeout*.  Status codes are
+    returned, not raised — 5xx retry lives in the resolver layer
+    (:func:`repro.http.urls.fetch`).
+    """
+    if retry is not None:
+        return call_with_retry(
+            lambda: _http_get_once(host, port, path,
+                                   timeout=retry.timeout),
+            retry)
+    return _http_get_once(host, port, path, timeout=timeout)
+
+
+def _http_get_once(host: str, port: int, path: str, *,
+                   timeout: float) -> HTTPResponse:
     if not path.startswith("/"):
         path = "/" + path
     request = (f"GET {path} HTTP/1.0\r\n"
@@ -83,7 +102,12 @@ def _parse_response(raw: bytes, host: str, port: int,
             headers[name.strip().lower()] = value.strip()
     declared = headers.get("content-length")
     if declared is not None:
-        expected = int(declared)
+        try:
+            expected = int(declared)
+        except ValueError:
+            raise HTTPError(
+                f"malformed Content-Length header {declared!r} from "
+                f"{host}:{port}{path}") from None
         if len(body) < expected:
             raise HTTPError(
                 f"truncated body: {len(body)} of {expected} bytes")

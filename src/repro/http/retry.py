@@ -1,0 +1,156 @@
+"""Retry policy, backoff schedule and discovery counters.
+
+The paper's amortization argument (section 4.2) assumes discovery is a
+rare, reliable step whose cost is paid once per format.  On a real
+network it is neither: fetches hit dead servers, dropped connections
+and transient 5xxs.  This module supplies the resilience layer the
+discovery path (:func:`repro.http.urls.fetch`,
+:class:`repro.core.registry.FormatRegistry`) is built on:
+
+* :class:`RetryPolicy` — configurable attempt count, per-attempt
+  timeout, exponential backoff with a cap, and *deterministic* jitter
+  (seeded, so a policy's delay schedule is exactly reproducible in
+  tests);
+* :func:`call_with_retry` — drives a callable through the policy,
+  distinguishing retryable faults (connection failures, 5xx) from
+  permanent ones (4xx, malformed documents);
+* :class:`DiscoveryStats` — thread-safe counters mirroring the style
+  of :attr:`repro.pbio.format_server.FormatServer.stats`.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.errors import DiscoveryError, HTTPError, MetadataNotFoundError
+
+
+def default_retryable(exc: BaseException) -> bool:
+    """Is *exc* worth retrying?
+
+    Connection-level failures and server errors (5xx) are transient;
+    client errors (4xx), missing documents and anything raised *after*
+    the bytes arrived (malformed XML, schema errors) are permanent.
+    """
+    if isinstance(exc, HTTPError):
+        if exc.status is None:
+            return True  # connection-level: refused, dropped, truncated
+        return exc.status >= 500
+    if isinstance(exc, MetadataNotFoundError):
+        return False
+    if isinstance(exc, (DiscoveryError, OSError)):
+        return True
+    return False
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded exponential backoff with deterministic jitter.
+
+    ``delays()`` yields the sleep before each retry: attempt *i* waits
+    ``base_delay * multiplier**i`` plus a jitter fraction drawn from
+    ``random.Random(seed)``, clamped to ``max_delay`` and to be
+    monotone non-decreasing.  Two equal policies produce identical
+    schedules, which is what makes retry behaviour testable.
+    """
+
+    attempts: int = 3
+    base_delay: float = 0.05
+    multiplier: float = 2.0
+    max_delay: float = 2.0
+    jitter: float = 0.1
+    seed: int = 0
+    timeout: float = 10.0
+    sleep: Callable[[float], None] = field(default=time.sleep,
+                                           repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.attempts < 1:
+            raise ValueError("RetryPolicy.attempts must be >= 1")
+        if self.base_delay < 0 or self.max_delay < 0:
+            raise ValueError("RetryPolicy delays must be >= 0")
+        if self.multiplier < 1.0:
+            raise ValueError("RetryPolicy.multiplier must be >= 1")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError("RetryPolicy.jitter must be in [0, 1]")
+
+    def delays(self) -> tuple[float, ...]:
+        """The backoff schedule: one delay per retry (attempts - 1)."""
+        rng = random.Random(self.seed)
+        schedule: list[float] = []
+        previous = 0.0
+        for i in range(self.attempts - 1):
+            raw = self.base_delay * (self.multiplier ** i)
+            jittered = raw * (1.0 + self.jitter * rng.random())
+            delay = min(jittered, self.max_delay)
+            delay = max(delay, previous)  # monotone non-decreasing
+            schedule.append(delay)
+            previous = delay
+        return tuple(schedule)
+
+
+class DiscoveryStats:
+    """Thread-safe counters for the discovery path.
+
+    ``fetch_attempts``/``retries``/``fetch_failures`` are incremented
+    by :func:`call_with_retry`; the cache and fallback counters by
+    :class:`repro.core.registry.FormatRegistry`.
+    """
+
+    _COUNTERS = ("fetch_attempts", "retries", "fetch_failures",
+                 "cache_hits", "cache_misses", "negative_hits",
+                 "fallbacks", "compiles")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        for name in self._COUNTERS:
+            setattr(self, name, 0)
+
+    def count(self, name: str, n: int = 1) -> None:
+        if name not in self._COUNTERS:
+            raise AttributeError(f"unknown discovery counter {name!r}")
+        with self._lock:
+            setattr(self, name, getattr(self, name) + n)
+
+    def snapshot(self) -> dict[str, int]:
+        with self._lock:
+            return {name: getattr(self, name)
+                    for name in self._COUNTERS}
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{k}={v}" for k, v in
+                          self.snapshot().items())
+        return f"DiscoveryStats({inner})"
+
+
+def call_with_retry(fn: Callable[[], object], policy: RetryPolicy, *,
+                    stats: DiscoveryStats | None = None,
+                    retryable: Callable[[BaseException], bool]
+                    = default_retryable):
+    """Call *fn* under *policy*; returns its result.
+
+    Each invocation counts one ``fetch_attempts``.  A retryable failure
+    sleeps the scheduled backoff and tries again; a non-retryable one
+    (or an exhausted budget) counts a ``fetch_failures`` and re-raises.
+    """
+    delays = policy.delays()
+    for attempt in range(policy.attempts):
+        if stats is not None:
+            stats.count("fetch_attempts")
+        try:
+            return fn()
+        except Exception as exc:
+            if attempt + 1 >= policy.attempts or not retryable(exc):
+                if stats is not None:
+                    stats.count("fetch_failures")
+                raise
+            if stats is not None:
+                stats.count("retries")
+            delay = delays[attempt]
+            if delay > 0:
+                policy.sleep(delay)
+    raise AssertionError("unreachable")  # pragma: no cover

@@ -22,7 +22,8 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Callable
 
-from repro.errors import DiscoveryError
+from repro.errors import DiscoveryError, MetadataNotFoundError
+from repro.http.retry import DiscoveryStats, RetryPolicy, call_with_retry
 
 _URL_RE = re.compile(r"^([A-Za-z][A-Za-z0-9+.-]*):(.*)$", re.DOTALL)
 _AUTHORITY_RE = re.compile(
@@ -93,7 +94,7 @@ def _resolve_mem(url: ParsedURL) -> bytes:
         try:
             return _MEM_DOCS[url.path]
         except KeyError:
-            raise DiscoveryError(
+            raise MetadataNotFoundError(
                 f"no document published at mem:{url.path}") from None
 
 
@@ -101,6 +102,9 @@ def _resolve_file(url: ParsedURL) -> bytes:
     path = Path(url.path)
     try:
         return path.read_bytes()
+    except FileNotFoundError:
+        raise MetadataNotFoundError(
+            f"cannot read {url}: no such file") from None
     except OSError as exc:
         raise DiscoveryError(f"cannot read {url}: {exc}") from None
 
@@ -166,8 +170,16 @@ def resolve_url(base: str, ref: str) -> str:
     return f"{parsed.scheme}:{path}"
 
 
-def fetch(url: str | ParsedURL) -> bytes:
-    """Fetch the document at *url* through the resolver chain."""
+def fetch(url: str | ParsedURL, *,
+          retry: RetryPolicy | None = None,
+          stats: DiscoveryStats | None = None) -> bytes:
+    """Fetch the document at *url* through the resolver chain.
+
+    With *retry*, transient resolver failures (connection-level errors,
+    5xx, generic :class:`DiscoveryError`) are retried under the policy;
+    permanent ones (4xx, missing documents, malformed URLs) raise
+    immediately.  *stats* counts attempts/retries/failures.
+    """
     parsed = parse_url(url) if isinstance(url, str) else url
     try:
         resolver = _RESOLVERS[parsed.scheme]
@@ -175,4 +187,14 @@ def fetch(url: str | ParsedURL) -> bytes:
         raise DiscoveryError(
             f"no resolver for scheme {parsed.scheme!r} "
             f"(known: {sorted(_RESOLVERS)})") from None
-    return resolver(parsed)
+    if retry is None:
+        if stats is not None:
+            stats.count("fetch_attempts")
+        try:
+            return resolver(parsed)
+        except Exception:
+            if stats is not None:
+                stats.count("fetch_failures")
+            raise
+    return call_with_retry(lambda: resolver(parsed), retry,
+                           stats=stats)

@@ -27,6 +27,7 @@ import threading
 from repro.errors import (
     FormatRegistrationError, TransportError, UnknownFormatError,
 )
+from repro.http.retry import RetryPolicy, call_with_retry
 from repro.pbio.format import FormatID, IOFormat, deserialize_format
 from repro.pbio.format_server import FormatServer
 from repro.transport.messages import Frame, FrameType
@@ -107,17 +108,40 @@ class FormatServerService:
 class RemoteFormatServer:
     """FormatServer-compatible client over TCP, with a local cache."""
 
-    def __init__(self, channel: TCPChannel) -> None:
+    def __init__(self, channel: TCPChannel, *,
+                 retry: RetryPolicy | None = None,
+                 endpoint: tuple[str, int, float] | None = None) -> None:
         self._channel = channel
         self._lock = threading.Lock()
         self._cache: dict[FormatID, bytes] = {}
+        self._retry = retry
+        self._endpoint = endpoint
         self.network_registrations = 0
         self.network_lookups = 0
+        self.network_retries = 0
 
     @classmethod
     def connect(cls, host: str, port: int, *,
-                timeout: float = 10.0) -> "RemoteFormatServer":
-        return cls(TCPChannel.connect(host, port, timeout=timeout))
+                timeout: float = 10.0,
+                retry: RetryPolicy | None = None) \
+            -> "RemoteFormatServer":
+        """Connect to a format-server service.
+
+        With *retry*, both the initial connect and later requests are
+        retried under the policy; a dropped connection is transparently
+        re-established before each retry (requests are idempotent:
+        registration is digest-keyed and lookups are reads).
+        """
+        def connect_once() -> TCPChannel:
+            return TCPChannel.connect(host, port, timeout=timeout)
+        if retry is not None:
+            channel = call_with_retry(
+                connect_once, retry,
+                retryable=lambda e: isinstance(e, TransportError))
+        else:
+            channel = connect_once()
+        return cls(channel, retry=retry,
+                   endpoint=(host, port, timeout))
 
     # -- FormatServer interface ------------------------------------------------
 
@@ -181,11 +205,37 @@ class RemoteFormatServer:
     # -- internals ---------------------------------------------------------------
 
     def _request(self, frame: Frame, timeout: float = 10.0) -> Frame:
+        attempts = self._retry.attempts if self._retry else 1
+        delays = self._retry.delays() if self._retry else ()
+        last_exc: TransportError | None = None
+        for attempt in range(attempts):
+            try:
+                return self._request_once(frame, timeout)
+            except TransportError as exc:
+                last_exc = exc
+                if attempt + 1 >= attempts or self._endpoint is None:
+                    raise
+                self.network_retries += 1
+                if attempt < len(delays) and delays[attempt] > 0:
+                    self._retry.sleep(delays[attempt])
+                self._reconnect()
+        raise last_exc  # pragma: no cover
+
+    def _request_once(self, frame: Frame, timeout: float) -> Frame:
         self._channel.send(frame)
         reply = self._channel.recv(timeout)
         if reply is None:
             raise TransportError("format server closed the connection")
         return reply
+
+    def _reconnect(self) -> None:
+        # caller holds self._lock, so swapping the channel is safe
+        try:
+            self._channel.close()
+        except TransportError:
+            pass
+        host, port, timeout = self._endpoint
+        self._channel = TCPChannel.connect(host, port, timeout=timeout)
 
     def close(self) -> None:
         self._channel.close()

@@ -1,0 +1,35 @@
+"""Test-support harnesses shipped with the library.
+
+:mod:`repro.testing.faults` injects discovery-path failures — at the
+resolver layer (via :func:`repro.http.urls.register_resolver`) and at
+the HTTP socket layer — so the retry/caching/fallback machinery can be
+exercised deterministically.
+"""
+
+from repro.testing.faults import (
+    DROP,
+    FAIL,
+    GARBAGE,
+    HTTP_404,
+    HTTP_500,
+    OK,
+    SLOW,
+    TRUNCATE,
+    FaultInjectingResolver,
+    FaultScript,
+    FaultyHTTPServer,
+)
+
+__all__ = [
+    "DROP",
+    "FAIL",
+    "FaultInjectingResolver",
+    "FaultScript",
+    "FaultyHTTPServer",
+    "GARBAGE",
+    "HTTP_404",
+    "HTTP_500",
+    "OK",
+    "SLOW",
+    "TRUNCATE",
+]

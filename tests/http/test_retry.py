@@ -1,0 +1,202 @@
+"""Retry policy and backoff-schedule properties."""
+
+import pytest
+
+from repro.errors import (
+    DiscoveryError, HTTPError, MetadataNotFoundError, SchemaParseError,
+)
+from repro.http.retry import (
+    DiscoveryStats, RetryPolicy, call_with_retry, default_retryable,
+)
+
+SEEDS = range(40)
+POLICY_SHAPES = [
+    dict(attempts=5, base_delay=0.05, multiplier=2.0, max_delay=2.0,
+         jitter=0.1),
+    dict(attempts=8, base_delay=0.01, multiplier=3.0, max_delay=0.2,
+         jitter=0.5),
+    dict(attempts=4, base_delay=1.0, multiplier=1.0, max_delay=10.0,
+         jitter=1.0),
+    dict(attempts=6, base_delay=0.5, multiplier=2.0, max_delay=0.5,
+         jitter=0.25),
+]
+
+
+def _no_sleep(_delay: float) -> None:
+    pass
+
+
+class TestBackoffSchedule:
+    @pytest.mark.parametrize("shape", POLICY_SHAPES,
+                             ids=lambda s: f"x{s['multiplier']}")
+    def test_monotone_non_decreasing_for_every_seed(self, shape):
+        for seed in SEEDS:
+            delays = RetryPolicy(seed=seed, **shape).delays()
+            assert len(delays) == shape["attempts"] - 1
+            assert all(a <= b for a, b in zip(delays, delays[1:])), \
+                (seed, delays)
+
+    @pytest.mark.parametrize("shape", POLICY_SHAPES,
+                             ids=lambda s: f"x{s['multiplier']}")
+    def test_bounded_by_cap(self, shape):
+        for seed in SEEDS:
+            delays = RetryPolicy(seed=seed, **shape).delays()
+            assert all(0.0 <= d <= shape["max_delay"] for d in delays), \
+                (seed, delays)
+
+    def test_exactly_reproducible_for_fixed_seed(self):
+        for seed in SEEDS:
+            policy = RetryPolicy(attempts=6, seed=seed)
+            again = RetryPolicy(attempts=6, seed=seed)
+            assert policy.delays() == policy.delays()
+            assert policy.delays() == again.delays()
+
+    def test_seed_actually_jitters(self):
+        schedules = {RetryPolicy(attempts=4, seed=s).delays()
+                     for s in SEEDS}
+        assert len(schedules) > 1
+
+    def test_zero_jitter_is_pure_exponential(self):
+        delays = RetryPolicy(attempts=4, base_delay=0.1,
+                             multiplier=2.0, max_delay=100.0,
+                             jitter=0.0).delays()
+        assert delays == (pytest.approx(0.1), pytest.approx(0.2),
+                          pytest.approx(0.4))
+
+    def test_single_attempt_has_no_delays(self):
+        assert RetryPolicy(attempts=1).delays() == ()
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(attempts=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(multiplier=0.5)
+        with pytest.raises(ValueError):
+            RetryPolicy(jitter=2.0)
+        with pytest.raises(ValueError):
+            RetryPolicy(base_delay=-1.0)
+
+
+class TestRetryableClassification:
+    def test_connection_level_http_error_is_retryable(self):
+        assert default_retryable(HTTPError("connection refused"))
+
+    def test_5xx_is_retryable_4xx_is_not(self):
+        assert default_retryable(HTTPError("boom", status=500))
+        assert default_retryable(HTTPError("boom", status=503))
+        assert not default_retryable(HTTPError("gone", status=404))
+        assert not default_retryable(HTTPError("nope", status=400))
+
+    def test_missing_document_is_not_retryable(self):
+        assert not default_retryable(MetadataNotFoundError("missing"))
+
+    def test_generic_discovery_error_is_retryable(self):
+        assert default_retryable(DiscoveryError("transient"))
+        assert default_retryable(OSError("reset"))
+
+    def test_malformed_schema_is_not_retryable(self):
+        assert not default_retryable(SchemaParseError("bad schema"))
+        assert not default_retryable(ValueError("unrelated"))
+
+
+class TestCallWithRetry:
+    def _policy(self, attempts=4):
+        return RetryPolicy(attempts=attempts, base_delay=0.01,
+                           seed=3, sleep=_no_sleep)
+
+    def test_stops_on_first_success(self):
+        stats = DiscoveryStats()
+        calls = []
+        result = call_with_retry(lambda: calls.append(1) or "doc",
+                                 self._policy(), stats=stats)
+        assert result == "doc"
+        assert len(calls) == 1
+        assert stats.fetch_attempts == 1 and stats.retries == 0
+
+    def test_succeeds_within_budget(self):
+        stats = DiscoveryStats()
+        state = {"n": 0}
+
+        def flaky():
+            state["n"] += 1
+            if state["n"] < 3:
+                raise DiscoveryError("transient")
+            return b"ok"
+
+        assert call_with_retry(flaky, self._policy(),
+                               stats=stats) == b"ok"
+        assert stats.fetch_attempts == 3
+        assert stats.retries == 2
+        assert stats.fetch_failures == 0
+
+    def test_exhausted_budget_raises_and_counts_failure(self):
+        stats = DiscoveryStats()
+        calls = []
+
+        def dead():
+            calls.append(1)
+            raise DiscoveryError("still down")
+
+        with pytest.raises(DiscoveryError):
+            call_with_retry(dead, self._policy(attempts=3),
+                            stats=stats)
+        assert len(calls) == 3
+        assert stats.fetch_attempts == 3
+        assert stats.retries == 2
+        assert stats.fetch_failures == 1
+
+    def test_non_retryable_error_stops_immediately(self):
+        stats = DiscoveryStats()
+        calls = []
+
+        def gone():
+            calls.append(1)
+            raise HTTPError("not found", status=404)
+
+        with pytest.raises(HTTPError):
+            call_with_retry(gone, self._policy(), stats=stats)
+        assert len(calls) == 1
+        assert stats.retries == 0
+        assert stats.fetch_failures == 1
+
+    def test_sleeps_follow_the_schedule(self):
+        slept = []
+        policy = RetryPolicy(attempts=4, base_delay=0.25, seed=11,
+                             sleep=slept.append)
+
+        def dead():
+            raise DiscoveryError("down")
+
+        with pytest.raises(DiscoveryError):
+            call_with_retry(dead, policy)
+        assert tuple(slept) == policy.delays()
+
+    def test_custom_retryable_predicate(self):
+        calls = []
+
+        def boom():
+            calls.append(1)
+            raise KeyError("x")
+
+        with pytest.raises(KeyError):
+            call_with_retry(boom, self._policy(),
+                            retryable=lambda e: False)
+        assert len(calls) == 1
+
+
+class TestDiscoveryStats:
+    def test_counts_and_snapshot(self):
+        stats = DiscoveryStats()
+        stats.count("cache_hits")
+        stats.count("cache_hits", 2)
+        assert stats.cache_hits == 3
+        snap = stats.snapshot()
+        assert snap["cache_hits"] == 3
+        assert set(snap) == set(DiscoveryStats._COUNTERS)
+
+    def test_unknown_counter_rejected(self):
+        with pytest.raises(AttributeError):
+            DiscoveryStats().count("typo")
+
+    def test_repr_mentions_counters(self):
+        assert "fetch_attempts=0" in repr(DiscoveryStats())

@@ -141,3 +141,44 @@ class TestClientParsing:
         from repro.errors import HTTPError
         with pytest.raises(HTTPError, match="terminator"):
             self._respond(b"HTTP/1.0 200 OK\r\nnever-ends")
+
+    def test_non_numeric_content_length(self):
+        """A garbage Content-Length must surface as HTTPError, not a
+        bare ValueError (regression, alongside the truncated-body
+        case above)."""
+        from repro.errors import HTTPError
+        with pytest.raises(HTTPError, match="[Cc]ontent-[Ll]ength"):
+            self._respond(
+                b"HTTP/1.0 200 OK\r\nContent-Length: banana\r\n\r\nabc")
+
+    def test_non_numeric_content_length_is_typed(self):
+        from repro.errors import DiscoveryError
+        with pytest.raises(DiscoveryError):
+            self._respond(
+                b"HTTP/1.0 200 OK\r\nContent-Length: 12abc\r\n\r\nabc")
+
+
+class TestClientRetry:
+    def test_http_get_retries_dropped_connections(self):
+        from repro.http.retry import RetryPolicy
+        from repro.http.server import DocumentStore
+        from repro.testing import DROP, FaultyHTTPServer
+
+        store = DocumentStore()
+        store.put("/doc", "<ok/>")
+        with FaultyHTTPServer(store, faults=[DROP, DROP]) as server:
+            response = http_get(
+                server.host, server.port, "/doc",
+                retry=RetryPolicy(attempts=3, base_delay=0.001))
+            assert response.status == 200
+            assert response.body == b"<ok/>"
+
+    def test_http_get_without_retry_still_fails_fast(self):
+        from repro.http.server import DocumentStore
+        from repro.testing import DROP, FaultyHTTPServer
+
+        store = DocumentStore()
+        store.put("/doc", "<ok/>")
+        with FaultyHTTPServer(store, faults=[DROP]) as server:
+            with pytest.raises(HTTPError):
+                http_get(server.host, server.port, "/doc")

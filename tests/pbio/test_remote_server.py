@@ -70,6 +70,47 @@ class TestProtocol:
         assert fid == make_format().format_id
 
 
+class TestReconnectRetry:
+    def _retry(self):
+        from repro.http.retry import RetryPolicy
+        return RetryPolicy(attempts=3, base_delay=0.001, seed=2)
+
+    def test_request_survives_a_dropped_connection(self, service):
+        client = RemoteFormatServer.connect(service.host, service.port,
+                                            retry=self._retry())
+        try:
+            fid = client.register(make_format())
+            # sever the TCP channel underneath the client; the next
+            # uncached request must reconnect and succeed
+            client._channel.close()
+            client._cache.clear()
+            assert client.lookup(fid) == make_format()
+            assert client.network_retries >= 1
+        finally:
+            client.close()
+
+    def test_without_retry_a_dropped_connection_raises(self, service):
+        from repro.errors import TransportError
+        client = RemoteFormatServer.connect(service.host, service.port)
+        try:
+            fid = client.register(make_format())
+            client._channel.close()
+            client._cache.clear()
+            with pytest.raises(TransportError):
+                client.lookup(fid)
+        finally:
+            client.close()
+
+    def test_connect_retries_until_service_is_up(self, service):
+        # connecting to a live service with a retry policy is a no-op
+        client = RemoteFormatServer.connect(service.host, service.port,
+                                            retry=self._retry())
+        try:
+            assert client.known_ids() == ()
+        finally:
+            client.close()
+
+
 class TestContextIntegration:
     def test_contexts_share_formats_through_the_service(self, service):
         sender_server = RemoteFormatServer.connect(service.host,
