@@ -10,11 +10,21 @@ embedded in EXPERIMENTS.md.
 
 from __future__ import annotations
 
+import json
+from pathlib import Path
+
 import pytest
 
 from repro.pbio.context import IOContext
 from repro.pbio.format_server import FormatServer
 from repro.pbio.layout import field_list_for
+
+#: Where the fused-codec acceptance numbers land; consumed by
+#: ``benchmarks/check_fused_gate.py`` in CI.
+BENCH_FUSED_PATH = Path(__file__).resolve().parents[1] / \
+    "BENCH_fused.json"
+
+_FUSED_METRICS: dict = {}
 
 
 def context_for_case(case) -> IOContext:
@@ -36,3 +46,17 @@ def context_for_case(case) -> IOContext:
 @pytest.fixture
 def fresh_server() -> FormatServer:
     return FormatServer()
+
+
+@pytest.fixture
+def fused_metrics() -> dict:
+    """Session-wide sink for the fused-codec acceptance numbers
+    (``test_ext_fused_codec``); flushed to BENCH_fused.json at
+    session end."""
+    return _FUSED_METRICS
+
+
+def pytest_sessionfinish(session, exitstatus):
+    if _FUSED_METRICS:
+        BENCH_FUSED_PATH.write_text(
+            json.dumps(_FUSED_METRICS, indent=2, sort_keys=True) + "\n")

@@ -29,9 +29,10 @@ from repro.errors import (
     DecodeError, FormatRegistrationError, UnknownFormatError,
 )
 from repro.pbio.convert import ConversionPlan, plan_conversion
-from repro.pbio.decode import RecordDecoder
+from repro.pbio.decode import RecordDecoder, decoder_for_format
 from repro.pbio.encode import (
-    HEADER_LEN, EncodedRecord, RecordEncoder, build_header, parse_header,
+    HEADER_LEN, EncodedRecord, RecordEncoder, build_header,
+    encoder_for_format, is_batch, parse_batch, parse_header,
 )
 from repro.pbio.fields import FieldList
 from repro.pbio.format import FormatID, IOFormat
@@ -154,7 +155,9 @@ class IOContext:
     def encoder_for(self, fmt: IOFormat) -> RecordEncoder:
         encoder = self._encoders.get(fmt.format_id)
         if encoder is None:
-            encoder = RecordEncoder(fmt)
+            # L2: the process-wide digest-keyed plan cache, so every
+            # context encoding the same format shares one compiled plan
+            encoder = encoder_for_format(fmt)
             self._encoders[fmt.format_id] = encoder
         return encoder
 
@@ -162,13 +165,22 @@ class IOContext:
         """Encode *record*; returns header + body wire bytes."""
         fmt = (format_name if isinstance(format_name, IOFormat)
                else self.lookup_format(format_name))
-        encoder = self.encoder_for(fmt)
-        body = encoder.encode_body(record)
-        header = build_header(
-            fmt.format_id, len(body),
-            big_endian=fmt.architecture.byte_order == "big")
-        wire = bytes(header) + bytes(body)
+        wire = self.encoder_for(fmt).encode_wire(record)
         self.stats.records_encoded += 1
+        self.stats.bytes_encoded += len(wire)
+        return wire
+
+    def encode_many(self, format_name: str | IOFormat,
+                    records) -> bytes:
+        """Encode *records* into one shared-header batch
+        (:func:`~repro.pbio.encode.build_batch`): N same-format
+        records under a single 16-byte header, ready for one
+        transport frame."""
+        fmt = (format_name if isinstance(format_name, IOFormat)
+               else self.lookup_format(format_name))
+        records = list(records)
+        wire = self.encoder_for(fmt).encode_batch(records)
+        self.stats.records_encoded += len(records)
         self.stats.bytes_encoded += len(wire)
         return wire
 
@@ -186,13 +198,16 @@ class IOContext:
         key = (fmt.format_id, arrays)
         decoder = self._decoders.get(key)
         if decoder is None:
-            decoder = RecordDecoder(fmt, arrays=arrays)
+            decoder = decoder_for_format(fmt, arrays=arrays)
             self._decoders[key] = decoder
         return decoder
 
     def decode(self, data: bytes, *, arrays: str = "list") \
             -> DecodedRecord:
         """Decode a wire record under its *sender's* field view."""
+        if is_batch(data):
+            raise DecodeError(
+                "data is a record batch; use decode_many()")
         fid, body = self._split(data)
         fmt = self._resolve_wire_format(fid)
         record = self.decoder_for(fmt, arrays=arrays).decode(body)
@@ -200,6 +215,30 @@ class IOContext:
         self.stats.bytes_decoded += len(data)
         return DecodedRecord(format_name=fmt.name, format_id=fid,
                              record=record)
+
+    def decode_many(self, data: bytes, *, arrays: str = "list") \
+            -> list[DecodedRecord]:
+        """Decode a shared-header record batch produced by
+        :meth:`encode_many` under its sender's field view."""
+        name, fid, records = self.decode_many_records(
+            data, arrays=arrays)
+        return [DecodedRecord(format_name=name, format_id=fid,
+                              record=record) for record in records]
+
+    def decode_many_records(self, data: bytes, *,
+                            arrays: str = "list") \
+            -> tuple[str, FormatID, list[dict]]:
+        """Batch decode without per-record wrapping: the format name
+        and id once, plus the raw record dicts.  This is the hot path
+        for batched streaming — callers that build their own envelope
+        (e.g. transport connections) skip a dataclass per record."""
+        fid, _big, bodies = parse_batch(data)
+        fmt = self._resolve_wire_format(fid)
+        decode = self.decoder_for(fmt, arrays=arrays).decode
+        records = [decode(body) for body in bodies]
+        self.stats.records_decoded += len(records)
+        self.stats.bytes_decoded += len(data)
+        return fmt.name, fid, records
 
     def decode_as(self, data: bytes, native_name: str, *,
                   arrays: str = "list") -> dict:
@@ -249,7 +288,7 @@ def encode_with_header(fmt: IOFormat, record: EncodedRecord | dict) \
     if isinstance(record, EncodedRecord):
         enc = record
     else:
-        enc = RecordEncoder(fmt).encode(record)
+        enc = encoder_for_format(fmt).encode(record)
     header = build_header(enc.format_id, len(enc.body),
                           big_endian=fmt.architecture.byte_order == "big")
     return header + enc.body

@@ -6,20 +6,28 @@ order taken from the wire format's metadata) and produces native Python
 values, swapping bytes only when sender and receiver disagree — which
 NumPy's explicit-endianness dtypes give us for free on bulk data.
 
-A :class:`RecordDecoder` is compiled once per wire format and cached by
-the context, symmetrical with the encoder.
+A :class:`RecordDecoder` is compiled once per wire format and cached
+process-wide per format digest (:func:`decoder_for_format`),
+symmetrical with the encoder.  Like the encoder, the compiled plan
+fuses contiguous fixed-size scalar fields into a single precompiled
+:class:`struct.Struct` — one ``unpack_from`` per run instead of one
+per field (``fuse=False`` keeps the per-field baseline for
+benchmarking and byte-equality tests).
 """
 
 from __future__ import annotations
 
 import struct
+import threading
 
 import numpy as np
 
 from repro.errors import DecodeError
-from repro.pbio.encode import numpy_dtype, struct_code
+from repro.pbio.encode import (
+    _MAX_RUN_GAP, _fusible, numpy_dtype, parse_batch, struct_code,
+)
 from repro.pbio.fields import FieldList, IOField
-from repro.pbio.format import IOFormat
+from repro.pbio.format import FormatID, IOFormat
 from repro.pbio.types import FieldType
 
 
@@ -35,13 +43,17 @@ class RecordDecoder:
     into the record body where alignment permits).
     """
 
-    def __init__(self, fmt: IOFormat, *, arrays: str = "list") -> None:
+    def __init__(self, fmt: IOFormat, *, arrays: str = "list",
+                 fuse: bool = True) -> None:
         if arrays not in ("list", "numpy"):
             raise DecodeError(f"arrays must be 'list' or 'numpy', "
                               f"got {arrays!r}")
         self.format = fmt
         self.field_list = fmt.field_list
         self.arrays = arrays
+        self.fuse = fuse
+        self.fused_runs = 0
+        self.fused_fields = 0
         self._bo = fmt.architecture.struct_byte_order_char
         self._byte_order = fmt.architecture.byte_order
         ptr_size = fmt.architecture.sizeof("pointer")
@@ -62,9 +74,12 @@ class RecordDecoder:
                 f"{self.format.name!r} requires at least "
                 f"{self.field_list.record_length}")
         record: dict = {}
-        for name, op in self._ops:
+        for names, op in self._ops:
             try:
-                record[name] = op(body, 0)
+                if names is None:       # fused run: op fills the dict
+                    op(body, 0, record)
+                else:
+                    record[names] = op(body, 0)
             except DecodeError:
                 raise
             except (struct.error, ValueError, IndexError,
@@ -72,18 +87,94 @@ class RecordDecoder:
                 # corrupt offsets/counters surface as raw unpack or
                 # text-decode failures; normalize to the typed error
                 # the receiver contract promises
+                name = names if names is not None else \
+                    getattr(op, "run_names", ("?",))[0]
                 raise DecodeError(
                     f"field {name!r}: corrupt record data: "
                     f"{exc}") from None
         return record
 
+    def decode_many(self, bodies) -> list[dict]:
+        """Decode an iterable of record bodies (e.g. from
+        :func:`~repro.pbio.encode.parse_batch`)."""
+        return [self.decode(body) for body in bodies]
+
     # -- compilation ------------------------------------------------------------
 
     def _compile(self, field_list: FieldList, enums):
-        return [(field.name,
-                 self._compile_field(field_list, field,
-                                     field.field_type, enums))
-                for field in field_list]
+        ops: list[tuple] = []
+        run: list[tuple[IOField, FieldType]] = []
+        for field in field_list:
+            ftype = field.field_type
+            if self.fuse and _fusible(field, ftype):
+                if run and (field.offset - (run[-1][0].offset +
+                                            run[-1][0].size)
+                            > _MAX_RUN_GAP):
+                    self._flush_run(ops, run, enums)
+                    run = []
+                run.append((field, ftype))
+                continue
+            self._flush_run(ops, run, enums)
+            run = []
+            ops.append((field.name,
+                        self._compile_field(field_list, field, ftype,
+                                            enums)))
+        self._flush_run(ops, run, enums)
+        return ops
+
+    def _flush_run(self, ops: list, run: list, enums) -> None:
+        if not run:
+            return
+        if len(run) == 1:
+            field, ftype = run[0]
+            ops.append((field.name,
+                        self._compile_scalar(field, ftype, enums)))
+        else:
+            ops.append((None, self._compile_fused_run(run, enums)))
+            self.fused_runs += 1
+            self.fused_fields += len(run)
+
+    def _compile_fused_run(self, run: list, enums):
+        """One unpack_from for a contiguous run of scalar fields.
+
+        Padding holes become ``x`` pad codes; per-field
+        post-processing (bool, char, enum table lookups) is applied to
+        the unpacked tuple, with numeric identities skipped.
+        """
+        start = run[0][0].offset
+        parts: list[str] = []
+        names: list[str] = []
+        posts: list = []
+        pos = start
+        for field, ftype in run:
+            if field.offset > pos:
+                parts.append(f"{field.offset - pos}x")
+            parts.append(struct_code(ftype.kind, field.size))
+            names.append(field.name)
+            post = _scalar_post(ftype.kind, enums.get(field.name))
+            # struct already yields exact ints/floats; skip identity
+            posts.append(None if post in (int, float) else post)
+            pos = field.offset + field.size
+        unpacker = struct.Struct(self._bo + "".join(parts))
+        run_names = tuple(names)
+        run_posts = tuple(posts) if any(posts) else None
+
+        def op(body, base, out, *, _u=unpacker, _names=run_names,
+               _posts=run_posts):
+            values = _u.unpack_from(body, base + start)
+            if _posts is None:
+                i = 0
+                for n in _names:
+                    out[n] = values[i]
+                    i += 1
+            else:
+                i = 0
+                for n, p in zip(_names, _posts):
+                    v = values[i]
+                    out[n] = p(v) if p is not None else v
+                    i += 1
+        op.run_names = run_names
+        return op
 
     def _compile_field(self, field_list: FieldList, field: IOField,
                        ftype: FieldType, enums):
@@ -208,7 +299,13 @@ class RecordDecoder:
         dim = ftype.dynamic_dim
 
         def decode_sub(body, base):
-            return {n: op(body, base) for n, op in sub_ops}
+            out: dict = {}
+            for names, op in sub_ops:
+                if names is None:
+                    op(body, base, out)
+                else:
+                    out[names] = op(body, base)
+            return out
 
         if not ftype.dims:
             return lambda body, base: decode_sub(body, base + offset)
@@ -301,10 +398,53 @@ def _array_post(kind: str, enum_values, arrays: str):
     return lambda arr: arr.tolist()
 
 
-def decode_record(fmt: IOFormat, body: bytes) -> dict:
-    """One-shot convenience: compile a decoder and decode *body*.
+# ---------------------------------------------------------------------------
+# process-wide codec plan cache
+# ---------------------------------------------------------------------------
 
-    Contexts cache compiled decoders; use an
-    :class:`~repro.pbio.context.IOContext` on any hot path.
-    """
-    return RecordDecoder(fmt).decode(body)
+_DECODER_CACHE: dict[tuple[FormatID, str, bool], RecordDecoder] = {}
+_DECODER_LOCK = threading.Lock()
+_MAX_CACHED_PLANS = 256
+
+
+def decoder_for_format(fmt: IOFormat, *, arrays: str = "list",
+                       fuse: bool = True) -> RecordDecoder:
+    """The process-wide compiled decoder for *fmt* (keyed by the
+    format's digest-derived ID plus the array representation)."""
+    key = (fmt.format_id, arrays, fuse)
+    decoder = _DECODER_CACHE.get(key)
+    if decoder is not None:
+        return decoder
+    decoder = RecordDecoder(fmt, arrays=arrays, fuse=fuse)
+    with _DECODER_LOCK:
+        cached = _DECODER_CACHE.get(key)
+        if cached is not None:
+            return cached
+        while len(_DECODER_CACHE) >= _MAX_CACHED_PLANS:
+            _DECODER_CACHE.pop(next(iter(_DECODER_CACHE)))
+        _DECODER_CACHE[key] = decoder
+    return decoder
+
+
+def clear_decoder_cache() -> None:
+    """Drop all cached decoder plans (tests and format churn)."""
+    with _DECODER_LOCK:
+        _DECODER_CACHE.clear()
+
+
+def decode_record(fmt: IOFormat, body: bytes) -> dict:
+    """One-shot convenience: decode *body* via the process-wide codec
+    plan cache."""
+    return decoder_for_format(fmt).decode(body)
+
+
+def decode_batch(fmt: IOFormat, data, *, arrays: str = "list") \
+        -> list[dict]:
+    """Decode a shared-header record batch produced by
+    :func:`~repro.pbio.encode.build_batch` for a known format."""
+    fid, _big, bodies = parse_batch(data)
+    if fid != fmt.format_id:
+        raise DecodeError(
+            f"batch format id {fid} does not match format "
+            f"{fmt.format_id}")
+    return decoder_for_format(fmt, arrays=arrays).decode_many(bodies)

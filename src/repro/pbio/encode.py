@@ -22,14 +22,33 @@ closures — and reused for every record, which is what makes PBIO-style
 encoding a near-memcpy (and what Fig. 7 measures).  Bulk numeric arrays
 take a NumPy fast path.
 
+Three steady-state optimizations ride on top of the compiled plan (see
+``docs/MARSHALING.md``):
+
+* **run fusion** — contiguous fixed-size scalar fields coalesce into a
+  single precompiled :class:`struct.Struct`, one ``pack_into`` per run
+  instead of one per field (runs break at pointer-valued fields,
+  subformats, and large padding gaps);
+* **plan caching** — compiled encoders are cached per format digest
+  (:func:`encoder_for_format`), so every context, codec and one-shot
+  helper in the process shares one plan per format;
+* **buffer pooling** — :meth:`RecordEncoder.encode_wire` reuses
+  ``bytearray`` bodies from a small freelist, so steady-state encoding
+  allocates no fresh buffer per record.
+
 Record headers (prepended by :func:`encode_record` /
 :class:`~repro.pbio.context.IOContext`) are 16 bytes, always big-endian:
 magic ``PB``, version, flags, 8-byte format ID, 4-byte body length.
+Flag bit ``0x1`` marks a big-endian sender; flag bit ``0x2`` marks a
+**record batch** (:func:`build_batch`), whose payload is
+``u32 count`` followed by ``count`` × ``u32 length | body`` — N
+same-format records under one header.
 """
 
 from __future__ import annotations
 
 import struct
+import threading
 from dataclasses import dataclass
 
 import numpy as np
@@ -43,6 +62,15 @@ HEADER_MAGIC = b"PB"
 HEADER_VERSION = 1
 HEADER_LEN = 16
 _HEADER_STRUCT = struct.Struct(">2sBB8sI")
+_COUNT32 = struct.Struct(">I")
+
+#: header flag bits
+FLAG_BIG_ENDIAN = 0x1
+FLAG_BATCH = 0x2
+
+#: padding gaps larger than this break a fused run (a run spanning a
+#: huge hole would pack pad bytes instead of skipping them)
+_MAX_RUN_GAP = 16
 
 #: struct format characters by (kind, element size).
 STRUCT_CODES: dict[tuple[str, int], str] = {
@@ -98,23 +126,133 @@ class EncodedRecord:
 
 def build_header(format_id: FormatID, body_length: int,
                  *, big_endian: bool) -> bytes:
-    flags = 1 if big_endian else 0
+    flags = FLAG_BIG_ENDIAN if big_endian else 0
     return _HEADER_STRUCT.pack(HEADER_MAGIC, HEADER_VERSION, flags,
                                format_id.to_bytes(), body_length)
 
 
-def parse_header(data: bytes) -> tuple[FormatID, int]:
-    """Parse a record header; returns (format id, body length)."""
+def _parse_header_raw(data) -> tuple[FormatID, int, int]:
+    """Parse a header; returns (format id, flags, body length)."""
     if len(data) < HEADER_LEN:
         raise EncodeError(
             f"record shorter than header ({len(data)} < {HEADER_LEN})")
-    magic, version, _flags, fid, body_len = _HEADER_STRUCT.unpack_from(
+    magic, version, flags, fid, body_len = _HEADER_STRUCT.unpack_from(
         data)
     if magic != HEADER_MAGIC:
         raise EncodeError(f"bad record magic {magic!r}")
     if version != HEADER_VERSION:
         raise EncodeError(f"unsupported record version {version}")
-    return FormatID.from_bytes(fid), body_len
+    return FormatID.from_bytes(fid), flags, body_len
+
+
+def parse_header(data: bytes) -> tuple[FormatID, int]:
+    """Parse a record header; returns (format id, body length)."""
+    fid, _flags, body_len = _parse_header_raw(data)
+    return fid, body_len
+
+
+def is_batch(data) -> bool:
+    """True when *data* starts with a record-batch header."""
+    return (len(data) >= 4 and bytes(data[:2]) == HEADER_MAGIC
+            and bool(data[3] & FLAG_BATCH))
+
+
+def build_batch(format_id: FormatID, bodies, *,
+                big_endian: bool) -> bytes:
+    """Frame N same-format record bodies under one shared header.
+
+    Layout after the 16-byte header (``FLAG_BATCH`` set, body length
+    covering everything that follows): ``u32 count``, then per record
+    ``u32 length | body``.  All batch integers are big-endian, like the
+    header itself.
+    """
+    flags = (FLAG_BIG_ENDIAN if big_endian else 0) | FLAG_BATCH
+    total = 4 + sum(4 + len(b) for b in bodies)
+    parts = [_HEADER_STRUCT.pack(HEADER_MAGIC, HEADER_VERSION, flags,
+                                 format_id.to_bytes(), total),
+             _COUNT32.pack(len(bodies))]
+    for body in bodies:
+        parts.append(_COUNT32.pack(len(body)))
+        parts.append(bytes(body))
+    return b"".join(parts)
+
+
+def parse_batch(data) -> tuple[FormatID, bool, list[memoryview]]:
+    """Split a record batch into (format id, big-endian?, bodies)."""
+    fid, flags, total = _parse_header_raw(data)
+    if not flags & FLAG_BATCH:
+        raise EncodeError("not a record batch (FLAG_BATCH clear)")
+    payload = memoryview(data)[HEADER_LEN:]
+    if len(payload) < total:
+        raise EncodeError(
+            f"batch truncated: header says {total} payload bytes, "
+            f"got {len(payload)}")
+    payload = payload[:total]
+    (count,) = _COUNT32.unpack_from(payload, 0)
+    if 4 + 4 * count > total:
+        raise EncodeError(
+            f"batch count {count} impossible for {total} payload bytes")
+    bodies: list[memoryview] = []
+    offset = 4
+    for _ in range(count):
+        (length,) = _COUNT32.unpack_from(payload, offset)
+        offset += 4
+        if offset + length > total:
+            raise EncodeError("batch record extends past payload")
+        bodies.append(payload[offset:offset + length])
+        offset += length
+    return fid, bool(flags & FLAG_BIG_ENDIAN), bodies
+
+
+def explode_batch(data) -> list[bytes]:
+    """Split a record batch into standalone per-record wires.
+
+    Each result carries its own 16-byte header, so code written for
+    single records (``parse_header`` + decode) consumes batch members
+    unchanged — how :class:`~repro.transport.connection.Connection`
+    delivers batches through its per-record ``receive()``.
+    """
+    fid, big_endian, bodies = parse_batch(data)
+    return [build_header(fid, len(body), big_endian=big_endian)
+            + bytes(body) for body in bodies]
+
+
+class BufferPool:
+    """A freelist of record-body ``bytearray`` buffers.
+
+    Steady-state encoding borrows a buffer, fills it, snapshots it to
+    immutable ``bytes`` for the transport, and returns it — retaining
+    the capacity the variable section grew to, so the next record of
+    similar shape extends without reallocating.  List append/pop are
+    atomic under the GIL, so the pool is safe to share across threads.
+    """
+
+    def __init__(self, max_buffers: int = 8) -> None:
+        self._free: list[bytearray] = []
+        self.max_buffers = max_buffers
+        self._zeros = b""
+        self.acquires = 0
+        self.reuses = 0
+
+    def acquire(self, size: int) -> bytearray:
+        """A zeroed buffer of exactly *size* bytes."""
+        self.acquires += 1
+        try:
+            buf = self._free.pop()
+        except IndexError:
+            return bytearray(size)
+        self.reuses += 1
+        if len(self._zeros) < size:
+            self._zeros = bytes(size)
+        if len(buf) != size or len(self._zeros) != size:
+            buf[:] = memoryview(self._zeros)[:size]
+        else:
+            buf[:] = self._zeros
+        return buf
+
+    def release(self, buf: bytearray) -> None:
+        if len(self._free) < self.max_buffers:
+            self._free.append(buf)
 
 
 def _round_up(value: int, align: int) -> int:
@@ -122,17 +260,27 @@ def _round_up(value: int, align: int) -> int:
 
 
 class RecordEncoder:
-    """Compiled encoder for one :class:`IOFormat`."""
+    """Compiled encoder for one :class:`IOFormat`.
 
-    def __init__(self, fmt: IOFormat) -> None:
+    ``fuse`` selects the codec plan: fused (default — contiguous
+    scalar runs pack through one :class:`struct.Struct`) or the
+    per-field baseline the fused plan is benchmarked against.
+    """
+
+    def __init__(self, fmt: IOFormat, *, fuse: bool = True) -> None:
         self.format = fmt
         self.field_list = fmt.field_list
+        self.fuse = fuse
+        self.fused_runs = 0      # plan stats: runs of >= 2 fields
+        self.fused_fields = 0    # fields covered by those runs
         self._bo = fmt.architecture.struct_byte_order_char
         self._byte_order = fmt.architecture.byte_order
+        self._big = fmt.architecture.byte_order == "big"
         ptr_size = fmt.architecture.sizeof("pointer")
         self._ptr = struct.Struct(
             self._bo + ("I" if ptr_size == 4 else "Q"))
         self._count = struct.Struct(self._bo + "I")
+        self._pool = BufferPool()
         # ops run in field order; each is fn(record, body, base)
         self._ops = self._compile(self.field_list, enums=fmt.enums)
         self._length_links = _length_links(self.field_list)
@@ -140,8 +288,8 @@ class RecordEncoder:
     # -- public ---------------------------------------------------------------
 
     def encode(self, record: dict) -> EncodedRecord:
-        body = self.encode_body(record)
-        return EncodedRecord(self.format.format_id, bytes(body))
+        body = self._encode_pooled(record)
+        return EncodedRecord(self.format.format_id, body)
 
     def encode_body(self, record: dict) -> bytearray:
         record = self._normalize(record, self.field_list,
@@ -151,6 +299,35 @@ class RecordEncoder:
         for op in self._ops:
             op(record, body, 0)
         return body
+
+    def encode_wire(self, record: dict) -> bytes:
+        """Header + body, encoding through the buffer pool."""
+        body = self._encode_pooled(record)
+        return build_header(self.format.format_id, len(body),
+                            big_endian=self._big) + body
+
+    def encode_bodies(self, records) -> list[bytes]:
+        """Encode many records, reusing one pooled buffer throughout."""
+        return [self._encode_pooled(r) for r in records]
+
+    def encode_batch(self, records) -> bytes:
+        """Encode *records* into one shared-header batch
+        (:func:`build_batch`)."""
+        return build_batch(self.format.format_id,
+                           self.encode_bodies(records),
+                           big_endian=self._big)
+
+    def _encode_pooled(self, record: dict) -> bytes:
+        record = self._normalize(record, self.field_list,
+                                 self._length_links,
+                                 path=self.format.name)
+        body = self._pool.acquire(self.field_list.record_length)
+        try:
+            for op in self._ops:
+                op(record, body, 0)
+            return bytes(body)
+        finally:
+            self._pool.release(body)
 
     # -- normalization ---------------------------------------------------------
 
@@ -162,7 +339,9 @@ class RecordEncoder:
             raise EncodeError(
                 f"{path}: record must be a mapping, got "
                 f"{type(record).__name__}")
-        known = set(field_list.names())
+        known = field_list.name_set()
+        if not links and record.keys() == known:
+            return record   # steady-state fast path: nothing to fill
         unknown = set(record) - known
         if unknown:
             raise EncodeError(f"{path}: unknown fields {sorted(unknown)}")
@@ -193,11 +372,80 @@ class RecordEncoder:
     def _compile(self, field_list: FieldList,
                  enums: dict[str, tuple[str, ...]]):
         ops = []
+        run: list[tuple[IOField, FieldType]] = []
         for field in field_list:
             ftype = field.field_type
+            if self.fuse and _fusible(field, ftype):
+                if run and (field.offset - (run[-1][0].offset +
+                                            run[-1][0].size)
+                            > _MAX_RUN_GAP):
+                    self._flush_run(ops, run, enums)
+                    run = []
+                run.append((field, ftype))
+                continue
+            self._flush_run(ops, run, enums)
+            run = []
             ops.append(self._compile_field(field_list, field, ftype,
                                            enums))
+        self._flush_run(ops, run, enums)
         return ops
+
+    def _flush_run(self, ops: list, run: list, enums) -> None:
+        if not run:
+            return
+        if len(run) == 1:
+            field, ftype = run[0]
+            ops.append(self._compile_scalar(field, ftype, enums))
+        else:
+            ops.append(self._compile_fused_run(run, enums))
+            self.fused_runs += 1
+            self.fused_fields += len(run)
+
+    def _compile_fused_run(self, run: list, enums):
+        """One pack_into for a contiguous run of scalar fields.
+
+        Padding holes between fields become ``x`` pad codes, so the
+        compiled struct writes the run's full byte span in one call.
+        """
+        start = run[0][0].offset
+        parts: list[str] = []
+        pairs: list[tuple] = []   # (convert, name) in pack-arg order
+        singles: list[tuple] = [] # (name, convert, Struct, offset)
+        pos = start
+        for field, ftype in run:
+            if field.offset > pos:
+                parts.append(f"{field.offset - pos}x")
+            code = struct_code(ftype.kind, field.size)
+            parts.append(code)
+            convert = _scalar_converter(ftype.kind, field,
+                                        enums.get(field.name))
+            pairs.append((convert, field.name))
+            singles.append((field.name, convert,
+                            struct.Struct(self._bo + code)))
+            pos = field.offset + field.size
+        packer = struct.Struct(self._bo + "".join(parts))
+        diagnostics = tuple(singles)
+        # Generate the pack call as source so the steady state is one
+        # C-level pack_into with the converter calls inlined as
+        # positional arguments — no per-field loop, no argument tuple.
+        env = {"_p": packer, "_diag": _diagnose_fused_failure,
+               "_singles": diagnostics, "EncodeError": EncodeError,
+               "_struct_error": struct.error}
+        for i, (convert, _name) in enumerate(pairs):
+            env[f"_c{i}"] = convert
+        args_src = ", ".join(f"_c{i}(record[{name!r}])"
+                             for i, (_c, name) in enumerate(pairs))
+        src = (
+            "def _fused(record, body, base):\n"
+            "    try:\n"
+            f"        _p.pack_into(body, base + {start}, {args_src})\n"
+            "    except EncodeError:\n"
+            "        raise\n"
+            "    except (_struct_error, TypeError, ValueError,\n"
+            "            KeyError) as exc:\n"
+            "        _diag(record, _singles, exc)\n")
+        exec(compile(src, "<fused-run>", "exec"), env)
+        return env["_fused"]
 
     def _compile_field(self, field_list: FieldList, field: IOField,
                        ftype: FieldType, enums):
@@ -261,9 +509,23 @@ class RecordEncoder:
         dtype = numpy_dtype(kind, field.size, self._byte_order)
         convert = _scalar_converter(kind, field, enums.get(name))
         nbytes = count * field.size
+        # Small arrays pack faster through one precompiled struct than
+        # through an ndarray round-trip; numpy wins past a few hundred
+        # elements, and the bulk path stays as the tolerant fallback.
+        packer = (struct.Struct(
+            f"{self._bo}{count}{struct_code(kind, field.size)}")
+            if count <= 256 else None)
 
         def op(record, body, base):
             value = record[name]
+            if packer is not None and type(value) is list \
+                    and len(value) == count:
+                try:
+                    packer.pack_into(body, base + offset, *value)
+                    return
+                except (struct.error, TypeError, ValueError,
+                        OverflowError):
+                    pass  # enum strings, mixed types: bulk path decides
             items = _as_items(name, value)
             if len(items) != count:
                 raise EncodeError(
@@ -383,6 +645,33 @@ class RecordEncoder:
         return var_op
 
 
+def _fusible(field: IOField, ftype: FieldType) -> bool:
+    """True for fields a fused scalar run may absorb: fixed-size
+    atomic scalars living inline in the fixed section."""
+    return (not ftype.dims and not ftype.is_string
+            and (ftype.kind, field.size) in STRUCT_CODES)
+
+
+def _diagnose_fused_failure(record: dict, singles, exc) -> None:
+    """A fused pack failed; re-run its fields one by one so the error
+    names the specific offender, not just the run."""
+    for name, convert, packer in singles:
+        if name not in record:
+            raise EncodeError(
+                f"field {name!r}: missing from record") from None
+        try:
+            packer.pack(convert(record[name]))
+        except EncodeError:
+            raise
+        except (struct.error, TypeError, ValueError) as err:
+            raise EncodeError(
+                f"field {name!r}: cannot encode "
+                f"{record[name]!r}: {err}") from None
+    names = [name for name, _, _ in singles]
+    raise EncodeError(
+        f"cannot encode fused run {names}: {exc}") from None
+
+
 def _length_links(field_list: FieldList) -> dict[str, tuple[str, int]]:
     """Map array field -> (sizing field, trailing-dim element count).
 
@@ -494,6 +783,8 @@ def _scalar_converter(kind: str, field: IOField,
     # integer / unsigned
 
     def conv_int(value):
+        if type(value) is int:   # exact ints dominate the hot path
+            return value
         if isinstance(value, bool) or not isinstance(value, (int,
                                                              np.integer)):
             raise EncodeError(
@@ -503,10 +794,46 @@ def _scalar_converter(kind: str, field: IOField,
     return conv_int
 
 
-def encode_record(fmt: IOFormat, record: dict) -> EncodedRecord:
-    """One-shot convenience: compile an encoder and encode *record*.
+# ---------------------------------------------------------------------------
+# process-wide codec plan cache
+# ---------------------------------------------------------------------------
 
-    Contexts cache compiled encoders; use an
-    :class:`~repro.pbio.context.IOContext` on any hot path.
+_ENCODER_CACHE: dict[tuple[FormatID, bool], RecordEncoder] = {}
+_ENCODER_LOCK = threading.Lock()
+_MAX_CACHED_PLANS = 256
+
+
+def encoder_for_format(fmt: IOFormat, *, fuse: bool = True) \
+        -> RecordEncoder:
+    """The process-wide compiled encoder for *fmt*.
+
+    Keyed by the format's digest-derived :class:`FormatID` (identical
+    metadata registered anywhere shares one ID, hence one plan), so
+    every context, wire codec and one-shot helper reuses a single
+    compiled plan per format.
     """
-    return RecordEncoder(fmt).encode(record)
+    key = (fmt.format_id, fuse)
+    encoder = _ENCODER_CACHE.get(key)
+    if encoder is not None:
+        return encoder
+    encoder = RecordEncoder(fmt, fuse=fuse)
+    with _ENCODER_LOCK:
+        cached = _ENCODER_CACHE.get(key)
+        if cached is not None:
+            return cached
+        while len(_ENCODER_CACHE) >= _MAX_CACHED_PLANS:
+            _ENCODER_CACHE.pop(next(iter(_ENCODER_CACHE)))
+        _ENCODER_CACHE[key] = encoder
+    return encoder
+
+
+def clear_encoder_cache() -> None:
+    """Drop all cached encoder plans (tests and format churn)."""
+    with _ENCODER_LOCK:
+        _ENCODER_CACHE.clear()
+
+
+def encode_record(fmt: IOFormat, record: dict) -> EncodedRecord:
+    """One-shot convenience: encode *record* via the process-wide
+    codec plan cache."""
+    return encoder_for_format(fmt).encode(record)

@@ -121,6 +121,15 @@ class FieldList:
     def names(self) -> tuple[str, ...]:
         return tuple(f.name for f in self.fields)
 
+    def name_set(self) -> frozenset:
+        """The field names as a cached frozenset (hot-path presence
+        checks in the encoder's normalizer)."""
+        cached = self.__dict__.get("_name_set")
+        if cached is None:
+            cached = frozenset(self._by_name)
+            self._name_set = cached
+        return cached
+
     def field_type(self, name: str) -> FieldType:
         return self._types[name]
 

@@ -10,6 +10,7 @@ for in-process queues changes nothing but the constructor.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
+from typing import Iterable
 
 from repro.transport.messages import Frame
 
@@ -20,6 +21,16 @@ class Channel(ABC):
     @abstractmethod
     def send(self, frame: Frame) -> None:
         """Send one frame; raises :class:`TransportError` when closed."""
+
+    def send_many(self, frames: Iterable[Frame]) -> None:
+        """Send several frames back to back.
+
+        The base implementation loops over :meth:`send`; transports
+        with per-call costs (TCP's syscall per ``sendall``) override
+        it to coalesce the writes.
+        """
+        for frame in frames:
+            self.send(frame)
 
     @abstractmethod
     def recv(self, timeout: float | None = None) -> Frame | None:

@@ -20,7 +20,7 @@ from dataclasses import dataclass
 
 from repro.errors import ProtocolError, TransportError, UnknownFormatError
 from repro.pbio.context import IOContext
-from repro.pbio.encode import parse_header
+from repro.pbio.encode import explode_batch, is_batch, parse_header
 from repro.pbio.format import FormatID, IOFormat
 from repro.transport.base import Channel
 from repro.transport.messages import Frame, FrameType
@@ -57,6 +57,16 @@ class Connection:
         wire = self.context.encode(format_name, record)
         self.channel.send(Frame(FrameType.DATA, wire))
         self.records_sent += 1
+
+    def send_many(self, format_name: str | IOFormat, records) -> int:
+        """Encode *records* into one shared-header batch and ship it
+        as a single DATA_BATCH frame — N records, one header, one
+        transport send.  Returns the number of records sent."""
+        records = list(records)
+        wire = self.context.encode_many(format_name, records)
+        self.channel.send(Frame(FrameType.DATA_BATCH, wire))
+        self.records_sent += len(records)
+        return len(records)
 
     def send_encoded(self, wire: bytes) -> None:
         """Send an already-encoded record (from
@@ -98,18 +108,56 @@ class Connection:
         self.records_received += 1
         return self.context.decode_as(wire, native_name)
 
+    def receive_many(self, timeout: float | None = None) \
+            -> list[ReceivedMessage] | None:
+        """Deliver the next DATA_BATCH whole: one frame, one format
+        resolution, one decoder for every record in it.  A plain DATA
+        frame yields a one-element list; None means orderly close."""
+        wire = self._next_payload(timeout)
+        if wire is None:
+            return None
+        fid, _body_len = parse_header(wire)
+        self._ensure_format(fid, timeout)
+        if is_batch(wire):
+            name, fid, records = \
+                self.context.decode_many_records(wire)
+            out = [ReceivedMessage(format_name=name, format_id=fid,
+                                   record=record)
+                   for record in records]
+        else:
+            d = self.context.decode(wire)
+            out = [ReceivedMessage(format_name=d.format_name,
+                                   format_id=d.format_id,
+                                   record=d.record)]
+        self.records_received += len(out)
+        return out
+
     # -- internals ----------------------------------------------------------
 
-    def _next_data(self, timeout: float | None) -> bytes | None:
+    def _next_payload(self, timeout: float | None) -> bytes | None:
+        """The next DATA or DATA_BATCH payload, servicing metadata
+        frames along the way."""
         if self._pending:
             return self._pending.popleft()
         while True:
             frame = self.channel.recv(timeout)
             if frame is None or frame.type == FrameType.BYE:
                 return None
-            if frame.type == FrameType.DATA:
+            if frame.type in (FrameType.DATA, FrameType.DATA_BATCH):
                 return frame.payload
             self._service(frame)
+
+    def _next_data(self, timeout: float | None) -> bytes | None:
+        """The next single-record wire; batches are transparently
+        exploded into per-record wires and queued."""
+        wire = self._next_payload(timeout)
+        while wire is not None and is_batch(wire):
+            singles = explode_batch(wire)
+            if singles:
+                self._pending.extendleft(reversed(singles[1:]))
+                return singles[0]
+            wire = self._next_payload(timeout)  # empty batch: skip
+        return wire
 
     def _ensure_format(self, fid: FormatID,
                        timeout: float | None) -> None:
@@ -131,7 +179,7 @@ class Connection:
                 if got == fid:
                     return
                 continue
-            if frame.type == FrameType.DATA:
+            if frame.type in (FrameType.DATA, FrameType.DATA_BATCH):
                 self._pending.append(frame.payload)
                 continue
             self._service(frame)

@@ -3,13 +3,15 @@
 Every frame is ``u32 length (big-endian) | u8 type | payload``; the
 length covers type byte plus payload.  Frame types:
 
-========  =======================================================
-DATA      a PBIO wire record (header + body)
-FMT_REQ   payload = 8-byte format ID the sender cannot resolve
-FMT_RSP   payload = 8-byte format ID + canonical format metadata
-HELLO     connection greeting (payload = architecture name)
-BYE       orderly shutdown
-========  =======================================================
+==========  =====================================================
+DATA        a PBIO wire record (header + body)
+FMT_REQ     payload = 8-byte format ID the sender cannot resolve
+FMT_RSP     payload = 8-byte format ID + canonical format metadata
+HELLO       connection greeting (payload = architecture name)
+BYE         orderly shutdown
+DATA_BATCH  a PBIO record batch: one header shared by N bodies
+            (:func:`repro.pbio.encode.build_batch`)
+==========  =====================================================
 """
 
 from __future__ import annotations
@@ -34,6 +36,7 @@ class FrameType(enum.IntEnum):
     FMT_REG = 6   # payload = canonical metadata to register
     FMT_ACK = 7   # payload = 8-byte assigned format ID
     FMT_ERR = 8   # payload = UTF-8 error message
+    DATA_BATCH = 9  # payload = shared-header record batch
 
 
 @dataclass(frozen=True)

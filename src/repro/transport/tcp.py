@@ -57,6 +57,22 @@ class TCPChannel(Channel):
         self.bytes_sent += len(data)
         self.frames_sent += 1
 
+    def send_many(self, frames) -> None:
+        """Coalesce several frames into one ``sendall`` (one syscall
+        instead of one per frame)."""
+        if self._closed:
+            raise TransportError("send on closed channel")
+        frames = list(frames)
+        data = b"".join(frame.encode() for frame in frames)
+        if not data:
+            return
+        try:
+            self._sock.sendall(data)
+        except OSError as exc:
+            raise TransportError(f"send failed: {exc}") from None
+        self.bytes_sent += len(data)
+        self.frames_sent += len(frames)
+
     def recv(self, timeout: float | None = None) -> Frame | None:
         deadline = (None if timeout is None
                     else time.monotonic() + timeout)

@@ -8,10 +8,8 @@ PBIO record *body* plus header, exactly what
 
 from __future__ import annotations
 
-from repro.pbio.decode import RecordDecoder
-from repro.pbio.encode import (
-    HEADER_LEN, RecordEncoder, build_header, parse_header,
-)
+from repro.pbio.decode import decoder_for_format
+from repro.pbio.encode import HEADER_LEN, encoder_for_format, parse_header
 from repro.pbio.format import IOFormat
 from repro.wire.base import WireCodec
 
@@ -23,15 +21,12 @@ class PBIOWireCodec(WireCodec):
 
     def __init__(self, fmt: IOFormat) -> None:
         super().__init__(fmt)
-        self._encoder = RecordEncoder(fmt)
-        self._decoder = RecordDecoder(fmt)
+        self._encoder = encoder_for_format(fmt)
+        self._decoder = decoder_for_format(fmt)
         self._big = fmt.architecture.byte_order == "big"
 
     def encode(self, record: dict) -> bytes:
-        body = self._encoder.encode_body(record)
-        header = build_header(self.format.format_id, len(body),
-                              big_endian=self._big)
-        return header + bytes(body)
+        return self._encoder.encode_wire(record)
 
     def decode(self, data: bytes) -> dict:
         fid, body_len = parse_header(data)

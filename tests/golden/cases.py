@@ -1,0 +1,182 @@
+"""Golden wire-vector definitions.
+
+Each case pins one format plus one deterministic record; the stored
+hex in ``vectors.json`` is the exact wire (header + body) the encoder
+must produce for it on each simulated byte order.  Regenerate with
+``python tests/golden/regen.py`` after an *intentional* wire change —
+an unintentional diff here is a wire-compatibility break.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.hydrology.formats import GAUGE_COUNT, hydrology_field_specs
+from repro.pbio.encode import RecordEncoder
+from repro.pbio.format import IOFormat
+from repro.pbio.layout import compute_layout
+from repro.pbio.machine import SPARC_V9, X86_64
+
+#: byte-order label -> simulated architecture
+ARCHITECTURES = {"little": X86_64, "big": SPARC_V9}
+
+VECTORS_PATH = Path(__file__).with_name("vectors.json")
+
+_POINT3 = [("x", "double"), ("y", "double"), ("z", "double")]
+
+#: Non-hydrology cases: specs, optional subformats/enums, the record.
+_EXTRA_CASES: dict[str, dict] = {
+    # an ECho-style event: string + fused unsigned run + enum +
+    # self-sized char payload
+    "EchoEvent": {
+        "specs": [
+            ("channel", "string"),
+            ("sequence", "unsigned integer", 8),
+            ("timestamp", "unsigned integer", 8),
+            ("kind", "enumeration", 4),
+            ("payload", "char[*]"),
+        ],
+        "enums": {"kind": ("OPEN", "DATA", "CLOSE")},
+        "record": {
+            "channel": "wx/updates",
+            "sequence": 7,
+            "timestamp": 1_700_000_000,
+            "kind": "DATA",
+            "payload": b"\x01\x02\x03\x04",
+        },
+    },
+    # nested subformat, fixed subformat array, dimensionName var-array
+    "NestedTelemetry": {
+        "specs": [
+            ("tag", "integer", 4),
+            ("origin", "Point3"),
+            ("trail", "Point3[2]"),
+            ("n", "integer", 4),
+            ("weights", "double[n]", 8),
+        ],
+        "subformats": {"Point3": _POINT3},
+        "record": {
+            "tag": 9,
+            "origin": {"x": 1.0, "y": -2.5, "z": 0.125},
+            "trail": [
+                {"x": 0.0, "y": 0.5, "z": 1.5},
+                {"x": -1.0, "y": 2.0, "z": -3.5},
+            ],
+            "n": 3,
+            "weights": [0.25, 0.5, 0.75],
+        },
+    },
+    # every dynamic-array spelling in one record
+    "VarArrays": {
+        "specs": [
+            ("label", "string"),
+            ("n", "integer", 4),
+            ("values", "float[n]", 4),
+            ("extra", "double[*]", 8),
+        ],
+        "record": {
+            "label": "gauges",
+            "n": 4,
+            "values": [0.5, 1.5, -2.25, 8.0],
+            "extra": [3.141592653589793, -0.001],
+        },
+    },
+    # mixed scalar sizes: alignment holes become struct pad codes
+    "MixedRuns": {
+        "specs": [
+            ("a", "integer", 2),
+            ("b", "integer", 4),
+            ("c", "double"),
+            ("flag", "boolean"),
+            ("ch", "char"),
+            ("u", "unsigned integer", 8),
+        ],
+        "record": {
+            "a": -7, "b": 123456, "c": 2.5,
+            "flag": True, "ch": "Q", "u": 2 ** 40 + 5,
+        },
+    },
+}
+
+#: Deterministic records for the shared hydrology formats.
+_HYDROLOGY_RECORDS: dict[str, dict] = {
+    "SimpleData": {
+        "timestep": 42, "size": 3, "data": [0.5, -1.25, 3.75],
+    },
+    "JoinRequest": {
+        "name": "gauge-07", "server": 1, "ip_addr": 3232235777,
+        "pid": 1234, "ds_addr": 281474976710655,
+    },
+    "FlowParams": {
+        "timestep": 3, "nx": 64, "ny": 64, "dx": 30.0, "dy": 30.0,
+        "dt": 1.5, "viscosity": 0.125, "rainfall": 0.0625,
+        "iterations": 100, "flags": 0, "elapsed": 12.5,
+    },
+    "GridMeta": {
+        "timestep": 3, "nx": 64, "ny": 64, "west": 0.0, "east": 1920.0,
+        "south": 0.0, "north": 1920.0, "cell_size": 30.0,
+        "no_data": -9999.0, "min_depth": 0.0, "max_depth": 2.5,
+        "mean_depth": 0.25, "total_volume": 1234.5,
+        "gauge_count": GAUGE_COUNT,
+        "gauges": [i / 4 for i in range(GAUGE_COUNT)],
+    },
+    "ControlMsg": {
+        "command": "set_viscosity", "target": "flow2d",
+        "timestep": 5, "value": 0.375,
+    },
+}
+
+#: Case name -> batch of records locked as one shared-header batch
+#: vector (exercises the DATA_BATCH payload layout byte for byte).
+_BATCH_CASES: dict[str, str] = {"SimpleData__batch": "SimpleData"}
+
+
+def case_names() -> list[str]:
+    return (sorted(_HYDROLOGY_RECORDS) + sorted(_EXTRA_CASES)
+            + sorted(_BATCH_CASES))
+
+
+def build_format(case: str, architecture) -> IOFormat:
+    base = _BATCH_CASES.get(case, case)
+    if base in _HYDROLOGY_RECORDS:
+        specs = hydrology_field_specs(architecture)[base]
+        layout = compute_layout(specs, architecture=architecture)
+        return IOFormat(base, layout.field_list)
+    spec = _EXTRA_CASES[base]
+    subformats = {
+        name: compute_layout(sub, architecture=architecture).field_list
+        for name, sub in spec.get("subformats", {}).items()}
+    layout = compute_layout(spec["specs"], architecture=architecture,
+                            subformats=subformats or None)
+    return IOFormat(base, layout.field_list, spec.get("enums"))
+
+
+def case_record(case: str) -> dict:
+    base = _BATCH_CASES.get(case, case)
+    if base in _HYDROLOGY_RECORDS:
+        return dict(_HYDROLOGY_RECORDS[base])
+    return dict(_EXTRA_CASES[base]["record"])
+
+
+def encode_case(case: str, architecture, *, fuse: bool = True) -> bytes:
+    """The full wire bytes for *case* on *architecture*."""
+    fmt = build_format(case, architecture)
+    encoder = RecordEncoder(fmt, fuse=fuse)
+    record = case_record(case)
+    if case in _BATCH_CASES:
+        batch = [dict(record, timestep=t) for t in range(3)]
+        return encoder.encode_batch(batch)
+    return encoder.encode_wire(record)
+
+
+def compute_vectors() -> dict[str, dict[str, str]]:
+    """All golden vectors as {case: {order: hex}}."""
+    return {case: {order: encode_case(case, arch).hex()
+                   for order, arch in ARCHITECTURES.items()}
+            for case in case_names()}
+
+
+def load_vectors() -> dict[str, dict[str, str]]:
+    with VECTORS_PATH.open() as fh:
+        return json.load(fh)

@@ -1,0 +1,61 @@
+#!/usr/bin/env python
+"""Regenerate (or verify) the golden wire vectors.
+
+Usage::
+
+    PYTHONPATH=src python tests/golden/regen.py          # rewrite
+    PYTHONPATH=src python tests/golden/regen.py --check  # verify only
+
+``--check`` exits non-zero and lists the differing cases, without
+touching the file — the CI-friendly mode.  Only rewrite after a wire
+change that is *meant* to break compatibility, and say so in the
+commit message.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[2]))
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--check", action="store_true",
+                        help="verify vectors.json instead of rewriting")
+    args = parser.parse_args(argv)
+
+    from tests.golden.cases import (
+        VECTORS_PATH, compute_vectors, load_vectors,
+    )
+
+    current = compute_vectors()
+    if not args.check:
+        VECTORS_PATH.write_text(json.dumps(current, indent=1,
+                                           sort_keys=True) + "\n")
+        total = sum(len(v) for v in current.values())
+        print(f"wrote {total} vectors ({len(current)} cases) "
+              f"to {VECTORS_PATH}")
+        return 0
+
+    stored = load_vectors()
+    bad = []
+    for case, per_order in current.items():
+        for order, hexed in per_order.items():
+            if stored.get(case, {}).get(order) != hexed:
+                bad.append(f"{case}/{order}")
+    for case in stored:
+        if case not in current:
+            bad.append(f"{case} (stale)")
+    if bad:
+        print("golden vectors differ:", ", ".join(sorted(bad)))
+        return 1
+    print(f"{len(stored)} cases match")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,59 @@
+"""Byte-for-byte wire stability, on both simulated byte orders.
+
+Every case must encode to exactly the hex stored in ``vectors.json``,
+with the fused fast path and the per-field baseline agreeing — so a
+codec change that alters the wire, even one bit, fails here before it
+reaches a peer that can't read it.  CI runs the little- and big-endian
+halves as separate steps via ``-k little`` / ``-k big``.
+"""
+
+import pytest
+
+from repro.pbio.decode import RecordDecoder
+from repro.pbio.encode import HEADER_LEN, is_batch, parse_header
+from tests.golden.cases import (
+    ARCHITECTURES, build_format, case_names, case_record, encode_case,
+    load_vectors,
+)
+
+VECTORS = load_vectors()
+
+PARAMS = [pytest.param(case, order, id=f"{case}-{order}")
+          for case in case_names()
+          for order in ARCHITECTURES]
+
+
+@pytest.mark.parametrize("case,order", PARAMS)
+def test_wire_matches_golden(case, order):
+    wire = encode_case(case, ARCHITECTURES[order])
+    assert wire.hex() == VECTORS[case][order], (
+        f"{case}/{order}: wire bytes changed; if intentional, rerun "
+        "tests/golden/regen.py and note the compatibility break")
+
+
+@pytest.mark.parametrize("case,order", PARAMS)
+def test_fused_matches_per_field_baseline(case, order):
+    arch = ARCHITECTURES[order]
+    assert encode_case(case, arch, fuse=True) == \
+        encode_case(case, arch, fuse=False)
+
+
+@pytest.mark.parametrize("case,order", PARAMS)
+def test_golden_wire_decodes_identically_both_paths(case, order):
+    arch = ARCHITECTURES[order]
+    wire = bytes.fromhex(VECTORS[case][order])
+    if is_batch(wire):
+        return  # batch framing is covered by the byte tests above
+    fmt = build_format(case, arch)
+    _fid, body_len = parse_header(wire)
+    body = wire[HEADER_LEN:HEADER_LEN + body_len]
+    fused = RecordDecoder(fmt, fuse=True).decode(body)
+    plain = RecordDecoder(fmt, fuse=False).decode(body)
+    assert fused == plain
+    record = case_record(case)
+    assert fused["timestep" if "timestep" in record
+                 else next(iter(record))] is not None
+
+
+def test_every_stored_case_is_still_defined():
+    assert sorted(VECTORS) == sorted(case_names())

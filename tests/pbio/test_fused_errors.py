@@ -1,0 +1,86 @@
+"""Error attribution through the fused encode path.
+
+A fused run packs many fields in one ``struct`` call, whose errors
+don't say which argument was at fault.  The encoder must re-diagnose
+and name the *specific* offending field — identically to the
+per-field baseline — or marshaling failures become unactionable.
+"""
+
+import pytest
+
+from repro.errors import DecodeError, EncodeError
+from repro.pbio.decode import RecordDecoder
+from repro.pbio.encode import RecordEncoder
+from repro.pbio.format import IOFormat
+from repro.pbio.layout import field_list_for
+
+SPECS = [("alpha", "integer", 4), ("beta", "integer", 4),
+         ("gamma", "float", 8), ("delta", "unsigned integer", 2)]
+
+
+@pytest.fixture
+def fmt():
+    return IOFormat("Probe", field_list_for(SPECS))
+
+
+@pytest.fixture
+def encoder(fmt):
+    enc = RecordEncoder(fmt)
+    assert enc.fused_fields == len(SPECS)  # one run covers everything
+    return enc
+
+
+GOOD = {"alpha": 1, "beta": 2, "gamma": 3.0, "delta": 4}
+
+
+class TestEncodeAttribution:
+    def test_missing_run_member_is_named(self, encoder):
+        record = dict(GOOD)
+        del record["beta"]
+        with pytest.raises(EncodeError, match=r"beta"):
+            encoder.encode_body(record)
+
+    def test_bad_value_mid_run_is_named(self, encoder):
+        with pytest.raises(EncodeError,
+                           match=r"field 'beta'.*integer expected"):
+            encoder.encode_body(dict(GOOD, beta="five"))
+
+    def test_out_of_range_value_is_named(self, encoder):
+        with pytest.raises(EncodeError, match=r"field 'delta'"):
+            encoder.encode_body(dict(GOOD, delta=1 << 20))
+
+    def test_float_field_rejects_non_number_by_name(self, encoder):
+        with pytest.raises(EncodeError, match=r"field 'gamma'"):
+            encoder.encode_body(dict(GOOD, gamma=object()))
+
+    @pytest.mark.parametrize("bad", [
+        {"beta": "five"}, {"delta": -1}, {"alpha": 2 ** 40}])
+    def test_fused_message_matches_baseline(self, fmt, encoder, bad):
+        plain = RecordEncoder(fmt, fuse=False)
+        record = dict(GOOD, **bad)
+        with pytest.raises(EncodeError) as fused_err:
+            encoder.encode_body(record)
+        with pytest.raises(EncodeError) as plain_err:
+            plain.encode_body(record)
+        assert str(fused_err.value) == str(plain_err.value)
+
+    def test_first_failing_field_wins(self, encoder):
+        # two bad fields: diagnosis names the earliest, like the
+        # per-field baseline would
+        with pytest.raises(EncodeError, match=r"field 'alpha'"):
+            encoder.encode_body(dict(GOOD, alpha="x", gamma="y"))
+
+
+class TestDecodeAttribution:
+    def test_truncated_body_reports_requirement(self, fmt):
+        body = RecordEncoder(fmt).encode_body(GOOD)
+        with pytest.raises(DecodeError, match=r"requires at least"):
+            RecordDecoder(fmt).decode(body[:6])
+
+    def test_fused_decode_error_matches_baseline(self, fmt):
+        body = RecordEncoder(fmt).encode_body(GOOD)[:6]
+        with pytest.raises(DecodeError) as fused_err:
+            RecordDecoder(fmt, fuse=True).decode(body)
+        with pytest.raises(DecodeError) as plain_err:
+            RecordDecoder(fmt, fuse=False).decode(body)
+        assert str(fused_err.value) == str(plain_err.value)

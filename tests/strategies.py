@@ -97,19 +97,68 @@ def atomic_field(draw, name: str):
                           max_size=8)
 
 
+#: element types usable inside dimensionName-linked var-arrays
+_LINKABLE_TYPES = [(t, s) for t, s in _ATOMIC_TYPES
+                   if t in ("integer", "unsigned integer", "float")]
+
+
 @st.composite
-def format_case(draw, min_fields: int = 1, max_fields: int = 6):
-    """A (specs, record_strategy) pair for a random flat format."""
+def format_case(draw, min_fields: int = 1, max_fields: int = 6,
+                allow_linked: bool = True):
+    """A (specs, record_strategy) pair for a random flat format.
+
+    Mixes scalars (contiguous ones become fused runs), strings, fixed
+    arrays, self-sized dynamic arrays, and — unless *allow_linked* is
+    False — ``dimensionName``-linked var-arrays whose sizing field is
+    filled from the generated list's length.
+    """
+    names = draw(st.lists(field_names, min_size=min_fields,
+                          max_size=max_fields, unique=True))
+    specs = []
+    value_strats = {}
+    links = {}  # array field -> sizing field
+    taken = set(names)
+    for name in names:
+        len_name = name + "_n"
+        if allow_linked and len_name not in taken and \
+                draw(st.integers(0, 4)) == 0:
+            type_string, size = draw(st.sampled_from(_LINKABLE_TYPES))
+            taken.add(len_name)
+            specs.append((len_name, "integer", 4))
+            specs.append((name, f"{type_string}[{len_name}]", size))
+            value_strats[name] = st.lists(
+                value_for(type_string, size), min_size=0, max_size=8)
+            links[name] = len_name
+            continue
+        spec, values = draw(atomic_field(name))
+        specs.append(spec)
+        value_strats[name] = values
+
+    def _fill_sizes(record, _links=links):
+        out = dict(record)
+        for array_name, length_name in _links.items():
+            out[length_name] = len(out[array_name])
+        return out
+
+    record = st.fixed_dictionaries(value_strats).map(_fill_sizes)
+    return specs, record
+
+
+@st.composite
+def scalar_run_case(draw, min_fields: int = 2, max_fields: int = 8):
+    """A format of *only* fusible scalars — guarantees the compiled
+    plan contains at least one multi-field fused run, so run fusion is
+    exercised on every example rather than by luck."""
+    scalars = [(t, s) for t, s in _ATOMIC_TYPES if t != "string"]
     names = draw(st.lists(field_names, min_size=min_fields,
                           max_size=max_fields, unique=True))
     specs = []
     value_strats = {}
     for name in names:
-        spec, values = draw(atomic_field(name))
-        specs.append(spec)
-        value_strats[name] = values
-    record = st.fixed_dictionaries(value_strats)
-    return specs, record
+        type_string, size = draw(st.sampled_from(scalars))
+        specs.append((name, type_string, size))
+        value_strats[name] = value_for(type_string, size)
+    return specs, st.fixed_dictionaries(value_strats)
 
 
 def assert_record_roundtrip(original: dict, decoded: dict,
