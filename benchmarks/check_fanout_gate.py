@@ -1,0 +1,99 @@
+#!/usr/bin/env python
+"""CI regression gate for the encode-once broadcast fan-out.
+
+Reads ``BENCH_fanout.json`` (written when the benchmark suite runs
+``benchmarks/test_ext_fanout.py``) and fails unless the acceptance
+shape holds:
+
+* encode-once per-client cost stays roughly flat as subscribers grow:
+  at every N it must be <= ``FLAT_MAX``x the N=1 cost (marshaling and
+  framing are shared, so adding a subscriber adds only a queue append
+  plus a share of a scatter-gather write);
+* per-client marshaling strategies pay for every subscriber: at the
+  largest N, XML-per-client must cost >= ``XML_MIN``x and
+  encode-per-client >= ``PBIO_MIN``x the encode-once broadcast.
+
+Usage::
+
+    python benchmarks/check_fanout_gate.py [path/to/BENCH_fanout.json]
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+FLAT_MAX = 2.0
+XML_MIN = 2.0
+PBIO_MIN = 1.2
+
+
+def main(argv: list[str]) -> int:
+    path = Path(argv[1]) if len(argv) > 1 else \
+        Path(__file__).resolve().parents[1] / "BENCH_fanout.json"
+    if not path.exists():
+        print(f"gate: {path} missing — run the benchmark suite first "
+              "(PYTHONPATH=src python -m pytest "
+              "benchmarks/test_ext_fanout.py)")
+        return 2
+    data = json.loads(path.read_text())
+
+    failures: list[str] = []
+    strategies = ("encode_once", "encode_per_client", "xml_per_client")
+    for strategy in strategies:
+        rows = data.get(strategy)
+        if not rows:
+            failures.append(f"{strategy} missing from metrics")
+            continue
+        for key in sorted(rows, key=int):
+            m = rows[key]
+            print(f"{strategy:18s} N={m['clients']:4d}  "
+                  f"total {m['total_s'] * 1e3:9.2f}ms  "
+                  f"per-msg {m['per_message_us']:9.2f}us  "
+                  f"per-client {m['per_client_us']:7.2f}us")
+    if failures:
+        print("\nGATE FAILED:")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+
+    once = data["encode_once"]
+    base = min(once, key=int)
+    base_cost = once[base]["per_client_us"]
+    for key in sorted(once, key=int):
+        ratio = once[key]["per_client_us"] / base_cost
+        if ratio > FLAT_MAX:
+            failures.append(
+                f"encode-once per-client cost at N={key} is "
+                f"{ratio:.2f}x the N={base} cost, above the "
+                f"{FLAT_MAX}x flatness gate")
+
+    n_max = max(once, key=int)
+    once_total = once[n_max]["total_s"]
+    xml_ratio = data["xml_per_client"][n_max]["total_s"] / once_total
+    pbio_ratio = \
+        data["encode_per_client"][n_max]["total_s"] / once_total
+    print(f"\nat N={n_max}: xml-per-client {xml_ratio:.2f}x, "
+          f"encode-per-client {pbio_ratio:.2f}x the encode-once "
+          "broadcast")
+    if xml_ratio < XML_MIN:
+        failures.append(
+            f"xml-per-client is only {xml_ratio:.2f}x encode-once at "
+            f"N={n_max}, below the {XML_MIN}x gate")
+    if pbio_ratio < PBIO_MIN:
+        failures.append(
+            f"encode-per-client is only {pbio_ratio:.2f}x encode-once "
+            f"at N={n_max}, below the {PBIO_MIN}x gate")
+
+    if failures:
+        print("\nGATE FAILED:")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print("\ngate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

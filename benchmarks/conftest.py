@@ -24,7 +24,13 @@ from repro.pbio.layout import field_list_for
 BENCH_FUSED_PATH = Path(__file__).resolve().parents[1] / \
     "BENCH_fused.json"
 
+#: Where the broadcast fan-out sweep lands; consumed by
+#: ``benchmarks/check_fanout_gate.py`` in CI.
+BENCH_FANOUT_PATH = Path(__file__).resolve().parents[1] / \
+    "BENCH_fanout.json"
+
 _FUSED_METRICS: dict = {}
+_FANOUT_METRICS: dict = {}
 
 
 def context_for_case(case) -> IOContext:
@@ -56,7 +62,18 @@ def fused_metrics() -> dict:
     return _FUSED_METRICS
 
 
+@pytest.fixture
+def fanout_metrics() -> dict:
+    """Session-wide sink for the fan-out sweep
+    (``test_ext_fanout``); flushed to BENCH_fanout.json at session
+    end."""
+    return _FANOUT_METRICS
+
+
 def pytest_sessionfinish(session, exitstatus):
     if _FUSED_METRICS:
         BENCH_FUSED_PATH.write_text(
             json.dumps(_FUSED_METRICS, indent=2, sort_keys=True) + "\n")
+    if _FANOUT_METRICS:
+        BENCH_FANOUT_PATH.write_text(
+            json.dumps(_FANOUT_METRICS, indent=2, sort_keys=True) + "\n")

@@ -1,31 +1,52 @@
-"""Extension experiment — server fan-out cost per client.
+"""Extension experiment — server fan-out cost per client, on sockets.
 
 Section 1 motivates binary transport with "server-based applications
 in which single servers must provide information to large numbers of
 clients", where "scalability to many information clients ... implies
 the need to reduce per-client or per-source processing".  Three
-strategies for broadcasting one event to N clients:
+strategies for broadcasting one event stream to N loopback-socket
+subscribers:
 
-* ``encode-once``  — marshal once, send the same PBIO bytes N times
-  (zero marshaling work per client);
-* ``encode-per-client`` — marshal the record N times (what naive
-  per-connection APIs do);
+* ``encode-once``      — :class:`BroadcastPublisher`: marshal once,
+  queue the same frame bytes to every client, drain with
+  scatter-gather writes from one event-loop thread;
+* ``encode-per-client`` — marshal the record N times and ``sendall``
+  each copy (what naive per-connection APIs do);
 * ``xml-per-client``    — XML marshal N times (text protocols cannot
   share encodings across clients that renegotiate formatting).
+
+The sweep lands in ``BENCH_fanout.json`` (written by
+``conftest.pytest_sessionfinish``); ``benchmarks/check_fanout_gate.py``
+enforces the acceptance shape — encode-once per-client cost stays
+roughly flat from N=1 to N=128 while the per-client strategies pay
+full marshaling for every subscriber — as a separate CI step.
+In-test assertions use looser margins so machine noise cannot flake
+the suite.
 """
+
+from __future__ import annotations
+
+import selectors
+import socket
+import time
 
 import pytest
 
-from repro.bench.timing import time_callable
 from repro.pbio.context import IOContext
 from repro.pbio.format_server import FormatServer
+from repro.transport.broadcast import BroadcastPublisher
+from repro.transport.messages import Frame, FrameType
+from repro.transport.tcp import TCPChannel, TCPListener
 from repro.wire import XMLWireCodec
 
-CLIENTS = 32
+FANOUT = [1, 8, 32, 128]
+MESSAGES = 200
 EVENT = {"centerID": "ZTL", "airline": "DAL", "flightNum": 1023,
          "off": 987654321}
 SPECS = [("centerID", "string"), ("airline", "string"),
          ("flightNum", "integer", 4), ("off", "unsigned integer", 8)]
+
+pytestmark = pytest.mark.timeout(600)
 
 
 def _context() -> IOContext:
@@ -34,67 +55,186 @@ def _context() -> IOContext:
     return ctx
 
 
-@pytest.mark.benchmark(group="ext-fanout")
-def test_ext_fanout_encode_once(benchmark):
+class _Drainer:
+    """One selector thread that reads and discards everything arriving
+    on the subscriber ends, so sender-side cost is what's measured."""
+
+    def __init__(self) -> None:
+        import threading
+        self._selector = selectors.DefaultSelector()
+        self._stop = threading.Event()
+        self._thread = threading.Thread(target=self._run, daemon=True,
+                                        name="fanout-drainer")
+        self.bytes_drained = 0
+
+    def watch(self, sock: socket.socket) -> None:
+        sock.setblocking(False)
+        self._selector.register(sock, selectors.EVENT_READ)
+
+    def start(self) -> "_Drainer":
+        self._thread.start()
+        return self
+
+    def _run(self) -> None:
+        while not self._stop.is_set():
+            for key, _events in self._selector.select(0.05):
+                try:
+                    while True:
+                        chunk = key.fileobj.recv(1 << 16)
+                        if not chunk:
+                            self._selector.unregister(key.fileobj)
+                            break
+                        self.bytes_drained += len(chunk)
+                except BlockingIOError:
+                    continue
+                except OSError:
+                    try:
+                        self._selector.unregister(key.fileobj)
+                    except (KeyError, ValueError):
+                        pass
+
+    def close(self) -> None:
+        self._stop.set()
+        self._thread.join(5)
+        self._selector.close()
+
+
+def _measure_encode_once(clients: int, messages: int) -> float:
     ctx = _context()
-    sink = []
+    pub = BroadcastPublisher(ctx, policy="block",
+                             max_queue_bytes=16 * 1024 * 1024).start()
+    drainer = _Drainer()
+    socks = [socket.create_connection((pub.host, pub.port))
+             for _ in range(clients)]
+    for sock in socks:
+        drainer.watch(sock)
+    drainer.start()
+    try:
+        assert pub.wait_for_subscribers(clients, timeout=10)
+        publish = pub.publish
+        start = time.perf_counter()
+        for _ in range(messages):
+            publish("ASDOffEvent", EVENT)
+        assert pub.flush(timeout=60)
+        elapsed = time.perf_counter() - start
+    finally:
+        pub.close()
+        drainer.close()
+        for sock in socks:
+            sock.close()
+    return elapsed
 
-    def broadcast():
-        sink.clear()
-        wire = ctx.encode("ASDOffEvent", EVENT)
-        for _ in range(CLIENTS):
-            sink.append(wire)
-    benchmark(broadcast)
+
+def _per_client_channels(clients: int, drainer: _Drainer):
+    listener = TCPListener()
+    channels = []
+    for _ in range(clients):
+        channels.append(TCPChannel.connect(listener.host,
+                                           listener.port))
+        drainer.watch(listener.accept(timeout=5)._sock)
+    listener.close()
+    return channels
 
 
-@pytest.mark.benchmark(group="ext-fanout")
-def test_ext_fanout_encode_per_client(benchmark):
+def _measure_encode_per_client(clients: int, messages: int) -> float:
     ctx = _context()
-    sink = []
+    drainer = _Drainer()
+    channels = _per_client_channels(clients, drainer)
+    drainer.start()
+    try:
+        encode = ctx.encode
+        start = time.perf_counter()
+        for _ in range(messages):
+            for channel in channels:
+                channel.send(Frame(FrameType.DATA,
+                                   encode("ASDOffEvent", EVENT)))
+        elapsed = time.perf_counter() - start
+    finally:
+        for channel in channels:
+            channel.close()
+        drainer.close()
+    return elapsed
 
-    def broadcast():
-        sink.clear()
-        for _ in range(CLIENTS):
-            sink.append(ctx.encode("ASDOffEvent", EVENT))
-    benchmark(broadcast)
 
-
-@pytest.mark.benchmark(group="ext-fanout")
-def test_ext_fanout_xml_per_client(benchmark):
+def _measure_xml_per_client(clients: int, messages: int) -> float:
     ctx = _context()
     codec = XMLWireCodec(ctx.lookup_format("ASDOffEvent"))
-    sink = []
+    drainer = _Drainer()
+    channels = _per_client_channels(clients, drainer)
+    drainer.start()
+    try:
+        encode = codec.encode
+        start = time.perf_counter()
+        for _ in range(messages):
+            for channel in channels:
+                channel.send(Frame(FrameType.DATA, encode(EVENT)))
+        elapsed = time.perf_counter() - start
+    finally:
+        for channel in channels:
+            channel.close()
+        drainer.close()
+    return elapsed
 
-    def broadcast():
-        sink.clear()
-        for _ in range(CLIENTS):
-            sink.append(codec.encode(EVENT))
-    benchmark(broadcast)
+
+_STRATEGIES = {
+    "encode_once": _measure_encode_once,
+    "encode_per_client": _measure_encode_per_client,
+    "xml_per_client": _measure_xml_per_client,
+}
 
 
-@pytest.mark.benchmark(group="ext-fanout-shape")
-def test_ext_fanout_ordering(benchmark):
-    def sweep():
-        ctx = _context()
-        codec = XMLWireCodec(ctx.lookup_format("ASDOffEvent"))
+def test_fanout_sweep_recorded(fanout_metrics):
+    """Run the three strategies across the subscriber sweep, record
+    the numbers for the CI gate, and assert conservative shapes."""
+    for name, measure in _STRATEGIES.items():
+        rows = {}
+        for clients in FANOUT:
+            # one throwaway warm round so compiled plans, the XML
+            # serializer and the TCP stacks are all hot before timing
+            measure(clients, 10)
+            elapsed = measure(clients, MESSAGES)
+            rows[str(clients)] = {
+                "clients": clients,
+                "messages": MESSAGES,
+                "total_s": elapsed,
+                "per_message_us": elapsed / MESSAGES * 1e6,
+                "per_client_us":
+                    elapsed / (MESSAGES * clients) * 1e6,
+            }
+        fanout_metrics[name] = rows
 
-        def once():
-            wire = ctx.encode("ASDOffEvent", EVENT)
-            return [wire for _ in range(CLIENTS)]
+    once = fanout_metrics["encode_once"]
+    per_client = fanout_metrics["encode_per_client"]
+    xml = fanout_metrics["xml_per_client"]
 
-        def per_client():
-            return [ctx.encode("ASDOffEvent", EVENT)
-                    for _ in range(CLIENTS)]
+    # Encode-once amortizes marshaling: per-client cost must not grow
+    # meaningfully with N (gate: 2x; in-test: 3x against noise).
+    flat = [once[str(n)]["per_client_us"] for n in FANOUT]
+    assert max(flat) <= 3.0 * flat[0], flat
 
-        def xml():
-            return [codec.encode(EVENT) for _ in range(CLIENTS)]
+    # Per-client marshaling strategies pay for every subscriber: at
+    # scale the XML broadcast must cost several times encode-once.
+    n_max = str(FANOUT[-1])
+    assert xml[n_max]["total_s"] > 2.0 * once[n_max]["total_s"]
+    assert per_client[n_max]["total_s"] > once[n_max]["total_s"]
 
-        return (time_callable(once, repeat=3).best,
-                time_callable(per_client, repeat=3).best,
-                time_callable(xml, repeat=3).best)
 
-    once, per_client, xml = benchmark.pedantic(sweep, rounds=1,
-                                               iterations=1)
-    assert once < per_client < xml
-    assert per_client / once > 3   # marshaling dominates fan-out
-    assert xml / per_client > 3    # and XML marshaling dominates that
+@pytest.mark.benchmark(group="ext-fanout")
+def test_ext_fanout_encode_once_sockets(benchmark):
+    """pytest-benchmark row: encode-once broadcast to 32 subscribers."""
+    benchmark.pedantic(
+        lambda: _measure_encode_once(32, 50), rounds=3, iterations=1)
+
+
+@pytest.mark.benchmark(group="ext-fanout")
+def test_ext_fanout_encode_per_client_sockets(benchmark):
+    benchmark.pedantic(
+        lambda: _measure_encode_per_client(32, 50), rounds=3,
+        iterations=1)
+
+
+@pytest.mark.benchmark(group="ext-fanout")
+def test_ext_fanout_xml_per_client_sockets(benchmark):
+    benchmark.pedantic(
+        lambda: _measure_xml_per_client(32, 50), rounds=3,
+        iterations=1)

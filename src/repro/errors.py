@@ -132,6 +132,29 @@ class ProtocolError(TransportError):
     """Peer violated the record/negotiation protocol."""
 
 
+class FrameTooLargeError(ProtocolError):
+    """A frame-length prefix exceeds the endpoint's configured cap.
+
+    Raised (and recorded as a per-client close reason by the event
+    loop) instead of a bare :class:`TransportError` so servers can
+    drop the one offending client without tearing down the loop.
+    """
+
+    def __init__(self, length: int, limit: int) -> None:
+        self.length = length
+        self.limit = limit
+        super().__init__(
+            f"frame length {length} exceeds cap {limit}")
+
+
+class SlowConsumerError(TransportError):
+    """A subscriber's bounded write queue stayed over its limit.
+
+    Used as the eviction reason under the ``disconnect-slow``
+    backpressure policy and when a ``block`` wait times out.
+    """
+
+
 # ---------------------------------------------------------------------------
 # XMIT core
 # ---------------------------------------------------------------------------

@@ -366,6 +366,55 @@ class Coupler(Component):
                     self.control_forwarded += 1
 
 
+class BroadcastCoupler(Component):
+    """The fan-out deployment of Fig. 5's coupler: instead of two
+    wired GUI channels, every record from upstream is encoded once
+    and broadcast to however many subscribers have connected — the
+    "single servers must provide information to large numbers of
+    clients" scenario of the paper's introduction.
+
+    Subscribers attach with an ordinary
+    :class:`~repro.transport.connection.Connection` against
+    ``host:port``; format metadata is pushed to each of them once per
+    format, so their steady-state cost is pure decoding.
+    """
+
+    def __init__(self, schema_url: str, inbound, *,
+                 host: str = "127.0.0.1", port: int = 0,
+                 policy="block",
+                 max_queue_bytes: int = 4 * 1024 * 1024,
+                 min_subscribers: int = 0,
+                 subscriber_timeout: float = 30.0,
+                 architecture=None) -> None:
+        super().__init__("broadcast", schema_url, architecture)
+        from repro.transport.broadcast import BroadcastPublisher
+        self.inbound = self._connect(inbound)
+        self.min_subscribers = min_subscribers
+        self.subscriber_timeout = subscriber_timeout
+        self.publisher = BroadcastPublisher(
+            self.context, host=host, port=port, policy=policy,
+            max_queue_bytes=max_queue_bytes).start()
+        self.host, self.port = self.publisher.host, self.publisher.port
+
+    def process(self) -> None:
+        try:
+            if self.min_subscribers and not \
+                    self.publisher.wait_for_subscribers(
+                        self.min_subscribers, self.subscriber_timeout):
+                raise TransportError(
+                    f"only {self.publisher.subscriber_count} of "
+                    f"{self.min_subscribers} subscribers arrived "
+                    f"within {self.subscriber_timeout}s")
+            while True:
+                msg = self._recv(self.inbound)
+                if msg is None:
+                    break
+                self.publisher.publish(msg.format_name, msg.record)
+                self.stats.count_out(msg.format_name)
+        finally:
+            self.publisher.close()
+
+
 class Vis5DSink(Component):
     """Stands in for the Vis5D GUI: consumes frames, records render
     statistics, and occasionally sends control feedback upstream."""

@@ -306,6 +306,18 @@ class RecordEncoder:
         return build_header(self.format.format_id, len(body),
                             big_endian=self._big) + body
 
+    def encode_wire_parts(self, record: dict) -> tuple[bytes, bytes]:
+        """``(header, body)`` without concatenating them.
+
+        The broadcast fan-out path frames records directly from these
+        parts (one join builds the whole transport frame), so the
+        wire bytes are copied once instead of once per layer.
+        """
+        body = self._encode_pooled(record)
+        header = build_header(self.format.format_id, len(body),
+                              big_endian=self._big)
+        return header, body
+
     def encode_bodies(self, records) -> list[bytes]:
         """Encode many records, reusing one pooled buffer throughout."""
         return [self._encode_pooled(r) for r in records]

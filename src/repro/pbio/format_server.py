@@ -80,6 +80,35 @@ class FormatServer:
         with self._lock:
             return tuple(self._by_id)
 
+    def handle_frame(self, ftype: int, payload: bytes) \
+            -> tuple[int, bytes] | None:
+        """Serve one metadata-protocol frame; returns the reply
+        ``(frame type, payload)`` or None when no reply is due.
+
+        This is the transport-agnostic half of the network format
+        server: :class:`~repro.pbio.remote_server.FormatServerService`
+        and the broadcast event loop
+        (:class:`~repro.transport.broadcast.BroadcastPublisher`) both
+        feed frames here, so format metadata is served from whatever
+        loop already owns the socket.  Imported lazily to keep this
+        module free of transport dependencies.
+        """
+        from repro.transport.messages import FrameType
+        try:
+            if ftype == FrameType.FMT_REG:
+                fid = self.import_bytes(bytes(payload))
+                return FrameType.FMT_ACK, fid.to_bytes()
+            if ftype == FrameType.FMT_REQ:
+                fid = FormatID.from_bytes(payload)
+                metadata = self.lookup_bytes(fid)
+                return FrameType.FMT_RSP, fid.to_bytes() + metadata
+            if ftype == FrameType.HELLO:
+                return None
+            return (FrameType.FMT_ERR,
+                    f"unexpected frame type {ftype}".encode())
+        except (UnknownFormatError, FormatRegistrationError) as exc:
+            return FrameType.FMT_ERR, str(exc).encode()
+
     @property
     def stats(self) -> dict[str, int]:
         with self._lock:

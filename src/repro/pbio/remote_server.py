@@ -86,23 +86,10 @@ class FormatServerService:
             channel.close()
 
     def _handle(self, channel: TCPChannel, frame: Frame) -> None:
-        try:
-            if frame.type == FrameType.FMT_REG:
-                fid = self.backing.import_bytes(frame.payload)
-                channel.send(Frame(FrameType.FMT_ACK, fid.to_bytes()))
-            elif frame.type == FrameType.FMT_REQ:
-                fid = FormatID.from_bytes(frame.payload)
-                metadata = self.backing.lookup_bytes(fid)
-                channel.send(Frame(FrameType.FMT_RSP,
-                                   fid.to_bytes() + metadata))
-            elif frame.type == FrameType.HELLO:
-                pass
-            else:
-                channel.send(Frame(
-                    FrameType.FMT_ERR,
-                    f"unexpected frame {frame.type.name}".encode()))
-        except (UnknownFormatError, FormatRegistrationError) as exc:
-            channel.send(Frame(FrameType.FMT_ERR, str(exc).encode()))
+        reply = self.backing.handle_frame(frame.type, frame.payload)
+        if reply is not None:
+            rtype, payload = reply
+            channel.send(Frame(FrameType(rtype), payload))
 
 
 class RemoteFormatServer:

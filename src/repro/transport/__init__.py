@@ -15,24 +15,41 @@ Layers:
 * :mod:`repro.transport.tcp`        -- socket channel + listener;
 * :mod:`repro.transport.messages`   -- frame encoding;
 * :mod:`repro.transport.connection` -- :class:`Connection`: records in,
-  records out, metadata fetched on demand.
+  records out, metadata fetched on demand;
+* :mod:`repro.transport.eventloop`  -- one-thread ``selectors`` server
+  for many concurrent clients;
+* :mod:`repro.transport.broadcast`  -- encode-once fan-out publisher
+  with bounded per-client write queues.
 """
 
 from repro.transport.base import Channel
-from repro.transport.inproc import InProcChannel, channel_pair
-from repro.transport.tcp import TCPChannel, TCPListener, tcp_pair
-from repro.transport.messages import Frame, FrameType
+from repro.transport.broadcast import (
+    BackpressurePolicy, BroadcastPublisher, BroadcastStats,
+)
 from repro.transport.connection import Connection, ReceivedMessage
+from repro.transport.eventloop import (
+    ClientHandle, EventLoopServer, Poller,
+)
+from repro.transport.inproc import InProcChannel, channel_pair
+from repro.transport.messages import Frame, FrameType, frame_bytes
+from repro.transport.tcp import TCPChannel, TCPListener, tcp_pair
 
 __all__ = [
+    "BackpressurePolicy",
+    "BroadcastPublisher",
+    "BroadcastStats",
     "Channel",
+    "ClientHandle",
     "Connection",
+    "EventLoopServer",
     "Frame",
     "FrameType",
     "InProcChannel",
+    "Poller",
     "ReceivedMessage",
     "TCPChannel",
     "TCPListener",
     "channel_pair",
+    "frame_bytes",
     "tcp_pair",
 ]

@@ -12,6 +12,7 @@ from __future__ import annotations
 from abc import ABC, abstractmethod
 from typing import Iterable
 
+from repro.errors import TransportError
 from repro.transport.messages import Frame
 
 
@@ -31,6 +32,15 @@ class Channel(ABC):
         """
         for frame in frames:
             self.send(frame)
+
+    def fileno(self) -> int:
+        """The OS-level descriptor, for event-loop registration.
+
+        Only socket-backed channels have one; others raise so callers
+        fall back to thread-per-channel servicing.
+        """
+        raise TransportError(
+            f"{type(self).__name__} has no pollable descriptor")
 
     @abstractmethod
     def recv(self, timeout: float | None = None) -> Frame | None:

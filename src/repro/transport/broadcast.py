@@ -1,0 +1,307 @@
+"""Encode-once broadcast over the event loop.
+
+The paper's Section 1 motivates binary metadata exactly here:
+"server-based applications in which single servers must provide
+information to large numbers of clients", where scalability "implies
+the need to reduce per-client or per-source processing".
+:class:`BroadcastPublisher` makes that reduction concrete: each record
+is marshaled **once** through the context's fused encoder plan, framed
+once, and the *same* immutable bytes object is queued to every
+subscriber — per-client work is a queue append plus a share of a
+scatter-gather ``sendmsg``, independent of record complexity.
+
+Per-client costs that cannot be shared are amortized instead:
+
+* **format announcement** — the first record of each format pushes one
+  FMT_RSP frame (ID + canonical metadata) to each client before the
+  data, so subscribers' :class:`~repro.transport.connection.Connection`
+  objects import the format without ever sending a FMT_REQ;
+* **backpressure** — per-client write queues are bounded by
+  ``max_queue_bytes``, and a slow consumer triggers the configured
+  :class:`BackpressurePolicy` without stalling healthy clients.
+
+Counters are exposed like
+:class:`~repro.http.retry.DiscoveryStats` — thread-safe, snapshot via
+:attr:`BroadcastPublisher.stats`.
+"""
+
+from __future__ import annotations
+
+import enum
+import threading
+from dataclasses import dataclass
+
+from repro.errors import SlowConsumerError
+from repro.pbio.context import IOContext
+from repro.pbio.encode import parse_header
+from repro.pbio.format import IOFormat
+from repro.transport.eventloop import ClientHandle, EventLoopServer
+from repro.transport.messages import (
+    MAX_FRAME, Frame, FrameType, frame_bytes,
+)
+
+
+class BackpressurePolicy(enum.Enum):
+    """What to do when a subscriber's write queue is full.
+
+    * ``BLOCK`` — the publisher waits (up to ``block_timeout``) for
+      the queue to drain; a consumer still stuck after the wait is
+      evicted so one dead peer cannot stall the broadcast forever.
+    * ``DROP_OLDEST`` — the oldest queued data frames are discarded to
+      make room (control frames are never dropped); the client stays
+      connected but sees a gap.
+    * ``DISCONNECT_SLOW`` — the client is evicted immediately with a
+      :class:`~repro.errors.SlowConsumerError` close reason.
+    """
+
+    BLOCK = "block"
+    DROP_OLDEST = "drop-oldest"
+    DISCONNECT_SLOW = "disconnect-slow"
+
+    @classmethod
+    def coerce(cls, value) -> "BackpressurePolicy":
+        if isinstance(value, cls):
+            return value
+        try:
+            return cls(value)
+        except ValueError:
+            names = ", ".join(p.value for p in cls)
+            raise ValueError(
+                f"unknown backpressure policy {value!r} "
+                f"(expected one of: {names})") from None
+
+
+@dataclass
+class BroadcastStats:
+    """Publisher-lifetime counters (guarded by the publisher lock)."""
+
+    messages_broadcast: int = 0
+    frames_enqueued: int = 0
+    bytes_queued: int = 0
+    bytes_encoded: int = 0
+    formats_announced: int = 0
+    frames_dropped: int = 0
+    clients_evicted: int = 0
+    block_waits: int = 0
+    queue_high_water: int = 0
+    subscriber_high_water: int = 0
+
+    def as_dict(self) -> dict:
+        return dict(vars(self))
+
+
+class BroadcastPublisher:
+    """One-thread fan-out server: encode once, enqueue everywhere.
+
+    Also serves the metadata protocol from the same loop: FMT_REQ (and
+    FMT_REG) frames from subscribers are answered out of the context's
+    :class:`~repro.pbio.format_server.FormatServer` via
+    :meth:`~repro.pbio.format_server.FormatServer.handle_frame`, so a
+    late subscriber that missed an announcement can still resolve IDs
+    without a second server process.
+    """
+
+    def __init__(self, context: IOContext, *,
+                 host: str = "127.0.0.1", port: int = 0,
+                 policy: BackpressurePolicy | str =
+                 BackpressurePolicy.BLOCK,
+                 max_queue_bytes: int = 4 * 1024 * 1024,
+                 block_timeout: float = 5.0,
+                 max_frame_len: int = MAX_FRAME) -> None:
+        self.context = context
+        self.policy = BackpressurePolicy.coerce(policy)
+        self.max_queue_bytes = max_queue_bytes
+        self.block_timeout = block_timeout
+        self.stats = BroadcastStats()
+        self._lock = threading.Lock()
+        self._closed = False
+        self._hello = Frame(
+            FrameType.HELLO,
+            context.architecture.name.encode("utf-8")).encode()
+        self.server = EventLoopServer(host=host, port=port,
+                                      handler=self,
+                                      max_frame_len=max_frame_len)
+        self.host, self.port = self.server.host, self.server.port
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def start(self) -> "BroadcastPublisher":
+        self.server.start()
+        return self
+
+    def close(self, timeout: float = 5.0) -> None:
+        """Flush queues, announce end-of-stream (BYE) and shut down."""
+        if self._closed:
+            return
+        self._closed = True
+        bye = Frame(FrameType.BYE, b"").encode()
+        for client in self.server.clients():
+            self.server.enqueue(client, bye, droppable=False)
+            self.server.request_close(client, None, graceful=True)
+        self.server.flush(timeout)
+        self.server.close(timeout)
+
+    def __enter__(self) -> "BroadcastPublisher":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- publishing ---------------------------------------------------------
+
+    def publish(self, format_name: str | IOFormat, record: dict) -> int:
+        """Encode *record* once and fan it out; returns the number of
+        subscribers the frame was queued to."""
+        fmt = self._format(format_name)
+        encoder = self.context.encoder_for(fmt)
+        # header and body framed in a single join — no intermediate
+        # payload concatenation on the hot path
+        header, body = encoder.encode_wire_parts(record)
+        data = frame_bytes(FrameType.DATA, header, body)
+        self.context.stats.records_encoded += 1
+        self.context.stats.bytes_encoded += len(header) + len(body)
+        return self._fan_out(fmt, data, records=1)
+
+    def publish_many(self, format_name: str | IOFormat,
+                     records) -> int:
+        """Encode *records* into one shared-header batch and fan the
+        single DATA_BATCH frame out to every subscriber."""
+        fmt = self._format(format_name)
+        records = list(records)
+        if not records:
+            return 0
+        wire = self.context.encode_many(fmt, records)
+        data = frame_bytes(FrameType.DATA_BATCH, wire)
+        return self._fan_out(fmt, data, records=len(records))
+
+    def publish_encoded(self, wire: bytes) -> int:
+        """Fan out an already-encoded record (bytes from
+        :meth:`~repro.pbio.context.IOContext.encode`)."""
+        fid, _ = parse_header(wire)
+        fmt = self.context._resolve_wire_format(fid)
+        data = frame_bytes(FrameType.DATA, wire)
+        return self._fan_out(fmt, data, records=1)
+
+    def flush(self, timeout: float | None = None) -> bool:
+        """Wait until every subscriber's queue has drained."""
+        return self.server.flush(timeout)
+
+    def wait_for_subscribers(self, count: int,
+                             timeout: float | None = None) -> bool:
+        return self.server.wait_for_clients(count, timeout)
+
+    @property
+    def subscriber_count(self) -> int:
+        return self.server.client_count
+
+    def stats_dict(self) -> dict:
+        with self._lock:
+            out = self.stats.as_dict()
+        out["subscribers"] = self.subscriber_count
+        return out
+
+    # -- internals ----------------------------------------------------------
+
+    def _format(self, format_name: str | IOFormat) -> IOFormat:
+        if isinstance(format_name, IOFormat):
+            return format_name
+        return self.context.lookup_format(format_name)
+
+    def _fan_out(self, fmt: IOFormat, data: bytes,
+                 records: int) -> int:
+        clients = self.server.clients()
+        reached = 0
+        for client in clients:
+            if fmt.format_id not in client.announced:
+                self._announce(client, fmt)
+            if self._offer(client, data):
+                reached += 1
+        with self._lock:
+            self.stats.messages_broadcast += records
+            # one encode regardless of subscriber count — the whole
+            # point; frame overhead (5 bytes) excluded
+            self.stats.bytes_encoded += len(data) - 5
+            self.stats.frames_enqueued += reached
+            self.stats.bytes_queued += reached * len(data)
+            if len(clients) > self.stats.subscriber_high_water:
+                self.stats.subscriber_high_water = len(clients)
+        return reached
+
+    def _announce(self, client: ClientHandle, fmt: IOFormat) -> None:
+        """Push the format's metadata once per client, ahead of its
+        first record — the lazy half of connection establishment."""
+        metadata = self.context.format_server.lookup_bytes(
+            fmt.format_id)
+        frame = frame_bytes(FrameType.FMT_RSP,
+                            fmt.format_id.to_bytes(), metadata)
+        if self.server.enqueue(client, frame, droppable=False):
+            client.announced.add(fmt.format_id)
+            with self._lock:
+                self.stats.formats_announced += 1
+
+    def _offer(self, client: ClientHandle, data: bytes) -> bool:
+        """Enqueue under the bounded-queue policy.  The publisher is
+        the only thread growing queues, so a limit check followed by
+        an enqueue cannot over-admit."""
+        over = client.queued_bytes + len(data) - self.max_queue_bytes
+        if over > 0:
+            if self.policy is BackpressurePolicy.DROP_OLDEST:
+                freed, dropped = self.server.drop_oldest(client, over)
+                with self._lock:
+                    self.stats.frames_dropped += dropped
+                if not freed:
+                    # nothing droppable (all control frames / one giant
+                    # in-flight frame): the client cannot make progress
+                    return self._evict(client)
+            elif self.policy is BackpressurePolicy.DISCONNECT_SLOW:
+                return self._evict(client)
+            else:  # BLOCK
+                with self._lock:
+                    self.stats.block_waits += 1
+                limit = max(self.max_queue_bytes - len(data), 0)
+                if not self.server.wait_queue_below(
+                        client, limit, self.block_timeout):
+                    return self._evict(client)
+                if not client.open:
+                    return False
+        queued = self.server.enqueue(client, data)
+        if queued:
+            with self._lock:
+                if client.queued_bytes > self.stats.queue_high_water:
+                    self.stats.queue_high_water = client.queued_bytes
+        return queued
+
+    def _evict(self, client: ClientHandle) -> bool:
+        self.server.request_close(
+            client,
+            SlowConsumerError(
+                f"subscriber {client.addr} exceeded "
+                f"{self.max_queue_bytes}-byte write queue"))
+        with self._lock:
+            self.stats.clients_evicted += 1
+        return False
+
+    # -- event-loop handler callbacks (loop thread) -------------------------
+
+    def on_connect(self, client: ClientHandle) -> None:
+        self.server.enqueue(client, self._hello, droppable=False)
+
+    def on_frame(self, client: ClientHandle, frame: Frame) -> None:
+        if frame.type == FrameType.HELLO:
+            client.peer_architecture = frame.payload.decode(
+                "utf-8", errors="replace")
+            return
+        if frame.type == FrameType.BYE:
+            self.server.request_close(client, None, graceful=True)
+            return
+        # metadata protocol served from the same loop
+        reply = self.context.format_server.handle_frame(
+            frame.type, frame.payload)
+        if reply is not None:
+            rtype, payload = reply
+            self.server.enqueue(client, frame_bytes(rtype, payload),
+                                droppable=False)
+
+    def on_disconnect(self, client: ClientHandle,
+                      reason: BaseException | None) -> None:
+        pass  # counters live on the server; hook kept for subclasses

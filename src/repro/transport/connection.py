@@ -194,6 +194,12 @@ class Connection:
                     f"peer requested unknown format {fid}") from None
             self.channel.send(Frame(FrameType.FMT_RSP,
                                     fid.to_bytes() + metadata))
+        elif frame.type == FrameType.FMT_RSP:
+            # Unsolicited pre-announcement: a broadcast server pushes
+            # each format's metadata once per client before the first
+            # record in it, so subscribers never pay a FMT_REQ
+            # round-trip (negotiations stays 0 on the fan-out path).
+            self.context.format_server.import_bytes(frame.payload[8:])
         elif frame.type == FrameType.HELLO:
             self.peer_architecture = frame.payload.decode(
                 "utf-8", errors="replace")

@@ -1,0 +1,564 @@
+"""Non-blocking event-loop transport server.
+
+One thread, one ``selectors`` poll loop, many clients.  The blocking
+transport (:class:`~repro.transport.tcp.TCPListener` plus a thread per
+channel) tops out at a few dozen peers; the paper's motivating
+deployment — "single servers must provide information to large numbers
+of clients" — needs hundreds.  :class:`EventLoopServer` accepts every
+subscriber on the same thread, reassembles inbound frames
+incrementally (the same length-prefix protocol as
+:class:`~repro.transport.tcp.TCPChannel`), and drains per-client write
+queues with scatter-gather ``sendmsg`` so a burst of broadcast frames
+costs one syscall per client, not one per frame.
+
+The loop itself is policy-free: writes are queued with
+:meth:`EventLoopServer.enqueue` and bounded-queue backpressure
+(``block`` / ``drop-oldest`` / ``disconnect-slow``) is composed on top
+by :class:`~repro.transport.broadcast.BroadcastPublisher`.
+
+A misbehaving client — oversized length prefix, unknown frame type,
+reset connection — is closed individually with the error recorded as
+its ``close_reason``; the loop and every other client keep running.
+"""
+
+from __future__ import annotations
+
+import selectors
+import socket
+import struct
+import threading
+import time
+from collections import deque
+from typing import Iterator
+
+from repro.errors import (
+    FrameTooLargeError, ProtocolError, TransportError,
+)
+from repro.transport.messages import MAX_FRAME, Frame, decode_frame
+
+_LEN = struct.Struct(">I")
+_RECV_CHUNK = 256 * 1024
+#: iovec entries per drain sendmsg (conservative vs. kernel IOV_MAX)
+_SENDMSG_BATCH = 512
+
+
+class Poller:
+    """A ``selectors`` selector with a cross-thread wakeup channel.
+
+    ``select()`` blocks the loop thread; producers on other threads
+    (the publisher enqueueing frames, ``close()``) call :meth:`wake`
+    to interrupt it through a loopback socketpair.
+    """
+
+    def __init__(self) -> None:
+        self._selector = selectors.DefaultSelector()
+        self._wake_r, self._wake_w = socket.socketpair()
+        self._wake_r.setblocking(False)
+        self._wake_w.setblocking(False)
+        self._selector.register(self._wake_r, selectors.EVENT_READ,
+                                None)
+
+    def register(self, sock, events: int, data) -> None:
+        self._selector.register(sock, events, data)
+
+    def modify(self, sock, events: int, data) -> None:
+        self._selector.modify(sock, events, data)
+
+    def unregister(self, sock) -> None:
+        try:
+            self._selector.unregister(sock)
+        except (KeyError, ValueError):
+            pass
+
+    def wake(self) -> None:
+        try:
+            self._wake_w.send(b"\x00")
+        except OSError:  # full pipe still wakes; closed poller is done
+            pass
+
+    def poll(self, timeout: float | None = None) -> list:
+        """Ready ``(key, events)`` pairs, wakeups already drained."""
+        ready = self._selector.select(timeout)
+        out = []
+        for key, events in ready:
+            if key.fileobj is self._wake_r:
+                try:
+                    while self._wake_r.recv(4096):
+                        pass
+                except OSError:
+                    pass
+                continue
+            out.append((key, events))
+        return out
+
+    def close(self) -> None:
+        self._selector.close()
+        self._wake_r.close()
+        self._wake_w.close()
+
+
+class ClientHandle:
+    """Per-subscriber state owned by the event loop.
+
+    Handler callbacks and the publisher hold references to these; all
+    mutable queue state is guarded by the server's lock.
+    """
+
+    __slots__ = (
+        "id", "sock", "addr", "read_buffer", "write_queue",
+        "head_offset", "queued_bytes", "queue_high_water",
+        "sent_bytes", "frames_enqueued", "frames_sent",
+        "frames_received", "frames_dropped", "open", "closing",
+        "close_reason", "announced", "peer_architecture",
+    )
+
+    def __init__(self, client_id: int, sock: socket.socket,
+                 addr) -> None:
+        self.id = client_id
+        self.sock = sock
+        self.addr = addr
+        self.read_buffer = bytearray()
+        #: entries are ``[memoryview, droppable]``; the head entry may
+        #: be partially sent (``head_offset`` bytes already written)
+        self.write_queue: deque = deque()
+        self.head_offset = 0
+        self.queued_bytes = 0
+        self.queue_high_water = 0
+        self.sent_bytes = 0
+        self.frames_enqueued = 0
+        self.frames_sent = 0
+        self.frames_received = 0
+        self.frames_dropped = 0
+        self.open = True
+        self.closing = False          # graceful: FIN after drain
+        self.close_reason: BaseException | None = None
+        #: format IDs already announced to this client (publisher's)
+        self.announced: set = set()
+        self.peer_architecture: str | None = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<ClientHandle #{self.id} {self.addr} "
+                f"queued={self.queued_bytes}>")
+
+
+class EventLoopServer:
+    """Accepts and services many framed-protocol clients on one thread.
+
+    *handler* receives the loop's callbacks, all invoked on the loop
+    thread with no internal lock held:
+
+    * ``on_connect(client)``
+    * ``on_frame(client, frame)``
+    * ``on_disconnect(client, reason)`` — *reason* is None for an
+      orderly close, else the exception that ended the client.
+
+    Callbacks are optional (missing attributes are skipped), so a
+    plain object with the methods it cares about suffices.
+    """
+
+    def __init__(self, *, host: str = "127.0.0.1", port: int = 0,
+                 handler=None,
+                 max_frame_len: int = MAX_FRAME) -> None:
+        self.handler = handler
+        self.max_frame_len = max_frame_len
+        self._listener = socket.socket(socket.AF_INET,
+                                       socket.SOCK_STREAM)
+        self._listener.setsockopt(socket.SOL_SOCKET,
+                                  socket.SO_REUSEADDR, 1)
+        self._listener.bind((host, port))
+        self._listener.listen(256)
+        self._listener.setblocking(False)
+        self.host, self.port = self._listener.getsockname()
+        self._poller = Poller()
+        self._poller.register(self._listener, selectors.EVENT_READ,
+                              "accept")
+        self._lock = threading.Lock()
+        self._changed = threading.Condition(self._lock)
+        self._clients: dict[int, ClientHandle] = {}
+        self._next_id = 0
+        self._want_write: set[int] = set()
+        self._close_requests: deque = deque()
+        self._running = False
+        self._thread: threading.Thread | None = None
+        self._torn_down = False
+        self.clients_accepted = 0
+        self.clients_closed = 0
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def start(self) -> "EventLoopServer":
+        if self._thread is not None:
+            return self
+        self._running = True
+        self._thread = threading.Thread(target=self._run,
+                                        name="event-loop-server",
+                                        daemon=True)
+        self._thread.start()
+        return self
+
+    def close(self, timeout: float = 5.0) -> None:
+        if not self._running and self._thread is None:
+            self._teardown()
+            return
+        self._running = False
+        self._poller.wake()
+        if self._thread is not None:
+            self._thread.join(timeout)
+            self._thread = None
+
+    def __enter__(self) -> "EventLoopServer":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- cross-thread API ---------------------------------------------------
+
+    def clients(self) -> list[ClientHandle]:
+        """Snapshot of currently open clients."""
+        with self._lock:
+            return [c for c in self._clients.values() if c.open]
+
+    @property
+    def client_count(self) -> int:
+        with self._lock:
+            return len(self._clients)
+
+    def enqueue(self, client: ClientHandle, data: bytes, *,
+                droppable: bool = True) -> bool:
+        """Queue *data* (one whole encoded frame) for *client*.
+
+        Returns False when the client is already gone.  Unbounded:
+        callers that need backpressure check ``queued_bytes`` first
+        (see :class:`~repro.transport.broadcast.BroadcastPublisher`).
+        """
+        with self._lock:
+            if not client.open or client.closing:
+                return False
+            client.write_queue.append([memoryview(data), droppable])
+            client.queued_bytes += len(data)
+            client.frames_enqueued += 1
+            if client.queued_bytes > client.queue_high_water:
+                client.queue_high_water = client.queued_bytes
+            self._want_write.add(client.id)
+        self._poller.wake()
+        return True
+
+    def drop_oldest(self, client: ClientHandle,
+                    need: int) -> tuple[int, int]:
+        """Free at least *need* queued bytes by discarding the oldest
+        droppable frames (never the partially-sent head, never control
+        frames).  Returns ``(bytes freed, frames dropped)``."""
+        freed = dropped = 0
+        with self._lock:
+            queue = client.write_queue
+            index = 0
+            while freed < need and index < len(queue):
+                view, droppable = queue[index]
+                in_flight = index == 0 and client.head_offset > 0
+                if droppable and not in_flight:
+                    del queue[index]
+                    freed += len(view)
+                    dropped += 1
+                    client.queued_bytes -= len(view)
+                    client.frames_dropped += 1
+                else:
+                    index += 1
+        return freed, dropped
+
+    def request_close(self, client: ClientHandle,
+                      reason: BaseException | None = None, *,
+                      graceful: bool = False) -> None:
+        """Ask the loop thread to close *client*.
+
+        ``graceful`` drains the write queue, half-closes (FIN) and
+        waits for the peer's EOF; otherwise the socket closes as soon
+        as the loop services the request.
+        """
+        with self._lock:
+            if not client.open:
+                return
+            self._close_requests.append((client, reason, graceful))
+        self._poller.wake()
+
+    def wait_queue_below(self, client: ClientHandle, limit: int,
+                         timeout: float | None) -> bool:
+        """Block until *client*'s queued bytes fall to *limit* or the
+        client closes; False on timeout (the ``block`` policy wait)."""
+        deadline = (None if timeout is None
+                    else time.monotonic() + timeout)
+        with self._changed:
+            while client.open and client.queued_bytes > limit:
+                remaining = None
+                if deadline is not None:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        return False
+                self._changed.wait(remaining)
+            return True
+
+    def flush(self, timeout: float | None = None) -> bool:
+        """Block until every open client's write queue is empty;
+        False on timeout."""
+        deadline = (None if timeout is None
+                    else time.monotonic() + timeout)
+        with self._changed:
+            while any(c.queued_bytes for c in self._clients.values()
+                      if c.open):
+                remaining = None
+                if deadline is not None:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        return False
+                self._changed.wait(remaining)
+            return True
+
+    def wait_for_clients(self, count: int,
+                         timeout: float | None = None) -> bool:
+        """Block until at least *count* clients are connected."""
+        deadline = (None if timeout is None
+                    else time.monotonic() + timeout)
+        with self._changed:
+            while len(self._clients) < count:
+                remaining = None
+                if deadline is not None:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        return False
+                self._changed.wait(remaining)
+            return True
+
+    # -- loop ---------------------------------------------------------------
+
+    def _run(self) -> None:
+        try:
+            while self._running:
+                self._apply_requests()
+                for key, events in self._poller.poll(1.0):
+                    if key.data == "accept":
+                        self._accept_ready()
+                        continue
+                    client = key.data
+                    if events & selectors.EVENT_READ:
+                        self._readable(client)
+                    if client.open and events & selectors.EVENT_WRITE:
+                        self._writable(client)
+        finally:
+            self._teardown()
+
+    def _apply_requests(self) -> None:
+        """Apply cross-thread state changes on the loop thread (the
+        selector is single-threaded by design)."""
+        with self._lock:
+            closes = list(self._close_requests)
+            self._close_requests.clear()
+            wants = [self._clients.get(cid)
+                     for cid in self._want_write]
+            self._want_write.clear()
+        for client, reason, graceful in closes:
+            if not client.open:
+                continue
+            if not graceful:
+                self._close_client(client, reason)
+            elif client.queued_bytes:
+                client.close_reason = reason
+                client.closing = True  # FIN once the queue drains
+            else:
+                client.close_reason = reason
+                self._finish_graceful(client)
+        for client in wants:
+            if client is not None and client.open:
+                self._set_interest(client, write=True)
+
+    def _set_interest(self, client: ClientHandle, *,
+                      write: bool) -> None:
+        events = selectors.EVENT_READ
+        if write:
+            events |= selectors.EVENT_WRITE
+        try:
+            self._poller.modify(client.sock, events, client)
+        except (KeyError, ValueError, OSError):
+            pass
+
+    def _accept_ready(self) -> None:
+        while True:
+            try:
+                sock, addr = self._listener.accept()
+            except (BlockingIOError, OSError):
+                return
+            sock.setblocking(False)
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            with self._changed:
+                client = ClientHandle(self._next_id, sock, addr)
+                self._next_id += 1
+                self._clients[client.id] = client
+                self.clients_accepted += 1
+                self._changed.notify_all()
+            self._poller.register(sock, selectors.EVENT_READ, client)
+            self._callback("on_connect", client)
+
+    def _readable(self, client: ClientHandle) -> None:
+        buf = client.read_buffer
+        try:
+            while True:
+                chunk = client.sock.recv(_RECV_CHUNK)
+                if not chunk:
+                    if client.closing:
+                        self._close_client(client, client.close_reason)
+                    else:
+                        self._close_client(client, None)
+                    return
+                buf.extend(chunk)
+                if len(chunk) < _RECV_CHUNK:
+                    break
+        except BlockingIOError:
+            pass
+        except OSError as exc:
+            self._close_client(client,
+                               TransportError(f"recv failed: {exc}"))
+            return
+        while len(buf) >= 4:
+            (length,) = _LEN.unpack_from(buf)
+            if length == 0 or length > self.max_frame_len:
+                reason = (FrameTooLargeError(length, self.max_frame_len)
+                          if length else
+                          ProtocolError("zero-length frame"))
+                self._close_client(client, reason)
+                return
+            if len(buf) < 4 + length:
+                break
+            try:
+                frame = decode_frame(bytes(buf[4:4 + length]))
+            except ProtocolError as exc:
+                self._close_client(client, exc)
+                return
+            del buf[:4 + length]
+            client.frames_received += 1
+            self._callback("on_frame", client, frame)
+            if not client.open:
+                return
+
+    def _writable(self, client: ClientHandle) -> None:
+        with self._lock:
+            queue = client.write_queue
+            window = []
+            for entry in queue:
+                view = entry[0]
+                if not window and client.head_offset:
+                    view = view[client.head_offset:]
+                window.append(view)
+                if len(window) >= _SENDMSG_BATCH:
+                    break
+        if not window:
+            self._drained(client)
+            return
+        try:
+            if hasattr(client.sock, "sendmsg"):
+                sent = client.sock.sendmsg(window)
+            else:  # pragma: no cover - non-POSIX fallback
+                sent = client.sock.send(window[0])
+        except (BlockingIOError, InterruptedError):
+            return
+        except OSError as exc:
+            self._close_client(client,
+                               TransportError(f"send failed: {exc}"))
+            return
+        with self._changed:
+            client.sent_bytes += sent
+            client.queued_bytes -= sent
+            remaining = sent
+            queue = client.write_queue
+            while remaining and queue:
+                view, _droppable = queue[0]
+                left = len(view) - client.head_offset
+                if remaining >= left:
+                    remaining -= left
+                    client.head_offset = 0
+                    client.frames_sent += 1
+                    queue.popleft()
+                else:
+                    client.head_offset += remaining
+                    remaining = 0
+            empty = not queue
+            self._changed.notify_all()
+        if empty:
+            self._drained(client)
+
+    def _drained(self, client: ClientHandle) -> None:
+        if client.closing:
+            self._finish_graceful(client)
+        else:
+            self._set_interest(client, write=False)
+
+    def _finish_graceful(self, client: ClientHandle) -> None:
+        """Queue is empty: half-close and wait for the peer's EOF so
+        in-flight frames are never destroyed by a RST."""
+        client.closing = True
+        self._set_interest(client, write=False)
+        try:
+            client.sock.shutdown(socket.SHUT_WR)
+        except OSError:
+            self._close_client(client, client.close_reason)
+
+    def _close_client(self, client: ClientHandle,
+                      reason: BaseException | None) -> None:
+        with self._changed:
+            if not client.open:
+                return
+            client.open = False
+            client.close_reason = reason
+            client.write_queue.clear()
+            client.queued_bytes = 0
+            self._clients.pop(client.id, None)
+            self.clients_closed += 1
+            self._changed.notify_all()
+        self._poller.unregister(client.sock)
+        try:
+            client.sock.close()
+        except OSError:
+            pass
+        self._callback("on_disconnect", client, reason)
+
+    def _callback(self, name: str, *args) -> None:
+        fn = getattr(self.handler, name, None)
+        if fn is None:
+            return
+        try:
+            fn(*args)
+        except Exception as exc:  # noqa: BLE001 - one client, not loop
+            client = args[0]
+            if client.open:
+                self._close_client(client, exc)
+
+    def _teardown(self) -> None:
+        if self._torn_down:
+            return
+        self._torn_down = True
+        for client in list(self._clients.values()):
+            self._close_client(client, None)
+        self._poller.unregister(self._listener)
+        try:
+            self._listener.close()
+        except OSError:
+            pass
+        self._poller.close()
+        with self._changed:
+            self._changed.notify_all()
+
+
+def iter_frames(buffer: bytearray,
+                max_frame_len: int = MAX_FRAME) -> Iterator[Frame]:
+    """Yield complete frames from *buffer*, consuming them in place.
+
+    Shared incremental parser for callers that manage their own
+    sockets (benchmark drainers, tests)."""
+    while len(buffer) >= 4:
+        (length,) = _LEN.unpack_from(buffer)
+        if length == 0 or length > max_frame_len:
+            raise FrameTooLargeError(length, max_frame_len) if length \
+                else ProtocolError("zero-length frame")
+        if len(buffer) < 4 + length:
+            return
+        frame = decode_frame(bytes(buffer[4:4 + length]))
+        del buffer[:4 + length]
+        yield frame

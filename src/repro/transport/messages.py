@@ -47,8 +47,18 @@ class Frame:
     payload: bytes
 
     def encode(self) -> bytes:
-        return _LEN.pack(len(self.payload) + 1) + \
-            bytes([self.type]) + self.payload
+        return frame_bytes(self.type, self.payload)
+
+
+def frame_bytes(ftype: int, *parts: bytes) -> bytes:
+    """Assemble one wire frame from payload *parts* in a single join.
+
+    The broadcast fan-out path encodes a record as (header, body)
+    parts and frames them here without first concatenating a payload —
+    one copy for the whole frame instead of one per layer.
+    """
+    total = sum(len(p) for p in parts)
+    return b"".join((_LEN.pack(total + 1), bytes((ftype,))) + parts)
 
 
 def decode_frame(data: bytes) -> Frame:

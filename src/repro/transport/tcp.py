@@ -8,14 +8,20 @@ from __future__ import annotations
 
 import socket
 import struct
+import threading
 import time
 
-from repro.errors import TransportError
+from repro.errors import FrameTooLargeError, TransportError
 from repro.transport.base import Channel
-from repro.transport.messages import Frame, decode_frame
+from repro.transport.messages import MAX_FRAME, Frame, decode_frame
 
 _LEN = struct.Struct(">I")
 _RECV_CHUNK = 64 * 1024
+#: iovec entries per sendmsg call (conservative vs. the kernel's
+#: IOV_MAX of 1024) and the join size the fallback path buffers at
+#: once — bounds peak memory to one chunk, not the whole batch.
+_SENDMSG_BATCH = 512
+_FALLBACK_CHUNK = 1 * 1024 * 1024
 
 
 class TCPChannel(Channel):
@@ -25,53 +31,104 @@ class TCPChannel(Channel):
     ``recv`` never discards partially arrived frame bytes — essential
     for callers that poll with short timeouts (control channels), where
     dropping a partial frame would desynchronize the stream.
+
+    Sends hold a lock: two threads sharing one channel would otherwise
+    interleave partial ``sendall`` writes and corrupt the frame stream.
+
+    ``max_frame_len`` caps the length prefix :meth:`recv` accepts
+    (default :data:`~repro.transport.messages.MAX_FRAME`); an
+    oversized prefix raises :class:`FrameTooLargeError` so servers can
+    drop one bad client without tearing down their loop.
     """
 
-    def __init__(self, sock: socket.socket) -> None:
+    def __init__(self, sock: socket.socket, *,
+                 max_frame_len: int = MAX_FRAME) -> None:
         self._sock = sock
         self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
         self._closed = False
         self._buffer = bytearray()
+        self._send_lock = threading.Lock()
+        self.max_frame_len = max_frame_len
         self.bytes_sent = 0
         self.frames_sent = 0
 
     @classmethod
     def connect(cls, host: str, port: int, *,
-                timeout: float = 10.0) -> "TCPChannel":
+                timeout: float = 10.0,
+                max_frame_len: int = MAX_FRAME) -> "TCPChannel":
         try:
             sock = socket.create_connection((host, port), timeout=timeout)
         except OSError as exc:
             raise TransportError(
                 f"cannot connect to {host}:{port}: {exc}") from None
         sock.settimeout(None)
-        return cls(sock)
+        return cls(sock, max_frame_len=max_frame_len)
+
+    def fileno(self) -> int:
+        return self._sock.fileno()
 
     def send(self, frame: Frame) -> None:
         if self._closed:
             raise TransportError("send on closed channel")
         data = frame.encode()
-        try:
-            self._sock.sendall(data)
-        except OSError as exc:
-            raise TransportError(f"send failed: {exc}") from None
-        self.bytes_sent += len(data)
-        self.frames_sent += 1
+        with self._send_lock:
+            try:
+                self._sock.sendall(data)
+            except OSError as exc:
+                raise TransportError(f"send failed: {exc}") from None
+            self.bytes_sent += len(data)
+            self.frames_sent += 1
 
     def send_many(self, frames) -> None:
-        """Coalesce several frames into one ``sendall`` (one syscall
-        instead of one per frame)."""
+        """Send several frames with scatter-gather ``sendmsg`` (one
+        syscall per :data:`_SENDMSG_BATCH` frames, no payload copy).
+        Where ``sendmsg`` is unavailable the frames are joined and
+        shipped in bounded chunks, so peak memory stays one chunk —
+        not a second copy of the whole batch."""
         if self._closed:
             raise TransportError("send on closed channel")
-        frames = list(frames)
-        data = b"".join(frame.encode() for frame in frames)
-        if not data:
+        buffers = [frame.encode() for frame in frames]
+        if not buffers:
             return
-        try:
-            self._sock.sendall(data)
-        except OSError as exc:
-            raise TransportError(f"send failed: {exc}") from None
-        self.bytes_sent += len(data)
-        self.frames_sent += len(frames)
+        total = sum(len(b) for b in buffers)
+        with self._send_lock:
+            try:
+                if hasattr(self._sock, "sendmsg"):
+                    self._sendmsg_all(buffers)
+                else:  # pragma: no cover - non-POSIX fallback
+                    self._sendall_chunked(buffers)
+            except OSError as exc:
+                raise TransportError(f"send failed: {exc}") from None
+            self.bytes_sent += total
+            self.frames_sent += len(buffers)
+
+    def _sendmsg_all(self, buffers: list[bytes]) -> None:
+        """Drain *buffers* through sendmsg, advancing past partial
+        writes without re-copying."""
+        pending = [memoryview(b) for b in buffers]
+        start = 0
+        while start < len(pending):
+            window = pending[start:start + _SENDMSG_BATCH]
+            sent = self._sock.sendmsg(window)
+            for view in window:
+                if sent >= len(view):
+                    sent -= len(view)
+                    start += 1
+                else:
+                    pending[start] = view[sent:]
+                    break
+
+    def _sendall_chunked(self, buffers: list[bytes]) -> None:
+        chunk: list[bytes] = []
+        size = 0
+        for buf in buffers:
+            chunk.append(buf)
+            size += len(buf)
+            if size >= _FALLBACK_CHUNK:
+                self._sock.sendall(b"".join(chunk))
+                chunk, size = [], 0
+        if chunk:
+            self._sock.sendall(b"".join(chunk))
 
     def recv(self, timeout: float | None = None) -> Frame | None:
         deadline = (None if timeout is None
@@ -82,8 +139,10 @@ class TCPChannel(Channel):
                 return None  # orderly close at a frame boundary
             raise TransportError("connection closed mid-frame")
         (length,) = _LEN.unpack(self._buffer[:4])
-        if length == 0 or length > 256 * 1024 * 1024:
+        if length == 0:
             raise TransportError(f"bad frame length {length}")
+        if length > self.max_frame_len:
+            raise FrameTooLargeError(length, self.max_frame_len)
         if not self._fill(4 + length, deadline, timeout):
             raise TransportError("connection closed mid-frame")
         frame = decode_frame(bytes(self._buffer[4:4 + length]))
@@ -148,13 +207,15 @@ class TCPChannel(Channel):
 class TCPListener:
     """Accepts TCP channels on a bound port."""
 
-    def __init__(self, *, host: str = "127.0.0.1", port: int = 0) -> None:
+    def __init__(self, *, host: str = "127.0.0.1", port: int = 0,
+                 max_frame_len: int = MAX_FRAME) -> None:
         self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR,
                                   1)
         self._listener.bind((host, port))
-        self._listener.listen(16)
+        self._listener.listen(128)
         self.host, self.port = self._listener.getsockname()
+        self.max_frame_len = max_frame_len
 
     def accept(self, timeout: float | None = None) -> TCPChannel:
         self._listener.settimeout(timeout)
@@ -166,7 +227,7 @@ class TCPListener:
         except OSError as exc:
             raise TransportError(f"accept failed: {exc}") from None
         conn.settimeout(None)
-        return TCPChannel(conn)
+        return TCPChannel(conn, max_frame_len=self.max_frame_len)
 
     def close(self) -> None:
         self._listener.close()
@@ -178,9 +239,11 @@ class TCPListener:
         self.close()
 
 
-def tcp_pair() -> tuple[TCPChannel, TCPChannel]:
+def tcp_pair(*, max_frame_len: int = MAX_FRAME) \
+        -> tuple[TCPChannel, TCPChannel]:
     """A connected loopback channel pair (client end, server end)."""
-    with TCPListener() as listener:
-        client = TCPChannel.connect(listener.host, listener.port)
+    with TCPListener(max_frame_len=max_frame_len) as listener:
+        client = TCPChannel.connect(listener.host, listener.port,
+                                    max_frame_len=max_frame_len)
         server = listener.accept(timeout=5)
     return client, server

@@ -95,3 +95,32 @@ class TestMixedArchitecturePipeline:
             assert comp.error is None, comp.error
         assert len(gui.frames) == 3
         assert gui.frames[0]["cells"] == 64  # 16/2 squared
+
+
+class TestPublisherPipeline:
+    def test_broadcast_reaches_every_subscriber(self):
+        from repro.hydrology.pipeline import run_publisher_pipeline
+
+        report = run_publisher_pipeline(subscribers=3, timesteps=4,
+                                        grid=8)
+        assert report.subscribers == 3
+        assert report.frames_per_subscriber == (4, 4, 4)
+        # each subscriber decoded the whole stream: grid metadata,
+        # flow parameters and the data frames
+        for counts in report.records_per_subscriber:
+            assert counts["SimpleData"] == 4
+            assert counts["GridMeta"] >= 1
+            assert counts["FlowParams"] == 4
+        stats = report.publisher_stats
+        assert stats["clients_evicted"] == 0
+        assert stats["frames_dropped"] == 0
+        # one announcement per format per subscriber, not per record
+        assert stats["formats_announced"] <= 3 * 3
+
+    def test_drop_oldest_policy_plumbs_through(self):
+        from repro.hydrology.pipeline import run_publisher_pipeline
+
+        report = run_publisher_pipeline(subscribers=2, timesteps=3,
+                                        grid=8, policy="drop-oldest")
+        assert report.frames_per_subscriber == (3, 3)
+        assert report.publisher_stats["clients_evicted"] == 0

@@ -151,3 +151,130 @@ class TestTCPCloseSemantics:
         assert frame.payload == b"x" * 100
         a.close()
         b.close()
+
+
+class TestConcurrentSenders:
+    def test_two_threads_one_channel_no_interleaving(self):
+        """Regression: concurrent send() calls used to interleave
+        partial writes and corrupt the frame stream."""
+        a, b = tcp_pair()
+        received = []
+
+        def reader():
+            while True:
+                frame = b.recv(timeout=10)
+                if frame is None:
+                    break
+                received.append(bytes(frame.payload))
+
+        def writer(tag):
+            payload = tag * 8000  # large enough to split sendall
+            for i in range(150):
+                a.send(data(payload + str(i).encode()))
+
+        r = threading.Thread(target=reader)
+        w1 = threading.Thread(target=writer, args=(b"x",))
+        w2 = threading.Thread(target=writer, args=(b"y",))
+        r.start()
+        w1.start()
+        w2.start()
+        w1.join(30)
+        w2.join(30)
+        a.close()
+        r.join(30)
+        assert len(received) == 300
+        expected = sorted(
+            tag * 8000 + str(i).encode()
+            for tag in (b"x", b"y") for i in range(150))
+        assert sorted(received) == expected
+        b.close()
+
+
+class _NoSendmsgSocket:
+    """Socket proxy without sendmsg — forces the chunked-join path."""
+
+    def __init__(self, sock):
+        self._real = sock
+
+    def __getattr__(self, name):
+        if name == "sendmsg":
+            raise AttributeError(name)
+        return getattr(self._real, name)
+
+
+class TestSendMany:
+    def test_many_small_frames_ordered(self):
+        """Scatter-gather path: far more frames than one iovec batch,
+        with partial writes forced by a concurrent reader."""
+        a, b = tcp_pair()
+        received = []
+
+        def reader():
+            while True:
+                frame = b.recv(timeout=10)
+                if frame is None:
+                    break
+                received.append(bytes(frame.payload))
+
+        r = threading.Thread(target=reader)
+        r.start()
+        frames = [data(b"f%05d" % i + b"." * 1024)
+                  for i in range(2000)]
+        a.send_many(frames)
+        assert a.frames_sent == 2000
+        a.close()
+        r.join(30)
+        assert received == [bytes(f.payload) for f in frames]
+        b.close()
+
+    def test_fallback_without_sendmsg_chunks_the_join(self):
+        """Where sendmsg is unavailable the frames ship via bounded
+        joins — same bytes on the wire, no full-batch copy."""
+        a, b = tcp_pair()
+        a._sock = _NoSendmsgSocket(a._sock)
+        received = []
+
+        def reader():
+            while True:
+                frame = b.recv(timeout=10)
+                if frame is None:
+                    break
+                received.append(bytes(frame.payload))
+
+        r = threading.Thread(target=reader)
+        r.start()
+        # three frames of 600 KiB exceed the 1 MiB fallback chunk
+        frames = [data(bytes([i]) * (600 * 1024)) for i in range(3)]
+        a.send_many(frames)
+        a.close()
+        r.join(30)
+        assert received == [bytes(f.payload) for f in frames]
+        b.close()
+
+    def test_empty_send_many_is_a_noop(self):
+        a, _b = tcp_pair()
+        a.send_many([])
+        assert a.frames_sent == 0
+        a.close()
+        _b.close()
+
+
+class TestFrameCap:
+    def test_oversized_frame_raises_named_error(self):
+        from repro.errors import FrameTooLargeError
+
+        a, b = tcp_pair(max_frame_len=1024)
+        a.send(data(b"z" * 2048))
+        with pytest.raises(FrameTooLargeError) as info:
+            b.recv(timeout=5)
+        assert info.value.length == 2048 + 1
+        assert info.value.limit == 1024
+        a.close()
+        b.close()
+
+    def test_frames_under_the_cap_still_flow(self):
+        a, b = tcp_pair(max_frame_len=1024)
+        a.send(data(b"k" * 512))
+        assert b.recv(timeout=5).payload == b"k" * 512
+        a.close()
+        b.close()

@@ -157,3 +157,29 @@ class TestSendEncoded:
         a, _b = make_pair()
         with _pytest.raises(EncodeError):
             a.send_encoded(b"not a record")
+
+
+class TestPreAnnouncement:
+    def test_unsolicited_fmt_rsp_imports_without_negotiation(self):
+        """The broadcast fan-out pushes FMT_RSP frames ahead of data;
+        a plain Connection must absorb them and decode the following
+        records with zero FMT_REQ round trips."""
+        from repro.transport.messages import Frame, FrameType
+
+        a_ch, b_ch = channel_pair()
+        actx = IOContext(format_server=FormatServer())
+        actx.register_layout("SimpleData", SPECS)
+        fmt = actx.lookup_format("SimpleData")
+        announcement = fmt.format_id.to_bytes() + \
+            actx.format_server.lookup_bytes(fmt.format_id)
+
+        b = Connection(IOContext(format_server=FormatServer()), b_ch)
+        a_ch.send(Frame(FrameType.FMT_RSP, announcement))
+        wire = actx.encode("SimpleData", {"timestep": 7, "data": [2.0]})
+        a_ch.send(Frame(FrameType.DATA, wire))
+        msg = b.receive(timeout=5)
+        assert msg.format_name == "SimpleData"
+        assert msg.record["timestep"] == 7
+        assert b.negotiations == 0
+        a_ch.close()
+        b.close()

@@ -1,0 +1,268 @@
+"""Event-loop server: many clients, one thread, per-client failure."""
+
+import socket
+import threading
+
+import pytest
+
+from repro.errors import FrameTooLargeError, ProtocolError
+from repro.transport.eventloop import (
+    ClientHandle, EventLoopServer, Poller, iter_frames,
+)
+from repro.transport.messages import Frame, FrameType
+from repro.transport.tcp import TCPChannel
+
+
+def data(payload: bytes) -> Frame:
+    return Frame(FrameType.DATA, payload)
+
+
+class EchoHandler:
+    """Echoes every frame back; records lifecycle callbacks."""
+
+    def __init__(self):
+        self.server = None
+        self.connected = []
+        self.disconnected = []
+        self.lock = threading.Lock()
+
+    def on_connect(self, client):
+        with self.lock:
+            self.connected.append(client.id)
+
+    def on_frame(self, client, frame):
+        self.server.enqueue(client, frame.encode())
+
+    def on_disconnect(self, client, reason):
+        with self.lock:
+            self.disconnected.append((client.id, reason))
+
+
+def echo_server(**kwargs):
+    handler = EchoHandler()
+    server = EventLoopServer(handler=handler, **kwargs)
+    handler.server = server
+    return server, handler
+
+
+class TestEventLoopServer:
+    def test_echo_roundtrip(self):
+        server, _handler = echo_server()
+        with server:
+            ch = TCPChannel.connect(server.host, server.port)
+            ch.send(data(b"hello loop"))
+            frame = ch.recv(timeout=5)
+            assert frame.type == FrameType.DATA
+            assert frame.payload == b"hello loop"
+            ch.close()
+
+    def test_many_clients_one_thread(self):
+        server, _handler = echo_server()
+        with server:
+            channels = [TCPChannel.connect(server.host, server.port)
+                        for _ in range(32)]
+            assert server.wait_for_clients(32, timeout=5)
+            for i, ch in enumerate(channels):
+                ch.send(data(f"client-{i}".encode()))
+            for i, ch in enumerate(channels):
+                assert ch.recv(timeout=5).payload == \
+                    f"client-{i}".encode()
+            for ch in channels:
+                ch.close()
+        assert server.clients_accepted == 32
+
+    def test_split_frame_reassembled(self):
+        """Frames arriving a few bytes at a time still parse."""
+        server, _handler = echo_server()
+        with server:
+            sock = socket.create_connection((server.host, server.port))
+            raw = data(b"sliced").encode()
+            for i in range(len(raw)):
+                sock.sendall(raw[i:i + 1])
+            buf = bytearray()
+            frames = []
+            while not frames:
+                chunk = sock.recv(4096)
+                assert chunk, "server closed instead of echoing"
+                buf.extend(chunk)
+                frames = list(iter_frames(buf))
+            assert frames[0].payload == b"sliced"
+            sock.close()
+
+    def test_oversized_frame_closes_only_that_client(self):
+        server, handler = echo_server(max_frame_len=1024)
+        with server:
+            good = TCPChannel.connect(server.host, server.port)
+            bad = socket.create_connection((server.host, server.port))
+            assert server.wait_for_clients(2, timeout=5)
+            # length prefix far beyond the cap; payload never sent
+            bad.sendall((1 << 20).to_bytes(4, "big"))
+            assert bad.recv(4096) == b""  # server hung up on us
+            good.send(data(b"still fine"))
+            assert good.recv(timeout=5).payload == b"still fine"
+            good.close()
+        reasons = [r for _id, r in handler.disconnected
+                   if isinstance(r, FrameTooLargeError)]
+        assert len(reasons) == 1
+        assert reasons[0].length == 1 << 20
+        assert reasons[0].limit == 1024
+
+    def test_zero_length_frame_rejected(self):
+        server, handler = echo_server()
+        with server:
+            sock = socket.create_connection((server.host, server.port))
+            sock.sendall(b"\x00\x00\x00\x00")
+            assert sock.recv(4096) == b""
+            sock.close()
+        assert any(isinstance(r, ProtocolError)
+                   for _id, r in handler.disconnected)
+
+    def test_handler_error_closes_one_client(self):
+        class Exploding(EchoHandler):
+            def on_frame(self, client, frame):
+                if frame.payload == b"boom":
+                    raise RuntimeError("handler bug")
+                super().on_frame(client, frame)
+
+        handler = Exploding()
+        server = EventLoopServer(handler=handler)
+        handler.server = server
+        with server:
+            victim = TCPChannel.connect(server.host, server.port)
+            bystander = TCPChannel.connect(server.host, server.port)
+            assert server.wait_for_clients(2, timeout=5)
+            victim.send(data(b"boom"))
+            bystander.send(data(b"ok"))
+            assert bystander.recv(timeout=5).payload == b"ok"
+            assert victim.recv(timeout=5) is None  # evicted cleanly
+            victim.close()
+            bystander.close()
+        assert any(isinstance(r, RuntimeError)
+                   for _id, r in handler.disconnected)
+
+    def test_flush_and_enqueue(self):
+        server, _handler = echo_server()
+        with server:
+            sock = socket.create_connection((server.host, server.port))
+            assert server.wait_for_clients(1, timeout=5)
+            (client,) = server.clients()
+            payload = data(b"pushed").encode()
+            assert server.enqueue(client, payload)
+            assert server.flush(timeout=5)
+            buf = bytearray()
+            while True:
+                buf.extend(sock.recv(4096))
+                frames = list(iter_frames(buf))
+                if frames:
+                    break
+            assert frames[0].payload == b"pushed"
+            sock.close()
+
+    def test_graceful_close_delivers_queued_frames(self):
+        """request_close(graceful=True) drains the queue and FINs —
+        the peer sees every frame, then a clean EOF, never a RST."""
+        server, _handler = echo_server()
+        with server:
+            sock = socket.create_connection((server.host, server.port))
+            assert server.wait_for_clients(1, timeout=5)
+            (client,) = server.clients()
+            for i in range(50):
+                server.enqueue(client, data(b"%03d" % i).encode())
+            server.request_close(client, None, graceful=True)
+            buf = bytearray()
+            while True:
+                chunk = sock.recv(1 << 16)
+                if not chunk:
+                    break
+                buf.extend(chunk)
+            frames = list(iter_frames(buf))
+            assert [f.payload for f in frames] == \
+                [b"%03d" % i for i in range(50)]
+            sock.close()
+
+    def test_enqueue_after_close_refused(self):
+        server, _handler = echo_server()
+        with server:
+            ch = TCPChannel.connect(server.host, server.port)
+            assert server.wait_for_clients(1, timeout=5)
+            (client,) = server.clients()
+            ch.close()
+
+            def gone():
+                return not server.enqueue(client, b"\0\0\0\1\1")
+            deadline = 50
+            while not gone() and deadline:
+                deadline -= 1
+                import time
+                time.sleep(0.05)
+            assert gone()
+
+    def test_close_idempotent(self):
+        server, _handler = echo_server()
+        server.start()
+        server.close()
+        server.close()  # second close must be a no-op
+
+
+class TestDropOldest:
+    def _client_with_queue(self, server, frames):
+        client = ClientHandle(0, socket.socket(), ("test", 0))
+        for payload, droppable in frames:
+            server.enqueue(client, payload, droppable=droppable)
+        return client
+
+    def test_drops_oldest_droppable_only(self):
+        server = EventLoopServer()  # never started: queue logic only
+        client = self._client_with_queue(server, [
+            (b"a" * 10, True), (b"b" * 10, False), (b"c" * 10, True),
+        ])
+        freed, dropped = server.drop_oldest(client, 15)
+        assert (freed, dropped) == (20, 2)
+        remaining = [bytes(v) for v, _d in client.write_queue]
+        assert remaining == [b"b" * 10]  # control frame preserved
+        assert client.queued_bytes == 10
+        server.close()
+
+    def test_never_drops_partially_sent_head(self):
+        server = EventLoopServer()
+        client = self._client_with_queue(server, [
+            (b"a" * 10, True), (b"b" * 10, True),
+        ])
+        client.head_offset = 3  # head frame is mid-send
+        freed, dropped = server.drop_oldest(client, 100)
+        assert (freed, dropped) == (10, 1)
+        assert bytes(client.write_queue[0][0]) == b"a" * 10
+        server.close()
+
+
+class TestPoller:
+    def test_wake_interrupts_poll(self):
+        poller = Poller()
+        box = {}
+
+        def waiter():
+            box["ready"] = poller.poll(timeout=5)
+
+        thread = threading.Thread(target=waiter)
+        thread.start()
+        poller.wake()
+        thread.join(5)
+        assert not thread.is_alive()
+        assert box["ready"] == []  # wakeups are drained, not surfaced
+        poller.close()
+
+
+class TestIterFrames:
+    def test_partial_then_complete(self):
+        raw = data(b"abc").encode() + data(b"defg").encode()
+        buf = bytearray(raw[:5])
+        assert list(iter_frames(buf)) == []
+        buf.extend(raw[5:])
+        frames = list(iter_frames(buf))
+        assert [f.payload for f in frames] == [b"abc", b"defg"]
+        assert not buf
+
+    def test_oversized_raises(self):
+        buf = bytearray((1 << 20).to_bytes(4, "big"))
+        with pytest.raises(FrameTooLargeError):
+            list(iter_frames(buf, max_frame_len=1024))
