@@ -240,9 +240,15 @@ class BroadcastPublisher:
                 self.stats.formats_announced += 1
 
     def _offer(self, client: ClientHandle, data: bytes) -> bool:
-        """Enqueue under the bounded-queue policy.  The publisher is
-        the only thread growing queues, so a limit check followed by
-        an enqueue cannot over-admit."""
+        """Enqueue under the bounded-queue policy.
+
+        The publisher is the only thread enqueueing *data* frames, so
+        the limit check followed by the enqueue cannot over-admit data.
+        The loop thread also enqueues small control frames (HELLO on
+        connect, FMT_RSP/FMT_ACK metadata replies) that bypass this
+        policy, so ``max_queue_bytes`` is a data-frame bound that
+        control traffic may briefly overshoot — never by more than the
+        outstanding control frames' size."""
         over = client.queued_bytes + len(data) - self.max_queue_bytes
         if over > 0:
             if self.policy is BackpressurePolicy.DROP_OLDEST:

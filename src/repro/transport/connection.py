@@ -18,7 +18,10 @@ from __future__ import annotations
 from collections import deque
 from dataclasses import dataclass
 
-from repro.errors import ProtocolError, TransportError, UnknownFormatError
+from repro.errors import (
+    FormatRegistrationError, ProtocolError, TransportError,
+    UnknownFormatError,
+)
 from repro.pbio.context import IOContext
 from repro.pbio.encode import explode_batch, is_batch, parse_header
 from repro.pbio.format import FormatID, IOFormat
@@ -174,8 +177,7 @@ class Connection:
                 raise TransportError(
                     "connection closed while awaiting format metadata")
             if frame.type == FrameType.FMT_RSP:
-                got = FormatID.from_bytes(frame.payload[:8])
-                self.context.format_server.import_bytes(frame.payload[8:])
+                got = self._import_format_response(frame.payload)
                 if got == fid:
                     return
                 continue
@@ -183,6 +185,29 @@ class Connection:
                 self._pending.append(frame.payload)
                 continue
             self._service(frame)
+
+    def _import_format_response(self, payload: bytes) -> FormatID:
+        """Validate and import one FMT_RSP payload (8-byte announced
+        ID + canonical metadata); malformed frames from the peer raise
+        :class:`~repro.errors.ProtocolError`, never escape as registry
+        errors.  Returns the announced format ID."""
+        if len(payload) < 8:
+            raise ProtocolError(
+                f"FMT_RSP payload too short: {len(payload)} bytes "
+                "(need 8-byte format id + metadata)")
+        announced = FormatID.from_bytes(payload[:8])
+        try:
+            imported = self.context.format_server.import_bytes(
+                payload[8:])
+        except (FormatRegistrationError, UnknownFormatError) as exc:
+            raise ProtocolError(
+                f"peer sent unimportable metadata for format "
+                f"{announced}: {exc}") from exc
+        if imported != announced:
+            raise ProtocolError(
+                f"FMT_RSP announced format {announced} but its "
+                f"metadata deserialized to {imported}")
+        return announced
 
     def _service(self, frame: Frame) -> None:
         if frame.type == FrameType.FMT_REQ:
@@ -199,7 +224,7 @@ class Connection:
             # each format's metadata once per client before the first
             # record in it, so subscribers never pay a FMT_REQ
             # round-trip (negotiations stays 0 on the fan-out path).
-            self.context.format_server.import_bytes(frame.payload[8:])
+            self._import_format_response(frame.payload)
         elif frame.type == FrameType.HELLO:
             self.peer_architecture = frame.payload.decode(
                 "utf-8", errors="replace")

@@ -106,10 +106,10 @@ class ClientHandle:
 
     __slots__ = (
         "id", "sock", "addr", "read_buffer", "write_queue",
-        "head_offset", "queued_bytes", "queue_high_water",
-        "sent_bytes", "frames_enqueued", "frames_sent",
-        "frames_received", "frames_dropped", "open", "closing",
-        "close_reason", "announced", "peer_architecture",
+        "head_offset", "in_flight", "queued_bytes",
+        "queue_high_water", "sent_bytes", "frames_enqueued",
+        "frames_sent", "frames_received", "frames_dropped", "open",
+        "closing", "close_reason", "announced", "peer_architecture",
     )
 
     def __init__(self, client_id: int, sock: socket.socket,
@@ -122,6 +122,9 @@ class ClientHandle:
         #: be partially sent (``head_offset`` bytes already written)
         self.write_queue: deque = deque()
         self.head_offset = 0
+        #: number of head entries snapshotted into an in-progress
+        #: sendmsg window; drop_oldest must not remove them
+        self.in_flight = 0
         self.queued_bytes = 0
         self.queue_high_water = 0
         self.sent_bytes = 0
@@ -247,16 +250,22 @@ class EventLoopServer:
     def drop_oldest(self, client: ClientHandle,
                     need: int) -> tuple[int, int]:
         """Free at least *need* queued bytes by discarding the oldest
-        droppable frames (never the partially-sent head, never control
+        droppable frames (never the partially-sent head, never frames
+        inside an in-progress ``sendmsg`` window, never control
         frames).  Returns ``(bytes freed, frames dropped)``."""
         freed = dropped = 0
-        with self._lock:
+        with self._changed:
             queue = client.write_queue
-            index = 0
+            # the loop thread snapshots the first ``in_flight``
+            # entries under this lock, then sends and accounts for
+            # them outside it; deleting any of them here would make
+            # the post-send accounting walk a different queue and
+            # desynchronize the client's byte stream
+            index = max(client.in_flight,
+                        1 if client.head_offset else 0)
             while freed < need and index < len(queue):
                 view, droppable = queue[index]
-                in_flight = index == 0 and client.head_offset > 0
-                if droppable and not in_flight:
+                if droppable:
                     del queue[index]
                     freed += len(view)
                     dropped += 1
@@ -264,6 +273,8 @@ class EventLoopServer:
                     client.frames_dropped += 1
                 else:
                     index += 1
+            if freed:
+                self._changed.notify_all()
         return freed, dropped
 
     def request_close(self, client: ClientHandle,
@@ -449,6 +460,10 @@ class EventLoopServer:
                 window.append(view)
                 if len(window) >= _SENDMSG_BATCH:
                     break
+            # published under the lock so drop_oldest (publisher
+            # thread) leaves these entries alone while sendmsg and
+            # the accounting below run
+            client.in_flight = len(window)
         if not window:
             self._drained(client)
             return
@@ -458,12 +473,17 @@ class EventLoopServer:
             else:  # pragma: no cover - non-POSIX fallback
                 sent = client.sock.send(window[0])
         except (BlockingIOError, InterruptedError):
+            with self._lock:
+                client.in_flight = 0
             return
         except OSError as exc:
+            with self._lock:
+                client.in_flight = 0
             self._close_client(client,
                                TransportError(f"send failed: {exc}"))
             return
         with self._changed:
+            client.in_flight = 0
             client.sent_bytes += sent
             client.queued_bytes -= sent
             remaining = sent
@@ -509,6 +529,7 @@ class EventLoopServer:
             client.close_reason = reason
             client.write_queue.clear()
             client.queued_bytes = 0
+            client.in_flight = 0
             self._clients.pop(client.id, None)
             self.clients_closed += 1
             self._changed.notify_all()

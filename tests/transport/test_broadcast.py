@@ -298,6 +298,52 @@ class TestSlowConsumers:
         assert slow_data < broadcast      # slow saw a gap, not an error
         assert any(f.type == FrameType.BYE for f in slow_reader.frames)
 
+    def test_drop_oldest_stream_stays_framed_under_trickle_reader(self):
+        """Drops racing an in-flight ``sendmsg`` must never corrupt
+        the wire: a subscriber that reads slowly (so windows are
+        regularly mid-send while the publisher floods and drops) has
+        to see a parseable stream of whole records, in order."""
+        import time
+
+        pub = make_publisher(policy="drop-oldest",
+                             max_queue_bytes=64 * 1024)
+        sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        sock.setsockopt(socket.SOL_SOCKET, socket.SO_RCVBUF, 4096)
+        sock.connect((pub.host, pub.port))
+        assert pub.wait_for_subscribers(1, timeout=5)
+        buf = bytearray()
+
+        def trickle():
+            while True:
+                chunk = sock.recv(512)  # keep a send always in flight
+                if not chunk:
+                    return
+                buf.extend(chunk)
+                time.sleep(0.0005)
+
+        reader = threading.Thread(target=trickle, daemon=True)
+        reader.start()
+        for i in range(400):
+            pub.publish("SimpleData",
+                        {"timestep": i, "data": [0.5] * 512})
+        dropped = pub.stats_dict()["frames_dropped"]
+        pub.close(timeout=30)
+        reader.join(30)
+        assert not reader.is_alive()
+        sock.close()
+        assert dropped > 0  # the race path was actually exercised
+        frames = list(iter_frames(buf))  # raises if the stream desynced
+        sub = IOContext(format_server=FormatServer())
+        steps = []
+        for frame in frames:
+            if frame.type == FrameType.FMT_RSP:
+                sub.format_server.import_bytes(frame.payload[8:])
+            elif frame.type == FrameType.DATA:
+                steps.append(sub.decode(frame.payload)
+                             .record["timestep"])
+        assert steps == sorted(set(steps))  # whole records, in order
+        assert any(f.type == FrameType.BYE for f in frames)
+
     def test_block_waits_then_evicts_the_stuck_client(self):
         pub, healthy, healthy_handle, slow, _slow_handle = \
             self._setup("block", block_timeout=0.2)

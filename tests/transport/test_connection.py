@@ -183,3 +183,50 @@ class TestPreAnnouncement:
         assert b.negotiations == 0
         a_ch.close()
         b.close()
+
+    def test_short_fmt_rsp_raises_protocol_error(self):
+        """A truncated announcement (< 8-byte format id) must surface
+        as ProtocolError, not an internal registry error."""
+        from repro.errors import ProtocolError
+        from repro.transport.messages import Frame, FrameType
+
+        a_ch, b_ch = channel_pair()
+        b = Connection(IOContext(format_server=FormatServer()), b_ch)
+        a_ch.send(Frame(FrameType.FMT_RSP, b"\x01\x02\x03"))
+        with pytest.raises(ProtocolError, match="too short"):
+            b.receive(timeout=5)
+        a_ch.close()
+        b.close()
+
+    def test_corrupt_fmt_rsp_metadata_raises_protocol_error(self):
+        from repro.errors import ProtocolError
+        from repro.transport.messages import Frame, FrameType
+
+        a_ch, b_ch = channel_pair()
+        b = Connection(IOContext(format_server=FormatServer()), b_ch)
+        payload = b"\x00" * 8 + b"\xff\xfenot metadata"
+        a_ch.send(Frame(FrameType.FMT_RSP, payload))
+        with pytest.raises(ProtocolError, match="unimportable"):
+            b.receive(timeout=5)
+        a_ch.close()
+        b.close()
+
+    def test_mismatched_fmt_rsp_id_raises_protocol_error(self):
+        """Announced ID and the metadata's own digest-derived ID must
+        agree; a lying peer is a protocol violation."""
+        from repro.errors import ProtocolError
+        from repro.transport.messages import Frame, FrameType
+
+        actx = IOContext(format_server=FormatServer())
+        actx.register_layout("SimpleData", SPECS)
+        fmt = actx.lookup_format("SimpleData")
+        metadata = actx.format_server.lookup_bytes(fmt.format_id)
+        wrong_id = (fmt.format_id.value ^ 1).to_bytes(8, "big")
+
+        a_ch, b_ch = channel_pair()
+        b = Connection(IOContext(format_server=FormatServer()), b_ch)
+        a_ch.send(Frame(FrameType.FMT_RSP, wrong_id + metadata))
+        with pytest.raises(ProtocolError, match="deserialized to"):
+            b.receive(timeout=5)
+        a_ch.close()
+        b.close()

@@ -234,6 +234,81 @@ class TestDropOldest:
         assert bytes(client.write_queue[0][0]) == b"a" * 10
         server.close()
 
+    def test_never_drops_in_flight_sendmsg_window(self):
+        """Entries snapshotted into an in-progress sendmsg window are
+        untouchable: dropping them would desynchronize the accounting
+        the loop thread performs after the send returns."""
+        server = EventLoopServer()
+        client = self._client_with_queue(server, [
+            (b"a" * 10, True), (b"b" * 10, True), (b"c" * 10, True),
+        ])
+        client.in_flight = 2  # loop thread is sending entries 0-1
+        freed, dropped = server.drop_oldest(client, 100)
+        assert (freed, dropped) == (10, 1)
+        remaining = [bytes(v) for v, _d in client.write_queue]
+        assert remaining == [b"a" * 10, b"b" * 10]
+        assert client.queued_bytes == 20
+        server.close()
+
+    def test_writable_accounting_immune_to_concurrent_drop(self):
+        """The publisher racing drop_oldest into the middle of a
+        sendmsg must not corrupt post-send accounting: bytes the
+        kernel accepted belong to the snapshotted window entries, so
+        none of those entries may disappear before they're accounted.
+        (Deterministic interleaving of the race REVIEW.md flagged.)"""
+        server = EventLoopServer()
+
+        class RacingSock:
+            """sendmsg that triggers a concurrent drop mid-call."""
+
+            def fileno(self):
+                return -1
+
+            def sendmsg(self, window):
+                server.drop_oldest(box["client"], 15)
+                return 10  # kernel accepted exactly the first frame
+
+        box = {}
+        client = ClientHandle(0, RacingSock(), ("test", 0))
+        box["client"] = client
+        for payload in (b"a" * 10, b"b" * 10, b"c" * 10):
+            server.enqueue(client, payload, droppable=True)
+        server._writable(client)
+        # frame "a" was sent and accounted; "b" and "c" must still be
+        # queued intact (the drop found nothing safely removable)
+        assert client.frames_sent == 1
+        assert client.head_offset == 0
+        assert [bytes(v) for v, _d in client.write_queue] == \
+            [b"b" * 10, b"c" * 10]
+        assert client.queued_bytes == 20
+        assert client.in_flight == 0
+        server.close()
+
+    def test_drop_notifies_blocked_queue_waiters(self):
+        """Bytes freed by drop_oldest must wake wait_queue_below
+        immediately, not only after the next socket write."""
+        import time
+
+        server = EventLoopServer()
+        client = self._client_with_queue(server, [
+            (b"a" * 100, True), (b"b" * 100, True),
+        ])
+        box = {}
+
+        def waiter():
+            box["ok"] = server.wait_queue_below(client, 150, timeout=5)
+
+        thread = threading.Thread(target=waiter)
+        thread.start()
+        time.sleep(0.1)  # let the waiter block on the condition
+        freed, _dropped = server.drop_oldest(client, 50)
+        assert freed == 100
+        thread.join(2)
+        assert not thread.is_alive(), \
+            "drop_oldest freed bytes but never notified waiters"
+        assert box["ok"] is True
+        server.close()
+
 
 class TestPoller:
     def test_wake_interrupts_poll(self):
