@@ -1,0 +1,76 @@
+#!/usr/bin/env python
+"""CI regression gate for the telemetry layer's hot-path overhead.
+
+Reads ``BENCH_obs.json`` (written when the benchmark suite runs
+``benchmarks/test_ext_obs_overhead.py``) and fails unless the
+acceptance thresholds hold:
+
+* enabled telemetry (default 1-in-16 sample mask) costs at most
+  ``ENABLED_MAX``x the no-op encode on every gate shape;
+* the disabled hook itself costs at most ``HOOK_FRACTION_MAX`` of a
+  no-op per-record encode on every gate shape.
+
+Usage::
+
+    python benchmarks/check_obs_gate.py [path/to/BENCH_obs.json]
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+ENABLED_MAX = 1.05
+HOOK_FRACTION_MAX = 0.01
+
+
+def main(argv: list[str]) -> int:
+    path = Path(argv[1]) if len(argv) > 1 else \
+        Path(__file__).resolve().parents[1] / "BENCH_obs.json"
+    if not path.exists():
+        print(f"gate: {path} missing — run the benchmark suite first "
+              "(PYTHONPATH=src python -m pytest "
+              "benchmarks/test_ext_obs_overhead.py)")
+        return 2
+    data = json.loads(path.read_text())
+
+    hook_ns = data.get("hook_ns")
+    failures: list[str] = []
+    for shape, m in sorted(data.get("encode", {}).items()):
+        line = (f"encode {shape:14s} raw {m['raw_us']:7.2f}us  "
+                f"noop {m['noop_us']:7.2f}us  "
+                f"enabled {m['enabled_us']:7.2f}us  "
+                f"{m['enabled_over_noop']:.3f}x" +
+                ("" if m.get("gate") else "  (not gated)"))
+        print(line)
+        if not m.get("gate"):
+            continue
+        if m["enabled_over_noop"] > ENABLED_MAX:
+            failures.append(
+                f"enabled telemetry on {shape} is "
+                f"{m['enabled_over_noop']:.3f}x no-op, above the "
+                f"{ENABLED_MAX}x gate")
+        if hook_ns is not None:
+            fraction = hook_ns / (m["noop_us"] * 1e3)
+            if fraction > HOOK_FRACTION_MAX:
+                failures.append(
+                    f"disabled hook is {fraction:.3%} of a {shape} "
+                    f"encode, above the {HOOK_FRACTION_MAX:.0%} gate")
+
+    if hook_ns is None:
+        failures.append("hook_ns missing from metrics")
+    else:
+        print(f"hook   disabled sample_t0: {hook_ns:.0f}ns/call")
+
+    if failures:
+        print("\nGATE FAILED:")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print("\ngate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

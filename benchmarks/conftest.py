@@ -29,8 +29,14 @@ BENCH_FUSED_PATH = Path(__file__).resolve().parents[1] / \
 BENCH_FANOUT_PATH = Path(__file__).resolve().parents[1] / \
     "BENCH_fanout.json"
 
+#: Where the telemetry-overhead numbers land; consumed by
+#: ``benchmarks/check_obs_gate.py`` in CI.
+BENCH_OBS_PATH = Path(__file__).resolve().parents[1] / \
+    "BENCH_obs.json"
+
 _FUSED_METRICS: dict = {}
 _FANOUT_METRICS: dict = {}
+_OBS_METRICS: dict = {}
 
 
 def context_for_case(case) -> IOContext:
@@ -70,6 +76,14 @@ def fanout_metrics() -> dict:
     return _FANOUT_METRICS
 
 
+@pytest.fixture
+def obs_metrics() -> dict:
+    """Session-wide sink for the telemetry-overhead numbers
+    (``test_ext_obs_overhead``); flushed to BENCH_obs.json at
+    session end."""
+    return _OBS_METRICS
+
+
 def pytest_sessionfinish(session, exitstatus):
     if _FUSED_METRICS:
         BENCH_FUSED_PATH.write_text(
@@ -77,3 +91,6 @@ def pytest_sessionfinish(session, exitstatus):
     if _FANOUT_METRICS:
         BENCH_FANOUT_PATH.write_text(
             json.dumps(_FANOUT_METRICS, indent=2, sort_keys=True) + "\n")
+    if _OBS_METRICS:
+        BENCH_OBS_PATH.write_text(
+            json.dumps(_OBS_METRICS, indent=2, sort_keys=True) + "\n")

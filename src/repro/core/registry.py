@@ -44,6 +44,8 @@ from repro.core.schema_compiler import compile_schema
 from repro.errors import DiscoveryError, ReproError
 from repro.http.retry import DiscoveryStats, RetryPolicy
 from repro.http.urls import fetch, resolve_url
+from repro.obs.metrics import DISCOVERY_COMPILE_SECONDS
+from repro.obs.spans import span
 from repro.schema.model import Schema
 from repro.schema.parser import parse_schema, schema_locations
 from repro.xmlcore.parser import parse_bytes
@@ -187,7 +189,8 @@ class FormatRegistry:
                     f"failure (retry in <= {self.negative_ttl:g}s)")
             del self._negative[url]
         try:
-            data = fetch(url, retry=self.retry, stats=self.stats)
+            with span("fetch", url=url):
+                data = fetch(url, retry=self.retry, stats=self.stats)
         except ReproError:
             self._negative[url] = self.clock() + self.negative_ttl
             raise
@@ -238,7 +241,11 @@ class FormatRegistry:
                 enum_names=enum_names)
             return format_names
         schema = self._parse_with_includes(url, data)
-        compiled = compile_schema(schema)
+        with span("compile", source=url, digest=digest) as sp:
+            compiled = compile_schema(schema)
+        duration_ns = getattr(sp, "duration_ns", 0)  # 0 when disabled
+        if duration_ns:
+            DISCOVERY_COMPILE_SECONDS.observe(duration_ns * 1e-9)
         self.stats.count("compiles")
         self.ir.merge(compiled)
         self.loads += 1

@@ -21,12 +21,14 @@ discovery path (:func:`repro.http.urls.fetch`,
 from __future__ import annotations
 
 import random
-import threading
 import time
 from dataclasses import dataclass, field
 from typing import Callable
 
 from repro.errors import DiscoveryError, HTTPError, MetadataNotFoundError
+from repro.obs import runtime as _obs
+from repro.obs.metrics import DISCOVERY_EVENTS
+from repro.obs.registry import AtomicCounter
 
 
 def default_retryable(exc: BaseException) -> bool:
@@ -99,27 +101,46 @@ class DiscoveryStats:
     ``fetch_attempts``/``retries``/``fetch_failures`` are incremented
     by :func:`call_with_retry`; the cache and fallback counters by
     :class:`repro.core.registry.FormatRegistry`.
+
+    Each counter is an :class:`~repro.obs.registry.AtomicCounter`
+    (exact under concurrent hammering); increments are mirrored into
+    the process-wide registry as
+    ``repro_discovery_events_total{event=...}``, so every instance's
+    activity is centrally snapshottable while per-instance reads stay
+    exact.  Attribute access (``stats.fetch_attempts``) returns plain
+    ints, as before.
     """
 
     _COUNTERS = ("fetch_attempts", "retries", "fetch_failures",
                  "cache_hits", "cache_misses", "negative_hits",
                  "fallbacks", "compiles")
 
+    #: process-wide mirror series, one per counter, shared by every
+    #: instance (N registries sum into one global total)
+    _MIRROR = {name: DISCOVERY_EVENTS.labels(event=name)
+               for name in _COUNTERS}
+
     def __init__(self) -> None:
-        self._lock = threading.Lock()
-        for name in self._COUNTERS:
-            setattr(self, name, 0)
+        self._counters = {name: AtomicCounter()
+                          for name in self._COUNTERS}
 
     def count(self, name: str, n: int = 1) -> None:
-        if name not in self._COUNTERS:
+        counter = self._counters.get(name)
+        if counter is None:
             raise AttributeError(f"unknown discovery counter {name!r}")
-        with self._lock:
-            setattr(self, name, getattr(self, name) + n)
+        counter.add(n)
+        if _obs.enabled:
+            self._MIRROR[name].inc(n)
+
+    def __getattr__(self, name: str) -> int:
+        try:
+            return self.__dict__["_counters"][name].value
+        except KeyError:
+            raise AttributeError(name) from None
 
     def snapshot(self) -> dict[str, int]:
-        with self._lock:
-            return {name: getattr(self, name)
-                    for name in self._COUNTERS}
+        return {name: counter.value
+                for name, counter in self._counters.items()}
 
     def __repr__(self) -> str:
         inner = ", ".join(f"{k}={v}" for k, v in

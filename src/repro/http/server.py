@@ -20,6 +20,13 @@ from __future__ import annotations
 import socket
 import threading
 
+from repro.obs import runtime as _obs
+from repro.obs.exposition import (
+    PROMETHEUS_CONTENT_TYPE, render_json, render_prometheus,
+)
+from repro.obs.metrics import HTTP_REQUESTS
+from repro.obs.registry import REGISTRY
+
 _REASONS = {200: "OK", 400: "Bad Request", 404: "Not Found",
             405: "Method Not Allowed", 500: "Internal Server Error"}
 
@@ -61,11 +68,20 @@ class DocumentStore:
 
 
 class MetadataHTTPServer:
-    """A loopback HTTP/1.0 server over a :class:`DocumentStore`."""
+    """A loopback HTTP/1.0 server over a :class:`DocumentStore`.
+
+    With ``metrics=True`` (the default) the server also exposes the
+    process-wide telemetry registry: ``GET /metrics`` returns
+    Prometheus text exposition and ``GET /metrics.json`` the same
+    snapshot as JSON — the scrape endpoint for a running XMIT
+    deployment.
+    """
 
     def __init__(self, store: DocumentStore, *,
-                 host: str = "127.0.0.1", port: int = 0) -> None:
+                 host: str = "127.0.0.1", port: int = 0,
+                 metrics: bool = True) -> None:
         self.store = store
+        self.metrics = metrics
         self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR,
                                   1)
@@ -131,6 +147,16 @@ class MetadataHTTPServer:
             if method != "GET":
                 self._respond(conn, 405, b"only GET is supported")
                 return
+            if self.metrics and path in ("/metrics", "/metrics.json"):
+                snapshot = REGISTRY.snapshot()
+                if path == "/metrics":
+                    body = render_prometheus(snapshot).encode("utf-8")
+                    ctype = PROMETHEUS_CONTENT_TYPE
+                else:
+                    body = render_json(snapshot).encode("utf-8")
+                    ctype = "application/json"
+                self._respond(conn, 200, body, content_type=ctype)
+                return
             doc = self.store.get(path)
             if doc is None:
                 self._respond(conn, 404,
@@ -162,10 +188,13 @@ class MetadataHTTPServer:
         return parts[0], parts[1]
 
     @staticmethod
-    def _respond(conn: socket.socket, status: int, body: bytes) -> None:
+    def _respond(conn: socket.socket, status: int, body: bytes, *,
+                 content_type: str = "text/xml") -> None:
+        if _obs.enabled:
+            HTTP_REQUESTS.labels(status=status).inc()
         reason = _REASONS.get(status, "Unknown")
         head = (f"HTTP/1.0 {status} {reason}\r\n"
-                f"Content-Type: text/xml\r\n"
+                f"Content-Type: {content_type}\r\n"
                 f"Content-Length: {len(body)}\r\n"
                 f"Connection: close\r\n\r\n").encode("ascii")
         conn.sendall(head + body)

@@ -20,12 +20,13 @@ metadata negotiation — precisely the paper's amortization argument.
 from __future__ import annotations
 
 import threading
-from dataclasses import dataclass, field
 
 import numpy as np
 
 from repro.core.toolkit import XMIT
 from repro.errors import TransportError
+from repro.obs import runtime as _obs
+from repro.obs.metrics import COMPONENT_MESSAGES
 from repro.hydrology.datagen import WatershedDataset
 from repro.pbio.context import IOContext
 from repro.pbio.format_server import FormatServer
@@ -34,18 +35,37 @@ from repro.transport.connection import Connection, ReceivedMessage
 _POLL = 0.002  # seconds: non-blocking-ish control poll
 
 
-@dataclass
 class ComponentStats:
-    """Per-component message accounting."""
+    """Per-component message accounting.
 
-    received: dict[str, int] = field(default_factory=dict)
-    sent: dict[str, int] = field(default_factory=dict)
+    Counts are kept per format name under a lock (components touch
+    their own stats from the worker thread while the driver reads
+    them), and mirrored into the process-wide :mod:`repro.obs`
+    registry as ``repro_component_messages_total{component,format,
+    direction}`` so a pipeline's message flow shows up on
+    ``/metrics``.
+    """
+
+    def __init__(self, component: str = "") -> None:
+        self.component = component
+        self._lock = threading.Lock()
+        self.received: dict[str, int] = {}
+        self.sent: dict[str, int] = {}
 
     def count_in(self, format_name: str) -> None:
-        self.received[format_name] = self.received.get(format_name, 0) + 1
+        with self._lock:
+            self.received[format_name] = \
+                self.received.get(format_name, 0) + 1
+        if _obs.enabled:
+            COMPONENT_MESSAGES.labels(
+                self.component, format_name, "in").inc()
 
     def count_out(self, format_name: str) -> None:
-        self.sent[format_name] = self.sent.get(format_name, 0) + 1
+        with self._lock:
+            self.sent[format_name] = self.sent.get(format_name, 0) + 1
+        if _obs.enabled:
+            COMPONENT_MESSAGES.labels(
+                self.component, format_name, "out").inc()
 
 
 class Component(threading.Thread):
@@ -66,7 +86,7 @@ class Component(threading.Thread):
         self.context = IOContext(format_server=FormatServer(),
                                  **kwargs)
         self.xmit = XMIT()
-        self.stats = ComponentStats()
+        self.stats = ComponentStats(component=name)
         self.error: BaseException | None = None
         from repro.pbio.machine import all_architectures
         for fmt_name in self.xmit.load_url(schema_url):

@@ -1,0 +1,115 @@
+"""Render a registry snapshot as Prometheus text or JSON.
+
+Both renderers consume the plain-dict output of
+:meth:`~repro.obs.registry.MetricsRegistry.snapshot` — they never
+touch live metric objects, so a snapshot can be rendered off-process
+(``repro.tools.obsdump --url``) or embedded in a transport frame
+(:data:`~repro.transport.messages.FrameType.STATS_REQ`).
+
+The Prometheus format is text exposition 0.0.4: ``# HELP`` / ``# TYPE``
+preambles, escaped label values, and histogram series exploded into
+cumulative ``_bucket{le=...}`` plus ``_sum`` / ``_count``.
+"""
+
+from __future__ import annotations
+
+import json
+
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+def _escape_help(text: str) -> str:
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _escape_label(value: str) -> str:
+    return (value.replace("\\", "\\\\").replace("\"", "\\\"")
+            .replace("\n", "\\n"))
+
+
+def _labels_text(labels: dict, extra: tuple[tuple[str, str], ...] = ()) \
+        -> str:
+    pairs = [(k, str(v)) for k, v in labels.items()] + list(extra)
+    if not pairs:
+        return ""
+    inner = ",".join(f'{k}="{_escape_label(v)}"' for k, v in pairs)
+    return "{" + inner + "}"
+
+
+def _number(value) -> str:
+    if isinstance(value, bool):
+        return str(int(value))
+    if isinstance(value, int):
+        return str(value)
+    if isinstance(value, float) and value.is_integer() and \
+            abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def _bound(value: float) -> str:
+    return f"{value:.9g}"
+
+
+def render_prometheus(snapshot: dict) -> str:
+    """The full snapshot in Prometheus text exposition format."""
+    lines: list[str] = []
+    for name in sorted(snapshot):
+        entry = snapshot[name]
+        mtype = entry.get("type", "gauge")
+        lines.append(f"# HELP {name} "
+                     f"{_escape_help(entry.get('help', ''))}")
+        lines.append(f"# TYPE {name} {mtype}")
+        for series in entry.get("series", []):
+            labels = series.get("labels", {})
+            if mtype == "histogram":
+                cumulative = 0
+                for bound, count in zip(series["bounds"],
+                                        series["counts"]):
+                    cumulative += count
+                    lines.append(
+                        f"{name}_bucket"
+                        f"{_labels_text(labels, (('le', _bound(bound)),))}"
+                        f" {cumulative}")
+                cumulative += series["counts"][len(series["bounds"])]
+                lines.append(
+                    f"{name}_bucket"
+                    f"{_labels_text(labels, (('le', '+Inf'),))}"
+                    f" {cumulative}")
+                lines.append(f"{name}_sum{_labels_text(labels)} "
+                             f"{repr(float(series['sum']))}")
+                lines.append(f"{name}_count{_labels_text(labels)} "
+                             f"{series['count']}")
+            else:
+                lines.append(f"{name}{_labels_text(labels)} "
+                             f"{_number(series.get('value', 0))}")
+    return "\n".join(lines) + "\n"
+
+
+def render_json(snapshot: dict, *, indent: int | None = 2) -> str:
+    """The snapshot as JSON (already JSON-safe plain dicts)."""
+    return json.dumps(snapshot, indent=indent, sort_keys=True) + "\n"
+
+
+def parse_json(text: str | bytes) -> dict:
+    """Inverse of :func:`render_json`, with shape validation."""
+    data = json.loads(text)
+    if not isinstance(data, dict):
+        raise ValueError("snapshot JSON must be an object")
+    for name, entry in data.items():
+        if not isinstance(entry, dict) or "series" not in entry:
+            raise ValueError(f"metric {name!r}: missing series")
+        for series in entry["series"]:
+            if "labels" not in series:
+                raise ValueError(f"metric {name!r}: series without "
+                                 "labels")
+            if entry.get("type") == "histogram":
+                for key in ("bounds", "counts", "sum", "count"):
+                    if key not in series:
+                        raise ValueError(
+                            f"metric {name!r}: histogram series "
+                            f"missing {key!r}")
+            elif "value" not in series:
+                raise ValueError(f"metric {name!r}: series without "
+                                 "value")
+    return data

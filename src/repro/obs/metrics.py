@@ -1,0 +1,150 @@
+"""The metric catalog: every predeclared series, in one place.
+
+Naming follows Prometheus conventions (``repro_`` prefix, ``_total``
+counters, ``_seconds`` histograms).  The catalog is organized by the
+subsystems the paper's cost model distinguishes — discovery, codec
+(marshal/unmarshal), transport — plus the hydrology workload and the
+fault-injection harness.  ``docs/OBSERVABILITY.md`` is the prose
+companion.
+
+Hot-path metrics are incremented inline by their subsystems; state
+that is cheaper to read on demand (per-client transport queues,
+buffer-pool reuse, cached codec plans) arrives through snapshot-time
+collectors instead, so steady-state work pays nothing for it.
+"""
+
+from __future__ import annotations
+
+from repro.obs.registry import REGISTRY, log_buckets
+
+# -- phases (spans land here; see repro.obs.spans) --------------------------
+
+#: the paper's phase taxonomy: registration-side work (discover,
+#: bind/compile) vs steady-state work (marshal, unmarshal, transport)
+PHASES = ("discover", "bind/compile", "marshal", "unmarshal",
+          "transport", "other")
+
+PHASE_SECONDS = REGISTRY.histogram(
+    "repro_phase_seconds",
+    "Time spent per phase of the paper's taxonomy "
+    "(marshal/unmarshal entries are sampled; see sample_mask)",
+    labels=("phase",))
+
+SPANS_TOTAL = REGISTRY.counter(
+    "repro_spans_total", "Completed tracing spans",
+    labels=("name", "phase"))
+
+# -- discovery --------------------------------------------------------------
+
+DISCOVERY_EVENTS = REGISTRY.counter(
+    "repro_discovery_events_total",
+    "Discovery-path events mirrored from DiscoveryStats "
+    "(fetch_attempts, retries, cache_hits, fallbacks, ...)",
+    labels=("event",))
+
+DISCOVERY_COMPILE_SECONDS = REGISTRY.histogram(
+    "repro_discovery_compile_seconds",
+    "Schema-document compile time (one observation per new digest)")
+
+HTTP_REQUESTS = REGISTRY.counter(
+    "repro_http_requests_total",
+    "Requests served by MetadataHTTPServer", labels=("status",))
+
+# -- codec (pbio encode/decode) ---------------------------------------------
+
+CODEC_PLANS = REGISTRY.counter(
+    "repro_codec_plans_total",
+    "Compiled codec plan cache outcomes in "
+    "encoder_for_format/decoder_for_format",
+    labels=("kind", "outcome"))
+
+# -- transport --------------------------------------------------------------
+
+TRANSPORT_CLIENTS = REGISTRY.gauge(
+    "repro_transport_clients",
+    "Open event-loop clients (summed over live servers; collector)")
+
+TRANSPORT_QUEUED_BYTES = REGISTRY.gauge(
+    "repro_transport_queued_bytes",
+    "Bytes sitting in per-client write queues (collector)")
+
+TRANSPORT_QUEUE_HIGH_WATER = REGISTRY.gauge(
+    "repro_transport_queue_high_water_bytes",
+    "Largest single-client write queue observed (collector)")
+
+SENDMSG_BATCH = REGISTRY.histogram(
+    "repro_transport_sendmsg_batch_frames",
+    "Queue entries drained per scatter-gather sendmsg",
+    buckets=log_buckets(1.0, 2.0, 10))
+
+# -- hydrology workload -----------------------------------------------------
+
+COMPONENT_MESSAGES = REGISTRY.counter(
+    "repro_component_messages_total",
+    "Messages through hydrology pipeline components",
+    labels=("component", "format", "direction"))
+
+PIPELINE_RUNS = REGISTRY.counter(
+    "repro_pipeline_runs_total", "Completed hydrology pipeline runs",
+    labels=("mode",))
+
+# -- fault injection --------------------------------------------------------
+
+FAULTS_INJECTED = REGISTRY.counter(
+    "repro_faults_injected_total",
+    "Faults served by the repro.testing.faults harness",
+    labels=("kind",))
+
+
+def _codec_plan_collector():
+    """Buffer-pool reuse summed over the process-wide cached codec
+    plans — read at snapshot time, free on the encode path."""
+    from repro.pbio.encode import _ENCODER_CACHE
+    acquires = reuses = 0
+    for encoder in list(_ENCODER_CACHE.values()):
+        acquires += encoder._pool.acquires
+        reuses += encoder._pool.reuses
+    return [
+        {"name": "repro_codec_buffer_pool_total", "type": "counter",
+         "help": "Body-buffer acquisitions by cached encoder plans",
+         "labels": {"event": "acquires"}, "value": acquires},
+        {"name": "repro_codec_buffer_pool_total", "type": "counter",
+         "help": "Body-buffer acquisitions by cached encoder plans",
+         "labels": {"event": "reuses"}, "value": reuses},
+    ]
+
+
+def _codec_totals_collector():
+    """Process-wide codec totals from ContextStats — every context's
+    records/bytes in both directions, read at snapshot time."""
+    from repro.pbio.context import ContextStats
+    help_text = ("Process-wide codec totals summed over every "
+                 "IOContext, living or dead")
+    return [
+        {"name": "repro_codec_events_total", "type": "counter",
+         "help": help_text, "labels": {"event": event}, "value": value}
+        for event, value in ContextStats.totals_snapshot().items()
+    ]
+
+
+def _broadcast_totals_collector():
+    """Publisher counters and high-water marks from BroadcastStats."""
+    from repro.transport.broadcast import BroadcastStats
+    samples = [
+        {"name": "repro_broadcast_events_total", "type": "counter",
+         "help": "Publisher events summed over every "
+                 "BroadcastPublisher",
+         "labels": {"event": event}, "value": value}
+        for event, value in BroadcastStats.totals_snapshot().items()
+    ]
+    for name, value in BroadcastStats.high_water_snapshot().items():
+        samples.append(
+            {"name": f"repro_broadcast_{name}", "type": "gauge",
+             "help": "Largest value observed by any publisher",
+             "labels": {}, "value": value})
+    return samples
+
+
+REGISTRY.register_collector(_codec_plan_collector)
+REGISTRY.register_collector(_codec_totals_collector)
+REGISTRY.register_collector(_broadcast_totals_collector)

@@ -1,0 +1,436 @@
+"""Process-wide, thread-safe metrics registry.
+
+The paper's evaluation is built on counters (registration counts,
+record counts) and timings (registration latency vs marshal latency);
+this module is the runtime home for both, so the cost split the paper
+measured offline — 2-4x registration-time RDM against near-zero
+steady-state marshaling overhead — is observable from a *running*
+process.
+
+Three metric types, all label-capable:
+
+* :class:`Counter`   — monotone totals (``_total`` names by
+  convention);
+* :class:`Gauge`     — point-in-time values (queue depth, client
+  count);
+* :class:`Histogram` — fixed **log-scale** buckets precomputed at
+  declaration, so ``observe()`` is a bisect plus two adds.
+
+Hot-path discipline: every series carries a plain ``int``/``float``
+mutated under a **striped lock** (a small shared pool of locks,
+assigned by series hash), so concurrent writers rarely contend and a
+single increment is one lock round-trip.  Reads of a single word are
+atomic under the GIL and taken without the lock.
+
+``snapshot()`` returns plain dicts/lists (JSON-safe) — the single
+source for the Prometheus/JSON exposition in
+:mod:`repro.obs.exposition`.
+
+Registries also accept **collectors**: callables sampled at snapshot
+time that contribute counter/gauge series for state that is cheaper to
+read on demand than to mirror per-operation (per-client transport
+queues, buffer-pool reuse).  Collectors registered for a bound method
+are held weakly, so instrumented objects die normally.
+"""
+
+from __future__ import annotations
+
+import threading
+import weakref
+from bisect import bisect_left
+from typing import Callable, Iterable
+
+#: shared lock pool; every series takes one stripe by hash so that a
+#: counter increment never allocates a lock and rarely contends
+_N_STRIPES = 16
+_STRIPES = tuple(threading.Lock() for _ in range(_N_STRIPES))
+
+
+def _stripe(key) -> threading.Lock:
+    return _STRIPES[hash(key) % _N_STRIPES]
+
+
+def log_buckets(start: float = 1e-6, factor: float = 2.0,
+                count: int = 24) -> tuple[float, ...]:
+    """Fixed log-scale bucket bounds: ``start * factor**i``.
+
+    The default spans 1us .. ~8.4s in powers of two — wide enough for
+    both a fused encode (microseconds) and a cold discovery fetch
+    (seconds) in one scheme.
+    """
+    if start <= 0 or factor <= 1.0 or count < 1:
+        raise ValueError("log_buckets needs start>0, factor>1, count>=1")
+    return tuple(start * factor ** i for i in range(count))
+
+
+DEFAULT_SECONDS_BUCKETS = log_buckets()
+
+
+class AtomicCounter:
+    """A plain-int counter guarded by a striped lock.
+
+    The primitive every migrated stats class routes through:
+    ``add()`` is the only mutation path, so totals under concurrent
+    hammering are exact (a bare ``+=`` on an attribute is a
+    read-modify-write that drops updates between threads).
+    """
+
+    __slots__ = ("_lock", "_value")
+
+    def __init__(self, lock: threading.Lock | None = None) -> None:
+        self._lock = lock if lock is not None else _stripe(id(self))
+        self._value = 0
+
+    def add(self, n: int = 1) -> None:
+        with self._lock:
+            self._value += n
+
+    def set(self, value: int) -> None:
+        with self._lock:
+            self._value = value
+
+    @property
+    def value(self) -> int:
+        return self._value  # single-word read: atomic under the GIL
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"AtomicCounter({self._value})"
+
+
+class _Series:
+    """One (metric, label-values) time series."""
+
+    __slots__ = ("labels", "_lock")
+
+    def __init__(self, metric: "Metric", labels: tuple[str, ...]) -> None:
+        self.labels = labels
+        self._lock = _stripe((metric.name, labels))
+
+
+class _CounterSeries(_Series):
+    __slots__ = ("_value",)
+
+    def __init__(self, metric, labels):
+        super().__init__(metric, labels)
+        self._value = 0
+
+    def inc(self, n: float = 1) -> None:
+        with self._lock:
+            self._value += n
+
+    add = inc
+
+    @property
+    def value(self):
+        return self._value
+
+
+class _GaugeSeries(_Series):
+    __slots__ = ("_value",)
+
+    def __init__(self, metric, labels):
+        super().__init__(metric, labels)
+        self._value = 0
+
+    def set(self, value: float) -> None:
+        self._value = value  # single-store: atomic under the GIL
+
+    def inc(self, n: float = 1) -> None:
+        with self._lock:
+            self._value += n
+
+    def dec(self, n: float = 1) -> None:
+        self.inc(-n)
+
+    def max(self, value: float) -> None:
+        """High-water update: keep the larger of current and *value*."""
+        with self._lock:
+            if value > self._value:
+                self._value = value
+
+    @property
+    def value(self):
+        return self._value
+
+
+class _HistogramSeries(_Series):
+    __slots__ = ("bounds", "counts", "sum", "count")
+
+    def __init__(self, metric, labels):
+        super().__init__(metric, labels)
+        self.bounds = metric.buckets          # precomputed, shared
+        self.counts = [0] * (len(self.bounds) + 1)  # +1 = +Inf bucket
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        idx = bisect_left(self.bounds, value)
+        with self._lock:
+            self.counts[idx] += 1
+            self.sum += value
+            self.count += 1
+
+
+_SERIES_TYPES = {"counter": _CounterSeries, "gauge": _GaugeSeries,
+                 "histogram": _HistogramSeries}
+
+
+class Metric:
+    """A named metric plus its labeled children.
+
+    An unlabeled metric acts as its own single series (``inc`` /
+    ``set`` / ``observe`` delegate to the default child); a labeled
+    one hands out children via :meth:`labels`.
+    """
+
+    def __init__(self, name: str, mtype: str, help: str,
+                 label_names: tuple[str, ...],
+                 buckets: tuple[float, ...] | None = None) -> None:
+        if mtype not in _SERIES_TYPES:
+            raise ValueError(f"unknown metric type {mtype!r}")
+        self.name = name
+        self.type = mtype
+        self.help = help
+        self.label_names = tuple(label_names)
+        self.buckets = tuple(buckets) if buckets is not None else \
+            (DEFAULT_SECONDS_BUCKETS if mtype == "histogram" else None)
+        self._lock = threading.Lock()
+        self._children: dict[tuple[str, ...], _Series] = {}
+        self._default: _Series | None = None
+        if not self.label_names:
+            self._default = self._child(())
+
+    def _child(self, values: tuple[str, ...]) -> _Series:
+        child = self._children.get(values)
+        if child is None:
+            with self._lock:
+                child = self._children.get(values)
+                if child is None:
+                    child = _SERIES_TYPES[self.type](self, values)
+                    self._children[values] = child
+        return child
+
+    def labels(self, *args: str, **kwargs: str):
+        """The child series for these label values.
+
+        Accepts positional values in declared order, or keywords."""
+        if args and kwargs:
+            raise ValueError("pass label values positionally or by "
+                             "keyword, not both")
+        if kwargs:
+            try:
+                values = tuple(str(kwargs[n]) for n in self.label_names)
+            except KeyError as exc:
+                raise ValueError(
+                    f"{self.name}: missing label {exc.args[0]!r} "
+                    f"(declared: {list(self.label_names)})") from None
+            if len(kwargs) != len(self.label_names):
+                extra = set(kwargs) - set(self.label_names)
+                raise ValueError(
+                    f"{self.name}: unknown labels {sorted(extra)}")
+        else:
+            if len(args) != len(self.label_names):
+                raise ValueError(
+                    f"{self.name}: expected {len(self.label_names)} "
+                    f"label values, got {len(args)}")
+            values = tuple(str(a) for a in args)
+        return self._child(values)
+
+    # -- unlabeled convenience ------------------------------------------------
+
+    def _require_default(self) -> _Series:
+        if self._default is None:
+            raise ValueError(
+                f"{self.name} declares labels "
+                f"{list(self.label_names)}; use .labels(...)")
+        return self._default
+
+    def inc(self, n: float = 1) -> None:
+        self._require_default().inc(n)
+
+    add = inc
+
+    def dec(self, n: float = 1) -> None:
+        self._require_default().dec(n)
+
+    def set(self, value: float) -> None:
+        self._require_default().set(value)
+
+    def observe(self, value: float) -> None:
+        self._require_default().observe(value)
+
+    @property
+    def value(self):
+        return self._require_default().value
+
+    # -- snapshot -------------------------------------------------------------
+
+    def _snapshot_series(self) -> list[dict]:
+        out = []
+        with self._lock:
+            children = list(self._children.items())
+        for values, child in sorted(children):
+            labels = dict(zip(self.label_names, values))
+            if self.type == "histogram":
+                with child._lock:
+                    out.append({"labels": labels,
+                                "bounds": list(child.bounds),
+                                "counts": list(child.counts),
+                                "sum": child.sum,
+                                "count": child.count})
+            else:
+                out.append({"labels": labels, "value": child.value})
+        return out
+
+    def _reset(self) -> None:
+        with self._lock:
+            for child in self._children.values():
+                if self.type == "histogram":
+                    with child._lock:
+                        child.counts = [0] * (len(child.bounds) + 1)
+                        child.sum = 0.0
+                        child.count = 0
+                else:
+                    child._value = 0
+
+
+#: collector protocol: () -> iterable of sample dicts, each
+#:   {"name": str, "type": "counter"|"gauge", "help": str,
+#:    "labels": {str: str}, "value": number}
+Collector = Callable[[], Iterable[dict]]
+
+
+class MetricsRegistry:
+    """Name -> :class:`Metric`, plus snapshot-time collectors."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._metrics: dict[str, Metric] = {}
+        self._collectors: list = []   # weakref.WeakMethod | Collector
+
+    # -- declaration ----------------------------------------------------------
+
+    def _declare(self, name: str, mtype: str, help: str,
+                 labels: tuple[str, ...],
+                 buckets: tuple[float, ...] | None = None) -> Metric:
+        with self._lock:
+            metric = self._metrics.get(name)
+            if metric is not None:
+                if metric.type != mtype or \
+                        metric.label_names != tuple(labels):
+                    raise ValueError(
+                        f"metric {name!r} already declared as "
+                        f"{metric.type}{list(metric.label_names)}")
+                return metric
+            metric = Metric(name, mtype, help, tuple(labels),
+                            buckets=buckets)
+            self._metrics[name] = metric
+            return metric
+
+    def counter(self, name: str, help: str = "",
+                labels: tuple[str, ...] = ()) -> Metric:
+        return self._declare(name, "counter", help, labels)
+
+    def gauge(self, name: str, help: str = "",
+              labels: tuple[str, ...] = ()) -> Metric:
+        return self._declare(name, "gauge", help, labels)
+
+    def histogram(self, name: str, help: str = "",
+                  labels: tuple[str, ...] = (),
+                  buckets: tuple[float, ...] | None = None) -> Metric:
+        return self._declare(name, "histogram", help, labels,
+                             buckets=buckets)
+
+    def get(self, name: str) -> Metric | None:
+        with self._lock:
+            return self._metrics.get(name)
+
+    # -- collectors -----------------------------------------------------------
+
+    def register_collector(self, fn: Collector) -> None:
+        """Sample *fn* at every snapshot.
+
+        A bound method is held via :class:`weakref.WeakMethod`, so
+        registering an object's collector does not keep it alive;
+        plain callables are held strongly.
+        """
+        with self._lock:
+            if hasattr(fn, "__self__"):
+                self._collectors.append(weakref.WeakMethod(fn))
+            else:
+                self._collectors.append(fn)
+
+    def _collect(self) -> list[dict]:
+        with self._lock:
+            entries = list(self._collectors)
+        samples: list[dict] = []
+        dead = []
+        for entry in entries:
+            fn = entry() if isinstance(entry, weakref.WeakMethod) \
+                else entry
+            if fn is None:
+                dead.append(entry)
+                continue
+            samples.extend(fn())
+        if dead:
+            with self._lock:
+                for entry in dead:
+                    try:
+                        self._collectors.remove(entry)
+                    except ValueError:
+                        pass
+        return samples
+
+    # -- snapshot -------------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """Everything, as plain JSON-safe dicts.
+
+        Shape: ``{name: {"type", "help", "label_names", "series"}}``
+        where each series entry carries ``labels`` plus either
+        ``value`` (counter/gauge) or ``bounds/counts/sum/count``
+        (histogram).  Collector samples with the same (name, labels)
+        are summed — N live instances of an instrumented object read
+        as one process-wide total.
+        """
+        with self._lock:
+            metrics = list(self._metrics.items())
+        out: dict[str, dict] = {}
+        for name, metric in sorted(metrics):
+            out[name] = {"type": metric.type, "help": metric.help,
+                         "label_names": list(metric.label_names),
+                         "series": metric._snapshot_series()}
+        for sample in self._collect():
+            name = sample["name"]
+            entry = out.get(name)
+            if entry is None:
+                entry = out[name] = {
+                    "type": sample.get("type", "gauge"),
+                    "help": sample.get("help", ""),
+                    "label_names": sorted(sample.get("labels", {})),
+                    "series": []}
+            labels = dict(sample.get("labels", {}))
+            for series in entry["series"]:
+                if series["labels"] == labels:
+                    series["value"] += sample["value"]
+                    break
+            else:
+                entry["series"].append({"labels": labels,
+                                        "value": sample["value"]})
+        return out
+
+    def reset(self) -> None:
+        """Zero every series (tests); declarations and handed-out
+        children stay valid."""
+        with self._lock:
+            metrics = list(self._metrics.values())
+        for metric in metrics:
+            metric._reset()
+
+
+#: the process-wide registry every instrumented subsystem reports to
+REGISTRY = MetricsRegistry()
+
+
+def get_registry() -> MetricsRegistry:
+    return REGISTRY

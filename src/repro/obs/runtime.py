@@ -1,0 +1,32 @@
+"""Mutable telemetry switches, read inline by the hot paths.
+
+This module is deliberately nothing but module-level words: hot call
+sites do ``from repro.obs import runtime as _obs`` once and then test
+``_obs.enabled`` — a module attribute read and a branch, tens of
+nanoseconds — instead of calling into the registry.  That is what
+keeps the no-op mode within the benchmark gate's 1% bound
+(``benchmarks/check_obs_gate.py``).
+
+* ``enabled`` — master switch.  Off: no spans, no histograms, no
+  mirrored counters; the legacy per-instance stats objects keep exact
+  counts either way.
+* ``sample_mask`` — marshal/unmarshal latency is *sampled*: one in
+  every ``sample_mask + 1`` codec operations is timed (the mask must
+  be ``2**k - 1``).  0 times every operation (exact sums, used by the
+  live-RDM test); the default 15 keeps steady-state timing cost to a
+  fraction of a lock round-trip per record.
+* ``tick`` — the shared sampling wheel.  Racy increments across
+  threads only skew *which* operations get sampled, never a counter.
+
+Use :func:`repro.obs.configure` / :func:`repro.obs.set_enabled`
+rather than poking these directly.
+"""
+
+from __future__ import annotations
+
+enabled: bool = True
+sample_mask: int = 15
+tick: int = 0
+
+#: ring-buffer capacity for span traces; 0 disables tracing
+trace_capacity: int = 0

@@ -23,11 +23,13 @@ Typical receiver::
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 
 from repro.errors import (
     DecodeError, FormatRegistrationError, UnknownFormatError,
 )
+from repro.obs.spans import observe_phase, sample_t0, span
 from repro.pbio.convert import ConversionPlan, plan_conversion
 from repro.pbio.decode import RecordDecoder, decoder_for_format
 from repro.pbio.encode import (
@@ -41,25 +43,106 @@ from repro.pbio.layout import compute_layout
 from repro.pbio.machine import Architecture, NATIVE
 
 
-@dataclass
 class ContextStats:
     """Counters an endpoint accumulates over its lifetime —
-    the observability hook operators expect of a BCM endpoint."""
+    the observability hook operators expect of a BCM endpoint.
 
-    records_encoded: int = 0
-    bytes_encoded: int = 0
-    records_decoded: int = 0
-    bytes_decoded: int = 0
-    conversions_planned: int = 0
+    All mutation goes through the ``count_*`` methods, which take one
+    class-wide lock per operation and bump the per-context value
+    *and* the process-wide totals together — exact under concurrent
+    encoders, and centrally snapshottable: the totals surface in the
+    :mod:`repro.obs` registry as
+    ``repro_codec_events_total{event=...}`` via a snapshot-time
+    collector, so the steady-state encode path pays nothing beyond
+    the single lock round-trip it always paid.
+
+    Attribute reads (``stats.records_encoded``) and :meth:`as_dict`
+    behave exactly as the old dataclass did.
+    """
+
+    _FIELDS = ("records_encoded", "bytes_encoded", "records_decoded",
+               "bytes_decoded", "conversions_planned")
+    _LOCK = threading.Lock()
+    _TOTALS = {name: 0 for name in _FIELDS}
+
+    __slots__ = ("_records_encoded", "_bytes_encoded",
+                 "_records_decoded", "_bytes_decoded",
+                 "_conversions_planned")
+
+    def __init__(self, records_encoded: int = 0,
+                 bytes_encoded: int = 0, records_decoded: int = 0,
+                 bytes_decoded: int = 0,
+                 conversions_planned: int = 0) -> None:
+        self._records_encoded = records_encoded
+        self._bytes_encoded = bytes_encoded
+        self._records_decoded = records_decoded
+        self._bytes_decoded = bytes_decoded
+        self._conversions_planned = conversions_planned
+
+    # -- hot-path mutation (one lock round-trip each) -----------------------
+
+    def count_encoded(self, records: int, nbytes: int) -> None:
+        totals = ContextStats._TOTALS
+        with ContextStats._LOCK:
+            self._records_encoded += records
+            self._bytes_encoded += nbytes
+            totals["records_encoded"] += records
+            totals["bytes_encoded"] += nbytes
+
+    def count_decoded(self, records: int, nbytes: int) -> None:
+        totals = ContextStats._TOTALS
+        with ContextStats._LOCK:
+            self._records_decoded += records
+            self._bytes_decoded += nbytes
+            totals["records_decoded"] += records
+            totals["bytes_decoded"] += nbytes
+
+    def count_conversion(self) -> None:
+        with ContextStats._LOCK:
+            self._conversions_planned += 1
+            ContextStats._TOTALS["conversions_planned"] += 1
+
+    # -- reads --------------------------------------------------------------
+
+    @classmethod
+    def totals_snapshot(cls) -> dict[str, int]:
+        """Process-wide codec totals (all contexts, living or dead)."""
+        with cls._LOCK:
+            return dict(cls._TOTALS)
 
     def as_dict(self) -> dict:
-        return {
-            "records_encoded": self.records_encoded,
-            "bytes_encoded": self.bytes_encoded,
-            "records_decoded": self.records_decoded,
-            "bytes_decoded": self.bytes_decoded,
-            "conversions_planned": self.conversions_planned,
-        }
+        return {name: getattr(self, "_" + name)
+                for name in self._FIELDS}
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{k}={v}" for k, v in
+                          self.as_dict().items())
+        return f"ContextStats({inner})"
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, ContextStats):
+            return self.as_dict() == other.as_dict()
+        return NotImplemented
+
+
+def _stats_property(name: str):
+    attr = "_" + name
+
+    def get(self) -> int:
+        return getattr(self, attr)
+
+    def set(self, value: int) -> None:
+        # compat path for direct assignment: adjust the process
+        # totals by the delta so the central snapshot stays truthful
+        with ContextStats._LOCK:
+            ContextStats._TOTALS[name] += value - getattr(self, attr)
+            setattr(self, attr, value)
+    return property(get, set)
+
+
+for _name in ContextStats._FIELDS:
+    setattr(ContextStats, _name, _stats_property(_name))
+del _name
 
 
 @dataclass(frozen=True)
@@ -120,9 +203,10 @@ class IOContext:
             raise FormatRegistrationError(
                 f"format {fmt.name!r} already registered with different "
                 "metadata; unregister or use a new name")
-        self.format_server.register(fmt)
-        self._formats[fmt.name] = fmt
-        self._wire_formats[fmt.format_id] = fmt
+        with span("register", format=fmt.name):
+            self.format_server.register(fmt)
+            self._formats[fmt.name] = fmt
+            self._wire_formats[fmt.format_id] = fmt
 
     def unregister(self, name: str) -> None:
         """Forget the local binding of *name* (so a changed format can
@@ -165,9 +249,11 @@ class IOContext:
         """Encode *record*; returns header + body wire bytes."""
         fmt = (format_name if isinstance(format_name, IOFormat)
                else self.lookup_format(format_name))
+        t0 = sample_t0()
         wire = self.encoder_for(fmt).encode_wire(record)
-        self.stats.records_encoded += 1
-        self.stats.bytes_encoded += len(wire)
+        if t0:
+            observe_phase("marshal", t0)
+        self.stats.count_encoded(1, len(wire))
         return wire
 
     def encode_many(self, format_name: str | IOFormat,
@@ -179,9 +265,11 @@ class IOContext:
         fmt = (format_name if isinstance(format_name, IOFormat)
                else self.lookup_format(format_name))
         records = list(records)
+        t0 = sample_t0()
         wire = self.encoder_for(fmt).encode_batch(records)
-        self.stats.records_encoded += len(records)
-        self.stats.bytes_encoded += len(wire)
+        if t0:
+            observe_phase("marshal", t0)
+        self.stats.count_encoded(len(records), len(wire))
         return wire
 
     # -- decoding ---------------------------------------------------------------
@@ -210,9 +298,11 @@ class IOContext:
                 "data is a record batch; use decode_many()")
         fid, body = self._split(data)
         fmt = self._resolve_wire_format(fid)
+        t0 = sample_t0()
         record = self.decoder_for(fmt, arrays=arrays).decode(body)
-        self.stats.records_decoded += 1
-        self.stats.bytes_decoded += len(data)
+        if t0:
+            observe_phase("unmarshal", t0)
+        self.stats.count_decoded(1, len(data))
         return DecodedRecord(format_name=fmt.name, format_id=fid,
                              record=record)
 
@@ -235,9 +325,11 @@ class IOContext:
         fid, _big, bodies = parse_batch(data)
         fmt = self._resolve_wire_format(fid)
         decode = self.decoder_for(fmt, arrays=arrays).decode
+        t0 = sample_t0()
         records = [decode(body) for body in bodies]
-        self.stats.records_decoded += len(records)
-        self.stats.bytes_decoded += len(data)
+        if t0:
+            observe_phase("unmarshal", t0)
+        self.stats.count_decoded(len(records), len(data))
         return fmt.name, fid, records
 
     def decode_as(self, data: bytes, native_name: str, *,
@@ -248,15 +340,18 @@ class IOContext:
         native = self.lookup_format(native_name)
         fid, body = self._split(data)
         wire = self._resolve_wire_format(fid)
+        t0 = sample_t0()
         record = self.decoder_for(wire, arrays=arrays).decode(body)
+        if t0:
+            observe_phase("unmarshal", t0)
         key = (fid, native_name)
         plan = self._conversions.get(key)
         if plan is None:
-            plan = plan_conversion(wire, native)
+            with span("bind", view=native_name):
+                plan = plan_conversion(wire, native)
             self._conversions[key] = plan
-            self.stats.conversions_planned += 1
-        self.stats.records_decoded += 1
-        self.stats.bytes_decoded += len(data)
+            self.stats.count_conversion()
+        self.stats.count_decoded(1, len(data))
         return plan.apply(record)
 
     def _split(self, data: bytes) -> tuple[FormatID, memoryview]:

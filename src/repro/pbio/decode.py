@@ -411,11 +411,22 @@ def decoder_for_format(fmt: IOFormat, *, arrays: str = "list",
                        fuse: bool = True) -> RecordDecoder:
     """The process-wide compiled decoder for *fmt* (keyed by the
     format's digest-derived ID plus the array representation)."""
+    from repro.obs import runtime as _obs
     key = (fmt.format_id, arrays, fuse)
     decoder = _DECODER_CACHE.get(key)
     if decoder is not None:
+        if _obs.enabled:
+            from repro.obs.metrics import CODEC_PLANS
+            CODEC_PLANS.labels("decoder", "hit").inc()
         return decoder
-    decoder = RecordDecoder(fmt, arrays=arrays, fuse=fuse)
+    if _obs.enabled:
+        from repro.obs.metrics import CODEC_PLANS
+        from repro.obs.spans import span
+        CODEC_PLANS.labels("decoder", "miss").inc()
+        with span("compile_plan", kind="decoder", format=fmt.name):
+            decoder = RecordDecoder(fmt, arrays=arrays, fuse=fuse)
+    else:
+        decoder = RecordDecoder(fmt, arrays=arrays, fuse=fuse)
     with _DECODER_LOCK:
         cached = _DECODER_CACHE.get(key)
         if cached is not None:

@@ -824,11 +824,22 @@ def encoder_for_format(fmt: IOFormat, *, fuse: bool = True) \
     every context, wire codec and one-shot helper reuses a single
     compiled plan per format.
     """
+    from repro.obs import runtime as _obs
     key = (fmt.format_id, fuse)
     encoder = _ENCODER_CACHE.get(key)
     if encoder is not None:
+        if _obs.enabled:
+            from repro.obs.metrics import CODEC_PLANS
+            CODEC_PLANS.labels("encoder", "hit").inc()
         return encoder
-    encoder = RecordEncoder(fmt, fuse=fuse)
+    if _obs.enabled:
+        from repro.obs.metrics import CODEC_PLANS
+        from repro.obs.spans import span
+        CODEC_PLANS.labels("encoder", "miss").inc()
+        with span("compile_plan", kind="encoder", format=fmt.name):
+            encoder = RecordEncoder(fmt, fuse=fuse)
+    else:
+        encoder = RecordEncoder(fmt, fuse=fuse)
     with _ENCODER_LOCK:
         cached = _ENCODER_CACHE.get(key)
         if cached is not None:

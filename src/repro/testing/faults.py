@@ -29,6 +29,8 @@ import time
 from repro.errors import DiscoveryError, HTTPError
 from repro.http.server import DocumentStore, MetadataHTTPServer
 from repro.http.urls import ParsedURL, register_resolver
+from repro.obs import runtime as _obs
+from repro.obs.metrics import FAULTS_INJECTED
 
 #: fault kinds understood by both harnesses
 FAIL = "fail"            # connection-level failure (DiscoveryError/drop)
@@ -71,7 +73,9 @@ class FaultScript:
             else:
                 fault = self._queue.pop(0)
             self.history.append(fault)
-            return fault
+        if fault != OK and _obs.enabled:
+            FAULTS_INJECTED.labels(kind=fault).inc()
+        return fault
 
     def extend(self, faults, *, repeat_last: bool | None = None) -> None:
         with self._lock:

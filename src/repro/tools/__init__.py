@@ -5,7 +5,11 @@
   debugging aid a production BCM ships with);
 * :mod:`repro.tools.xmitgen`  -- command-line metadata generator: the
   XMIT analog of an IDL compiler, rendering XSD documents to any
-  source target (``python -m repro.tools.xmitgen``).
+  source target (``python -m repro.tools.xmitgen``);
+* :mod:`repro.tools.obsdump`  -- telemetry dumper: render the
+  :mod:`repro.obs` registry as Prometheus text or JSON, from this
+  process, a live ``/metrics.json`` endpoint, or a fresh hydrology
+  pipeline run (``python -m repro.tools.obsdump --pipeline``).
 """
 
 from repro.tools.inspect import describe_format, dump_record

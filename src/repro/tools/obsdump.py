@@ -1,0 +1,91 @@
+"""obsdump — dump the telemetry registry, live or in-process.
+
+Three sources, one output (Prometheus text by default, ``--json`` for
+the JSON snapshot):
+
+* no flags — the current process's registry.  Mostly useful with
+  ``--pipeline``, which runs the hydrology broadcast pipeline first so
+  there is something to show;
+* ``--url http://host:port`` — scrape a running
+  :class:`~repro.http.server.MetadataHTTPServer`'s ``/metrics.json``
+  and re-render locally;
+* ``--pipeline`` — run ``run_publisher_pipeline`` (size it with
+  ``--subscribers/--timesteps/--grid``), then dump what the run left
+  in the registry, including the live RDM reading
+  (:func:`repro.obs.spans.rdm_from_snapshot`).
+
+Usage::
+
+    python -m repro.tools.obsdump --pipeline
+    python -m repro.tools.obsdump --url http://127.0.0.1:8000 --json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import urllib.request
+
+from repro import obs
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="obsdump",
+        description="Dump the repro telemetry registry.")
+    output = parser.add_mutually_exclusive_group()
+    output.add_argument("--prom", action="store_true",
+                        help="Prometheus text exposition (default)")
+    output.add_argument("--json", action="store_true",
+                        help="JSON snapshot instead of Prometheus "
+                             "text")
+    parser.add_argument("--url", default=None,
+                        help="scrape a running metadata server's "
+                             "/metrics.json instead of this process")
+    parser.add_argument("--pipeline", action="store_true",
+                        help="run the hydrology broadcast pipeline "
+                             "first, then dump")
+    parser.add_argument("--subscribers", type=int, default=4,
+                        help="pipeline subscribers (default 4)")
+    parser.add_argument("--timesteps", type=int, default=8,
+                        help="pipeline timesteps (default 8)")
+    parser.add_argument("--grid", type=int, default=32,
+                        help="pipeline grid edge (default 32)")
+    parser.add_argument("--rdm", action="store_true",
+                        help="append the live RDM reading as a "
+                             "comment block")
+    return parser
+
+
+def _fetch_snapshot(url: str) -> dict:
+    if not url.endswith("/metrics.json"):
+        url = url.rstrip("/") + "/metrics.json"
+    with urllib.request.urlopen(url, timeout=10) as response:
+        return obs.parse_json(response.read())
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.pipeline:
+        from repro.hydrology.pipeline import run_publisher_pipeline
+        obs.configure(sample_mask=0)  # time every codec op: exact RDM
+        run_publisher_pipeline(subscribers=args.subscribers,
+                               timesteps=args.timesteps,
+                               grid=args.grid)
+    if args.url:
+        snapshot = _fetch_snapshot(args.url)
+    else:
+        snapshot = obs.snapshot()
+    if args.json:
+        sys.stdout.write(obs.render_json(snapshot))
+    else:
+        sys.stdout.write(obs.render_prometheus(snapshot))
+    if args.rdm or args.pipeline:
+        reading = obs.rdm_from_snapshot(snapshot)
+        sys.stdout.write("# rdm " + json.dumps(reading) + "\n")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised as a CLI
+    raise SystemExit(main())

@@ -28,10 +28,12 @@ Counters are exposed like
 from __future__ import annotations
 
 import enum
+import json
 import threading
-from dataclasses import dataclass
 
 from repro.errors import SlowConsumerError
+from repro.obs import runtime as _obs
+from repro.obs.spans import observe_phase, sample_t0
 from repro.pbio.context import IOContext
 from repro.pbio.encode import parse_header
 from repro.pbio.format import IOFormat
@@ -71,23 +73,74 @@ class BackpressurePolicy(enum.Enum):
                 f"(expected one of: {names})") from None
 
 
-@dataclass
 class BroadcastStats:
-    """Publisher-lifetime counters (guarded by the publisher lock)."""
+    """Publisher-lifetime counters and high-water marks.
 
-    messages_broadcast: int = 0
-    frames_enqueued: int = 0
-    bytes_queued: int = 0
-    bytes_encoded: int = 0
-    formats_announced: int = 0
-    frames_dropped: int = 0
-    clients_evicted: int = 0
-    block_waits: int = 0
-    queue_high_water: int = 0
-    subscriber_high_water: int = 0
+    All mutation goes through :meth:`count` / :meth:`max_update`,
+    which take one class-wide lock and bump the per-publisher value
+    *and* the process-wide aggregate together — exact under concurrent
+    publishers, and centrally snapshottable: the aggregates surface in
+    the :mod:`repro.obs` registry as
+    ``repro_broadcast_events_total{event=...}`` (counters summed over
+    publishers) and ``repro_broadcast_*_high_water`` gauges (maxima
+    over publishers) via a snapshot-time collector.
+    """
+
+    _COUNTERS = ("messages_broadcast", "frames_enqueued",
+                 "bytes_queued", "bytes_encoded", "formats_announced",
+                 "frames_dropped", "clients_evicted", "block_waits")
+    _HIGH_WATER = ("queue_high_water", "subscriber_high_water")
+    _LOCK = threading.Lock()
+    _TOTALS = {name: 0 for name in _COUNTERS}
+    _MAXIMA = {name: 0 for name in _HIGH_WATER}
+
+    __slots__ = tuple("_" + name for name in _COUNTERS + _HIGH_WATER)
+
+    def __init__(self) -> None:
+        for name in self._COUNTERS + self._HIGH_WATER:
+            setattr(self, "_" + name, 0)
+
+    def count(self, name: str, n: int = 1) -> None:
+        attr = "_" + name
+        with BroadcastStats._LOCK:
+            setattr(self, attr, getattr(self, attr) + n)
+            BroadcastStats._TOTALS[name] += n
+
+    def max_update(self, name: str, value: int) -> None:
+        attr = "_" + name
+        with BroadcastStats._LOCK:
+            if value > getattr(self, attr):
+                setattr(self, attr, value)
+            if value > BroadcastStats._MAXIMA[name]:
+                BroadcastStats._MAXIMA[name] = value
+
+    def __getattr__(self, name: str) -> int:
+        if name in BroadcastStats._COUNTERS or \
+                name in BroadcastStats._HIGH_WATER:
+            return getattr(self, "_" + name)
+        raise AttributeError(name)
+
+    @classmethod
+    def totals_snapshot(cls) -> dict[str, int]:
+        """Process-wide counter totals (all publishers)."""
+        with cls._LOCK:
+            return dict(cls._TOTALS)
+
+    @classmethod
+    def high_water_snapshot(cls) -> dict[str, int]:
+        """Process-wide high-water maxima (all publishers)."""
+        with cls._LOCK:
+            return dict(cls._MAXIMA)
 
     def as_dict(self) -> dict:
-        return dict(vars(self))
+        with BroadcastStats._LOCK:
+            return {name: getattr(self, "_" + name)
+                    for name in self._COUNTERS + self._HIGH_WATER}
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{k}={v}" for k, v in
+                          self.as_dict().items())
+        return f"BroadcastStats({inner})"
 
 
 class BroadcastPublisher:
@@ -156,10 +209,12 @@ class BroadcastPublisher:
         encoder = self.context.encoder_for(fmt)
         # header and body framed in a single join — no intermediate
         # payload concatenation on the hot path
+        t0 = sample_t0()
         header, body = encoder.encode_wire_parts(record)
+        if t0:
+            observe_phase("marshal", t0)
         data = frame_bytes(FrameType.DATA, header, body)
-        self.context.stats.records_encoded += 1
-        self.context.stats.bytes_encoded += len(header) + len(body)
+        self.context.stats.count_encoded(1, len(header) + len(body))
         return self._fan_out(fmt, data, records=1)
 
     def publish_many(self, format_name: str | IOFormat,
@@ -195,8 +250,7 @@ class BroadcastPublisher:
         return self.server.client_count
 
     def stats_dict(self) -> dict:
-        with self._lock:
-            out = self.stats.as_dict()
+        out = self.stats.as_dict()
         out["subscribers"] = self.subscriber_count
         return out
 
@@ -209,6 +263,7 @@ class BroadcastPublisher:
 
     def _fan_out(self, fmt: IOFormat, data: bytes,
                  records: int) -> int:
+        t0 = sample_t0()
         clients = self.server.clients()
         reached = 0
         for client in clients:
@@ -216,15 +271,16 @@ class BroadcastPublisher:
                 self._announce(client, fmt)
             if self._offer(client, data):
                 reached += 1
-        with self._lock:
-            self.stats.messages_broadcast += records
-            # one encode regardless of subscriber count — the whole
-            # point; frame overhead (5 bytes) excluded
-            self.stats.bytes_encoded += len(data) - 5
-            self.stats.frames_enqueued += reached
-            self.stats.bytes_queued += reached * len(data)
-            if len(clients) > self.stats.subscriber_high_water:
-                self.stats.subscriber_high_water = len(clients)
+        if t0:
+            observe_phase("transport", t0)
+        stats = self.stats
+        stats.count("messages_broadcast", records)
+        # one encode regardless of subscriber count — the whole
+        # point; frame overhead (5 bytes) excluded
+        stats.count("bytes_encoded", len(data) - 5)
+        stats.count("frames_enqueued", reached)
+        stats.count("bytes_queued", reached * len(data))
+        stats.max_update("subscriber_high_water", len(clients))
         return reached
 
     def _announce(self, client: ClientHandle, fmt: IOFormat) -> None:
@@ -236,8 +292,7 @@ class BroadcastPublisher:
                             fmt.format_id.to_bytes(), metadata)
         if self.server.enqueue(client, frame, droppable=False):
             client.announced.add(fmt.format_id)
-            with self._lock:
-                self.stats.formats_announced += 1
+            self.stats.count("formats_announced")
 
     def _offer(self, client: ClientHandle, data: bytes) -> bool:
         """Enqueue under the bounded-queue policy.
@@ -253,8 +308,7 @@ class BroadcastPublisher:
         if over > 0:
             if self.policy is BackpressurePolicy.DROP_OLDEST:
                 freed, dropped = self.server.drop_oldest(client, over)
-                with self._lock:
-                    self.stats.frames_dropped += dropped
+                self.stats.count("frames_dropped", dropped)
                 if not freed:
                     # nothing droppable (all control frames / one giant
                     # in-flight frame): the client cannot make progress
@@ -262,8 +316,7 @@ class BroadcastPublisher:
             elif self.policy is BackpressurePolicy.DISCONNECT_SLOW:
                 return self._evict(client)
             else:  # BLOCK
-                with self._lock:
-                    self.stats.block_waits += 1
+                self.stats.count("block_waits")
                 limit = max(self.max_queue_bytes - len(data), 0)
                 if not self.server.wait_queue_below(
                         client, limit, self.block_timeout):
@@ -272,9 +325,8 @@ class BroadcastPublisher:
                     return False
         queued = self.server.enqueue(client, data)
         if queued:
-            with self._lock:
-                if client.queued_bytes > self.stats.queue_high_water:
-                    self.stats.queue_high_water = client.queued_bytes
+            self.stats.max_update("queue_high_water",
+                                  client.queued_bytes)
         return queued
 
     def _evict(self, client: ClientHandle) -> bool:
@@ -283,8 +335,7 @@ class BroadcastPublisher:
             SlowConsumerError(
                 f"subscriber {client.addr} exceeded "
                 f"{self.max_queue_bytes}-byte write queue"))
-        with self._lock:
-            self.stats.clients_evicted += 1
+        self.stats.count("clients_evicted")
         return False
 
     # -- event-loop handler callbacks (loop thread) -------------------------
@@ -299,6 +350,18 @@ class BroadcastPublisher:
             return
         if frame.type == FrameType.BYE:
             self.server.request_close(client, None, graceful=True)
+            return
+        if frame.type == FrameType.STATS_REQ:
+            # live telemetry over the data channel: the process-wide
+            # obs snapshot plus this publisher's own counters
+            from repro.obs import snapshot
+            payload = json.dumps(
+                {"metrics": snapshot(),
+                 "publisher": self.stats_dict()},
+                sort_keys=True).encode("utf-8")
+            self.server.enqueue(
+                client, frame_bytes(FrameType.STATS_RSP, payload),
+                droppable=False)
             return
         # metadata protocol served from the same loop
         reply = self.context.format_server.handle_frame(

@@ -34,6 +34,9 @@ from typing import Iterator
 from repro.errors import (
     FrameTooLargeError, ProtocolError, TransportError,
 )
+from repro.obs import runtime as _obs
+from repro.obs.metrics import SENDMSG_BATCH
+from repro.obs.registry import REGISTRY
 from repro.transport.messages import MAX_FRAME, Frame, decode_frame
 
 _LEN = struct.Struct(">I")
@@ -186,6 +189,15 @@ class EventLoopServer:
         self._torn_down = False
         self.clients_accepted = 0
         self.clients_closed = 0
+        #: per-client counters carried over when a client closes, so
+        #: totals() and the obs collector never lose history
+        self._closed_totals = {"frames_enqueued": 0, "frames_sent": 0,
+                               "frames_received": 0,
+                               "frames_dropped": 0, "sent_bytes": 0}
+        self._closed_queue_high_water = 0
+        # sampled at snapshot time only; held weakly, so a dropped
+        # server unregisters itself
+        REGISTRY.register_collector(self._obs_collect)
 
     # -- lifecycle ----------------------------------------------------------
 
@@ -226,6 +238,58 @@ class EventLoopServer:
     def client_count(self) -> int:
         with self._lock:
             return len(self._clients)
+
+    def totals(self) -> dict:
+        """Lifetime transport totals: live clients plus everything
+        closed clients accumulated before they went away."""
+        with self._lock:
+            totals = dict(self._closed_totals)
+            queued = high = 0
+            for c in self._clients.values():
+                for name in self._closed_totals:
+                    totals[name] += getattr(c, name)
+                queued += c.queued_bytes
+                if c.queue_high_water > high:
+                    high = c.queue_high_water
+            totals["clients"] = len(self._clients)
+            totals["queued_bytes"] = queued
+            totals["queue_high_water"] = max(
+                high, self._closed_queue_high_water)
+            totals["clients_accepted"] = self.clients_accepted
+            totals["clients_closed"] = self.clients_closed
+        return totals
+
+    def _obs_collect(self) -> list[dict]:
+        """Snapshot-time samples for the process-wide registry (the
+        merge sums same-named samples over live servers)."""
+        t = self.totals()
+        gauges = (("repro_transport_clients", t["clients"]),
+                  ("repro_transport_queued_bytes", t["queued_bytes"]),
+                  ("repro_transport_queue_high_water_bytes",
+                   t["queue_high_water"]))
+        samples = [{"name": name, "type": "gauge", "help": "",
+                    "labels": {}, "value": value}
+                   for name, value in gauges]
+        frames = (("in", t["frames_received"]),
+                  ("out", t["frames_sent"]))
+        samples.extend(
+            {"name": "repro_transport_frames_total", "type": "counter",
+             "help": "Frames through event-loop servers",
+             "labels": {"direction": direction}, "value": value}
+            for direction, value in frames)
+        samples.append(
+            {"name": "repro_transport_bytes_out_total",
+             "type": "counter",
+             "help": "Bytes written to event-loop clients",
+             "labels": {}, "value": t["sent_bytes"]})
+        events = ("clients_accepted", "clients_closed",
+                  "frames_enqueued", "frames_dropped")
+        samples.extend(
+            {"name": "repro_transport_events_total", "type": "counter",
+             "help": "Event-loop server lifecycle totals",
+             "labels": {"event": event}, "value": t[event]}
+            for event in events)
+        return samples
 
     def enqueue(self, client: ClientHandle, data: bytes, *,
                 droppable: bool = True) -> bool:
@@ -482,6 +546,8 @@ class EventLoopServer:
             self._close_client(client,
                                TransportError(f"send failed: {exc}"))
             return
+        if _obs.enabled:
+            SENDMSG_BATCH.observe(len(window))
         with self._changed:
             client.in_flight = 0
             client.sent_bytes += sent
@@ -532,6 +598,11 @@ class EventLoopServer:
             client.in_flight = 0
             self._clients.pop(client.id, None)
             self.clients_closed += 1
+            totals = self._closed_totals
+            for name in totals:
+                totals[name] += getattr(client, name)
+            if client.queue_high_water > self._closed_queue_high_water:
+                self._closed_queue_high_water = client.queue_high_water
             self._changed.notify_all()
         self._poller.unregister(client.sock)
         try:

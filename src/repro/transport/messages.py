@@ -11,6 +11,8 @@ HELLO       connection greeting (payload = architecture name)
 BYE         orderly shutdown
 DATA_BATCH  a PBIO record batch: one header shared by N bodies
             (:func:`repro.pbio.encode.build_batch`)
+STATS_REQ   ask the peer for its telemetry snapshot (empty payload)
+STATS_RSP   payload = UTF-8 JSON telemetry snapshot
 ==========  =====================================================
 """
 
@@ -37,6 +39,9 @@ class FrameType(enum.IntEnum):
     FMT_ACK = 7   # payload = 8-byte assigned format ID
     FMT_ERR = 8   # payload = UTF-8 error message
     DATA_BATCH = 9  # payload = shared-header record batch
+    # live telemetry (repro.obs): snapshot over the data channel
+    STATS_REQ = 10  # empty payload: request a telemetry snapshot
+    STATS_RSP = 11  # payload = UTF-8 JSON snapshot + publisher stats
 
 
 @dataclass(frozen=True)

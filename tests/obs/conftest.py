@@ -1,0 +1,17 @@
+"""Telemetry tests share process-global state; restore it per test."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import runtime
+
+
+@pytest.fixture(autouse=True)
+def _restore_runtime():
+    """Every obs test gets the default switches back afterwards."""
+    saved = (runtime.enabled, runtime.sample_mask,
+             runtime.trace_capacity)
+    yield
+    runtime.enabled, runtime.sample_mask, runtime.trace_capacity = \
+        saved

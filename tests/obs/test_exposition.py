@@ -1,0 +1,102 @@
+"""Exposition renderers: golden Prometheus text, JSON round-trip."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro import obs
+from repro.obs.exposition import (
+    PROMETHEUS_CONTENT_TYPE, parse_json, render_json,
+    render_prometheus,
+)
+from repro.obs.registry import MetricsRegistry
+
+GOLDEN = Path(__file__).parent / "golden" / "metrics.prom"
+
+
+def build_reference_registry() -> MetricsRegistry:
+    """A deterministic registry covering all three metric types,
+    label escaping, and the histogram bucket explosion."""
+    reg = MetricsRegistry()
+    requests = reg.counter("demo_requests_total",
+                           "Requests served", labels=("path", "code"))
+    requests.labels(path="/metrics", code="200").inc(3)
+    requests.labels(path='/we"ird\\path\n', code="404").inc()
+    queue = reg.gauge("demo_queue_depth", "Queued items")
+    queue.set(7)
+    latency = reg.histogram("demo_latency_seconds",
+                            "Request latency",
+                            buckets=(0.001, 0.01, 0.1))
+    for value in (0.0005, 0.002, 0.05, 2.0):
+        latency.observe(value)
+    return reg
+
+
+class TestPrometheus:
+    def test_golden_file(self):
+        text = render_prometheus(build_reference_registry().snapshot())
+        assert text == GOLDEN.read_text()
+
+    def test_help_and_type_preambles(self):
+        text = render_prometheus(build_reference_registry().snapshot())
+        assert "# HELP demo_requests_total Requests served" in text
+        assert "# TYPE demo_requests_total counter" in text
+        assert "# TYPE demo_queue_depth gauge" in text
+        assert "# TYPE demo_latency_seconds histogram" in text
+
+    def test_label_escaping(self):
+        text = render_prometheus(build_reference_registry().snapshot())
+        assert r'path="/we\"ird\\path\n"' in text
+
+    def test_histogram_triple(self):
+        text = render_prometheus(build_reference_registry().snapshot())
+        lines = [ln for ln in text.splitlines()
+                 if ln.startswith("demo_latency_seconds")]
+        assert lines == [
+            'demo_latency_seconds_bucket{le="0.001"} 1',
+            'demo_latency_seconds_bucket{le="0.01"} 2',
+            'demo_latency_seconds_bucket{le="0.1"} 3',
+            'demo_latency_seconds_bucket{le="+Inf"} 4',
+            "demo_latency_seconds_sum 2.0525",
+            "demo_latency_seconds_count 4",
+        ]
+
+    def test_buckets_are_cumulative(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("h_seconds", buckets=(1.0, 2.0))
+        h.observe(0.5)
+        h.observe(1.5)
+        h.observe(99.0)
+        text = render_prometheus(reg.snapshot())
+        assert 'h_seconds_bucket{le="1"} 1' in text
+        assert 'h_seconds_bucket{le="2"} 2' in text
+        assert 'h_seconds_bucket{le="+Inf"} 3' in text
+
+    def test_content_type_is_prometheus_004(self):
+        assert "version=0.0.4" in PROMETHEUS_CONTENT_TYPE
+
+
+class TestJSON:
+    def test_round_trip_identity(self):
+        snapshot = build_reference_registry().snapshot()
+        assert parse_json(render_json(snapshot)) == snapshot
+
+    def test_global_registry_snapshot_round_trips(self):
+        snapshot = obs.snapshot()
+        assert parse_json(render_json(snapshot)) == snapshot
+
+    def test_parse_rejects_non_object(self):
+        with pytest.raises(ValueError, match="must be an object"):
+            parse_json("[1, 2]")
+
+    def test_parse_rejects_missing_series(self):
+        with pytest.raises(ValueError, match="missing series"):
+            parse_json('{"m": {"type": "counter"}}')
+
+    def test_parse_rejects_malformed_histogram(self):
+        bad = ('{"m": {"type": "histogram", "series": '
+               '[{"labels": {}, "bounds": [], "counts": []}]}}')
+        with pytest.raises(ValueError, match="missing 'sum'"):
+            parse_json(bad)

@@ -1,0 +1,53 @@
+"""The fault harness feeds the registry: injected faults are counted
+by kind, so retry/fallback metrics can be asserted exactly."""
+
+from __future__ import annotations
+
+from repro import obs
+from repro.core.toolkit import XMIT
+from repro.obs.metrics import FAULTS_INJECTED
+from repro.testing.faults import FAIL, HTTP_500, FaultInjectingResolver
+
+XSD = """
+<xsd:schema xmlns:xsd="http://www.w3.org/2001/XMLSchema">
+  <xsd:complexType name="SimpleData">
+    <xsd:element name="timestep" type="xsd:integer" />
+  </xsd:complexType>
+</xsd:schema>
+"""
+
+
+class TestFaultCounters:
+    def test_injected_faults_counted_by_kind(self):
+        resolver = FaultInjectingResolver("obsfaults").install()
+        url = resolver.publish("doc.xsd", XSD,
+                               faults=[FAIL, HTTP_500])
+        fails = FAULTS_INJECTED.labels(kind=FAIL)
+        errors = FAULTS_INJECTED.labels(kind=HTTP_500)
+        fail_before, error_before = fails.value, errors.value
+
+        xmit = XMIT()
+        assert xmit.load_url(url) == ("SimpleData",)
+
+        # exactly the scripted faults, nothing more: the healthy
+        # third attempt (and every later OK serve) does not count
+        assert fails.value == fail_before + 1
+        assert errors.value == error_before + 1
+        assert xmit.discovery_stats.retries == 2
+
+    def test_healthy_serves_do_not_count(self):
+        resolver = FaultInjectingResolver("obsclean").install()
+        url = resolver.publish("doc.xsd", XSD)
+        fails = FAULTS_INJECTED.labels(kind=FAIL)
+        before = fails.value
+        assert XMIT().load_url(url) == ("SimpleData",)
+        assert fails.value == before
+
+    def test_disabled_telemetry_skips_the_mirror(self):
+        resolver = FaultInjectingResolver("obsoff").install()
+        url = resolver.publish("doc.xsd", XSD, faults=[FAIL])
+        fails = FAULTS_INJECTED.labels(kind=FAIL)
+        before = fails.value
+        with obs.disabled():
+            assert XMIT().load_url(url) == ("SimpleData",)
+        assert fails.value == before

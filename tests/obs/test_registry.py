@@ -1,0 +1,232 @@
+"""Registry primitives and the thread-safety of every stats class.
+
+The hammer tests are the satellite fix for the bare-``+=`` drift:
+``BroadcastStats`` and ``ContextStats`` used to mutate counters with
+unlocked read-modify-write, which silently drops updates under
+concurrent writers.  Every migrated class must now produce *exact*
+totals when hammered from many threads.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.http.retry import DiscoveryStats
+from repro.obs.registry import (
+    AtomicCounter, MetricsRegistry, log_buckets,
+)
+from repro.pbio.context import ContextStats
+from repro.transport.broadcast import BroadcastStats
+
+THREADS = 8
+PER_THREAD = 5_000
+
+
+def hammer(fn) -> None:
+    """Run *fn* from THREADS threads, PER_THREAD times each."""
+    def work():
+        for _ in range(PER_THREAD):
+            fn()
+    workers = [threading.Thread(target=work) for _ in range(THREADS)]
+    for t in workers:
+        t.start()
+    for t in workers:
+        t.join()
+
+
+class TestPrimitives:
+    def test_counter_inc_and_labels(self):
+        reg = MetricsRegistry()
+        c = reg.counter("t_total", "help", labels=("kind",))
+        c.labels(kind="a").inc()
+        c.labels("a").inc(2)
+        c.labels(kind="b").inc()
+        snap = reg.snapshot()["t_total"]
+        values = {s["labels"]["kind"]: s["value"]
+                  for s in snap["series"]}
+        assert values == {"a": 3, "b": 1}
+
+    def test_unlabeled_delegation(self):
+        reg = MetricsRegistry()
+        g = reg.gauge("t_gauge")
+        g.set(7)
+        g.inc()
+        g.dec(3)
+        assert g.value == 5
+        assert reg.snapshot()["t_gauge"]["series"] == [
+            {"labels": {}, "value": 5}]
+
+    def test_labeled_metric_rejects_bare_inc(self):
+        reg = MetricsRegistry()
+        c = reg.counter("t_total", labels=("kind",))
+        with pytest.raises(ValueError, match="use .labels"):
+            c.inc()
+
+    def test_label_arity_and_names_checked(self):
+        reg = MetricsRegistry()
+        c = reg.counter("t_total", labels=("a", "b"))
+        with pytest.raises(ValueError, match="expected 2"):
+            c.labels("x")
+        with pytest.raises(ValueError, match="missing label"):
+            c.labels(a="x")
+        with pytest.raises(ValueError, match="unknown labels"):
+            c.labels(a="x", b="y", c="z")
+
+    def test_redeclare_same_is_same_object(self):
+        reg = MetricsRegistry()
+        a = reg.counter("t_total", labels=("k",))
+        b = reg.counter("t_total", labels=("k",))
+        assert a is b
+
+    def test_redeclare_mismatch_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("t_total")
+        with pytest.raises(ValueError, match="already declared"):
+            reg.gauge("t_total")
+        with pytest.raises(ValueError, match="already declared"):
+            reg.counter("t_total", labels=("k",))
+
+    def test_histogram_buckets_and_observe(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("t_seconds", buckets=(0.001, 0.01, 0.1))
+        for value in (0.0005, 0.005, 0.005, 5.0):
+            h.observe(value)
+        series = reg.snapshot()["t_seconds"]["series"][0]
+        assert series["bounds"] == [0.001, 0.01, 0.1]
+        assert series["counts"] == [1, 2, 0, 1]  # last is +Inf
+        assert series["count"] == 4
+        assert series["sum"] == pytest.approx(5.0105)
+
+    def test_log_buckets(self):
+        buckets = log_buckets(1.0, 2.0, 4)
+        assert buckets == (1.0, 2.0, 4.0, 8.0)
+        with pytest.raises(ValueError):
+            log_buckets(0.0, 2.0, 4)
+
+    def test_gauge_high_water(self):
+        reg = MetricsRegistry()
+        g = reg.gauge("t_high")
+        g._require_default().max(10)
+        g._require_default().max(3)
+        assert g.value == 10
+
+    def test_reset_zeroes_but_keeps_children(self):
+        reg = MetricsRegistry()
+        c = reg.counter("t_total", labels=("k",))
+        child = c.labels(k="x")
+        child.inc(5)
+        reg.reset()
+        assert child.value == 0
+        child.inc()
+        assert c.labels(k="x").value == 1
+
+
+class TestCollectors:
+    def test_collector_samples_merge_by_summing(self):
+        reg = MetricsRegistry()
+        sample = {"name": "t_total", "type": "counter", "help": "",
+                  "labels": {"k": "x"}, "value": 2}
+        reg.register_collector(lambda: [dict(sample)])
+        reg.register_collector(lambda: [dict(sample)])
+        snap = reg.snapshot()
+        assert snap["t_total"]["series"] == [
+            {"labels": {"k": "x"}, "value": 4}]
+
+    def test_collector_sums_into_declared_metric(self):
+        reg = MetricsRegistry()
+        g = reg.gauge("t_gauge")
+        g.set(1)
+        reg.register_collector(lambda: [
+            {"name": "t_gauge", "type": "gauge", "help": "",
+             "labels": {}, "value": 2}])
+        assert reg.snapshot()["t_gauge"]["series"][0]["value"] == 3
+
+    def test_bound_method_collector_held_weakly(self):
+        class Source:
+            def collect(self):
+                return [{"name": "t_gauge", "type": "gauge",
+                         "help": "", "labels": {}, "value": 1}]
+
+        reg = MetricsRegistry()
+        source = Source()
+        reg.register_collector(source.collect)
+        assert reg.snapshot()["t_gauge"]["series"][0]["value"] == 1
+        del source
+        assert "t_gauge" not in reg.snapshot()
+        assert not reg._collectors  # pruned
+
+
+class TestAtomicCounter:
+    def test_exact_under_hammer(self):
+        counter = AtomicCounter()
+        hammer(counter.add)
+        assert counter.value == THREADS * PER_THREAD
+
+
+class TestStatsClassesExactUnderThreads:
+    """The satellite-2 regression tests: every migrated stats class
+    keeps exact totals when hammered concurrently."""
+
+    def test_discovery_stats(self):
+        stats = DiscoveryStats()
+        hammer(lambda: stats.count("fetch_attempts"))
+        assert stats.fetch_attempts == THREADS * PER_THREAD
+        assert stats.snapshot()["fetch_attempts"] == \
+            THREADS * PER_THREAD
+
+    def test_discovery_stats_mirrors_to_registry(self):
+        from repro.obs.metrics import DISCOVERY_EVENTS
+        series = DISCOVERY_EVENTS.labels(event="retries")
+        before = series.value
+        stats = DiscoveryStats()
+        hammer(lambda: stats.count("retries"))
+        assert series.value - before == THREADS * PER_THREAD
+
+    def test_context_stats(self):
+        stats = ContextStats()
+        before = ContextStats.totals_snapshot()
+        hammer(lambda: stats.count_encoded(1, 10))
+        hammer(lambda: stats.count_decoded(2, 20))
+        expected = THREADS * PER_THREAD
+        assert stats.records_encoded == expected
+        assert stats.bytes_encoded == expected * 10
+        assert stats.records_decoded == expected * 2
+        assert stats.bytes_decoded == expected * 20
+        after = ContextStats.totals_snapshot()
+        assert after["records_encoded"] - \
+            before["records_encoded"] == expected
+        assert after["bytes_decoded"] - \
+            before["bytes_decoded"] == expected * 20
+
+    def test_context_stats_assignment_compat(self):
+        """Direct attribute assignment (the old dataclass style) still
+        works and keeps the process totals truthful."""
+        stats = ContextStats()
+        before = ContextStats.totals_snapshot()["records_encoded"]
+        stats.records_encoded += 5
+        stats.records_encoded = 3
+        assert stats.records_encoded == 3
+        delta = ContextStats.totals_snapshot()["records_encoded"] \
+            - before
+        assert delta == 3
+
+    def test_broadcast_stats(self):
+        stats = BroadcastStats()
+        before = BroadcastStats.totals_snapshot()
+        hammer(lambda: stats.count("frames_enqueued"))
+        expected = THREADS * PER_THREAD
+        assert stats.frames_enqueued == expected
+        after = BroadcastStats.totals_snapshot()
+        assert after["frames_enqueued"] - \
+            before["frames_enqueued"] == expected
+
+    def test_broadcast_high_water_is_max(self):
+        stats = BroadcastStats()
+        stats.max_update("queue_high_water", 100)
+        stats.max_update("queue_high_water", 40)
+        assert stats.queue_high_water == 100
+        assert BroadcastStats.high_water_snapshot()[
+            "queue_high_water"] >= 100
+        assert stats.as_dict()["queue_high_water"] == 100

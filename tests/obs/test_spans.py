@@ -1,0 +1,121 @@
+"""Span semantics: phase mapping, nesting, no-op mode, trace ring."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro import obs
+from repro.obs import runtime
+from repro.obs.metrics import PHASE_SECONDS
+from repro.obs.spans import _NOOP
+
+
+class TestSpan:
+    def test_records_into_named_phase(self):
+        series = PHASE_SECONDS.labels(phase="bind/compile")
+        before = series.count
+        with obs.span("register", format="T"):
+            pass
+        assert series.count == before + 1
+
+    def test_unknown_name_lands_in_other(self):
+        series = PHASE_SECONDS.labels(phase="other")
+        before = series.count
+        with obs.span("mystery"):
+            pass
+        assert series.count == before + 1
+
+    def test_explicit_phase_overrides(self):
+        series = PHASE_SECONDS.labels(phase="transport")
+        before = series.count
+        with obs.span("register", phase="transport"):
+            pass
+        assert series.count == before + 1
+
+    def test_invalid_phase_rejected(self):
+        with pytest.raises(ValueError, match="unknown phase"):
+            obs.span("x", phase="nonsense")
+
+    def test_duration_measured(self):
+        with obs.span("register") as sp:
+            time.sleep(0.01)
+        assert sp.duration_ns >= 5_000_000
+
+    def test_nesting_records_both(self):
+        outer = PHASE_SECONDS.labels(phase="discover")
+        inner = PHASE_SECONDS.labels(phase="bind/compile")
+        o, i = outer.count, inner.count
+        with obs.span("fetch"):
+            with obs.span("compile"):
+                pass
+        assert outer.count == o + 1
+        assert inner.count == i + 1
+
+    def test_disabled_returns_shared_noop(self):
+        obs.set_enabled(False)
+        try:
+            sp = obs.span("register")
+            assert sp is _NOOP
+            with sp:
+                pass  # records nothing, raises nothing
+        finally:
+            obs.set_enabled(True)
+
+    def test_disabled_context_manager(self):
+        assert obs.is_enabled()
+        with obs.disabled():
+            assert not obs.is_enabled()
+        assert obs.is_enabled()
+
+
+class TestSampling:
+    def test_mask_zero_times_every_operation(self):
+        obs.configure(sample_mask=0)
+        assert all(obs.sample_t0() for _ in range(10))
+
+    def test_mask_filters(self):
+        obs.configure(sample_mask=15)
+        hits = sum(1 for _ in range(160) if obs.sample_t0())
+        assert hits == 10  # exactly 1 in 16
+
+    def test_disabled_always_zero(self):
+        obs.set_enabled(False)
+        obs.configure(sample_mask=0)
+        assert obs.sample_t0() == 0
+
+    def test_mask_must_be_pow2_minus_1(self):
+        with pytest.raises(ValueError, match="2\\*\\*k - 1"):
+            obs.configure(sample_mask=5)
+
+    def test_observe_phase_pairs_with_t0(self):
+        series = PHASE_SECONDS.labels(phase="marshal")
+        before = series.count
+        obs.configure(sample_mask=0)
+        t0 = obs.sample_t0()
+        assert t0 > 0
+        obs.observe_phase("marshal", t0)
+        assert series.count == before + 1
+
+
+class TestTraceRing:
+    def test_disabled_by_default(self):
+        with obs.span("register"):
+            pass
+        # capacity 0: nothing retained
+        assert runtime.trace_capacity == 0
+
+    def test_capacity_bounds_and_content(self):
+        obs.configure(trace_capacity=4)
+        try:
+            for i in range(10):
+                with obs.span("register", index=i):
+                    pass
+            spans = obs.recent_spans()
+            assert len(spans) == 4
+            assert spans[-1]["tags"]["index"] == 9
+            assert spans[-1]["phase"] == "bind/compile"
+            assert spans[-1]["duration_ns"] > 0
+        finally:
+            obs.configure(trace_capacity=0)
