@@ -1,0 +1,70 @@
+#!/usr/bin/env python
+"""CI regression gate for the bounds-checked decode path.
+
+Reads ``BENCH_hardening.json`` (written when the benchmark suite runs
+``benchmarks/test_ext_hardening.py``) and fails unless validated
+decode stays within ``VALIDATED_MAX``x of the pre-hardening
+(``validate=False``) decode on every gated shape, for both the fused
+and the per-field plan.
+
+Usage::
+
+    python benchmarks/check_hardening_gate.py \
+        [path/to/BENCH_hardening.json]
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+VALIDATED_MAX = 1.10
+
+
+def main(argv: list[str]) -> int:
+    path = Path(argv[1]) if len(argv) > 1 else \
+        Path(__file__).resolve().parents[1] / "BENCH_hardening.json"
+    if not path.exists():
+        print(f"gate: {path} missing — run the benchmark suite first "
+              "(PYTHONPATH=src python -m pytest "
+              "benchmarks/test_ext_hardening.py)")
+        return 2
+    data = json.loads(path.read_text())
+
+    failures: list[str] = []
+    shapes = data.get("decode", {})
+    if not shapes:
+        failures.append("no decode shapes recorded")
+    for shape, entry in sorted(shapes.items()):
+        for plan in ("fused", "plain"):
+            m = entry.get(plan)
+            if m is None:
+                failures.append(f"{shape}: {plan} plan missing")
+                continue
+            line = (f"decode {shape:14s} {plan:5s}  "
+                    f"legacy {m['legacy_us']:7.2f}us  "
+                    f"validated {m['validated_us']:7.2f}us  "
+                    f"{m['validated_over_legacy']:.3f}x" +
+                    ("" if entry.get("gate") else "  (not gated)"))
+            print(line)
+            if not entry.get("gate"):
+                continue
+            if m["validated_over_legacy"] > VALIDATED_MAX:
+                failures.append(
+                    f"validated {plan} decode on {shape} is "
+                    f"{m['validated_over_legacy']:.3f}x the "
+                    f"pre-hardening decode, above the "
+                    f"{VALIDATED_MAX}x gate")
+
+    if failures:
+        print("\nGATE FAILED:")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print("\ngate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

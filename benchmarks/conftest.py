@@ -34,9 +34,15 @@ BENCH_FANOUT_PATH = Path(__file__).resolve().parents[1] / \
 BENCH_OBS_PATH = Path(__file__).resolve().parents[1] / \
     "BENCH_obs.json"
 
+#: Where the decode-hardening numbers land; consumed by
+#: ``benchmarks/check_hardening_gate.py`` in CI.
+BENCH_HARDENING_PATH = Path(__file__).resolve().parents[1] / \
+    "BENCH_hardening.json"
+
 _FUSED_METRICS: dict = {}
 _FANOUT_METRICS: dict = {}
 _OBS_METRICS: dict = {}
+_HARDENING_METRICS: dict = {}
 
 
 def context_for_case(case) -> IOContext:
@@ -84,6 +90,14 @@ def obs_metrics() -> dict:
     return _OBS_METRICS
 
 
+@pytest.fixture
+def hardening_metrics() -> dict:
+    """Session-wide sink for the bounds-checked-decode cost numbers
+    (``test_ext_hardening``); flushed to BENCH_hardening.json at
+    session end."""
+    return _HARDENING_METRICS
+
+
 def pytest_sessionfinish(session, exitstatus):
     if _FUSED_METRICS:
         BENCH_FUSED_PATH.write_text(
@@ -94,3 +108,7 @@ def pytest_sessionfinish(session, exitstatus):
     if _OBS_METRICS:
         BENCH_OBS_PATH.write_text(
             json.dumps(_OBS_METRICS, indent=2, sort_keys=True) + "\n")
+    if _HARDENING_METRICS:
+        BENCH_HARDENING_PATH.write_text(
+            json.dumps(_HARDENING_METRICS, indent=2, sort_keys=True) +
+            "\n")

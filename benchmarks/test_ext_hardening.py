@@ -1,0 +1,136 @@
+"""Extension — cost of treating the wire as untrusted.
+
+The hardening PR made every decode plan validate wire-derived
+pointers and element counts before it touches or allocates anything
+(``RecordDecoder(..., validate=True)``, the default everywhere).  The
+pre-hardening closures survive behind ``validate=False`` for exactly
+one purpose: being the baseline this benchmark measures against.
+
+Per shape and per plan (fused / per-field) two decoders run over the
+same encoded body:
+
+* ``legacy``:    the trusting pre-hardening closures;
+* ``validated``: the shipping bounds-checked closures.
+
+The ratios land in ``BENCH_hardening.json`` (written by
+``conftest.pytest_sessionfinish``); ``benchmarks/check_hardening_gate
+.py`` enforces the acceptance threshold — validated decode stays
+within 1.10x of legacy on every gated shape.  Scalar-only shapes have
+no pointers to check, so their ratio is a measurement control (~1.0x)
+rather than a gate.  In-test assertions use looser margins so machine
+noise cannot flake the suite.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.timing import time_callable
+from repro.hydrology.formats import GAUGE_COUNT, hydrology_field_specs
+from repro.pbio.context import IOContext
+from repro.pbio.decode import RecordDecoder
+from repro.pbio.encode import RecordEncoder
+from repro.pbio.format_server import FormatServer
+
+_SPECS = hydrology_field_specs()
+
+#: ``gate`` marks shapes with wire-derived pointers/counts — the ones
+#: the validation actually touches and the 1.10x threshold applies
+#: to.  ``spec_name`` picks the layout; shapes may share one
+#: (SimpleData at two array sizes).
+CASES = {
+    "FlowParams": {
+        "gate": False,  # scalar-only: no pointers, control shape
+        "spec_name": "FlowParams",
+        "record": dict(timestep=3, nx=64, ny=64, dx=30.0, dy=30.0,
+                       dt=1.5, viscosity=0.125, rainfall=0.0625,
+                       iterations=100, flags=0, elapsed=12.5),
+    },
+    "GridMeta": {
+        "gate": True,  # sized array: count clamp on the hot path
+        "spec_name": "GridMeta",
+        "record": dict(timestep=3, nx=64, ny=64, west=0.0,
+                       east=1920.0, south=0.0, north=1920.0,
+                       cell_size=30.0, no_data=-9999.0, min_depth=0.0,
+                       max_depth=2.5, mean_depth=0.25,
+                       total_volume=1234.5, gauge_count=GAUGE_COUNT,
+                       gauges=[i / 4 for i in range(GAUGE_COUNT)]),
+    },
+    "ControlMsg": {
+        "gate": True,  # string-dominated: per-string pointer checks
+        "spec_name": "ControlMsg",
+        "record": dict(command="set_viscosity", target="flow2d",
+                       timestep=5, value=0.375),
+    },
+    "SimpleData-1k": {
+        "gate": True,
+        "spec_name": "SimpleData",
+        "record": dict(timestep=1, size=1024,
+                       data=[i / 8 for i in range(1024)]),
+    },
+    "SimpleData-4k": {
+        "gate": True,
+        "spec_name": "SimpleData",
+        "record": dict(timestep=1, size=4096,
+                       data=[i / 8 for i in range(4096)]),
+    },
+}
+
+
+def _body_for(label):
+    ctx = IOContext(format_server=FormatServer())
+    name = CASES[label]["spec_name"]
+    fmt = ctx.register_layout(name, _SPECS[name])
+    wire = RecordEncoder(fmt).encode_body(CASES[label]["record"])
+    return fmt, bytes(wire)
+
+
+def _ab_best(fn_a, fn_b, *, rounds: int = 5):
+    """Best per-call time for two callables measured in alternating
+    rounds, so slow machine drift hits both sides equally instead of
+    whichever happened to run second."""
+    best_a = best_b = float("inf")
+    for _ in range(rounds):
+        best_a = min(best_a, time_callable(fn_a, repeat=3).best)
+        best_b = min(best_b, time_callable(fn_b, repeat=3).best)
+    return best_a, best_b
+
+
+@pytest.mark.parametrize("label", list(CASES))
+@pytest.mark.parametrize("path", ["validated", "legacy"])
+@pytest.mark.benchmark(group="ext-hardening-decode")
+def test_decode_latency(label, path, benchmark):
+    fmt, body = _body_for(label)
+    decoder = RecordDecoder(fmt, validate=path == "validated")
+    benchmark(lambda: decoder.decode(body))
+
+
+def test_hardening_cost_recorded(hardening_metrics):
+    """Measure validated vs legacy decode on every shape and plan;
+    record the ratios for the CI gate and assert conservative
+    ceilings here."""
+    shapes = {}
+    for label, case in CASES.items():
+        fmt, body = _body_for(label)
+        entry = {"gate": case["gate"]}
+        for plan, fuse in (("fused", True), ("plain", False)):
+            validated = RecordDecoder(fmt, fuse=fuse)
+            legacy = RecordDecoder(fmt, fuse=fuse, validate=False)
+            # both plans must agree on well-formed input before any
+            # timing means anything
+            assert validated.decode(body) == legacy.decode(body)
+            val_t, leg_t = _ab_best(
+                lambda: validated.decode(body),
+                lambda: legacy.decode(body))
+            entry[plan] = {
+                "validated_us": val_t * 1e6,
+                "legacy_us": leg_t * 1e6,
+                "validated_over_legacy": val_t / leg_t,
+            }
+            if case["gate"]:
+                # loose ceiling; check_hardening_gate.py enforces the
+                # real 1.10x
+                assert val_t / leg_t < 1.35, (label, plan, entry)
+        shapes[label] = entry
+
+    hardening_metrics["decode"] = shapes

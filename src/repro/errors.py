@@ -90,6 +90,19 @@ class DecodeError(PBIOError):
     """Record unmarshaling failed (truncated buffer, corrupt header)."""
 
 
+class WireParseError(DecodeError, EncodeError):
+    """A record or batch envelope failed validation (bad magic,
+    unsupported version, lying lengths).
+
+    Subclasses both :class:`DecodeError` and :class:`EncodeError`:
+    header/batch parsing historically raised :class:`EncodeError`
+    (the parsers live next to the encoder), but the untrusted-input
+    contract promises receivers that every rejection of wire bytes is
+    a :class:`DecodeError`.  Deriving from both keeps existing callers
+    working while the fuzz oracle can rely on the decode-side type.
+    """
+
+
 class ConversionError(PBIOError):
     """No conversion plan exists between a wire format and the native
     format expected by the receiver."""

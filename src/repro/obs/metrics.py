@@ -72,6 +72,13 @@ TRANSPORT_QUEUE_HIGH_WATER = REGISTRY.gauge(
     "repro_transport_queue_high_water_bytes",
     "Largest single-client write queue observed (collector)")
 
+MALFORMED_FRAMES = REGISTRY.counter(
+    "repro_malformed_frames_total",
+    "Wire inputs rejected by bounds-checked validation; counting "
+    "instead of disconnecting keeps one hostile frame from tearing "
+    "down healthy peers",
+    labels=("layer", "reason"))
+
 SENDMSG_BATCH = REGISTRY.histogram(
     "repro_transport_sendmsg_batch_frames",
     "Queue entries drained per scatter-gather sendmsg",

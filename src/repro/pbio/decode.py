@@ -41,10 +41,20 @@ class RecordDecoder:
     ``arrays`` selects the representation of numeric arrays:
     ``"list"`` (default, plain Python) or ``"numpy"`` (zero-copy views
     into the record body where alignment permits).
+
+    ``validate`` (default on) treats the wire as untrusted: every
+    wire-derived pointer must land inside the record's variable region
+    ``[record_length, len(body)]`` — never aliasing the fixed section —
+    and every element count is clamped against the remaining body bytes
+    *before* any list or array is allocated.  Violations raise
+    :class:`~repro.errors.DecodeError` naming the field.
+    ``validate=False`` keeps the trusting pre-hardening closures, for
+    the benchmark gate (``benchmarks/check_hardening_gate.py``) and
+    byte-equality A/B runs only — never for data off a socket.
     """
 
     def __init__(self, fmt: IOFormat, *, arrays: str = "list",
-                 fuse: bool = True) -> None:
+                 fuse: bool = True, validate: bool = True) -> None:
         if arrays not in ("list", "numpy"):
             raise DecodeError(f"arrays must be 'list' or 'numpy', "
                               f"got {arrays!r}")
@@ -52,6 +62,7 @@ class RecordDecoder:
         self.field_list = fmt.field_list
         self.arrays = arrays
         self.fuse = fuse
+        self.validate = validate
         self.fused_runs = 0
         self.fused_fields = 0
         self._bo = fmt.architecture.struct_byte_order_char
@@ -207,11 +218,25 @@ class RecordDecoder:
         offset = field.offset
         ptr = self._ptr
         name = field.name
+        var_start = self.field_list.record_length
+
+        if not self.validate:
+            def legacy_op(body, base):
+                where = ptr.unpack_from(body, base + offset)[0]
+                if where == 0:
+                    return None
+                end = _find_nul(body, where, name)
+                return bytes(body[where:end]).decode("utf-8")
+            return legacy_op
 
         def op(body, base):
             where = ptr.unpack_from(body, base + offset)[0]
             if where == 0:
                 return None
+            if where < var_start or where >= len(body):
+                raise DecodeError(
+                    f"field {name!r}: string pointer {where} outside "
+                    f"variable region [{var_start}, {len(body)})")
             end = _find_nul(body, where, name)
             return bytes(body[where:end]).decode("utf-8")
         return op
@@ -250,12 +275,17 @@ class RecordDecoder:
         self_sized = dim.length_field is None
         length_field = dim.length_field
         trailing = ftype.static_element_count
+        var_start = self.field_list.record_length
+        validate = self.validate
 
         if kind == "char":
             def char_op(body, base):
                 where = ptr.unpack_from(body, base + offset)[0]
                 if where == 0:
                     return None
+                if validate:
+                    _check_pointer(body, where, var_start, name,
+                                   4 if self_sized else 0)
                 if self_sized:
                     n = counter.unpack_from(body, where)[0]
                     start = where + 4
@@ -275,6 +305,9 @@ class RecordDecoder:
             where = ptr.unpack_from(body, base + offset)[0]
             if where == 0:
                 return None if self_sized else []
+            if validate:
+                _check_pointer(body, where, var_start, name,
+                               4 if self_sized else 0)
             if self_sized:
                 n = counter.unpack_from(body, where)[0] * trailing
                 start = _round_up(where + 4, elem)
@@ -282,6 +315,9 @@ class RecordDecoder:
                 n = self._sizing_value(body, base, length_field,
                                        name) * trailing
                 start = where
+            # clamp n against the remaining bytes BEFORE frombuffer
+            # allocates: a smashed counter must never drive a
+            # multi-GB request
             _check_bounds(body, start, n * elem, name)
             arr = np.frombuffer(body, dtype=dtype, count=n, offset=start)
             return post(arr)
@@ -320,17 +356,24 @@ class RecordDecoder:
 
         self_sized = dim.length_field is None
         length_field = dim.length_field
+        var_start = self.field_list.record_length
+        validate = self.validate
 
         def var_op(body, base):
             where = ptr.unpack_from(body, base + offset)[0]
             if where == 0:
                 return None if self_sized else []
+            if validate:
+                _check_pointer(body, where, var_start, name,
+                               4 if self_sized else 0)
             if self_sized:
                 n = counter.unpack_from(body, where)[0]
                 zone = _round_up(where + 4, 8)
             else:
                 n = self._sizing_value(body, base, length_field, name)
                 zone = where
+            # FieldList guarantees stride >= 1, so this also clamps n
+            # itself before the list below is built
             _check_bounds(body, zone, n * stride, name)
             return [decode_sub(body, zone + i * stride)
                     for i in range(n)]
@@ -347,6 +390,28 @@ class RecordDecoder:
             raise DecodeError(
                 f"field {array_name!r}: negative element count {n}")
         return n
+
+
+def _check_pointer(body, where: int, var_start: int, name: str,
+                   counter_bytes: int) -> None:
+    """Reject a wire pointer that lands outside the variable region.
+
+    Valid data pointers live in ``[var_start, len(body)]`` — a pointer
+    below ``var_start`` aliases the fixed section (silent misdecode
+    territory), one past the end reads garbage.  ``len(body)`` itself
+    is legal only for zero-length sized arrays; when *counter_bytes*
+    is nonzero the self-sizing count must also fit before the pointer
+    is followed.
+    """
+    limit = len(body)
+    if where < var_start or where > limit:
+        raise DecodeError(
+            f"field {name!r}: data pointer {where} outside variable "
+            f"region [{var_start}, {limit}]")
+    if counter_bytes and where + counter_bytes > limit:
+        raise DecodeError(
+            f"field {name!r}: element count at offset {where} "
+            f"truncated (record is {limit} bytes)")
 
 
 def _find_nul(body, start: int, name: str) -> int:
@@ -402,17 +467,19 @@ def _array_post(kind: str, enum_values, arrays: str):
 # process-wide codec plan cache
 # ---------------------------------------------------------------------------
 
-_DECODER_CACHE: dict[tuple[FormatID, str, bool], RecordDecoder] = {}
+_DECODER_CACHE: dict[tuple[FormatID, str, bool, bool],
+                     RecordDecoder] = {}
 _DECODER_LOCK = threading.Lock()
 _MAX_CACHED_PLANS = 256
 
 
 def decoder_for_format(fmt: IOFormat, *, arrays: str = "list",
-                       fuse: bool = True) -> RecordDecoder:
+                       fuse: bool = True,
+                       validate: bool = True) -> RecordDecoder:
     """The process-wide compiled decoder for *fmt* (keyed by the
     format's digest-derived ID plus the array representation)."""
     from repro.obs import runtime as _obs
-    key = (fmt.format_id, arrays, fuse)
+    key = (fmt.format_id, arrays, fuse, validate)
     decoder = _DECODER_CACHE.get(key)
     if decoder is not None:
         if _obs.enabled:
@@ -424,9 +491,11 @@ def decoder_for_format(fmt: IOFormat, *, arrays: str = "list",
         from repro.obs.spans import span
         CODEC_PLANS.labels("decoder", "miss").inc()
         with span("compile_plan", kind="decoder", format=fmt.name):
-            decoder = RecordDecoder(fmt, arrays=arrays, fuse=fuse)
+            decoder = RecordDecoder(fmt, arrays=arrays, fuse=fuse,
+                                    validate=validate)
     else:
-        decoder = RecordDecoder(fmt, arrays=arrays, fuse=fuse)
+        decoder = RecordDecoder(fmt, arrays=arrays, fuse=fuse,
+                                validate=validate)
     with _DECODER_LOCK:
         cached = _DECODER_CACHE.get(key)
         if cached is not None:

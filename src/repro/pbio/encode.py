@@ -53,7 +53,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.errors import EncodeError
+from repro.errors import EncodeError, WireParseError
 from repro.pbio.fields import FieldList, IOField
 from repro.pbio.format import FormatID, IOFormat
 from repro.pbio.types import FieldType
@@ -134,20 +134,32 @@ def build_header(format_id: FormatID, body_length: int,
 def _parse_header_raw(data) -> tuple[FormatID, int, int]:
     """Parse a header; returns (format id, flags, body length)."""
     if len(data) < HEADER_LEN:
-        raise EncodeError(
+        raise WireParseError(
             f"record shorter than header ({len(data)} < {HEADER_LEN})")
     magic, version, flags, fid, body_len = _HEADER_STRUCT.unpack_from(
         data)
     if magic != HEADER_MAGIC:
-        raise EncodeError(f"bad record magic {magic!r}")
+        raise WireParseError(f"bad record magic {magic!r}")
     if version != HEADER_VERSION:
-        raise EncodeError(f"unsupported record version {version}")
+        raise WireParseError(f"unsupported record version {version}")
     return FormatID.from_bytes(fid), flags, body_len
 
 
-def parse_header(data: bytes) -> tuple[FormatID, int]:
-    """Parse a record header; returns (format id, body length)."""
+def parse_header(data: bytes, *,
+                 require_body: bool = False) -> tuple[FormatID, int]:
+    """Parse a record header; returns (format id, body length).
+
+    With ``require_body`` the declared body length is checked against
+    the buffer — wire-facing callers holding the whole record must set
+    it, so a lying header is rejected before its length drives any
+    downstream slice or allocation.  (The default stays lenient for
+    callers inspecting a bare 16-byte header.)
+    """
     fid, _flags, body_len = _parse_header_raw(data)
+    if require_body and body_len > len(data) - HEADER_LEN:
+        raise WireParseError(
+            f"record truncated: header says {body_len} body bytes, "
+            f"got {len(data) - HEADER_LEN}")
     return fid, body_len
 
 
@@ -181,24 +193,33 @@ def parse_batch(data) -> tuple[FormatID, bool, list[memoryview]]:
     """Split a record batch into (format id, big-endian?, bodies)."""
     fid, flags, total = _parse_header_raw(data)
     if not flags & FLAG_BATCH:
-        raise EncodeError("not a record batch (FLAG_BATCH clear)")
+        raise WireParseError("not a record batch (FLAG_BATCH clear)")
     payload = memoryview(data)[HEADER_LEN:]
     if len(payload) < total:
-        raise EncodeError(
+        raise WireParseError(
             f"batch truncated: header says {total} payload bytes, "
             f"got {len(payload)}")
     payload = payload[:total]
+    if total < 4:
+        raise WireParseError(
+            f"batch payload of {total} bytes cannot hold a count")
     (count,) = _COUNT32.unpack_from(payload, 0)
     if 4 + 4 * count > total:
-        raise EncodeError(
+        raise WireParseError(
             f"batch count {count} impossible for {total} payload bytes")
     bodies: list[memoryview] = []
     offset = 4
-    for _ in range(count):
+    for index in range(count):
+        if offset + 4 > total:
+            raise WireParseError(
+                f"batch truncated inside record {index}'s length "
+                f"prefix (offset {offset} of {total})")
         (length,) = _COUNT32.unpack_from(payload, offset)
         offset += 4
-        if offset + length > total:
-            raise EncodeError("batch record extends past payload")
+        if length > total - offset:
+            raise WireParseError(
+                f"batch record {index} ({length} bytes at offset "
+                f"{offset}) extends past the {total}-byte payload")
         bodies.append(payload[offset:offset + length])
         offset += length
     return fid, bool(flags & FLAG_BIG_ENDIAN), bodies

@@ -19,7 +19,9 @@ from __future__ import annotations
 import hashlib
 from dataclasses import dataclass
 
-from repro.errors import FormatRegistrationError, UnknownFormatError
+from repro.errors import (
+    FormatRegistrationError, LayoutError, UnknownFormatError,
+)
 from repro.pbio.fields import FieldList, IOField
 from repro.pbio.machine import Architecture
 
@@ -188,7 +190,8 @@ class _MetadataParser:
 
     def parse(self) -> IOFormat:
         magic = self._next()
-        if magic[0] != _MAGIC or int(magic[1]) != _VERSION:
+        if (len(magic) != 2 or magic[0] != _MAGIC
+                or int(magic[1]) != _VERSION):
             raise UnknownFormatError(
                 f"bad metadata header {magic!r}")
         tag, name = self._expect("name", 2)
@@ -202,9 +205,13 @@ class _MetadataParser:
             enums[parts[1]] = tuple(parts[2:])
         self._expect("end", 1)
         _ = tag
+        # only the concrete registration/layout failures are metadata
+        # problems; anything else (MemoryError, KeyboardInterrupt, a
+        # fuzz-discovered bug) must propagate, not masquerade as a
+        # format error
         try:
             return IOFormat(name, field_list, enums)
-        except Exception as exc:
+        except (FormatRegistrationError, LayoutError) as exc:
             raise UnknownFormatError(
                 f"inconsistent format metadata: {exc}") from exc
 
@@ -225,7 +232,7 @@ class _MetadataParser:
         try:
             return Architecture(name=name, byte_order=byte_order,
                                 sizes=sizes, max_alignment=max_alignment)
-        except Exception as exc:
+        except LayoutError as exc:
             raise UnknownFormatError(
                 f"bad architecture in metadata: {exc}") from exc
 
@@ -254,6 +261,6 @@ class _MetadataParser:
             return FieldList(fields, architecture=arch,
                              record_length=record_length,
                              subformats=subformats)
-        except Exception as exc:
+        except (LayoutError, FormatRegistrationError) as exc:
             raise UnknownFormatError(
                 f"inconsistent field list in metadata: {exc}") from exc

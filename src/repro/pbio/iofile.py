@@ -149,7 +149,9 @@ class IOFileReader:
                 self.formats_seen[fmt.name] = fmt
                 continue
             if chunk_type == CHUNK_RECORD:
-                parse_header(payload)  # validates before decode
+                # validates magic/version and that the declared body
+                # is actually present, before decode
+                parse_header(payload, require_body=True)
                 decoded = self.context.decode(bytes(payload))
                 self.records_read += 1
                 return decoded
@@ -209,7 +211,7 @@ def scan_file(source: str | Path) -> dict:
                 names[fid] = reader.context.format_server.lookup(
                     fid).name
             elif chunk_type == CHUNK_RECORD:
-                fid, _ = parse_header(payload)
+                fid, _ = parse_header(payload, require_body=True)
                 name = names.get(fid, str(fid))
                 counts[name] = counts.get(name, 0) + 1
     return {"records": counts, "payload_bytes": total}

@@ -4,8 +4,22 @@
 resolver layer (via :func:`repro.http.urls.register_resolver`) and at
 the HTTP socket layer — so the retry/caching/fallback machinery can be
 exercised deterministically.
+
+:mod:`repro.testing.fuzz` is the malformed-frame harness: a seeded
+corpus mutator plus a differential decode oracle enforcing the
+treat-the-wire-as-untrusted contract (typed errors only, bounded
+allocation, fused/unfused agreement, lossless re-encode).
 """
 
+from repro.testing.fuzz import (
+    FrameMutator,
+    FuzzFailure,
+    FuzzReport,
+    InvariantViolation,
+    WireOracle,
+    records_equal,
+    run_fuzz,
+)
 from repro.testing.faults import (
     DROP,
     FAIL,
@@ -26,10 +40,17 @@ __all__ = [
     "FaultInjectingResolver",
     "FaultScript",
     "FaultyHTTPServer",
+    "FrameMutator",
+    "FuzzFailure",
+    "FuzzReport",
     "GARBAGE",
     "HTTP_404",
     "HTTP_500",
+    "InvariantViolation",
     "OK",
     "SLOW",
     "TRUNCATE",
+    "WireOracle",
+    "records_equal",
+    "run_fuzz",
 ]

@@ -232,7 +232,7 @@ class BroadcastPublisher:
     def publish_encoded(self, wire: bytes) -> int:
         """Fan out an already-encoded record (bytes from
         :meth:`~repro.pbio.context.IOContext.encode`)."""
-        fid, _ = parse_header(wire)
+        fid, _ = parse_header(wire, require_body=True)
         fmt = self.context._resolve_wire_format(fid)
         data = frame_bytes(FrameType.DATA, wire)
         return self._fan_out(fmt, data, records=1)

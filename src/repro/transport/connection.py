@@ -19,14 +19,23 @@ from collections import deque
 from dataclasses import dataclass
 
 from repro.errors import (
-    FormatRegistrationError, ProtocolError, TransportError,
-    UnknownFormatError,
+    DecodeError, FormatRegistrationError, ProtocolError,
+    TransportError, UnknownFormatError,
 )
 from repro.pbio.context import IOContext
 from repro.pbio.encode import explode_batch, is_batch, parse_header
 from repro.pbio.format import FormatID, IOFormat
 from repro.transport.base import Channel
 from repro.transport.messages import Frame, FrameType
+
+
+def _count_malformed(reason: str) -> None:
+    """Record one rejected wire input; a peer sending garbage is an
+    observable event, not a reason to tear the endpoint down."""
+    from repro.obs import runtime as _obs
+    if _obs.enabled:
+        from repro.obs.metrics import MALFORMED_FRAMES
+        MALFORMED_FRAMES.labels("connection", reason).inc()
 
 
 @dataclass(frozen=True)
@@ -79,7 +88,9 @@ class Connection:
         clients — the per-client processing reduction the paper's
         intro motivates for "single servers [that] must provide
         information to large numbers of clients"."""
-        parse_header(wire)  # reject non-records before they hit peers
+        # reject non-records (and lying body lengths) before they hit
+        # peers
+        parse_header(wire, require_body=True)
         self.channel.send(Frame(FrameType.DATA, wire))
         self.records_sent += 1
 
@@ -91,9 +102,13 @@ class Connection:
         wire = self._next_data(timeout)
         if wire is None:
             return None
-        fid, _body_len = parse_header(wire)
-        self._ensure_format(fid, timeout)
-        decoded = self.context.decode(wire)
+        try:
+            fid, _body_len = parse_header(wire, require_body=True)
+            self._ensure_format(fid, timeout)
+            decoded = self.context.decode(wire)
+        except DecodeError:
+            _count_malformed("bad_record")
+            raise
         self.records_received += 1
         return ReceivedMessage(format_name=decoded.format_name,
                                format_id=decoded.format_id,
@@ -106,10 +121,15 @@ class Connection:
         wire = self._next_data(timeout)
         if wire is None:
             return None
-        fid, _ = parse_header(wire)
-        self._ensure_format(fid, timeout)
+        try:
+            fid, _ = parse_header(wire, require_body=True)
+            self._ensure_format(fid, timeout)
+            record = self.context.decode_as(wire, native_name)
+        except DecodeError:
+            _count_malformed("bad_record")
+            raise
         self.records_received += 1
-        return self.context.decode_as(wire, native_name)
+        return record
 
     def receive_many(self, timeout: float | None = None) \
             -> list[ReceivedMessage] | None:
@@ -119,19 +139,23 @@ class Connection:
         wire = self._next_payload(timeout)
         if wire is None:
             return None
-        fid, _body_len = parse_header(wire)
-        self._ensure_format(fid, timeout)
-        if is_batch(wire):
-            name, fid, records = \
-                self.context.decode_many_records(wire)
-            out = [ReceivedMessage(format_name=name, format_id=fid,
-                                   record=record)
-                   for record in records]
-        else:
-            d = self.context.decode(wire)
-            out = [ReceivedMessage(format_name=d.format_name,
-                                   format_id=d.format_id,
-                                   record=d.record)]
+        try:
+            fid, _body_len = parse_header(wire)
+            self._ensure_format(fid, timeout)
+            if is_batch(wire):
+                name, fid, records = \
+                    self.context.decode_many_records(wire)
+                out = [ReceivedMessage(format_name=name, format_id=fid,
+                                       record=record)
+                       for record in records]
+            else:
+                d = self.context.decode(wire)
+                out = [ReceivedMessage(format_name=d.format_name,
+                                       format_id=d.format_id,
+                                       record=d.record)]
+        except DecodeError:
+            _count_malformed("bad_record")
+            raise
         self.records_received += len(out)
         return out
 
@@ -192,6 +216,7 @@ class Connection:
         :class:`~repro.errors.ProtocolError`, never escape as registry
         errors.  Returns the announced format ID."""
         if len(payload) < 8:
+            _count_malformed("bad_fmt_rsp")
             raise ProtocolError(
                 f"FMT_RSP payload too short: {len(payload)} bytes "
                 "(need 8-byte format id + metadata)")
@@ -200,10 +225,12 @@ class Connection:
             imported = self.context.format_server.import_bytes(
                 payload[8:])
         except (FormatRegistrationError, UnknownFormatError) as exc:
+            _count_malformed("bad_fmt_rsp")
             raise ProtocolError(
                 f"peer sent unimportable metadata for format "
                 f"{announced}: {exc}") from exc
         if imported != announced:
+            _count_malformed("bad_fmt_rsp")
             raise ProtocolError(
                 f"FMT_RSP announced format {announced} but its "
                 f"metadata deserialized to {imported}")
@@ -211,10 +238,16 @@ class Connection:
 
     def _service(self, frame: Frame) -> None:
         if frame.type == FrameType.FMT_REQ:
-            fid = FormatID.from_bytes(frame.payload)
+            try:
+                fid = FormatID.from_bytes(frame.payload)
+            except UnknownFormatError as exc:
+                _count_malformed("bad_fmt_req")
+                raise ProtocolError(
+                    f"malformed FMT_REQ: {exc}") from None
             try:
                 metadata = self.context.format_server.lookup_bytes(fid)
             except UnknownFormatError:
+                _count_malformed("bad_fmt_req")
                 raise ProtocolError(
                     f"peer requested unknown format {fid}") from None
             self.channel.send(Frame(FrameType.FMT_RSP,
@@ -229,6 +262,7 @@ class Connection:
             self.peer_architecture = frame.payload.decode(
                 "utf-8", errors="replace")
         else:
+            _count_malformed("unexpected_frame")
             raise ProtocolError(
                 f"unexpected frame type {frame.type!r}")
 

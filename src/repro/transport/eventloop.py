@@ -45,6 +45,14 @@ _RECV_CHUNK = 256 * 1024
 _SENDMSG_BATCH = 512
 
 
+def _count_rejected(reason: str) -> None:
+    """One malformed wire input rejected; the offending client is
+    closed individually while the loop and its peers keep running."""
+    if _obs.enabled:
+        from repro.obs.metrics import MALFORMED_FRAMES
+        MALFORMED_FRAMES.labels("eventloop", reason).inc()
+
+
 class Poller:
     """A ``selectors`` selector with a cross-thread wakeup channel.
 
@@ -495,6 +503,8 @@ class EventLoopServer:
         while len(buf) >= 4:
             (length,) = _LEN.unpack_from(buf)
             if length == 0 or length > self.max_frame_len:
+                _count_rejected("oversized_frame" if length
+                                else "zero_length_frame")
                 reason = (FrameTooLargeError(length, self.max_frame_len)
                           if length else
                           ProtocolError("zero-length frame"))
@@ -505,6 +515,7 @@ class EventLoopServer:
             try:
                 frame = decode_frame(bytes(buf[4:4 + length]))
             except ProtocolError as exc:
+                _count_rejected("bad_frame")
                 self._close_client(client, exc)
                 return
             del buf[:4 + length]

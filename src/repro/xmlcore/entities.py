@@ -110,15 +110,20 @@ def decode_char_reference(body: str) -> str:
     *body* is e.g. ``#38`` or ``#x26``.  Raises on malformed syntax and
     on code points outside the XML ``Char`` production.
     """
+    # strict CharRef production: '&#' [0-9]+ ';' | '&#x' [0-9a-fA-F]+
+    # ';' — int() alone is too lenient (it accepts whitespace, sign
+    # prefixes and non-ASCII digits, none of which are legal here)
     digits = body[1:]
-    try:
-        if digits[:1] in ("x", "X"):
-            cp = int(digits[1:], 16)
-        else:
-            cp = int(digits, 10)
-    except (ValueError, IndexError):
+    if digits[:1] in ("x", "X"):
+        text, base = digits[1:], 16
+        legal = all(c in "0123456789abcdefABCDEF" for c in text)
+    else:
+        text, base = digits, 10
+        legal = text.isascii() and text.isdecimal()
+    if not text or not legal:
         raise XMLWellFormednessError(
-            f"malformed character reference &{body};") from None
+            f"malformed character reference &{body};")
+    cp = int(text, base)
     if cp < 0 or cp > 0x10FFFF:
         raise XMLWellFormednessError(
             f"character reference &{body}; out of range")

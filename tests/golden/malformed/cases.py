@@ -1,0 +1,226 @@
+"""Minimized malformed-frame regression vectors.
+
+Each entry is one frame the hardened decode layer must *reject* with a
+typed :class:`~repro.errors.DecodeError` whose message matches
+``match`` — a minimized reproduction of a bug class the fuzz harness
+(:mod:`repro.testing.fuzz`) is meant to keep fixed:
+
+* pointers aliasing the fixed region (silent misdecode before the
+  pointer range check),
+* pointers or self-sizing counters past the end of the record (raw
+  ``struct.error`` escapes before normalization),
+* smashed element counts (multi-GB allocations before the clamp),
+* record headers and batch envelopes whose declared lengths lie about
+  the buffer (``struct.error`` out of ``parse_batch``).
+
+Frames are derived deterministically from the pristine golden vectors
+(``tests/golden/vectors.json``) and committed as hex in
+``frames.json`` — regenerate with ``python tests/golden/malformed/regen.py``
+only alongside an intentional wire change.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from pathlib import Path
+
+from tests.golden.cases import ARCHITECTURES, build_format, load_vectors
+from repro.pbio.encode import (
+    FLAG_BATCH, HEADER_LEN, HEADER_MAGIC, HEADER_VERSION, _HEADER_STRUCT,
+)
+
+FRAMES_PATH = Path(__file__).with_name("frames.json")
+
+_U32BE = struct.Struct(">I")
+
+
+def _pristine(case: str, order: str) -> bytearray:
+    return bytearray(bytes.fromhex(load_vectors()[case][order]))
+
+
+def _arch(order: str):
+    return ARCHITECTURES[order]
+
+
+def _field(case: str, order: str, name: str):
+    fmt = build_format(case, _arch(order))
+    return fmt, fmt.field_list[name]
+
+
+def _poke_pointer(wire: bytearray, case: str, order: str,
+                  field_name: str, value: int) -> bytearray:
+    """Overwrite *field_name*'s pointer slot in the body with *value*
+    (arch byte order, arch pointer width)."""
+    fmt, field = _field(case, order, field_name)
+    width = fmt.architecture.sizeof("pointer")
+    code = fmt.architecture.struct_byte_order_char + (
+        "I" if width == 4 else "Q")
+    struct.pack_into(code, wire, HEADER_LEN + field.offset, value)
+    return wire
+
+def _poke_scalar(wire: bytearray, case: str, order: str,
+                 field_name: str, code: str, value: int) -> bytearray:
+    fmt, field = _field(case, order, field_name)
+    struct.pack_into(fmt.architecture.struct_byte_order_char + code,
+                     wire, HEADER_LEN + field.offset, value)
+    return wire
+
+
+def _read_pointer(wire: bytearray, case: str, order: str,
+                  field_name: str) -> int:
+    fmt, field = _field(case, order, field_name)
+    width = fmt.architecture.sizeof("pointer")
+    code = fmt.architecture.struct_byte_order_char + (
+        "I" if width == 4 else "Q")
+    return struct.unpack_from(code, wire, HEADER_LEN + field.offset)[0]
+
+
+def _batch_header(case: str, order: str, total: int) -> bytes:
+    fmt = build_format(case, _arch(order))
+    flags = FLAG_BATCH | (0x1 if order == "big" else 0)
+    return _HEADER_STRUCT.pack(HEADER_MAGIC, HEADER_VERSION, flags,
+                               fmt.format_id.to_bytes(), total)
+
+
+# -- the vectors ------------------------------------------------------------
+
+def _string_ptr_alias_fixed(order: str) -> bytearray:
+    # channel's pointer re-aimed into EchoEvent's own fixed section:
+    # pre-hardening this silently decoded fixed-region bytes as text
+    wire = _pristine("EchoEvent", order)
+    return _poke_pointer(wire, "EchoEvent", order, "channel", 8)
+
+
+def _string_ptr_past_end(order: str) -> bytearray:
+    wire = _pristine("EchoEvent", order)
+    body_len = len(wire) - HEADER_LEN
+    return _poke_pointer(wire, "EchoEvent", order, "channel", body_len)
+
+
+def _var_ptr_alias_fixed(order: str) -> bytearray:
+    # weights' data pointer aimed at the fixed section: pre-hardening
+    # np.frombuffer happily decoded `n` doubles of unrelated fields
+    wire = _pristine("NestedTelemetry", order)
+    return _poke_pointer(wire, "NestedTelemetry", order, "weights", 16)
+
+
+def _self_sized_count_truncated(order: str) -> bytearray:
+    # payload's pointer lands 2 bytes before the end: its u32 element
+    # count straddles the record boundary (raw struct.error before)
+    wire = _pristine("EchoEvent", order)
+    body_len = len(wire) - HEADER_LEN
+    return _poke_pointer(wire, "EchoEvent", order, "payload",
+                         body_len - 2)
+
+
+def _self_sized_count_smashed(order: str) -> bytearray:
+    # extra's in-band element count smashed to 2^31-1: ~16 GiB of
+    # doubles; must be clamped before any allocation
+    wire = _pristine("VarArrays", order)
+    where = _read_pointer(wire, "VarArrays", order, "extra")
+    fmt = build_format("VarArrays", _arch(order))
+    struct.pack_into(fmt.architecture.struct_byte_order_char + "I",
+                     wire, HEADER_LEN + where, 0x7FFFFFFF)
+    return wire
+
+
+def _sizing_field_smashed(order: str) -> bytearray:
+    wire = _pristine("SimpleData", order)
+    return _poke_scalar(wire, "SimpleData", order, "size", "i",
+                        0x7FFFFFFF)
+
+
+def _sizing_field_negative(order: str) -> bytearray:
+    wire = _pristine("SimpleData", order)
+    return _poke_scalar(wire, "SimpleData", order, "size", "i", -1)
+
+
+def _header_body_len_lies(order: str) -> bytearray:
+    wire = _pristine("SimpleData", order)
+    body_len = len(wire) - HEADER_LEN
+    _U32BE.pack_into(wire, 12, body_len + 100)
+    return wire
+
+
+def _batch_truncated_prefix(order: str) -> bytearray:
+    # record 0's body eats into the bytes record 1's length prefix
+    # needs, so that prefix straddles the end of the payload
+    # (struct.error out of parse_batch before the bounds check)
+    payload = (_U32BE.pack(2) + _U32BE.pack(3) + b"\x00" * 3
+               + b"\x00\x00")
+    return bytearray(
+        _batch_header("SimpleData", order, len(payload)) + payload)
+
+
+def _batch_record_len_lies(order: str) -> bytearray:
+    payload = _U32BE.pack(1) + _U32BE.pack(100) + b"\x00" * 4
+    return bytearray(
+        _batch_header("SimpleData", order, len(payload)) + payload)
+
+
+def _batch_count_impossible(order: str) -> bytearray:
+    wire = _pristine("SimpleData__batch", order)
+    _U32BE.pack_into(wire, HEADER_LEN, 0xFFFFFFFF)
+    return wire
+
+
+_CASES: dict[str, tuple] = {
+    # name: (builder, base case, expected DecodeError message substring)
+    "string_ptr_alias_fixed": (
+        _string_ptr_alias_fixed, "EchoEvent",
+        "string pointer 8 outside variable region"),
+    "string_ptr_past_end": (
+        _string_ptr_past_end, "EchoEvent",
+        "outside variable region"),
+    "var_ptr_alias_fixed": (
+        _var_ptr_alias_fixed, "NestedTelemetry",
+        "data pointer 16 outside variable region"),
+    "self_sized_count_truncated": (
+        _self_sized_count_truncated, "EchoEvent",
+        "element count at offset"),
+    "self_sized_count_smashed": (
+        _self_sized_count_smashed, "VarArrays",
+        "outside record"),
+    "sizing_field_smashed": (
+        _sizing_field_smashed, "SimpleData",
+        "outside record"),
+    "sizing_field_negative": (
+        _sizing_field_negative, "SimpleData",
+        "negative element count"),
+    "header_body_len_lies": (
+        _header_body_len_lies, "SimpleData",
+        "record truncated"),
+    "batch_truncated_prefix": (
+        _batch_truncated_prefix, "SimpleData",
+        "truncated inside record 1's length prefix"),
+    "batch_record_len_lies": (
+        _batch_record_len_lies, "SimpleData",
+        "extends past"),
+    "batch_count_impossible": (
+        _batch_count_impossible, "SimpleData__batch",
+        "impossible"),
+}
+
+
+def malformed_names() -> list[str]:
+    return sorted(_CASES)
+
+
+def compute_frames() -> dict[str, dict[str, dict[str, str]]]:
+    """All malformed vectors as {name: {order: {hex, case, match}}}."""
+    out: dict[str, dict[str, dict[str, str]]] = {}
+    for name, (builder, case, match) in _CASES.items():
+        out[name] = {}
+        for order in ARCHITECTURES:
+            out[name][order] = {
+                "case": case,
+                "match": match,
+                "hex": bytes(builder(order)).hex(),
+            }
+    return out
+
+
+def load_frames() -> dict[str, dict[str, dict[str, str]]]:
+    with FRAMES_PATH.open() as fh:
+        return json.load(fh)

@@ -1,0 +1,54 @@
+#!/usr/bin/env python
+"""Regenerate (or verify) the malformed regression frames.
+
+Usage::
+
+    PYTHONPATH=src python tests/golden/malformed/regen.py          # rewrite
+    PYTHONPATH=src python tests/golden/malformed/regen.py --check  # verify
+
+The frames are derived from the pristine golden vectors, so they only
+change when ``tests/golden/vectors.json`` does; ``--check`` is run in
+CI next to the golden-vector check.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[3]))
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--check", action="store_true",
+                        help="verify frames.json instead of rewriting")
+    args = parser.parse_args(argv)
+
+    from tests.golden.malformed.cases import (
+        FRAMES_PATH, compute_frames, load_frames,
+    )
+
+    current = compute_frames()
+    if not args.check:
+        FRAMES_PATH.write_text(json.dumps(current, indent=1,
+                                          sort_keys=True) + "\n")
+        total = sum(len(v) for v in current.values())
+        print(f"wrote {total} malformed frames ({len(current)} cases) "
+              f"to {FRAMES_PATH}")
+        return 0
+
+    stored = load_frames()
+    bad = [name for name in set(current) | set(stored)
+           if current.get(name) != stored.get(name)]
+    if bad:
+        print("malformed frames differ:", ", ".join(sorted(bad)))
+        return 1
+    print(f"{len(stored)} malformed cases match")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -278,7 +278,7 @@ class TestDecodeFailures:
         fl = field_list_for([("s", "string")])
         fmt = IOFormat("T", fl)
         body = struct.pack("<Q", 9999)
-        with pytest.raises(DecodeError, match="beyond"):
+        with pytest.raises(DecodeError, match="outside variable region"):
             RecordDecoder(fmt).decode(body)
 
     def test_unterminated_string(self):

@@ -1,0 +1,154 @@
+"""The CI fuzz smoke: seeded mutations over the golden corpus.
+
+Every mutated frame must either decode (with all oracle invariants —
+fused/unfused agreement, bounded allocation, lossless re-encode) or
+raise a typed ``DecodeError``/``ProtocolError``.  The run is fully
+deterministic: ``REPRO_FUZZ_ITERATIONS`` scales the budget (CI smoke
+uses the 10,000 default), the seed is pinned so a CI failure replays
+locally byte for byte.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+
+import pytest
+
+from repro.errors import DecodeError
+from repro.testing.fuzz import (
+    FrameMutator, FuzzReport, InvariantViolation, WireOracle,
+    records_equal, run_fuzz,
+)
+from tests.golden.cases import (
+    ARCHITECTURES, build_format, case_names, encode_case,
+)
+
+ITERATIONS = int(os.environ.get("REPRO_FUZZ_ITERATIONS", "10000"))
+SEED = 20260805
+
+
+def _corpus():
+    formats, corpus = [], {}
+    for case in case_names():
+        for order, arch in ARCHITECTURES.items():
+            formats.append(build_format(case, arch))
+            corpus[f"{case}/{order}"] = encode_case(case, arch)
+    return formats, corpus
+
+
+def test_pristine_corpus_passes_every_invariant():
+    formats, corpus = _corpus()
+    oracle = WireOracle(formats)
+    for name, wire in corpus.items():
+        outcome = oracle.check(wire)
+        assert outcome["decoded"] >= 1, name
+        assert outcome["reencoded"] == outcome["decoded"], name
+
+
+def test_fuzz_smoke_no_invariant_violations():
+    formats, corpus = _corpus()
+    oracle = WireOracle(formats)
+    report = run_fuzz(corpus, oracle, iterations=ITERATIONS,
+                      seed=SEED)
+    report.raise_for_failures()
+    assert report.ok
+    assert report.iterations == ITERATIONS
+    # the mutator must actually exercise both sides of the contract
+    assert report.rejected > 0
+    assert report.decoded_ok > 0
+    assert report.reencoded_ok > 0
+
+
+def test_run_is_deterministic_for_a_seed():
+    formats, corpus = _corpus()
+    oracle = WireOracle(formats)
+    a = run_fuzz(corpus, oracle, iterations=300, seed=7)
+    b = run_fuzz(corpus, oracle, iterations=300, seed=7)
+    assert (a.rejected, a.decoded_ok, a.reencoded_ok) == \
+        (b.rejected, b.decoded_ok, b.reencoded_ok)
+    c = run_fuzz(corpus, oracle, iterations=300, seed=8)
+    assert (a.rejected, a.decoded_ok) != (c.rejected, c.decoded_ok)
+
+
+def test_mutator_is_deterministic():
+    frame = bytes(range(64))
+    runs = []
+    for _ in range(2):
+        mut = FrameMutator(random.Random(42), [frame, frame[::-1]])
+        runs.append([mut.mutate(frame) for _ in range(50)])
+    assert runs[0] == runs[1]
+
+
+def test_oracle_flags_unbounded_allocation():
+    """A decoder that fabricates data the frame cannot justify must
+    trip the allocation bound — the oracle is not vacuous."""
+    fmt = build_format("SimpleData", ARCHITECTURES["little"])
+    oracle = WireOracle([fmt])
+    entry = oracle._by_id[fmt.format_id]
+
+    class Fabricator:
+        def decode(self, body):
+            return {"data": [0.0] * 100_000, "timestep": 1, "size": 3}
+
+    oracle._by_id[fmt.format_id] = (entry[0], Fabricator(),
+                                    Fabricator(), entry[3])
+    wire = encode_case("SimpleData", ARCHITECTURES["little"])
+    with pytest.raises(InvariantViolation, match="unbounded"):
+        oracle.check(wire)
+
+
+def test_report_failure_carries_replayable_frame():
+    from repro.testing.fuzz import FuzzFailure
+    report = FuzzReport()
+    assert report.ok
+    report.failures.append(FuzzFailure(
+        case="x", iteration=3, mutations=("flip_byte",),
+        frame_hex="deadbeef", error="ValueError: boom"))
+    assert report.failures[0].frame() == b"\xde\xad\xbe\xef"
+    with pytest.raises(InvariantViolation, match="ValueError: boom"):
+        report.raise_for_failures()
+
+
+def test_records_equal_handles_nan_and_nesting():
+    nan = float("nan")
+    assert records_equal({"a": [nan, 1.0]}, {"a": [nan, 1.0]})
+    assert not records_equal({"a": [nan, 1.0]}, {"a": [nan, 2.0]})
+    assert not records_equal({"a": 1}, {"b": 1})
+    assert records_equal([{"x": nan}], [{"x": nan}])
+
+
+def test_untyped_exception_is_reported_not_raised():
+    """run_fuzz classifies a stray exception as a FuzzFailure rather
+    than aborting the campaign."""
+    fmt = build_format("MixedRuns", ARCHITECTURES["little"])
+    oracle = WireOracle([fmt])
+    entry = oracle._by_id[fmt.format_id]
+
+    class Exploder:
+        def decode(self, body):
+            raise ValueError("raw escape")
+
+    oracle._by_id[fmt.format_id] = (entry[0], Exploder(), Exploder(),
+                                    entry[3])
+    wire = encode_case("MixedRuns", ARCHITECTURES["little"])
+    report = run_fuzz({"m": wire}, oracle, iterations=50, seed=1)
+    assert not report.ok
+    bad = report.failures[0]
+    assert "ValueError" in bad.error
+    with pytest.raises(InvariantViolation):
+        report.raise_for_failures()
+
+
+def test_rejections_are_the_allowed_types_only():
+    formats, corpus = _corpus()
+    oracle = WireOracle(formats)
+    rng = random.Random(99)
+    mutator = FrameMutator(rng, list(corpus.values()))
+    names = sorted(corpus)
+    for i in range(500):
+        frame, _ = mutator.mutate(corpus[names[i % len(names)]])
+        try:
+            oracle.check(frame)
+        except DecodeError:
+            pass  # the contract: typed rejection

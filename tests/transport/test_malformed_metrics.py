@@ -1,0 +1,159 @@
+"""Malformed wire inputs are counted, and healthy peers survive them.
+
+The hardening's transport-level contract: a hostile or corrupt frame
+is rejected with a typed error and recorded under
+``repro_malformed_frames_total`` — the endpoint (and, on the event
+loop, every *other* client) keeps working.
+"""
+
+from __future__ import annotations
+
+import socket
+import struct
+import time
+
+import pytest
+
+from repro.errors import DecodeError, ProtocolError
+from repro.obs import runtime
+from repro.obs.metrics import MALFORMED_FRAMES
+from repro.pbio.context import IOContext
+from repro.pbio.format_server import FormatServer
+from repro.transport.connection import Connection
+from repro.transport.eventloop import EventLoopServer
+from repro.transport.inproc import channel_pair
+from repro.transport.messages import Frame, FrameType, frame_bytes
+
+SPECS = [("timestep", "integer"), ("size", "integer"),
+         ("data", "float[size]")]
+
+
+@pytest.fixture(autouse=True)
+def _obs_on():
+    saved = runtime.enabled
+    runtime.enabled = True
+    yield
+    runtime.enabled = saved
+
+
+def _count(layer: str, reason: str) -> float:
+    return MALFORMED_FRAMES.labels(layer, reason).value
+
+
+def make_pair():
+    a_ch, b_ch = channel_pair()
+    server = FormatServer()
+    actx = IOContext(format_server=server)
+    bctx = IOContext(format_server=server)
+    return Connection(actx, a_ch), Connection(bctx, b_ch)
+
+
+class TestConnectionCounters:
+    def test_corrupt_record_counts_bad_record(self):
+        a, b = make_pair()
+        a.context.register_layout("SimpleData", SPECS)
+        wire = bytearray(
+            a.context.encode("SimpleData",
+                             {"timestep": 1, "data": [1.0, 2.0]}))
+        # smash the sizing field so the validated decoder rejects it
+        struct.pack_into("<i", wire, 16 + 4, 0x7FFFFFFF)
+        before = _count("connection", "bad_record")
+        a.channel.send(Frame(FrameType.DATA, bytes(wire)))
+        with pytest.raises(DecodeError):
+            b.receive(timeout=5)
+        assert _count("connection", "bad_record") == before + 1
+
+    def test_short_fmt_rsp_counts(self):
+        a, b = make_pair()
+        before = _count("connection", "bad_fmt_rsp")
+        a.channel.send(Frame(FrameType.FMT_RSP, b"\x00\x01"))
+        a.context.register_layout("SimpleData", SPECS)
+        a.send("SimpleData", {"timestep": 1, "data": []})
+        with pytest.raises(ProtocolError, match="too short"):
+            b.receive(timeout=5)
+        assert _count("connection", "bad_fmt_rsp") == before + 1
+
+    def test_bad_fmt_req_counts_and_is_protocol_error(self):
+        a, b = make_pair()
+        a.context.register_layout("SimpleData", SPECS)
+        before = _count("connection", "bad_fmt_req")
+        # a FMT_REQ whose payload is not an 8-byte format id used to
+        # escape as UnknownFormatError from FormatID.from_bytes
+        a.channel.send(Frame(FrameType.FMT_REQ, b"\x01\x02"))
+        a.send("SimpleData", {"timestep": 1, "data": []})
+        with pytest.raises(ProtocolError, match="malformed FMT_REQ"):
+            b.receive(timeout=5)
+        assert _count("connection", "bad_fmt_req") == before + 1
+
+    def test_unexpected_frame_counts(self):
+        a, b = make_pair()
+        before = _count("connection", "unexpected_frame")
+        a.channel.send(Frame(FrameType.STATS_RSP, b""))
+        a.context.register_layout("SimpleData", SPECS)
+        a.send("SimpleData", {"timestep": 1, "data": []})
+        with pytest.raises(ProtocolError, match="unexpected frame"):
+            b.receive(timeout=5)
+        assert _count("connection", "unexpected_frame") == before + 1
+
+    def test_send_encoded_rejects_lying_header(self):
+        a, _b = make_pair()
+        a.context.register_layout("SimpleData", SPECS)
+        wire = bytearray(
+            a.context.encode("SimpleData", {"timestep": 1, "data": []}))
+        struct.pack_into(">I", wire, 12, len(wire))  # body_len lies
+        with pytest.raises(DecodeError, match="truncated"):
+            a.send_encoded(bytes(wire))
+
+
+class TestEventLoopCounters:
+    def _connect(self, server):
+        sock = socket.create_connection((server.host, server.port),
+                                        timeout=5)
+        return sock
+
+    def _wait(self, predicate, timeout=5.0):
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            if predicate():
+                return True
+            time.sleep(0.01)
+        return False
+
+    def test_zero_length_and_oversized_counted_per_client(self):
+        with EventLoopServer(max_frame_len=1024) as server:
+            z0 = _count("eventloop", "zero_length_frame")
+            o0 = _count("eventloop", "oversized_frame")
+
+            bad_zero = self._connect(server)
+            healthy = self._connect(server)
+            assert server.wait_for_clients(2, timeout=5)
+
+            bad_zero.sendall(struct.pack(">I", 0))
+            assert self._wait(
+                lambda: _count("eventloop",
+                               "zero_length_frame") == z0 + 1)
+
+            bad_big = self._connect(server)
+            bad_big.sendall(struct.pack(">I", 1 << 20))
+            assert self._wait(
+                lambda: _count("eventloop",
+                               "oversized_frame") == o0 + 1)
+
+            # the healthy peer is still connected and served
+            healthy.sendall(frame_bytes(FrameType.HELLO, b"x86"))
+            assert self._wait(lambda: server.totals()
+                              ["frames_received"] >= 1)
+            assert any(c.sock for c in server.clients())
+            bad_zero.close()
+            bad_big.close()
+            healthy.close()
+
+    def test_unknown_frame_type_counted(self):
+        with EventLoopServer() as server:
+            b0 = _count("eventloop", "bad_frame")
+            sock = self._connect(server)
+            payload = bytes([0xEE]) + b"junk"
+            sock.sendall(struct.pack(">I", len(payload)) + payload)
+            assert self._wait(
+                lambda: _count("eventloop", "bad_frame") == b0 + 1)
+            sock.close()

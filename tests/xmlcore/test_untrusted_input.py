@@ -1,0 +1,100 @@
+"""Character-reference and truncated-entity handling on hostile input.
+
+The metadata path parses XML fetched over the network, so the same
+untrusted-input discipline applies: surrogate and out-of-range code
+points in character references must be rejected with the typed
+well-formedness error (never ``ValueError`` out of ``chr()``), and a
+document truncated mid-reference or mid-entity must fail cleanly.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import XMLWellFormednessError
+from repro.xmlcore import parse
+from repro.xmlcore.entities import EntityTable, decode_char_reference
+
+
+def reject(text: str) -> XMLWellFormednessError:
+    with pytest.raises(XMLWellFormednessError) as info:
+        parse(text)
+    return info.value
+
+
+class TestDecodeCharReference:
+    """The decoder itself, without a parser in front of it."""
+
+    @pytest.mark.parametrize("body,char", [
+        ("#65", "A"), ("#x41", "A"), ("#X41", "A"),
+        ("#x10FFFF", "\U0010FFFF"), ("#1114111", "\U0010FFFF"),
+        ("#xD7FF", "퟿"), ("#xE000", ""),
+    ])
+    def test_legal(self, body, char):
+        assert decode_char_reference(body) == char
+
+    @pytest.mark.parametrize("body", [
+        # the whole surrogate block, which chr() would happily accept
+        "#xD800", "#xDABC", "#xDFFF", "#55296", "#57343",
+    ])
+    def test_surrogates_rejected(self, body):
+        with pytest.raises(XMLWellFormednessError,
+                           match="not a legal XML character"):
+            decode_char_reference(body)
+
+    @pytest.mark.parametrize("body", [
+        "#x110000", "#1114112", "#x7FFFFFFF", "#xFFFFFFFFFFFF",
+        "#99999999999999999999",  # would MemoryError a naive chr()
+    ])
+    def test_out_of_range_rejected(self, body):
+        with pytest.raises(XMLWellFormednessError, match="out of range"):
+            decode_char_reference(body)
+
+    @pytest.mark.parametrize("body", [
+        "#", "#x", "#xG", "#12x", "# 65", "#-65", "#x-41", "#+65",
+        "#0x41", "#١٢",  # non-ASCII digits must not parse
+    ])
+    def test_malformed_rejected(self, body):
+        with pytest.raises(XMLWellFormednessError):
+            decode_char_reference(body)
+
+
+class TestTruncatedReferences:
+    """References and entities cut off by a short read."""
+
+    @pytest.mark.parametrize("doc", [
+        "<r>&#x41",      # char ref, no terminator, EOF
+        "<r>&#x41</r>",  # char ref, no terminator, markup resumes
+        "<r>&#",
+        "<r>&amp",
+        "<r>&a",
+        "<r>&",
+        '<r a="&#x41"/>',
+        '<r a="&amp"></r>',
+    ])
+    def test_unterminated_reference(self, doc):
+        reject(doc)
+
+    def test_truncated_entity_declaration(self):
+        reject('<!DOCTYPE r [<!ENTITY e "v>]><r>&e;</r>')
+        reject('<!DOCTYPE r [<!ENTITY e ')
+
+    def test_entity_replacement_with_bad_char_reference(self):
+        reject('<!DOCTYPE r [<!ENTITY e "&#xD800;">]><r>&e;</r>')
+
+    def test_truncated_document_after_entity(self):
+        reject('<!DOCTYPE r [<!ENTITY e "v">]><r>&e;')
+
+
+class TestEntityTableExpansion:
+    def test_unterminated_reference_inside_replacement(self):
+        table = EntityTable()
+        table.declare("e", "head &amp tail")
+        with pytest.raises(XMLWellFormednessError):
+            table.resolve("e")
+
+    def test_surrogate_inside_replacement(self):
+        table = EntityTable()
+        table.declare("e", "ok &#xDC00; bad")
+        with pytest.raises(XMLWellFormednessError):
+            table.resolve("e")
