@@ -1,0 +1,70 @@
+#!/usr/bin/env python
+"""CI regression gate for sender-side down-conversion.
+
+Reads ``BENCH_evolution.json`` (written when the benchmark suite runs
+``benchmarks/test_abl_evolution_cost.py``) and fails unless the
+publisher's record-path down-conversion stays within
+``DOWN_CONVERT_MAX``x of a native old-version decode on every shape —
+the bound that keeps serving one stale cohort comparable to serving
+one extra native subscriber.  The relay (wire) path re-decodes the new
+frame first, so it gets the looser ``RELAY_MAX``x.
+
+Usage::
+
+    python benchmarks/check_evolution_gate.py \
+        [path/to/BENCH_evolution.json]
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+DOWN_CONVERT_MAX = 2.0
+RELAY_MAX = 5.0
+
+
+def main(argv: list[str]) -> int:
+    path = Path(argv[1]) if len(argv) > 1 else \
+        Path(__file__).resolve().parents[1] / "BENCH_evolution.json"
+    if not path.exists():
+        print(f"gate: {path} missing — run the benchmark suite first "
+              "(PYTHONPATH=src python -m pytest "
+              "benchmarks/test_abl_evolution_cost.py)")
+        return 2
+    data = json.loads(path.read_text())
+
+    failures: list[str] = []
+    shapes = data.get("sender", {})
+    if not shapes:
+        failures.append("no sender shapes recorded")
+    for shape, m in sorted(shapes.items()):
+        down = m["down_convert_over_native_decode"]
+        relay = m["relay_convert_over_native_decode"]
+        print(f"sender {shape:10s}  "
+              f"native {m['native_decode_us']:7.2f}us  "
+              f"down-convert {m['down_convert_us']:7.2f}us "
+              f"({down:.3f}x)  "
+              f"relay {m['relay_convert_us']:7.2f}us ({relay:.3f}x)")
+        if down > DOWN_CONVERT_MAX:
+            failures.append(
+                f"record-path down-conversion on {shape} is "
+                f"{down:.3f}x a native decode, above the "
+                f"{DOWN_CONVERT_MAX}x gate")
+        if relay > RELAY_MAX:
+            failures.append(
+                f"relay down-conversion on {shape} is {relay:.3f}x a "
+                f"native decode, above the {RELAY_MAX}x gate")
+
+    if failures:
+        print("\nGATE FAILED:")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print("\ngate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

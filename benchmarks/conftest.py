@@ -39,10 +39,16 @@ BENCH_OBS_PATH = Path(__file__).resolve().parents[1] / \
 BENCH_HARDENING_PATH = Path(__file__).resolve().parents[1] / \
     "BENCH_hardening.json"
 
+#: Where the down-conversion cost numbers land; consumed by
+#: ``benchmarks/check_evolution_gate.py`` in CI.
+BENCH_EVOLUTION_PATH = Path(__file__).resolve().parents[1] / \
+    "BENCH_evolution.json"
+
 _FUSED_METRICS: dict = {}
 _FANOUT_METRICS: dict = {}
 _OBS_METRICS: dict = {}
 _HARDENING_METRICS: dict = {}
+_EVOLUTION_METRICS: dict = {}
 
 
 def context_for_case(case) -> IOContext:
@@ -98,6 +104,14 @@ def hardening_metrics() -> dict:
     return _HARDENING_METRICS
 
 
+@pytest.fixture
+def evolution_metrics() -> dict:
+    """Session-wide sink for the sender-side down-conversion cost
+    numbers (``test_abl_evolution_cost``); flushed to
+    BENCH_evolution.json at session end."""
+    return _EVOLUTION_METRICS
+
+
 def pytest_sessionfinish(session, exitstatus):
     if _FUSED_METRICS:
         BENCH_FUSED_PATH.write_text(
@@ -111,4 +125,8 @@ def pytest_sessionfinish(session, exitstatus):
     if _HARDENING_METRICS:
         BENCH_HARDENING_PATH.write_text(
             json.dumps(_HARDENING_METRICS, indent=2, sort_keys=True) +
+            "\n")
+    if _EVOLUTION_METRICS:
+        BENCH_EVOLUTION_PATH.write_text(
+            json.dumps(_EVOLUTION_METRICS, indent=2, sort_keys=True) +
             "\n")

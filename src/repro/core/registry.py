@@ -91,6 +91,10 @@ class FormatRegistry:
     #: digest -> (format names, enum names) of a completed compile.
     _compiled: dict[str, tuple[tuple[str, ...], tuple[str, ...]]] = \
         field(default_factory=dict)
+    #: name -> successive IR versions seen across loads/refreshes
+    #: (advisory lineage; the wire-level digest chains live in
+    #: repro.pbio.lineage.LineageRegistry)
+    _history: dict[str, list[FormatIR]] = field(default_factory=dict)
     _lock: threading.RLock = field(default_factory=threading.RLock,
                                    repr=False)
 
@@ -248,6 +252,11 @@ class FormatRegistry:
             DISCOVERY_COMPILE_SECONDS.observe(duration_ns * 1e-9)
         self.stats.count("compiles")
         self.ir.merge(compiled)
+        for name in compiled.formats:
+            chain = self._history.setdefault(name, [])
+            fmt = self.ir.formats[name]
+            if not chain or chain[-1] != fmt:
+                chain.append(fmt)
         self.loads += 1
         self._sources[url] = _Source(
             url=url,
@@ -301,6 +310,13 @@ class FormatRegistry:
     def urls(self) -> tuple[str, ...]:
         with self._lock:
             return tuple(self._sources)
+
+    def lineage(self, format_name: str) -> tuple[FormatIR, ...]:
+        """Every IR version of *format_name* this registry has
+        compiled, oldest first — the discovery-level mirror of the
+        wire-level digest chain.  () if the name was never loaded."""
+        with self._lock:
+            return tuple(self._history.get(format_name, ()))
 
     # -- change propagation ----------------------------------------------------
 

@@ -58,6 +58,23 @@ CODEC_PLANS = REGISTRY.counter(
     "encoder_for_format/decoder_for_format",
     labels=("kind", "outcome"))
 
+# -- format evolution -------------------------------------------------------
+
+EVOLUTION_EVENTS = REGISTRY.counter(
+    "repro_evolution_events_total",
+    "Format-evolution lifecycle events: lineage growth "
+    "(lineage_appended), down-conversion plan cache activity "
+    "(plans_compiled, plan_cache_hits), records re-encoded for stale "
+    "peers (records_down_converted), handshakes (negotiations, "
+    "no_common_version) and publisher cutovers (cutovers)",
+    labels=("event",))
+
+NEGOTIATED_VERSIONS = REGISTRY.counter(
+    "repro_negotiated_versions_total",
+    "Lineage handshakes resolved, by the peer's negotiated position "
+    "in the lineage chain (v0 = oldest registered version)",
+    labels=("version",))
+
 # -- transport --------------------------------------------------------------
 
 TRANSPORT_CLIENTS = REGISTRY.gauge(

@@ -163,6 +163,9 @@ class IOContext:
         self.format_server = (format_server if format_server is not None
                               else global_format_server())
         self._formats: dict[str, IOFormat] = {}
+        #: every version of a name this context holds native bindings
+        #: for, oldest first (grown by register_evolution)
+        self._versions: dict[str, list[IOFormat]] = {}
         self._encoders: dict[FormatID, RecordEncoder] = {}
         self._decoders: dict[tuple[FormatID, str], RecordDecoder] = {}
         self._wire_formats: dict[FormatID, IOFormat] = {}
@@ -207,6 +210,51 @@ class IOContext:
             self.format_server.register(fmt)
             self._formats[fmt.name] = fmt
             self._wire_formats[fmt.format_id] = fmt
+            versions = self._versions.setdefault(fmt.name, [])
+            if fmt not in versions:
+                versions.append(fmt)
+
+    def register_evolution(self, new_fmt: IOFormat) -> IOFormat:
+        """Rebind *new_fmt.name* to its next version.
+
+        The currently bound format becomes the previous lineage link:
+        the server-side digest chain grows by one validated step
+        (fields only appended, shared fields convertible), the name
+        now encodes at the new version, and this context keeps native
+        bindings for **both** — :meth:`decodable_versions` reports the
+        whole set, which is what a lineage handshake offers a peer.
+        First-time names fall through to plain registration.
+        """
+        old = self._formats.get(new_fmt.name)
+        if old is None or old == new_fmt:
+            self._register(new_fmt)
+            return new_fmt
+        with span("register", format=new_fmt.name):
+            self.format_server.register_evolution(old, new_fmt)
+            self._formats[new_fmt.name] = new_fmt
+            self._wire_formats[new_fmt.format_id] = new_fmt
+            versions = self._versions.setdefault(new_fmt.name, [old])
+            if new_fmt not in versions:
+                versions.append(new_fmt)
+        return new_fmt
+
+    def decodable_versions(self, name: str) -> tuple[FormatID, ...]:
+        """Digests of every version of *name* this context can decode
+        natively, oldest first — exactly what a LIN_REQ offers."""
+        versions = self._versions.get(name)
+        if not versions:
+            raise UnknownFormatError(
+                f"format {name!r} not registered with this context")
+        return tuple(fmt.format_id for fmt in versions)
+
+    def version_for(self, name: str, fid: FormatID) -> IOFormat:
+        """The locally bound version of *name* carrying digest *fid*
+        (e.g. the one a handshake negotiated)."""
+        for fmt in self._versions.get(name, ()):
+            if fmt.format_id == fid:
+                return fmt
+        raise UnknownFormatError(
+            f"no local version of {name!r} with id {fid}")
 
     def unregister(self, name: str) -> None:
         """Forget the local binding of *name* (so a changed format can
@@ -217,6 +265,7 @@ class IOContext:
         if fmt is None:
             raise UnknownFormatError(
                 f"format {name!r} not registered with this context")
+        self._versions.pop(name, None)
         self._encoders.pop(fmt.format_id, None)
         self._conversions = {key: plan
                              for key, plan in self._conversions.items()

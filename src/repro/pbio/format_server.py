@@ -18,6 +18,7 @@ import threading
 
 from repro.errors import FormatRegistrationError, UnknownFormatError
 from repro.pbio.format import FormatID, IOFormat, deserialize_format
+from repro.pbio.lineage import LineageRegistry
 
 
 class FormatServer:
@@ -28,6 +29,10 @@ class FormatServer:
         self._by_id: dict[FormatID, bytes] = {}
         self._registrations = 0
         self._lookups = 0
+        #: digest chains per format name (rolling-evolution support);
+        #: grown via register_evolution, queried by the lineage-aware
+        #: handshake
+        self.lineages = LineageRegistry()
 
     def register(self, fmt: IOFormat) -> FormatID:
         """Register *fmt*; returns its (digest-derived) format ID.
@@ -75,6 +80,43 @@ class FormatServer:
         """Register metadata received from a peer (transport path)."""
         fmt = deserialize_format(canonical)
         return self.register(fmt)
+
+    # -- lineages ------------------------------------------------------------
+
+    def register_evolution(self, old: IOFormat,
+                           new: IOFormat) -> FormatID:
+        """Register *new* as the next version of *old*'s lineage.
+
+        Both formats end up registered (ID -> metadata) and the name's
+        digest chain grows by one validated link.  Returns *new*'s ID.
+        """
+        self.register(old)
+        self.lineages.append(old, new)
+        return self.register(new)
+
+    def lineage(self, name: str) -> tuple[FormatID, ...]:
+        """The digest chain for *name*, oldest first (() if none)."""
+        return self.lineages.chain(name)
+
+    def negotiate(self, name: str, offered) -> FormatID | None:
+        """The newest version of *name* this server knows that the
+        peer's *offered* digests also cover (None: nothing shared).
+
+        Falls back to a single-version chain when the name was
+        registered without explicit lineage calls: any registered
+        format whose digest the peer offers is mutually decodable.
+        """
+        offered = list(offered)
+        chosen = self.lineages.highest_common(name, offered)
+        if chosen is not None:
+            return chosen
+        # no recorded lineage: accept the newest offered digest we can
+        # serve (peers list their versions oldest first)
+        known = set(self.known_ids())
+        for fid in reversed(offered):
+            if fid in known and self.lookup(fid).name == name:
+                return fid
+        return None
 
     def known_ids(self) -> tuple[FormatID, ...]:
         with self._lock:

@@ -10,13 +10,21 @@ that promise into an executable oracle:
 * :class:`FrameMutator` — a deterministic (seeded) corpus-driven
   mutator: byte/bit flips, truncations, extensions, pointer and count
   smashing at every offset, zero/0xFF runs, batch-header splicing and
-  cross-frame crossover.
+  cross-frame crossover.  The lineage handshake adds two kinds of its
+  own (u8 length/count smashing, digest splicing) that campaigns opt
+  into via :data:`HANDSHAKE_KINDS`.
 * :class:`WireOracle` — the differential judge.  Every mutated frame
   must either (a) raise an allowed typed error, or (b) decode — in
   which case the fused and per-field decode plans must agree, the
   decoded value's size must be bounded by the frame's own length, and
   re-encoding (when the value is still encodable) must round-trip to
   an equal record.
+* :class:`HandshakeOracle` — the same contract for LIN_REQ/LIN_RSP
+  frame bodies: reject with a typed
+  :class:`~repro.errors.ProtocolError` or decode to a payload whose
+  canonical re-encode is byte-identical (the handshake layout has no
+  padding or alternate spellings, so decode∘encode must be the
+  identity on everything that decodes).
 * :func:`run_fuzz` — drive N seeded mutations over a corpus and
   return a :class:`FuzzReport`; ``report.raise_for_failures()`` is the
   CI smoke assertion.
@@ -56,6 +64,18 @@ _U32 = struct.Struct(">I")
 _SMASH_VALUES = (0, 1, 2, 3, 4, 7, 8, 15, 16, 0x7F, 0xFF, 0x100,
                  0xFFFF, 0x10000, 0x7FFFFFFF, 0x80000000, 0xFFFFFFFE,
                  0xFFFFFFFF)
+
+#: single-byte boundary values for the u8 fields that structure a
+#: lineage-handshake payload (name length, digest counts, ok flag)
+_SMASH_U8_VALUES = (0, 1, 2, 3, 7, 8, 0x7F, 0x80, 0xFE, 0xFF)
+
+#: the default mutation set plus the handshake-specific kinds; the
+#: default :attr:`FrameMutator.kinds` tuple must NOT grow (existing
+#: seeded campaigns replay byte for byte), so handshake fuzz opts in
+HANDSHAKE_KINDS = ("flip_byte", "flip_bit", "truncate", "extend",
+                   "smash_u32", "zero_run", "ff_run", "duplicate_run",
+                   "splice_header", "crossover", "smash_u8",
+                   "splice_digest")
 
 
 class InvariantViolation(Exception):
@@ -123,12 +143,17 @@ class FrameMutator:
     """
 
     def __init__(self, rng: random.Random,
-                 corpus_frames: list[bytes] | None = None) -> None:
+                 corpus_frames: list[bytes] | None = None,
+                 kinds: tuple[str, ...] | None = None) -> None:
         self.rng = rng
         self.corpus_frames = corpus_frames or []
-        self.kinds = ("flip_byte", "flip_bit", "truncate", "extend",
-                      "smash_u32", "zero_run", "ff_run",
-                      "duplicate_run", "splice_header", "crossover")
+        #: the historical default set; seeded campaigns replay against
+        #: it, so it never changes — pass *kinds* (e.g.
+        #: :data:`HANDSHAKE_KINDS`) to widen a new campaign instead
+        self.kinds = tuple(kinds) if kinds is not None else (
+            "flip_byte", "flip_bit", "truncate", "extend",
+            "smash_u32", "zero_run", "ff_run",
+            "duplicate_run", "splice_header", "crossover")
 
     def mutate(self, frame: bytes,
                rounds: int | None = None) -> tuple[bytes, tuple[str, ...]]:
@@ -214,6 +239,40 @@ class FrameMutator:
                 start = self.rng.randrange(len(other))
                 n = self.rng.randint(1, 48)
                 data[at:at + n] = other[start:start + n]
+        return data
+
+    # -- handshake-specific kinds (opt-in via HANDSHAKE_KINDS) --------------
+
+    def _smash_u8(self, data: bytearray) -> bytearray:
+        """Overwrite one byte with a boundary value — the handshake
+        payload is structured entirely by u8 fields (name length,
+        digest counts, ok flag), so this is its count-smash."""
+        if data:
+            at = self.rng.randrange(len(data))
+            data[at] = self.rng.choice(
+                _SMASH_U8_VALUES + (len(data) & 0xFF,))
+        return data
+
+    def _splice_digest(self, data: bytearray) -> bytearray:
+        """Overwrite an 8-byte run with a forged digest: zeros, 0xFF,
+        or eight bytes lifted from another corpus frame — the wrong-
+        lineage / zeroed-chosen attack on digest slots."""
+        if not data:
+            return data
+        at = self.rng.randrange(len(data))
+        which = self.rng.randrange(3)
+        if which == 0:
+            digest = b"\x00" * 8
+        elif which == 1:
+            digest = b"\xff" * 8
+        else:
+            pool = self.rng.choice(self.corpus_frames) \
+                if self.corpus_frames else bytes(data)
+            if len(pool) < 8:
+                pool = bytes(pool) + b"\x00" * 8
+            start = self.rng.randrange(len(pool) - 7)
+            digest = bytes(pool[start:start + 8])
+        data[at:at + 8] = digest
         return data
 
 
@@ -341,9 +400,64 @@ class WireOracle:
         return True
 
 
-def run_fuzz(corpus: dict[str, bytes], oracle: WireOracle, *,
+class HandshakeOracle:
+    """Decode judge for lineage-handshake frame bodies.
+
+    *Frame body* means what :func:`~repro.transport.messages
+    .decode_frame` receives after the transport strips the u32 length
+    prefix: ``u8 type | payload``.  The contract: every body either
+    raises a typed :class:`~repro.errors.ProtocolError`, or decodes to
+    a LIN_REQ/LIN_RSP payload whose canonical re-encode reproduces the
+    input byte for byte — the handshake layout has no padding and no
+    alternate spellings, so a decodable frame that re-encodes
+    differently means the decoder accepted something the encoder
+    cannot say (a smuggling channel).  Mutations that land on another
+    frame type are outside this oracle's jurisdiction and count as
+    rejected.
+    """
+
+    def check(self, body: bytes) -> dict:
+        from repro.transport.messages import (
+            FrameType, decode_frame, decode_lineage_req,
+            decode_lineage_rsp, encode_lineage_req,
+            encode_lineage_rsp,
+        )
+        frame = decode_frame(body)
+        if frame.type is FrameType.LIN_REQ:
+            name, offered = decode_lineage_req(frame.payload)
+            if not offered:
+                raise InvariantViolation(
+                    "LIN_REQ decoded with no offered digests")
+            rebuild = lambda: encode_lineage_req(name, offered)  # noqa: E731
+        elif frame.type is FrameType.LIN_RSP:
+            name, chosen, chain = decode_lineage_rsp(frame.payload)
+            if chosen is not None and chain and chosen not in chain:
+                raise InvariantViolation(
+                    "LIN_RSP decoded with chosen outside its chain")
+            rebuild = lambda: encode_lineage_rsp(name, chosen, chain)  # noqa: E731
+        else:
+            raise ProtocolError(
+                f"not a lineage handshake frame ({frame.type.name})")
+        if not name:
+            raise InvariantViolation(
+                f"{frame.type.name} decoded with an empty name")
+        try:
+            again = rebuild()
+        except Exception as exc:
+            raise InvariantViolation(
+                f"{frame.type.name}: decoded payload failed canonical "
+                f"re-encode: {type(exc).__name__}: {exc}") from exc
+        if again != frame.payload:
+            raise InvariantViolation(
+                f"{frame.type.name}: canonical re-encode drifted: "
+                f"{frame.payload.hex()} -> {again.hex()}")
+        return {"decoded": 1, "reencoded": 1}
+
+
+def run_fuzz(corpus: dict[str, bytes], oracle, *,
              iterations: int = 10_000, seed: int = 0,
              allowed: tuple = (DecodeError, ProtocolError),
+             kinds: tuple[str, ...] | None = None,
              max_struct_errors: int = 0) -> FuzzReport:
     """Drive *iterations* seeded mutations of *corpus* through
     *oracle* and classify every outcome.
@@ -353,13 +467,15 @@ def run_fuzz(corpus: dict[str, bytes], oracle: WireOracle, *,
     raise one of *allowed*; anything else — a bare ``struct.error``,
     ``ValueError``, ``MemoryError``, an oracle
     :class:`InvariantViolation` — is recorded as a
-    :class:`FuzzFailure`.  Deterministic for a given seed.
+    :class:`FuzzFailure`.  Deterministic for a given seed.  *kinds*
+    widens the mutation set (e.g. :data:`HANDSHAKE_KINDS`); omitting
+    it keeps the historical default so existing seeds replay.
     """
     _ = max_struct_errors  # reserved: no tolerated escapes today
     rng = random.Random(seed)
     names = sorted(corpus)
     frames = [bytes(corpus[name]) for name in names]
-    mutator = FrameMutator(rng, frames)
+    mutator = FrameMutator(rng, frames, kinds=kinds)
     report = FuzzReport()
     for iteration in range(iterations):
         pick = rng.randrange(len(names))

@@ -31,15 +31,20 @@ import enum
 import json
 import threading
 
-from repro.errors import SlowConsumerError
+from repro.errors import (
+    ProtocolError, SlowConsumerError, UnknownFormatError,
+)
 from repro.obs import runtime as _obs
 from repro.obs.spans import observe_phase, sample_t0
 from repro.pbio.context import IOContext
 from repro.pbio.encode import parse_header
-from repro.pbio.format import IOFormat
+from repro.pbio.evolution import down_converter
+from repro.pbio.format import FormatID, IOFormat
+from repro.transport.connection import count_negotiation
 from repro.transport.eventloop import ClientHandle, EventLoopServer
 from repro.transport.messages import (
-    MAX_FRAME, Frame, FrameType, frame_bytes,
+    MAX_FRAME, Frame, FrameType, decode_lineage_req,
+    encode_lineage_rsp, frame_bytes,
 )
 
 
@@ -88,7 +93,9 @@ class BroadcastStats:
 
     _COUNTERS = ("messages_broadcast", "frames_enqueued",
                  "bytes_queued", "bytes_encoded", "formats_announced",
-                 "frames_dropped", "clients_evicted", "block_waits")
+                 "frames_dropped", "clients_evicted", "block_waits",
+                 "lineage_negotiations", "frames_down_converted",
+                 "cutovers")
     _HIGH_WATER = ("queue_high_water", "subscriber_high_water")
     _LOCK = threading.Lock()
     _TOTALS = {name: 0 for name in _COUNTERS}
@@ -171,6 +178,9 @@ class BroadcastPublisher:
         self._hello = Frame(
             FrameType.HELLO,
             context.architecture.name.encode("utf-8")).encode()
+        #: digest -> IOFormat for older lineage versions subscribers
+        #: negotiated down to (resolved once, reused every fan-out)
+        self._version_formats: dict[FormatID, IOFormat] = {}
         self.server = EventLoopServer(host=host, port=port,
                                       handler=self,
                                       max_frame_len=max_frame_len)
@@ -215,7 +225,14 @@ class BroadcastPublisher:
             observe_phase("marshal", t0)
         data = frame_bytes(FrameType.DATA, header, body)
         self.context.stats.count_encoded(1, len(header) + len(body))
-        return self._fan_out(fmt, data, records=1)
+
+        def down_convert(old_fmt: IOFormat) -> bytes:
+            parts = down_converter(fmt, old_fmt).encode_record_parts(
+                record)
+            return frame_bytes(FrameType.DATA, *parts)
+
+        return self._fan_out(fmt, data, records=1,
+                             down_convert=down_convert)
 
     def publish_many(self, format_name: str | IOFormat,
                      records) -> int:
@@ -227,7 +244,13 @@ class BroadcastPublisher:
             return 0
         wire = self.context.encode_many(fmt, records)
         data = frame_bytes(FrameType.DATA_BATCH, wire)
-        return self._fan_out(fmt, data, records=len(records))
+
+        def down_convert(old_fmt: IOFormat) -> bytes:
+            batch = down_converter(fmt, old_fmt).encode_batch(records)
+            return frame_bytes(FrameType.DATA_BATCH, batch)
+
+        return self._fan_out(fmt, data, records=len(records),
+                             down_convert=down_convert)
 
     def publish_encoded(self, wire: bytes) -> int:
         """Fan out an already-encoded record (bytes from
@@ -235,7 +258,52 @@ class BroadcastPublisher:
         fid, _ = parse_header(wire, require_body=True)
         fmt = self.context._resolve_wire_format(fid)
         data = frame_bytes(FrameType.DATA, wire)
-        return self._fan_out(fmt, data, records=1)
+
+        def down_convert(old_fmt: IOFormat) -> bytes:
+            # relay path: only the wire bytes are in hand
+            converted = down_converter(fmt, old_fmt).convert_wire(wire)
+            return frame_bytes(FrameType.DATA, converted)
+
+        return self._fan_out(fmt, data, records=1,
+                             down_convert=down_convert)
+
+    def cutover(self, new_fmt: IOFormat) -> int:
+        """Upgrade the stream to *new_fmt* mid-flight, zero drops.
+
+        The name's current binding becomes the previous lineage link
+        (:meth:`~repro.pbio.context.IOContext.register_evolution`
+        validates the restricted-evolution rule), then every connected
+        subscriber is re-announced — the new metadata as FMT_RSP and
+        the grown lineage as LIN_RSP — with **non-droppable** control
+        frames on its FIFO write queue.  FIFO ordering is the zero-
+        drop guarantee: the announcements land strictly before the
+        first record published at the new version, so an un-negotiated
+        subscriber resolves the new ID without a FMT_REQ round-trip,
+        while subscribers pinned to an ancestor version keep receiving
+        down-converted frames and never notice the cut.  Returns the
+        number of subscribers re-announced.
+        """
+        self.context.register_evolution(new_fmt)
+        chain = self.context.format_server.lineage(new_fmt.name)
+        reached = 0
+        for client in self.server.clients():
+            if new_fmt.format_id not in client.announced:
+                self._announce(client, new_fmt)
+            pinned = client.negotiated.get(new_fmt.name)
+            chosen = pinned if pinned is not None else \
+                new_fmt.format_id
+            payload = encode_lineage_rsp(
+                new_fmt.name, chosen,
+                chain if chosen in chain else ())
+            if self.server.enqueue(
+                    client, frame_bytes(FrameType.LIN_RSP, payload),
+                    droppable=False):
+                reached += 1
+        self.stats.count("cutovers")
+        if _obs.enabled:
+            from repro.obs.metrics import EVOLUTION_EVENTS
+            EVOLUTION_EVENTS.labels("cutovers").inc()
+        return reached
 
     def flush(self, timeout: float | None = None) -> bool:
         """Wait until every subscriber's queue has drained."""
@@ -261,15 +329,40 @@ class BroadcastPublisher:
             return format_name
         return self.context.lookup_format(format_name)
 
-    def _fan_out(self, fmt: IOFormat, data: bytes,
-                 records: int) -> int:
+    def _version_format(self, name: str, fid: FormatID) -> IOFormat:
+        """Resolve an older lineage version a subscriber negotiated."""
+        fmt = self._version_formats.get(fid)
+        if fmt is None:
+            try:
+                fmt = self.context.version_for(name, fid)
+            except UnknownFormatError:
+                fmt = self.context.format_server.lookup(fid)
+            self._version_formats[fid] = fmt
+        return fmt
+
+    def _fan_out(self, fmt: IOFormat, data: bytes, records: int,
+                 down_convert=None) -> int:
         t0 = sample_t0()
         clients = self.server.clients()
         reached = 0
+        #: frames re-encoded for stale versions this fan-out: built at
+        #: most once per *version*, shared by every subscriber on it
+        variants: dict[FormatID, tuple[IOFormat, bytes]] = {}
         for client in clients:
-            if fmt.format_id not in client.announced:
-                self._announce(client, fmt)
-            if self._offer(client, data):
+            send_fmt, frame = fmt, data
+            target = client.negotiated.get(fmt.name)
+            if down_convert is not None and target is not None \
+                    and target != fmt.format_id:
+                cached = variants.get(target)
+                if cached is None:
+                    old_fmt = self._version_format(fmt.name, target)
+                    cached = (old_fmt, down_convert(old_fmt))
+                    variants[target] = cached
+                    self.stats.count("frames_down_converted")
+                send_fmt, frame = cached
+            if send_fmt.format_id not in client.announced:
+                self._announce(client, send_fmt)
+            if self._offer(client, frame):
                 reached += 1
         if t0:
             observe_phase("transport", t0)
@@ -351,6 +444,9 @@ class BroadcastPublisher:
         if frame.type == FrameType.BYE:
             self.server.request_close(client, None, graceful=True)
             return
+        if frame.type == FrameType.LIN_REQ:
+            self._handle_lineage_request(client, frame.payload)
+            return
         if frame.type == FrameType.STATS_REQ:
             # live telemetry over the data channel: the process-wide
             # obs snapshot plus this publisher's own counters
@@ -370,6 +466,33 @@ class BroadcastPublisher:
             rtype, payload = reply
             self.server.enqueue(client, frame_bytes(rtype, payload),
                                 droppable=False)
+
+    def _handle_lineage_request(self, client: ClientHandle,
+                                payload: bytes) -> None:
+        """Serve one LIN_REQ (loop thread): pin the client to the
+        newest mutually-decodable version and reply with the chain."""
+        try:
+            name, offered = decode_lineage_req(payload)
+        except ProtocolError:
+            if _obs.enabled:
+                from repro.obs.metrics import MALFORMED_FRAMES
+                MALFORMED_FRAMES.labels("broadcast",
+                                        "bad_lin_req").inc()
+            raise  # loop closes this client; peers keep running
+        server = self.context.format_server
+        chosen = server.negotiate(name, offered)
+        chain = server.lineage(name)
+        if chosen is not None:
+            client.negotiated[name] = chosen
+            if chain and chosen not in chain:
+                chain = ()  # negotiated outside a recorded lineage
+        count_negotiation(chosen, chain)
+        self.stats.count("lineage_negotiations")
+        self.server.enqueue(
+            client,
+            frame_bytes(FrameType.LIN_RSP,
+                        encode_lineage_rsp(name, chosen, chain)),
+            droppable=False)
 
     def on_disconnect(self, client: ClientHandle,
                       reason: BaseException | None) -> None:

@@ -24,9 +24,13 @@ from repro.errors import (
 )
 from repro.pbio.context import IOContext
 from repro.pbio.encode import explode_batch, is_batch, parse_header
+from repro.pbio.evolution import DownConverter, down_converter
 from repro.pbio.format import FormatID, IOFormat
 from repro.transport.base import Channel
-from repro.transport.messages import Frame, FrameType
+from repro.transport.messages import (
+    Frame, FrameType, decode_lineage_req, decode_lineage_rsp,
+    encode_lineage_req, encode_lineage_rsp,
+)
 
 
 def _count_malformed(reason: str) -> None:
@@ -36,6 +40,23 @@ def _count_malformed(reason: str) -> None:
     if _obs.enabled:
         from repro.obs.metrics import MALFORMED_FRAMES
         MALFORMED_FRAMES.labels("connection", reason).inc()
+
+
+def count_negotiation(chosen: FormatID | None, chain) -> None:
+    """Record one resolved lineage handshake (responder side): outcome
+    plus the negotiated position in the lineage chain."""
+    from repro.obs import runtime as _obs
+    if not _obs.enabled:
+        return
+    from repro.obs.metrics import EVOLUTION_EVENTS, NEGOTIATED_VERSIONS
+    if chosen is None:
+        EVOLUTION_EVENTS.labels("no_common_version").inc()
+        return
+    EVOLUTION_EVENTS.labels("negotiations").inc()
+    chain = tuple(chain)
+    version = (f"v{chain.index(chosen)}" if chosen in chain
+               else "unversioned")
+    NEGOTIATED_VERSIONS.labels(version).inc()
 
 
 @dataclass(frozen=True)
@@ -58,6 +79,15 @@ class Connection:
         self.negotiations = 0  # metadata round-trips performed
         self.records_sent = 0
         self.records_received = 0
+        #: name -> version the *peer* negotiated down to (we are the
+        #: sender; send_negotiated encodes at this version)
+        self._peer_versions: dict[str, FormatID] = {}
+        #: name -> cached DownConverter serving _peer_versions
+        self._converters: dict[str, DownConverter] = {}
+        #: name -> version the peer announced it streams (we are the
+        #: receiver; filled by negotiate_version and by unsolicited
+        #: LIN_RSP re-announcements during a cutover)
+        self.announced_versions: dict[str, FormatID] = {}
         channel.send(Frame(FrameType.HELLO,
                            context.architecture.name.encode("utf-8")))
         self.peer_architecture: str | None = None
@@ -93,6 +123,78 @@ class Connection:
         parse_header(wire, require_body=True)
         self.channel.send(Frame(FrameType.DATA, wire))
         self.records_sent += 1
+
+    # -- version negotiation -------------------------------------------------
+
+    def negotiate_version(self, name: str,
+                          timeout: float | None = None) \
+            -> FormatID | None:
+        """Lineage handshake (receiver side): offer every version of
+        *name* this endpoint decodes natively, learn the newest one
+        the peer will send.  Returns the negotiated digest, or None
+        when the peer shares no decodable version.  DATA arriving
+        while the handshake is in flight is queued, not dropped."""
+        offered = self.context.decodable_versions(name)
+        self.negotiations += 1
+        self.channel.send(Frame(FrameType.LIN_REQ,
+                                encode_lineage_req(name, offered)))
+        while True:
+            frame = self.channel.recv(timeout)
+            if frame is None or frame.type == FrameType.BYE:
+                raise TransportError(
+                    "connection closed during version negotiation")
+            if frame.type == FrameType.LIN_RSP:
+                rsp_name, chosen, _chain = \
+                    self._import_lineage_response(frame.payload)
+                if rsp_name == name:
+                    return chosen
+                continue  # unrelated announcement, already recorded
+            if frame.type in (FrameType.DATA, FrameType.DATA_BATCH):
+                self._pending.append(frame.payload)
+                continue
+            self._service(frame)
+
+    def peer_version(self, name: str) -> FormatID | None:
+        """The version of *name* the peer negotiated down to (None if
+        the peer never sent a LIN_REQ for it)."""
+        return self._peer_versions.get(name)
+
+    def send_negotiated(self, format_name: str | IOFormat,
+                        record: dict) -> None:
+        """Send *record*, down-converted to the version the peer
+        negotiated when that is older than our current binding.
+
+        Without a prior LIN_REQ from the peer (or when the peer keeps
+        pace with our newest version) this is exactly :meth:`send`;
+        after a peer pinned itself to an ancestor version, the record
+        is projected through the cached
+        :class:`~repro.pbio.evolution.DownConverter` and shipped as
+        old-version wire bytes the peer decodes natively.
+        """
+        fmt = (format_name if isinstance(format_name, IOFormat)
+               else self.context.lookup_format(format_name))
+        target = self._peer_versions.get(fmt.name)
+        if target is None or target == fmt.format_id:
+            self.send(fmt, record)
+            return
+        converter = self._converter_for(fmt, target)
+        self.channel.send(Frame(FrameType.DATA,
+                                converter.encode_record(record)))
+        self.records_sent += 1
+
+    def _converter_for(self, fmt: IOFormat, target: FormatID):
+        converter = self._converters.get(fmt.name)
+        if converter is not None and \
+                converter.new.format_id == fmt.format_id and \
+                converter.old.format_id == target:
+            return converter
+        try:
+            old = self.context.version_for(fmt.name, target)
+        except UnknownFormatError:
+            old = self.context.format_server.lookup(target)
+        converter = down_converter(fmt, old)
+        self._converters[fmt.name] = converter
+        return converter
 
     # -- receiving ----------------------------------------------------------
 
@@ -236,6 +338,18 @@ class Connection:
                 f"metadata deserialized to {imported}")
         return announced
 
+    def _import_lineage_response(self, payload: bytes) \
+            -> tuple[str, FormatID | None, tuple[FormatID, ...]]:
+        """Decode one LIN_RSP and record what the peer now streams."""
+        try:
+            name, chosen, chain = decode_lineage_rsp(payload)
+        except ProtocolError:
+            _count_malformed("bad_lin_rsp")
+            raise
+        if chosen is not None:
+            self.announced_versions[name] = chosen
+        return name, chosen, chain
+
     def _service(self, frame: Frame) -> None:
         if frame.type == FrameType.FMT_REQ:
             try:
@@ -258,6 +372,28 @@ class Connection:
             # record in it, so subscribers never pay a FMT_REQ
             # round-trip (negotiations stays 0 on the fan-out path).
             self._import_format_response(frame.payload)
+        elif frame.type == FrameType.LIN_REQ:
+            try:
+                name, offered = decode_lineage_req(frame.payload)
+            except ProtocolError:
+                _count_malformed("bad_lin_req")
+                raise
+            chosen = self.context.format_server.negotiate(name, offered)
+            chain = self.context.format_server.lineage(name)
+            if chosen is not None:
+                self._peer_versions[name] = chosen
+                if chain and chosen not in chain:
+                    chain = ()  # negotiated outside a recorded lineage
+            count_negotiation(chosen, chain)
+            self.channel.send(Frame(
+                FrameType.LIN_RSP,
+                encode_lineage_rsp(name, chosen, chain)))
+        elif frame.type == FrameType.LIN_RSP:
+            # Unsolicited announcement: a publisher cutting over to a
+            # new version re-announces via LIN_RSP before the first
+            # record at that version; record it so receive_as keeps
+            # converting with no gap.
+            self._import_lineage_response(frame.payload)
         elif frame.type == FrameType.HELLO:
             self.peer_architecture = frame.payload.decode(
                 "utf-8", errors="replace")

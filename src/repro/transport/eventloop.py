@@ -121,6 +121,7 @@ class ClientHandle:
         "queue_high_water", "sent_bytes", "frames_enqueued",
         "frames_sent", "frames_received", "frames_dropped", "open",
         "closing", "close_reason", "announced", "peer_architecture",
+        "negotiated",
     )
 
     def __init__(self, client_id: int, sock: socket.socket,
@@ -149,6 +150,10 @@ class ClientHandle:
         #: format IDs already announced to this client (publisher's)
         self.announced: set = set()
         self.peer_architecture: str | None = None
+        #: format name -> FormatID this client negotiated via LIN_REQ
+        #: (written on the loop thread, read by the publisher; GIL-
+        #: atomic dict assignment)
+        self.negotiated: dict = {}
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (f"<ClientHandle #{self.id} {self.addr} "

@@ -13,7 +13,24 @@ DATA_BATCH  a PBIO record batch: one header shared by N bodies
             (:func:`repro.pbio.encode.build_batch`)
 STATS_REQ   ask the peer for its telemetry snapshot (empty payload)
 STATS_RSP   payload = UTF-8 JSON telemetry snapshot
+LIN_REQ     lineage handshake: the digests the sender can decode
+LIN_RSP     lineage handshake reply: the negotiated digest + chain
 ==========  =====================================================
+
+The lineage handshake (``docs/EVOLUTION.md``) rides on two frames:
+
+``LIN_REQ``  ``u8 name_len | name utf-8 | u8 n (>=1) | n x 8B digests``
+             — "for format *name*, here are the versions I hold
+             native bindings for, oldest first".
+``LIN_RSP``  ``u8 name_len | name utf-8 | u8 ok | 8B chosen |
+             u8 m | m x 8B chain`` — ``ok=1``: *chosen* is the newest
+             mutually-decodable digest (and appears in *chain*, the
+             responder's full lineage oldest-first); ``ok=0``: no
+             common version, *chosen* is eight zero bytes.
+
+Both payloads are bounds-checked on decode; anything malformed raises
+:class:`~repro.errors.ProtocolError` (never a crash), matching the
+untrusted-wire posture of the rest of the protocol.
 """
 
 from __future__ import annotations
@@ -23,9 +40,15 @@ import struct
 from dataclasses import dataclass
 
 from repro.errors import ProtocolError
+from repro.pbio.format import FormatID
 
 _LEN = struct.Struct(">I")
 MAX_FRAME = 256 * 1024 * 1024  # defensive cap
+
+_DIGEST_LEN = 8
+_NULL_DIGEST = b"\x00" * _DIGEST_LEN
+#: u8 count fields bound both the offered-version list and the chain
+MAX_LINEAGE_DIGESTS = 255
 
 
 class FrameType(enum.IntEnum):
@@ -42,6 +65,9 @@ class FrameType(enum.IntEnum):
     # live telemetry (repro.obs): snapshot over the data channel
     STATS_REQ = 10  # empty payload: request a telemetry snapshot
     STATS_RSP = 11  # payload = UTF-8 JSON snapshot + publisher stats
+    # lineage-aware version negotiation (repro.pbio.lineage)
+    LIN_REQ = 12  # payload = name + digests the sender can decode
+    LIN_RSP = 13  # payload = name + negotiated digest + full chain
 
 
 @dataclass(frozen=True)
@@ -92,3 +118,136 @@ def read_frame_from(read_exactly) -> Frame | None:
     if body is None:
         raise ProtocolError("connection closed mid-frame")
     return decode_frame(body)
+
+
+# -- lineage handshake payloads ---------------------------------------------
+
+def _encode_name(name: str) -> bytes:
+    encoded = name.encode("utf-8")
+    if not encoded:
+        raise ProtocolError("lineage handshake needs a format name")
+    if len(encoded) > 255:
+        raise ProtocolError(
+            f"format name too long for handshake ({len(encoded)} bytes)")
+    return bytes((len(encoded),)) + encoded
+
+
+def _encode_digests(digests: tuple[FormatID, ...],
+                    what: str) -> bytes:
+    if len(digests) > MAX_LINEAGE_DIGESTS:
+        raise ProtocolError(
+            f"too many {what} digests ({len(digests)} > "
+            f"{MAX_LINEAGE_DIGESTS})")
+    return bytes((len(digests),)) + b"".join(
+        fid.to_bytes() for fid in digests)
+
+
+class _PayloadReader:
+    """Cursor over an untrusted payload; every read is bounds-checked."""
+
+    def __init__(self, payload: bytes, what: str) -> None:
+        self._data = bytes(payload)
+        self._pos = 0
+        self._what = what
+
+    def take(self, n: int, field: str) -> bytes:
+        end = self._pos + n
+        if end > len(self._data):
+            raise ProtocolError(
+                f"{self._what}: truncated at {field} "
+                f"(need {n} bytes, have {len(self._data) - self._pos})")
+        chunk = self._data[self._pos:end]
+        self._pos = end
+        return chunk
+
+    def u8(self, field: str) -> int:
+        return self.take(1, field)[0]
+
+    def name(self) -> str:
+        length = self.u8("name length")
+        if length == 0:
+            raise ProtocolError(f"{self._what}: empty format name")
+        raw = self.take(length, "format name")
+        try:
+            return raw.decode("utf-8")
+        except UnicodeDecodeError:
+            raise ProtocolError(
+                f"{self._what}: format name is not valid UTF-8"
+            ) from None
+
+    def digests(self, field: str) -> tuple[FormatID, ...]:
+        count = self.u8(f"{field} count")
+        return tuple(
+            FormatID.from_bytes(self.take(_DIGEST_LEN, field))
+            for _ in range(count))
+
+    def done(self) -> None:
+        if self._pos != len(self._data):
+            raise ProtocolError(
+                f"{self._what}: {len(self._data) - self._pos} "
+                f"trailing bytes after payload")
+
+
+def encode_lineage_req(name: str, digests) -> bytes:
+    """LIN_REQ payload: the versions of *name* the sender can decode
+    natively, oldest first.  At least one digest is required."""
+    digests = tuple(digests)
+    if not digests:
+        raise ProtocolError(
+            "lineage request must offer at least one digest")
+    return _encode_name(name) + _encode_digests(digests, "offered")
+
+
+def decode_lineage_req(payload: bytes) -> tuple[str,
+                                                tuple[FormatID, ...]]:
+    """``(name, offered digests)`` from a LIN_REQ payload."""
+    reader = _PayloadReader(payload, "lineage request")
+    name = reader.name()
+    offered = reader.digests("offered digest")
+    if not offered:
+        raise ProtocolError(
+            "lineage request: no offered digests")
+    reader.done()
+    return name, offered
+
+
+def encode_lineage_rsp(name: str, chosen: FormatID | None,
+                       chain=()) -> bytes:
+    """LIN_RSP payload.  *chosen* None means no common version (the
+    ``ok=0`` form); otherwise *chosen* must appear in *chain* when a
+    chain is sent."""
+    chain = tuple(chain)
+    if chosen is None:
+        body = b"\x00" + _NULL_DIGEST
+    else:
+        if chain and chosen not in chain:
+            raise ProtocolError(
+                f"negotiated digest {chosen} is not in the "
+                f"advertised chain")
+        body = b"\x01" + chosen.to_bytes()
+    return _encode_name(name) + body + _encode_digests(chain, "chain")
+
+
+def decode_lineage_rsp(payload: bytes) \
+        -> tuple[str, FormatID | None, tuple[FormatID, ...]]:
+    """``(name, chosen or None, chain)`` from a LIN_RSP payload."""
+    reader = _PayloadReader(payload, "lineage response")
+    name = reader.name()
+    ok = reader.u8("ok flag")
+    if ok not in (0, 1):
+        raise ProtocolError(
+            f"lineage response: bad ok flag {ok}")
+    raw_chosen = reader.take(_DIGEST_LEN, "chosen digest")
+    chain = reader.digests("chain digest")
+    reader.done()
+    if ok == 0:
+        if raw_chosen != _NULL_DIGEST:
+            raise ProtocolError(
+                "lineage response: ok=0 but chosen digest not zeroed")
+        return name, None, chain
+    chosen = FormatID.from_bytes(raw_chosen)
+    if chain and chosen not in chain:
+        raise ProtocolError(
+            f"lineage response: chosen digest {chosen} missing "
+            f"from advertised chain")
+    return name, chosen, chain

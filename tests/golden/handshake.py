@@ -1,0 +1,110 @@
+"""Golden vectors for the lineage-handshake frames.
+
+Each case pins the exact wire bytes (u32 length prefix + type byte +
+payload) of one LIN_REQ or LIN_RSP frame for the canonical ``Grid``
+lineage, on each simulated byte order.  The format digests embedded in
+the payloads are computed from the architecture-specific layouts, so
+the little- and big-endian vectors differ — a change to either the
+frame layout, the handshake payload layout, or the digest derivation
+breaks these bytes before it breaks a mixed-version fleet.
+
+Regenerate with ``python tests/golden/regen.py`` (same script as the
+record vectors) only alongside an *intentional* wire change.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.pbio.format import IOFormat
+from repro.pbio.layout import compute_layout
+from repro.transport.messages import (
+    FrameType, encode_lineage_req, encode_lineage_rsp, frame_bytes,
+)
+
+from tests.golden.cases import ARCHITECTURES
+
+HANDSHAKE_PATH = Path(__file__).with_name("handshake_vectors.json")
+
+#: the canonical three-version lineage the fleet scenarios use
+GRID_V1 = [("timestep", "integer"), ("size", "integer"),
+           ("data", "float[size]")]
+GRID_V2 = GRID_V1 + [("units", "string")]
+GRID_V3 = GRID_V2 + [("quality", "float", 8)]
+GRID_SPECS = (GRID_V1, GRID_V2, GRID_V3)
+
+
+def grid_chain(architecture):
+    """The Grid lineage digests (oldest first) on *architecture*."""
+    out = []
+    for specs in GRID_SPECS:
+        layout = compute_layout(specs, architecture=architecture)
+        out.append(IOFormat("Grid", layout.field_list).format_id)
+    return tuple(out)
+
+
+def _req_single(chain) -> bytes:
+    # a v1-only subscriber offering its lone native binding
+    return frame_bytes(FrameType.LIN_REQ,
+                       encode_lineage_req("Grid", chain[:1]))
+
+
+def _req_full(chain) -> bytes:
+    # a fully upgraded subscriber offering the whole lineage
+    return frame_bytes(FrameType.LIN_REQ,
+                       encode_lineage_req("Grid", chain))
+
+
+def _rsp_pinned_middle(chain) -> bytes:
+    # publisher pins the peer to v2 and advertises its full chain
+    return frame_bytes(FrameType.LIN_RSP,
+                       encode_lineage_rsp("Grid", chain[1], chain))
+
+
+def _rsp_latest_no_chain(chain) -> bytes:
+    # cutover announcement form: chosen only, no chain attached
+    return frame_bytes(FrameType.LIN_RSP,
+                       encode_lineage_rsp("Grid", chain[-1]))
+
+
+def _rsp_no_common(chain) -> bytes:
+    # ok=0: zeroed chosen digest, chain still advertised
+    return frame_bytes(FrameType.LIN_RSP,
+                       encode_lineage_rsp("Grid", None, chain))
+
+
+def _req_utf8_name(chain) -> bytes:
+    # multi-byte UTF-8 name: the u8 length counts bytes, not chars
+    return frame_bytes(FrameType.LIN_REQ,
+                       encode_lineage_req("Grille·été", chain[:2]))
+
+
+_CASES = {
+    "lin_req_single_version": _req_single,
+    "lin_req_full_lineage": _req_full,
+    "lin_rsp_pinned_middle": _rsp_pinned_middle,
+    "lin_rsp_latest_no_chain": _rsp_latest_no_chain,
+    "lin_rsp_no_common": _rsp_no_common,
+    "lin_req_utf8_name": _req_utf8_name,
+}
+
+
+def handshake_names() -> list[str]:
+    return sorted(_CASES)
+
+
+def encode_handshake_case(case: str, architecture) -> bytes:
+    """The full frame bytes for *case* on *architecture*."""
+    return _CASES[case](grid_chain(architecture))
+
+
+def compute_handshake_vectors() -> dict[str, dict[str, str]]:
+    return {case: {order: encode_handshake_case(case, arch).hex()
+                   for order, arch in ARCHITECTURES.items()}
+            for case in handshake_names()}
+
+
+def load_handshake_vectors() -> dict[str, dict[str, str]]:
+    with HANDSHAKE_PATH.open() as fh:
+        return json.load(fh)

@@ -1,0 +1,156 @@
+"""Minimized malformed lineage-handshake regression vectors.
+
+Each entry is one frame body (type byte + payload, the length prefix
+already stripped) the handshake decode layer must *reject* with a
+typed :class:`~repro.errors.ProtocolError` whose message matches
+``match`` — one minimized representative per rejection class the
+handshake fuzz campaign (``tests/transport/test_fuzz_handshake.py``)
+exercises:
+
+* truncation inside the name or the digest list,
+* trailing bytes after a complete payload,
+* lying u8 structure fields (empty name, overrunning name length,
+  zero offered digests, out-of-range ok flag),
+* digest forgery (unzeroed chosen under ok=0, chosen outside the
+  advertised chain),
+* non-UTF-8 names and unknown frame types.
+
+Frames derive deterministically from the pristine handshake vectors
+(``tests/golden/handshake_vectors.json``) and are committed as hex in
+``handshake_frames.json`` — regenerate with
+``python tests/golden/malformed/regen.py`` only alongside an
+intentional wire change.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from tests.golden.cases import ARCHITECTURES
+from tests.golden.handshake import encode_handshake_case
+
+HANDSHAKE_FRAMES_PATH = Path(__file__).with_name(
+    "handshake_frames.json")
+
+# "Grid" is 4 bytes, so within every frame body used below:
+# body[0] = frame type, body[1] = name length, body[2:6] = name,
+# body[6] = ok flag (rsp) / offered count (req),
+# body[7:15] = chosen digest (rsp), body[15] = chain count (rsp).
+_OK_FLAG = 6
+_CHOSEN = slice(7, 15)
+
+
+def _body(case: str, order: str) -> bytearray:
+    """Pristine frame body (length prefix stripped)."""
+    return bytearray(
+        encode_handshake_case(case, ARCHITECTURES[order])[4:])
+
+
+def _req_truncated_digests(order: str) -> bytearray:
+    return _body("lin_req_full_lineage", order)[:-4]
+
+
+def _req_trailing_bytes(order: str) -> bytearray:
+    return _body("lin_req_single_version", order) + b"\x00\x00"
+
+
+def _req_empty_name(order: str) -> bytearray:
+    body = _body("lin_req_single_version", order)
+    body[1] = 0
+    return body
+
+
+def _req_name_len_overruns(order: str) -> bytearray:
+    body = _body("lin_req_single_version", order)
+    body[1] = 0xFF
+    return body
+
+
+def _req_zero_offered(order: str) -> bytearray:
+    body = _body("lin_req_single_version", order)
+    body[6] = 0
+    return body[:7]  # count says none; drop the digest bytes too
+
+
+def _req_bad_utf8_name(order: str) -> bytearray:
+    body = _body("lin_req_single_version", order)
+    body[2:6] = b"\xff\xfe\xfd\xfc"
+    return body
+
+
+def _rsp_bad_ok_flag(order: str) -> bytearray:
+    body = _body("lin_rsp_pinned_middle", order)
+    body[_OK_FLAG] = 7
+    return body
+
+
+def _rsp_unzeroed_chosen(order: str) -> bytearray:
+    body = _body("lin_rsp_no_common", order)
+    body[8] = 0x5A  # inside the null digest that ok=0 promises
+    return body
+
+
+def _rsp_chosen_outside_chain(order: str) -> bytearray:
+    body = _body("lin_rsp_pinned_middle", order)
+    body[_CHOSEN] = bytes(b ^ 0xFF for b in body[_CHOSEN])
+    return body
+
+
+def _rsp_truncated_chain(order: str) -> bytearray:
+    return _body("lin_rsp_pinned_middle", order)[:-7]
+
+
+def _unknown_frame_type(order: str) -> bytearray:
+    body = _body("lin_req_single_version", order)
+    body[0] = 0xEE
+    return body
+
+
+_CASES: dict[str, tuple] = {
+    # name: (builder, expected ProtocolError message substring)
+    "req_truncated_digests": (
+        _req_truncated_digests, "truncated at offered digest"),
+    "req_trailing_bytes": (
+        _req_trailing_bytes, "trailing bytes"),
+    "req_empty_name": (
+        _req_empty_name, "empty format name"),
+    "req_name_len_overruns": (
+        _req_name_len_overruns, "truncated at format name"),
+    "req_zero_offered": (
+        _req_zero_offered, "no offered digests"),
+    "req_bad_utf8_name": (
+        _req_bad_utf8_name, "not valid UTF-8"),
+    "rsp_bad_ok_flag": (
+        _rsp_bad_ok_flag, "bad ok flag"),
+    "rsp_unzeroed_chosen": (
+        _rsp_unzeroed_chosen, "not zeroed"),
+    "rsp_chosen_outside_chain": (
+        _rsp_chosen_outside_chain, "missing"),
+    "rsp_truncated_chain": (
+        _rsp_truncated_chain, "truncated at chain digest"),
+    "unknown_frame_type": (
+        _unknown_frame_type, "unknown frame type"),
+}
+
+
+def handshake_malformed_names() -> list[str]:
+    return sorted(_CASES)
+
+
+def compute_handshake_frames() -> dict[str, dict[str, dict[str, str]]]:
+    """All malformed handshake bodies as {name: {order: {hex, match}}}."""
+    out: dict[str, dict[str, dict[str, str]]] = {}
+    for name, (builder, match) in _CASES.items():
+        out[name] = {}
+        for order in ARCHITECTURES:
+            out[name][order] = {
+                "match": match,
+                "hex": bytes(builder(order)).hex(),
+            }
+    return out
+
+
+def load_handshake_frames() -> dict[str, dict[str, dict[str, str]]]:
+    with HANDSHAKE_FRAMES_PATH.open() as fh:
+        return json.load(fh)

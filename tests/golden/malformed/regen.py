@@ -30,24 +30,39 @@ def main(argv=None) -> int:
     from tests.golden.malformed.cases import (
         FRAMES_PATH, compute_frames, load_frames,
     )
+    from tests.golden.malformed.handshake_cases import (
+        HANDSHAKE_FRAMES_PATH, compute_handshake_frames,
+        load_handshake_frames,
+    )
 
-    current = compute_frames()
+    corpora = [
+        ("malformed frames", FRAMES_PATH, compute_frames, load_frames),
+        ("malformed handshake frames", HANDSHAKE_FRAMES_PATH,
+         compute_handshake_frames, load_handshake_frames),
+    ]
+
     if not args.check:
-        FRAMES_PATH.write_text(json.dumps(current, indent=1,
-                                          sort_keys=True) + "\n")
-        total = sum(len(v) for v in current.values())
-        print(f"wrote {total} malformed frames ({len(current)} cases) "
-              f"to {FRAMES_PATH}")
+        for label, path, compute, _load in corpora:
+            current = compute()
+            path.write_text(json.dumps(current, indent=1,
+                                       sort_keys=True) + "\n")
+            total = sum(len(v) for v in current.values())
+            print(f"wrote {total} {label} ({len(current)} cases) "
+                  f"to {path}")
         return 0
 
-    stored = load_frames()
-    bad = [name for name in set(current) | set(stored)
-           if current.get(name) != stored.get(name)]
-    if bad:
-        print("malformed frames differ:", ", ".join(sorted(bad)))
-        return 1
-    print(f"{len(stored)} malformed cases match")
-    return 0
+    status = 0
+    for label, _path, compute, load in corpora:
+        current = compute()
+        stored = load()
+        bad = [name for name in set(current) | set(stored)
+               if current.get(name) != stored.get(name)]
+        if bad:
+            print(f"{label} differ:", ", ".join(sorted(bad)))
+            status = 1
+        else:
+            print(f"{len(stored)} {label} cases match")
+    return status
 
 
 if __name__ == "__main__":

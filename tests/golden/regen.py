@@ -31,30 +31,45 @@ def main(argv=None) -> int:
     from tests.golden.cases import (
         VECTORS_PATH, compute_vectors, load_vectors,
     )
+    from tests.golden.handshake import (
+        HANDSHAKE_PATH, compute_handshake_vectors,
+        load_handshake_vectors,
+    )
 
-    current = compute_vectors()
+    corpora = [
+        ("vectors", VECTORS_PATH, compute_vectors, load_vectors),
+        ("handshake vectors", HANDSHAKE_PATH,
+         compute_handshake_vectors, load_handshake_vectors),
+    ]
+
     if not args.check:
-        VECTORS_PATH.write_text(json.dumps(current, indent=1,
-                                           sort_keys=True) + "\n")
-        total = sum(len(v) for v in current.values())
-        print(f"wrote {total} vectors ({len(current)} cases) "
-              f"to {VECTORS_PATH}")
+        for label, path, compute, _load in corpora:
+            current = compute()
+            path.write_text(json.dumps(current, indent=1,
+                                       sort_keys=True) + "\n")
+            total = sum(len(v) for v in current.values())
+            print(f"wrote {total} {label} ({len(current)} cases) "
+                  f"to {path}")
         return 0
 
-    stored = load_vectors()
-    bad = []
-    for case, per_order in current.items():
-        for order, hexed in per_order.items():
-            if stored.get(case, {}).get(order) != hexed:
-                bad.append(f"{case}/{order}")
-    for case in stored:
-        if case not in current:
-            bad.append(f"{case} (stale)")
-    if bad:
-        print("golden vectors differ:", ", ".join(sorted(bad)))
-        return 1
-    print(f"{len(stored)} cases match")
-    return 0
+    status = 0
+    for label, _path, compute, load in corpora:
+        current = compute()
+        stored = load()
+        bad = []
+        for case, per_order in current.items():
+            for order, hexed in per_order.items():
+                if stored.get(case, {}).get(order) != hexed:
+                    bad.append(f"{case}/{order}")
+        for case in stored:
+            if case not in current:
+                bad.append(f"{case} (stale)")
+        if bad:
+            print(f"{label} differ:", ", ".join(sorted(bad)))
+            status = 1
+        else:
+            print(f"{len(stored)} {label} cases match")
+    return status
 
 
 if __name__ == "__main__":

@@ -1,0 +1,65 @@
+"""Byte-for-byte stability of the lineage-handshake frames.
+
+Every case must encode to exactly the hex stored in
+``handshake_vectors.json`` on both simulated byte orders, and the
+stored bytes must decode back to a payload whose canonical re-encode
+is byte-identical — so a handshake layout change fails here before an
+old fleet member meets a frame it can't parse.  CI's ``-k little`` /
+``-k big`` golden steps pick up these ids too.
+"""
+
+import pytest
+
+from repro.transport.messages import (
+    FrameType, decode_frame, decode_lineage_req, decode_lineage_rsp,
+    encode_lineage_req, encode_lineage_rsp, frame_bytes,
+)
+from tests.golden.cases import ARCHITECTURES
+from tests.golden.handshake import (
+    encode_handshake_case, grid_chain, handshake_names,
+    load_handshake_vectors,
+)
+
+VECTORS = load_handshake_vectors()
+
+PARAMS = [pytest.param(case, order, id=f"{case}-{order}")
+          for case in handshake_names()
+          for order in ARCHITECTURES]
+
+
+@pytest.mark.parametrize("case,order", PARAMS)
+def test_handshake_frame_matches_golden(case, order):
+    frame = encode_handshake_case(case, ARCHITECTURES[order])
+    assert frame.hex() == VECTORS[case][order], (
+        f"{case}/{order}: handshake bytes changed; if intentional, "
+        "rerun tests/golden/regen.py and note the compatibility break")
+
+
+@pytest.mark.parametrize("case,order", PARAMS)
+def test_golden_frame_reencodes_identically(case, order):
+    """decode -> canonical re-encode is the identity on golden bytes."""
+    wire = bytes.fromhex(VECTORS[case][order])
+    frame = decode_frame(wire[4:])
+    if frame.type is FrameType.LIN_REQ:
+        name, offered = decode_lineage_req(frame.payload)
+        again = encode_lineage_req(name, offered)
+    else:
+        assert frame.type is FrameType.LIN_RSP
+        name, chosen, chain = decode_lineage_rsp(frame.payload)
+        again = encode_lineage_rsp(name, chosen, chain)
+    assert frame_bytes(frame.type, again) == wire
+
+
+@pytest.mark.parametrize("order", sorted(ARCHITECTURES),
+                         ids=lambda o: o)
+def test_chains_differ_between_byte_orders(order):
+    """Digests are layout-derived, so each order pins distinct bytes —
+    the corpus would silently halve its coverage if they collided."""
+    little = grid_chain(ARCHITECTURES["little"])
+    big = grid_chain(ARCHITECTURES["big"])
+    assert set(little).isdisjoint(big)
+    assert len(set(grid_chain(ARCHITECTURES[order]))) == 3
+
+
+def test_every_stored_case_is_still_defined():
+    assert sorted(VECTORS) == sorted(handshake_names())

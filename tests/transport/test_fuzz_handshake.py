@@ -1,0 +1,140 @@
+"""Seeded fuzz over the lineage-handshake payloads.
+
+Same discipline as the record-frame smoke
+(``tests/pbio/test_fuzz_smoke.py``): every mutated LIN_REQ/LIN_RSP
+frame body must either raise a typed ``ProtocolError`` or decode to a
+payload whose canonical re-encode is byte-identical.  The campaign
+opts into the handshake-specific mutation kinds (u8 smashing, digest
+splicing) on top of the default set; minimized rejections of each
+class are pinned in ``tests/golden/malformed/handshake_frames.json``.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+
+import pytest
+
+from repro.errors import ProtocolError
+from repro.testing.fuzz import (
+    HANDSHAKE_KINDS, FrameMutator, HandshakeOracle, run_fuzz,
+)
+from tests.golden.cases import ARCHITECTURES
+from tests.golden.handshake import (
+    encode_handshake_case, handshake_names,
+)
+
+ITERATIONS = int(os.environ.get("REPRO_FUZZ_ITERATIONS", "10000"))
+SEED = 20260807
+
+
+def _corpus() -> dict[str, bytes]:
+    """Frame bodies (type byte + payload): the length prefix is the
+    transport's, stripped before the handshake decoder ever runs."""
+    return {f"{case}/{order}":
+            encode_handshake_case(case, arch)[4:]
+            for case in handshake_names()
+            for order, arch in ARCHITECTURES.items()}
+
+
+def test_pristine_corpus_passes_every_invariant():
+    oracle = HandshakeOracle()
+    for name, body in _corpus().items():
+        assert oracle.check(body) == {"decoded": 1,
+                                      "reencoded": 1}, name
+
+
+def test_handshake_fuzz_no_invariant_violations():
+    report = run_fuzz(_corpus(), HandshakeOracle(),
+                      iterations=ITERATIONS, seed=SEED,
+                      kinds=HANDSHAKE_KINDS)
+    report.raise_for_failures()
+    assert report.ok
+    assert report.iterations == ITERATIONS
+    # the mutator must exercise both sides of the contract
+    assert report.rejected > 0
+    assert report.decoded_ok > 0
+
+
+def test_run_is_deterministic_for_a_seed():
+    corpus = _corpus()
+    a = run_fuzz(corpus, HandshakeOracle(), iterations=300, seed=7,
+                 kinds=HANDSHAKE_KINDS)
+    b = run_fuzz(corpus, HandshakeOracle(), iterations=300, seed=7,
+                 kinds=HANDSHAKE_KINDS)
+    assert (a.rejected, a.decoded_ok) == (b.rejected, b.decoded_ok)
+
+
+def test_default_kinds_are_unchanged():
+    """Existing seeded campaigns replay against the default tuple;
+    the handshake kinds are a strict opt-in superset."""
+    mut = FrameMutator(random.Random(0))
+    assert mut.kinds == ("flip_byte", "flip_bit", "truncate", "extend",
+                         "smash_u32", "zero_run", "ff_run",
+                         "duplicate_run", "splice_header", "crossover")
+    assert set(HANDSHAKE_KINDS) == set(mut.kinds) | {"smash_u8",
+                                                     "splice_digest"}
+
+
+def test_smash_u8_hits_structuring_bytes():
+    rng = random.Random(3)
+    mut = FrameMutator(rng, kinds=("smash_u8",))
+    body = bytes(range(32))
+    seen = set()
+    for _ in range(200):
+        mutated, kinds = mut.mutate(body, rounds=1)
+        assert kinds == ("smash_u8",)
+        assert len(mutated) == len(body)
+        diff = [i for i in range(len(body)) if mutated[i] != body[i]]
+        assert len(diff) <= 1
+        seen.update(diff)
+    assert len(seen) > 16  # sweeps offsets, not one hot spot
+
+
+def test_splice_digest_writes_eight_byte_runs():
+    rng = random.Random(5)
+    frame = encode_handshake_case("lin_rsp_pinned_middle",
+                                  ARCHITECTURES["little"])[4:]
+    mut = FrameMutator(rng, [frame], kinds=("splice_digest",))
+    forged_zero = forged_ff = 0
+    for _ in range(300):
+        mutated, _ = mut.mutate(frame, rounds=1)
+        assert len(mutated) >= len(frame)  # never shrinks the body
+        if b"\x00" * 8 in mutated:
+            forged_zero += 1
+        if b"\xff" * 8 in mutated:
+            forged_ff += 1
+    assert forged_zero and forged_ff  # both forgeries exercised
+
+
+def test_oracle_rejections_are_protocol_errors_only():
+    corpus = _corpus()
+    oracle = HandshakeOracle()
+    rng = random.Random(99)
+    mutator = FrameMutator(rng, list(corpus.values()),
+                           kinds=HANDSHAKE_KINDS)
+    names = sorted(corpus)
+    for i in range(500):
+        body, _ = mutator.mutate(corpus[names[i % len(names)]])
+        try:
+            oracle.check(body)
+        except ProtocolError:
+            pass  # the contract: typed rejection
+
+
+def test_noncanonical_spelling_is_rejected_not_normalized():
+    """ok=0 with a nonzero chosen digest is the one alternate spelling
+    a lenient decoder might normalize away; it must be rejected, or
+    the canonical-re-encode invariant would silently hold vacuously."""
+    good = encode_handshake_case("lin_rsp_no_common",
+                                 ARCHITECTURES["little"])[4:]
+    bad = bytearray(good)
+    bad[7] ^= 0x40  # inside the zeroed chosen digest
+    with pytest.raises(ProtocolError, match="not zeroed"):
+        HandshakeOracle().check(bytes(bad))
+
+
+def test_other_frame_types_are_outside_jurisdiction():
+    with pytest.raises(ProtocolError, match="not a lineage handshake"):
+        HandshakeOracle().check(b"\x01" + b"\x00" * 16)  # DATA

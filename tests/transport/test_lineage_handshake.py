@@ -1,0 +1,186 @@
+"""LIN_REQ/LIN_RSP: payload codec and point-to-point negotiation."""
+
+import threading
+
+import pytest
+
+from repro.errors import ProtocolError
+from repro.pbio.context import IOContext
+from repro.pbio.format import FormatID, IOFormat
+from repro.pbio.format_server import FormatServer
+from repro.pbio.layout import compute_layout
+from repro.transport.connection import Connection
+from repro.transport.inproc import channel_pair
+from repro.transport.messages import (
+    decode_lineage_req, decode_lineage_rsp, encode_lineage_req,
+    encode_lineage_rsp,
+)
+
+V1 = [("timestep", "integer"), ("size", "integer"),
+      ("data", "float[size]")]
+V2 = V1 + [("units", "string")]
+V3 = V2 + [("quality", "float", 8)]
+
+FIDS = tuple(FormatID(value) for value in
+             (0x1111111111111111, 0x2222222222222222,
+              0x3333333333333333))
+
+
+def fmt(specs) -> IOFormat:
+    layout = compute_layout(specs)
+    return IOFormat("Grid", layout.field_list)
+
+
+class TestPayloadCodec:
+    def test_req_roundtrip(self):
+        payload = encode_lineage_req("Grid", FIDS)
+        assert decode_lineage_req(payload) == ("Grid", FIDS)
+
+    def test_rsp_roundtrip(self):
+        payload = encode_lineage_rsp("Grid", FIDS[1], FIDS)
+        assert decode_lineage_rsp(payload) == ("Grid", FIDS[1], FIDS)
+
+    def test_rsp_no_common_version(self):
+        payload = encode_lineage_rsp("Grid", None, FIDS)
+        assert decode_lineage_rsp(payload) == ("Grid", None, FIDS)
+
+    def test_req_needs_a_digest(self):
+        with pytest.raises(ProtocolError, match="at least one"):
+            encode_lineage_req("Grid", ())
+
+    def test_req_needs_a_name(self):
+        with pytest.raises(ProtocolError, match="name"):
+            encode_lineage_req("", FIDS)
+
+    def test_rsp_chosen_must_be_in_chain(self):
+        outsider = FormatID(0x4444444444444444)
+        with pytest.raises(ProtocolError, match="chain"):
+            encode_lineage_rsp("Grid", outsider, FIDS)
+
+    @pytest.mark.parametrize("mangle", [
+        lambda p: p[:3],                      # truncated name
+        lambda p: p[:-4],                     # truncated digest list
+        lambda p: p + b"\x00",                # trailing bytes
+        lambda p: b"\x00" + p[1:],            # empty name
+        lambda p: b"\xff" + p[1:],            # name len past payload
+    ])
+    def test_malformed_req_rejected(self, mangle):
+        payload = mangle(encode_lineage_req("Grid", FIDS))
+        with pytest.raises(ProtocolError):
+            decode_lineage_req(payload)
+
+    def test_malformed_rsp_bad_ok_flag(self):
+        payload = bytearray(encode_lineage_rsp("Grid", FIDS[0], FIDS))
+        payload[5] = 7  # ok flag after u8 len + 4-byte name
+        with pytest.raises(ProtocolError, match="ok flag"):
+            decode_lineage_rsp(bytes(payload))
+
+    def test_malformed_rsp_unzeroed_chosen(self):
+        payload = bytearray(encode_lineage_rsp("Grid", None, FIDS))
+        payload[6] = 1  # nonzero byte inside the null digest
+        with pytest.raises(ProtocolError, match="not zeroed"):
+            decode_lineage_rsp(bytes(payload))
+
+    def test_malformed_rsp_chosen_outside_chain(self):
+        good = encode_lineage_rsp("Grid", FIDS[0], FIDS)
+        bad = bytearray(good)
+        bad[6:14] = FormatID(0x4444444444444444).to_bytes()
+        with pytest.raises(ProtocolError, match="missing"):
+            decode_lineage_rsp(bytes(bad))
+
+    def test_utf8_name(self):
+        payload = encode_lineage_req("Grille·été", FIDS[:1])
+        assert decode_lineage_req(payload)[0] == "Grille·été"
+
+
+def make_pair():
+    a_ch, b_ch = channel_pair()
+    actx = IOContext(format_server=FormatServer())
+    bctx = IOContext(format_server=FormatServer())
+    return Connection(actx, a_ch), Connection(bctx, b_ch)
+
+
+def serve_in_thread(conn):
+    """Drain one frame so *conn* services the peer's LIN_REQ; closure
+    or a timeout after the test ends is expected, not an error."""
+    def run():
+        try:
+            conn.receive(timeout=5)
+        except Exception:  # noqa: BLE001 - teardown race is benign
+            pass
+
+    thread = threading.Thread(target=run, daemon=True)
+    thread.start()
+    return thread
+
+
+def negotiate_in_thread(conn, name="Grid"):
+    box = {}
+
+    def run():
+        try:
+            box["chosen"] = conn.negotiate_version(name, timeout=5)
+        except BaseException as exc:  # noqa: BLE001 - surfaced below
+            box["error"] = exc
+
+    thread = threading.Thread(target=run, daemon=True)
+    thread.start()
+    return thread, box
+
+
+class TestConnectionNegotiation:
+    def test_peer_pinned_to_common_version(self):
+        sender, receiver = make_pair()
+        v1, v2, v3 = fmt(V1), fmt(V2), fmt(V3)
+        sender.context.register(v1)
+        sender.context.register_evolution(v2)
+        sender.context.register_evolution(v3)
+        receiver.context.register(v1)
+        receiver.context.register_evolution(v2)
+
+        thread, box = negotiate_in_thread(receiver)
+        # sender's receive loop services the LIN_REQ, then sees BYE
+        serve_in_thread(sender)
+        thread.join(5)
+        assert box.get("chosen") == v2.format_id
+        assert sender.peer_version("Grid") == v2.format_id
+        assert receiver.announced_versions["Grid"] == v2.format_id
+
+        # the sender now down-converts transparently
+        sender.send_negotiated(
+            "Grid", {"timestep": 3, "data": [0.5],
+                     "units": "m", "quality": 1.0})
+        got = receiver.receive(timeout=5)
+        assert got.format_id == v2.format_id
+        assert got.record["units"] == "m"
+        assert "quality" not in got.record
+        sender.close()
+        receiver.close()
+
+    def test_no_common_version(self):
+        sender, receiver = make_pair()
+        sender.context.register(fmt(V1))
+        other = IOFormat("Grid", compute_layout(
+            [("unrelated", "integer", 8)]).field_list)
+        receiver.context.register(other)
+
+        thread, box = negotiate_in_thread(receiver)
+        serve_in_thread(sender)
+        thread.join(5)
+        assert box.get("chosen", "missing") is None
+        assert sender.peer_version("Grid") is None
+        sender.close()
+        receiver.close()
+
+    def test_send_negotiated_without_handshake_is_plain_send(self):
+        a_ch, b_ch = channel_pair()
+        server = FormatServer()
+        sender = Connection(IOContext(format_server=server), a_ch)
+        receiver = Connection(IOContext(format_server=server), b_ch)
+        v1 = fmt(V1)
+        sender.context.register(v1)
+        sender.send_negotiated("Grid", {"timestep": 1, "data": []})
+        msg = receiver.receive(timeout=5)
+        assert msg.format_id == v1.format_id
+        sender.close()
+        receiver.close()
