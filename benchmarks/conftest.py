@@ -44,11 +44,17 @@ BENCH_HARDENING_PATH = Path(__file__).resolve().parents[1] / \
 BENCH_EVOLUTION_PATH = Path(__file__).resolve().parents[1] / \
     "BENCH_evolution.json"
 
+#: Where the bulk-array fast-path numbers land; consumed by
+#: ``benchmarks/check_bulk_gate.py`` in CI.
+BENCH_BULK_PATH = Path(__file__).resolve().parents[1] / \
+    "BENCH_bulk.json"
+
 _FUSED_METRICS: dict = {}
 _FANOUT_METRICS: dict = {}
 _OBS_METRICS: dict = {}
 _HARDENING_METRICS: dict = {}
 _EVOLUTION_METRICS: dict = {}
+_BULK_METRICS: dict = {}
 
 
 def context_for_case(case) -> IOContext:
@@ -112,6 +118,14 @@ def evolution_metrics() -> dict:
     return _EVOLUTION_METRICS
 
 
+@pytest.fixture
+def bulk_metrics() -> dict:
+    """Session-wide sink for the bulk-array fast-path numbers
+    (``test_ext_bulk``); flushed to BENCH_bulk.json at session
+    end."""
+    return _BULK_METRICS
+
+
 def pytest_sessionfinish(session, exitstatus):
     if _FUSED_METRICS:
         BENCH_FUSED_PATH.write_text(
@@ -130,3 +144,6 @@ def pytest_sessionfinish(session, exitstatus):
         BENCH_EVOLUTION_PATH.write_text(
             json.dumps(_EVOLUTION_METRICS, indent=2, sort_keys=True) +
             "\n")
+    if _BULK_METRICS:
+        BENCH_BULK_PATH.write_text(
+            json.dumps(_BULK_METRICS, indent=2, sort_keys=True) + "\n")

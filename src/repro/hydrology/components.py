@@ -75,12 +75,18 @@ class Component(threading.Thread):
     machine class (the paper's testbed mixed SPARC and x86 hosts);
     receiver-makes-right conversion keeps mixed pipelines exchanging
     records transparently.
+
+    ``arrays`` selects how this component's connections decode numeric
+    arrays (``"list"`` default, ``"numpy"``, or zero-copy read-only
+    ``"view"`` — grids then flow from the receive buffer into numpy
+    without a Python-list round-trip).
     """
 
     def __init__(self, name: str, schema_url: str,
-                 architecture=None) -> None:
+                 architecture=None, *, arrays: str = "list") -> None:
         super().__init__(name=f"hydrology-{name}", daemon=True)
         self.component_name = name
+        self.arrays = arrays
         kwargs = {} if architecture is None else \
             {"architecture": architecture}
         self.context = IOContext(format_server=FormatServer(),
@@ -107,7 +113,7 @@ class Component(threading.Thread):
         component's context), an existing Connection, or None."""
         if endpoint is None or isinstance(endpoint, Connection):
             return endpoint
-        return Connection(self.context, endpoint)
+        return Connection(self.context, endpoint, arrays=self.arrays)
 
     def _send(self, conn: Connection, format_name: str,
               record: dict) -> None:
@@ -172,8 +178,10 @@ class DataFileReader(Component):
     """
 
     def __init__(self, schema_url: str, source, out, *,
-                 batch: int = 1, architecture=None) -> None:
-        super().__init__("reader", schema_url, architecture)
+                 batch: int = 1, architecture=None,
+                 arrays: str = "list") -> None:
+        super().__init__("reader", schema_url, architecture,
+                         arrays=arrays)
         if batch < 1:
             raise ValueError("batch size must be >= 1")
         self.source = source
@@ -193,7 +201,7 @@ class DataFileReader(Component):
         else:
             from repro.hydrology.datafile import read_watershed_records
             for format_name, record in read_watershed_records(
-                    self.source):
+                    self.source, arrays=self.arrays):
                 self._send(self.out, format_name, record)
         self.out.close()
 
@@ -221,8 +229,10 @@ class Presend(Component):
     """
 
     def __init__(self, schema_url: str, inbound, out, *,
-                 factor: int = 2, architecture=None) -> None:
-        super().__init__("presend", schema_url, architecture)
+                 factor: int = 2, architecture=None,
+                 arrays: str = "list") -> None:
+        super().__init__("presend", schema_url, architecture,
+                         arrays=arrays)
         if factor < 1:
             raise ValueError("downsampling factor must be >= 1")
         self.inbound = self._connect(inbound)
@@ -285,8 +295,10 @@ class Flow2D(Component):
 
     def __init__(self, schema_url: str, inbound, out,
                  control=None, *, viscosity: float = 0.2,
-                 iterations: int = 2, architecture=None) -> None:
-        super().__init__("flow2d", schema_url, architecture)
+                 iterations: int = 2, architecture=None,
+                 arrays: str = "list") -> None:
+        super().__init__("flow2d", schema_url, architecture,
+                         arrays=arrays)
         self.inbound = self._connect(inbound)
         self.out = self._connect(out)
         self.control = self._connect(control)

@@ -41,8 +41,14 @@ def write_watershed_file(path: str | Path,
         return writer.records_written
 
 
-def read_watershed_records(path: str | Path):
-    """Iterate (format_name, record) pairs from a watershed file."""
-    with IOFileReader(path) as reader:
+def read_watershed_records(path: str | Path, *,
+                           arrays: str = "list"):
+    """Iterate (format_name, record) pairs from a watershed file.
+
+    ``arrays="view"`` streams grids as zero-copy read-only arrays over
+    each record's private chunk buffer — the fast feed for pipelines
+    that hand ``data`` straight to numpy.
+    """
+    with IOFileReader(path, arrays=arrays) as reader:
         for decoded in reader:
             yield decoded.format_name, decoded.record

@@ -39,8 +39,14 @@ class RecordDecoder:
     """Compiled decoder for one wire :class:`IOFormat`.
 
     ``arrays`` selects the representation of numeric arrays:
-    ``"list"`` (default, plain Python) or ``"numpy"`` (zero-copy views
-    into the record body where alignment permits).
+    ``"list"`` (default, plain Python), ``"numpy"`` (zero-copy views
+    into the record body where alignment permits), or ``"view"``
+    (zero-copy like ``"numpy"``, but the receive buffer is wrapped
+    read-only first, so no decoded array can ever write through to the
+    wire bytes).  Zero-copy arrays alias the receive buffer: they are
+    valid only while that buffer object lives and is not mutated or
+    reused — pass records through :func:`materialize_record` before
+    repooling the buffer (see ``docs/MARSHALING.md``).
 
     ``validate`` (default on) treats the wire as untrusted: every
     wire-derived pointer must land inside the record's variable region
@@ -55,9 +61,9 @@ class RecordDecoder:
 
     def __init__(self, fmt: IOFormat, *, arrays: str = "list",
                  fuse: bool = True, validate: bool = True) -> None:
-        if arrays not in ("list", "numpy"):
-            raise DecodeError(f"arrays must be 'list' or 'numpy', "
-                              f"got {arrays!r}")
+        if arrays not in ("list", "numpy", "view"):
+            raise DecodeError(f"arrays must be 'list', 'numpy' or "
+                              f"'view', got {arrays!r}")
         self.format = fmt
         self.field_list = fmt.field_list
         self.arrays = arrays
@@ -79,6 +85,8 @@ class RecordDecoder:
         """Decode a record body (no header) into a record dict."""
         if isinstance(body, (bytes, bytearray)):
             body = memoryview(body)
+        if self.arrays == "view" and not body.readonly:
+            body = body.toreadonly()
         if len(body) < self.field_list.record_length:
             raise DecodeError(
                 f"record body {len(body)} bytes, format "
@@ -255,7 +263,8 @@ class RecordDecoder:
                 return raw.split(b"\x00", 1)[0].decode(
                     "utf-8", errors="replace")
             return char_op
-        dtype = numpy_dtype(kind, field.size, self._byte_order)
+        dtype = numpy_dtype(kind, field.size, self._byte_order,
+                            field_name=name)
         post = _array_post(kind, enums.get(name), self.arrays)
 
         def op(body, base):
@@ -297,7 +306,8 @@ class RecordDecoder:
                     "utf-8", errors="replace")
             return char_op
 
-        dtype = numpy_dtype(kind, field.size, self._byte_order)
+        dtype = numpy_dtype(kind, field.size, self._byte_order,
+                            field_name=name)
         post = _array_post(kind, enums.get(name), self.arrays)
         elem = field.size
 
@@ -458,9 +468,32 @@ def _array_post(kind: str, enum_values, arrays: str):
     if kind == "enumeration" and enum_values is not None:
         values = enum_values
         return lambda arr: [values[int(x)] for x in arr]
-    if arrays == "numpy":
+    if arrays in ("numpy", "view"):
+        # "view" read-onlyness comes from the buffer itself: decode()
+        # wraps the body with toreadonly() before any frombuffer, so
+        # every array here is born non-writable.
         return lambda arr: arr
     return lambda arr: arr.tolist()
+
+
+def materialize_record(record, *, arrays: str = "list"):
+    """Copy-out a decoded record so it owns every byte it references.
+
+    Zero-copy arrays (``arrays="numpy"``/``"view"`` decode modes) alias
+    the receive buffer; run the record through this before the buffer
+    is mutated, reused or returned to a pool.  ``arrays`` selects the
+    owned representation: ``"list"`` (plain Python) or ``"numpy"``
+    (a private array copy).  Nested subformat records and lists are
+    converted recursively; scalars pass through unchanged.
+    """
+    if isinstance(record, np.ndarray):
+        return record.tolist() if arrays == "list" else record.copy()
+    if isinstance(record, dict):
+        return {k: materialize_record(v, arrays=arrays)
+                for k, v in record.items()}
+    if isinstance(record, list):
+        return [materialize_record(v, arrays=arrays) for v in record]
+    return record
 
 
 # ---------------------------------------------------------------------------

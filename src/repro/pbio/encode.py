@@ -47,7 +47,9 @@ same-format records under one header.
 
 from __future__ import annotations
 
+import array
 import struct
+import sys
 import threading
 from dataclasses import dataclass
 
@@ -89,6 +91,21 @@ STRUCT_CODES: dict[tuple[str, int], str] = {
 _NUMPY_KINDS = {"integer": "i", "unsigned": "u", "float": "f",
                 "enumeration": "u", "boolean": "u"}
 
+#: var-array payloads at least this large spill out of the pooled body
+#: as zero-copy segments when encoding in parts mode (below it the
+#: extra frame part costs more than the memcpy it saves)
+SPILL_MIN_BYTES = 4096
+
+#: stdlib array.array typecodes by (numpy kind char, itemsize) — the
+#: typed sources the bulk path accepts without building an ndarray
+_TYPECODE_KINDS: dict[str, tuple[str, int]] = (
+    {c: ("i", array.array(c).itemsize) for c in "bhilq"}
+    | {c: ("u", array.array(c).itemsize) for c in "BHILQ"}
+    | {"f": ("f", 4), "d": ("f", 8)}
+)
+
+_NATIVE_ORDER_CHAR = "<" if sys.byteorder == "little" else ">"
+
 
 def struct_code(kind: str, size: int) -> str:
     try:
@@ -98,14 +115,86 @@ def struct_code(kind: str, size: int) -> str:
             f"no wire representation for {kind} of size {size}") from None
 
 
-def numpy_dtype(kind: str, size: int, byte_order: str) -> np.dtype:
+def numpy_dtype(kind: str, size: int, byte_order: str,
+                field_name: str | None = None) -> np.dtype:
     try:
         letter = _NUMPY_KINDS[kind]
     except KeyError:
-        raise EncodeError(f"no bulk representation for kind {kind}") \
-            from None
+        where = f"field {field_name!r}: " if field_name else ""
+        raise EncodeError(
+            f"{where}no bulk representation for kind {kind}") from None
     prefix = "<" if byte_order == "little" else ">"
     return np.dtype(f"{prefix}{letter}{size}")
+
+
+class BulkStats:
+    """Process-wide counters for the bulk-array fast path.
+
+    Every bulk decision is counted, so tests and benchmarks can prove
+    copy behavior (e.g. "this 1 MB grid moved as one zero-copy spill
+    segment") instead of inferring it from timings.  Plain int adds
+    under the GIL; diagnostic precision, not billing precision.
+    """
+
+    __slots__ = ("zero_copy_views", "bulk_converts", "copied_arrays",
+                 "copied_bytes", "spilled_segments", "spilled_bytes",
+                 "fallback_arrays")
+
+    def __init__(self) -> None:
+        self.reset()
+
+    def reset(self) -> None:
+        self.zero_copy_views = 0   # source buffer used as-is, no copy
+        self.bulk_converts = 0     # one bulk dtype/byte-order convert
+        self.copied_arrays = 0     # payloads memcpy'd into the body
+        self.copied_bytes = 0
+        self.spilled_segments = 0  # payloads handed out as segments
+        self.spilled_bytes = 0
+        self.fallback_arrays = 0   # bulk-ineligible, per-element path
+
+    def snapshot(self) -> dict[str, int]:
+        return {name: getattr(self, name) for name in self.__slots__}
+
+
+BULK_STATS = BulkStats()
+
+
+def _bulk_view(value, dtype: np.dtype):
+    """A C-contiguous byte view of *value* in the wire byte order.
+
+    Returns ``(view, converted)`` — ``converted`` is False when the
+    view aliases the caller's buffer (zero-copy) and True when one bulk
+    dtype/byte-order conversion produced a private buffer — or ``None``
+    when *value* is not bulk-eligible and must take the per-element
+    baseline.  Only typed 1-D sources qualify: ``np.ndarray`` and
+    ``array.array`` carry their element type, so reinterpreting their
+    bytes can never change meaning (raw bytes/buffers stay on the
+    baseline path, which treats them as element sequences).
+    """
+    if isinstance(value, np.ndarray):
+        if value.ndim != 1:
+            return None
+        vd = value.dtype
+        # identity first: numpy interns the native-order dtypes, so
+        # the steady state skips building two ``.str`` strings
+        if (vd is dtype or vd.str == dtype.str) \
+                and value.flags.c_contiguous:
+            return memoryview(value).cast("B"), False
+        try:
+            converted = np.ascontiguousarray(value, dtype=dtype)
+        except (ValueError, TypeError, OverflowError):
+            return None
+        return memoryview(converted).cast("B"), True
+    if isinstance(value, array.array):
+        if _TYPECODE_KINDS.get(value.typecode) != (dtype.kind,
+                                                   dtype.itemsize):
+            return None
+        if dtype.byteorder in ("|", "=", _NATIVE_ORDER_CHAR):
+            return memoryview(value).cast("B"), False
+        swapped = array.array(value.typecode, value)
+        swapped.byteswap()
+        return memoryview(swapped).cast("B"), True
+    return None
 
 
 @dataclass(frozen=True)
@@ -248,9 +337,11 @@ class BufferPool:
     atomic under the GIL, so the pool is safe to share across threads.
     """
 
-    def __init__(self, max_buffers: int = 8) -> None:
+    def __init__(self, max_buffers: int = 8, *,
+                 factory=bytearray) -> None:
         self._free: list[bytearray] = []
         self.max_buffers = max_buffers
+        self._factory = factory
         self._zeros = b""
         self.acquires = 0
         self.reuses = 0
@@ -261,7 +352,7 @@ class BufferPool:
         try:
             buf = self._free.pop()
         except IndexError:
-            return bytearray(size)
+            return self._factory(size)
         self.reuses += 1
         if len(self._zeros) < size:
             self._zeros = bytes(size)
@@ -280,18 +371,55 @@ def _round_up(value: int, align: int) -> int:
     return (value + align - 1) // align * align
 
 
+class _PartsBody(bytearray):
+    """Record body that can divert large bulk payloads into zero-copy
+    *segments* instead of copying them in.
+
+    ``segments`` holds ``(physical_cut, byte_view)`` pairs: the payload
+    logically sits at physical offset ``physical_cut`` but its bytes
+    live in the caller's array.  ``__len__`` reports the **virtual**
+    length (physical bytes plus every spilled segment), so the compiled
+    ops' pointer arithmetic — which is all expressed through
+    ``len(body)`` — stays wire-accurate without knowing about spills.
+    C-level writes (``extend``/``pack_into``) address the physical
+    buffer and are unaffected.  Segments must be cleared before the
+    body returns to its :class:`BufferPool` (the pool sizes buffers by
+    ``len``).
+    """
+
+    __slots__ = ("segments",)
+
+    def __init__(self, *args) -> None:
+        super().__init__(*args)
+        self.segments: list[tuple[int, memoryview]] = []
+
+    def __len__(self) -> int:
+        n = bytearray.__len__(self)
+        for _cut, part in self.segments:
+            n += len(part)
+        return n
+
+
 class RecordEncoder:
     """Compiled encoder for one :class:`IOFormat`.
 
     ``fuse`` selects the codec plan: fused (default — contiguous
     scalar runs pack through one :class:`struct.Struct`) or the
     per-field baseline the fused plan is benchmarked against.
+
+    ``bulk`` selects the array plan: bulk (default — typed 1-D array
+    payloads move as single ``memoryview`` copies, byte-swapped in one
+    pass when the wire order differs, and spill as zero-copy segments
+    through :meth:`encode_wire_parts`) or the per-element baseline the
+    bulk path is differentially tested against.
     """
 
-    def __init__(self, fmt: IOFormat, *, fuse: bool = True) -> None:
+    def __init__(self, fmt: IOFormat, *, fuse: bool = True,
+                 bulk: bool = True) -> None:
         self.format = fmt
         self.field_list = fmt.field_list
         self.fuse = fuse
+        self.bulk = bulk
         self.fused_runs = 0      # plan stats: runs of >= 2 fields
         self.fused_fields = 0    # fields covered by those runs
         self._bo = fmt.architecture.struct_byte_order_char
@@ -302,6 +430,7 @@ class RecordEncoder:
             self._bo + ("I" if ptr_size == 4 else "Q"))
         self._count = struct.Struct(self._bo + "I")
         self._pool = BufferPool()
+        self._parts_pool = BufferPool(factory=_PartsBody)
         # ops run in field order; each is fn(record, body, base)
         self._ops = self._compile(self.field_list, enums=fmt.enums)
         self._length_links = _length_links(self.field_list)
@@ -322,26 +451,77 @@ class RecordEncoder:
         return body
 
     def encode_wire(self, record: dict) -> bytes:
-        """Header + body, encoding through the buffer pool."""
-        body = self._encode_pooled(record)
-        return build_header(self.format.format_id, len(body),
-                            big_endian=self._big) + body
+        """Header + body, encoding through the buffer pool.
 
-    def encode_wire_parts(self, record: dict) -> tuple[bytes, bytes]:
-        """``(header, body)`` without concatenating them.
+        One join produces the wire: the pooled body is copied exactly
+        once, into the final frame, never into an intermediate."""
+        record = self._normalize(record, self.field_list,
+                                 self._length_links,
+                                 path=self.format.name)
+        body = self._pool.acquire(self.field_list.record_length)
+        try:
+            for op in self._ops:
+                op(record, body, 0)
+            header = build_header(self.format.format_id, len(body),
+                                  big_endian=self._big)
+            return b"".join((header, body))
+        finally:
+            self._pool.release(body)
+
+    def encode_wire_parts(self, record: dict) -> tuple:
+        """Wire parts ``(header, piece, ...)`` without concatenation.
 
         The broadcast fan-out path frames records directly from these
-        parts (one join builds the whole transport frame), so the
-        wire bytes are copied once instead of once per layer.
+        parts (one join builds the whole transport frame), so the wire
+        bytes are copied once instead of once per layer.  Bulk array
+        payloads of at least :data:`SPILL_MIN_BYTES` are returned as
+        zero-copy ``memoryview`` segments over the **caller's array**
+        — a 1 MB grid is never copied by the codec at all, only by the
+        transport's single frame join.  Consume (join/send) the parts
+        before mutating the source arrays.
         """
-        body = self._encode_pooled(record)
-        header = build_header(self.format.format_id, len(body),
-                              big_endian=self._big)
-        return header, body
+        record = self._normalize(record, self.field_list,
+                                 self._length_links,
+                                 path=self.format.name)
+        body = self._parts_pool.acquire(self.field_list.record_length)
+        try:
+            for op in self._ops:
+                op(record, body, 0)
+            header = build_header(self.format.format_id, len(body),
+                                  big_endian=self._big)
+            if not body.segments:
+                return header, bytes(body)
+            parts = [header]
+            prev = 0
+            raw = memoryview(body)
+            try:
+                for cut, segment in body.segments:
+                    if cut > prev:
+                        parts.append(bytes(raw[prev:cut]))
+                    parts.append(segment)
+                    prev = cut
+                if bytearray.__len__(body) > prev:
+                    parts.append(bytes(raw[prev:]))
+            finally:
+                raw.release()
+            return tuple(parts)
+        finally:
+            body.segments.clear()
+            self._parts_pool.release(body)
 
     def encode_bodies(self, records) -> list[bytes]:
-        """Encode many records, reusing one pooled buffer throughout."""
-        return [self._encode_pooled(r) for r in records]
+        """Encode many records, reusing one pooled buffer throughout.
+
+        Failures name the offending record index on top of the
+        per-field attribution the compiled ops already provide.
+        """
+        out = []
+        for index, record in enumerate(records):
+            try:
+                out.append(self._encode_pooled(record))
+            except EncodeError as exc:
+                raise EncodeError(f"record[{index}]: {exc}") from None
+        return out
 
     def encode_batch(self, records) -> bytes:
         """Encode *records* into one shared-header batch
@@ -373,8 +553,17 @@ class RecordEncoder:
                 f"{path}: record must be a mapping, got "
                 f"{type(record).__name__}")
         known = field_list.name_set()
-        if not links and record.keys() == known:
-            return record   # steady-state fast path: nothing to fill
+        if record.keys() == known:
+            # steady-state fast path: every field present and every
+            # sizing field already telling the truth — no dict copy
+            for array_name, (length_name, trailing) in links.items():
+                value = record[array_name]
+                flat = 0 if value is None else len(value)
+                if (trailing > 1 and flat % trailing) or \
+                        record[length_name] != flat // trailing:
+                    break   # let the slow path fill or reject it
+            else:
+                return record
         unknown = set(record) - known
         if unknown:
             raise EncodeError(f"{path}: unknown fields {sorted(unknown)}")
@@ -539,9 +728,12 @@ class RecordEncoder:
                 data = _char_array_bytes(name, record[name], size)
                 body[base + offset:base + offset + size] = data
             return char_op
-        dtype = numpy_dtype(kind, field.size, self._byte_order)
+        dtype = numpy_dtype(kind, field.size, self._byte_order,
+                            field_name=name)
         convert = _scalar_converter(kind, field, enums.get(name))
         nbytes = count * field.size
+        bulk = self.bulk
+        stats = BULK_STATS
         # Small arrays pack faster through one precompiled struct than
         # through an ndarray round-trip; numpy wins past a few hundred
         # elements, and the bulk path stays as the tolerant fallback.
@@ -559,6 +751,23 @@ class RecordEncoder:
                 except (struct.error, TypeError, ValueError,
                         OverflowError):
                     pass  # enum strings, mixed types: bulk path decides
+            if bulk and isinstance(value, (np.ndarray, array.array)):
+                src = _bulk_view(value, dtype)
+                if src is not None:
+                    view, converted = src
+                    if len(view) != nbytes:
+                        raise EncodeError(
+                            f"field {name!r}: fixed array of {count}, "
+                            f"got {len(view) // field.size} elements")
+                    if converted:
+                        stats.bulk_converts += 1
+                    else:
+                        stats.zero_copy_views += 1
+                    body[base + offset:base + offset + nbytes] = view
+                    stats.copied_arrays += 1
+                    stats.copied_bytes += nbytes
+                    return
+                stats.fallback_arrays += 1
             items = _as_items(name, value)
             if len(items) != count:
                 raise EncodeError(
@@ -590,15 +799,56 @@ class RecordEncoder:
                 body.extend(data)
                 ptr.pack_into(body, base + offset, where)
             return char_op
-        dtype = numpy_dtype(kind, field.size, self._byte_order)
+        dtype = numpy_dtype(kind, field.size, self._byte_order,
+                            field_name=name)
         convert = _scalar_converter(kind, field, enums.get(name))
         align = max(field.size, 4 if self_sized else 1)
+        elem = field.size
+        bulk = self.bulk
+        stats = BULK_STATS
 
         def op(record, body, base):
             value = record[name]
             if value is None:
                 ptr.pack_into(body, base + offset, 0)
                 return
+            if bulk and isinstance(value, (np.ndarray, array.array)):
+                src = _bulk_view(value, dtype)
+                if src is not None:
+                    view, converted = src
+                    nbytes = len(view)
+                    if trailing > 1 and (nbytes // elem) % trailing:
+                        raise EncodeError(
+                            f"field {name!r}: element count "
+                            f"{nbytes // elem} not a multiple of "
+                            f"trailing dimensions {trailing}")
+                    if converted:
+                        stats.bulk_converts += 1
+                    else:
+                        stats.zero_copy_views += 1
+                    where = _append_var(body, align)
+                    if self_sized:
+                        body.extend(counter.pack(
+                            (nbytes // elem) // (trailing or 1)))
+                        pad = _round_up(len(body), elem) - len(body)
+                        if pad:
+                            body.extend(b"\x00" * pad)
+                    start = len(body)
+                    segments = getattr(body, "segments", None)
+                    if segments is not None \
+                            and nbytes >= SPILL_MIN_BYTES:
+                        segments.append(
+                            (bytearray.__len__(body), view))
+                        stats.spilled_segments += 1
+                        stats.spilled_bytes += nbytes
+                    else:
+                        body += view
+                        stats.copied_arrays += 1
+                        stats.copied_bytes += nbytes
+                    ptr.pack_into(body, base + offset,
+                                  where if self_sized else start)
+                    return
+                stats.fallback_arrays += 1
             items = _as_items(name, value)
             if trailing > 1 and len(items) % trailing:
                 raise EncodeError(
@@ -665,12 +915,16 @@ class RecordEncoder:
                 body.extend(counter.pack(len(items)))
                 pad = _round_up(len(body), 8) - len(body)
                 body.extend(b"\x00" * pad)
+            # Pointer values are virtual (wire) offsets, but pack_into
+            # addresses the physical buffer — they differ once a bulk
+            # payload has spilled out of the body as a segment.
             zone = len(body)
+            zone_physical = bytearray.__len__(body)
             body.extend(bytes(stride * len(items)))
             for i, item in enumerate(items):
                 sub = normalize(item, sub_list, sub_links,
                                 f"{path}[{i}]")
-                at = zone + i * stride
+                at = zone_physical + i * stride
                 for op in sub_ops:
                     op(sub, body, at)
             ptr.pack_into(body, base + offset,
@@ -831,13 +1085,13 @@ def _scalar_converter(kind: str, field: IOField,
 # process-wide codec plan cache
 # ---------------------------------------------------------------------------
 
-_ENCODER_CACHE: dict[tuple[FormatID, bool], RecordEncoder] = {}
+_ENCODER_CACHE: dict[tuple[FormatID, bool, bool], RecordEncoder] = {}
 _ENCODER_LOCK = threading.Lock()
 _MAX_CACHED_PLANS = 256
 
 
-def encoder_for_format(fmt: IOFormat, *, fuse: bool = True) \
-        -> RecordEncoder:
+def encoder_for_format(fmt: IOFormat, *, fuse: bool = True,
+                       bulk: bool = True) -> RecordEncoder:
     """The process-wide compiled encoder for *fmt*.
 
     Keyed by the format's digest-derived :class:`FormatID` (identical
@@ -846,7 +1100,7 @@ def encoder_for_format(fmt: IOFormat, *, fuse: bool = True) \
     compiled plan per format.
     """
     from repro.obs import runtime as _obs
-    key = (fmt.format_id, fuse)
+    key = (fmt.format_id, fuse, bulk)
     encoder = _ENCODER_CACHE.get(key)
     if encoder is not None:
         if _obs.enabled:
@@ -858,9 +1112,9 @@ def encoder_for_format(fmt: IOFormat, *, fuse: bool = True) \
         from repro.obs.spans import span
         CODEC_PLANS.labels("encoder", "miss").inc()
         with span("compile_plan", kind="encoder", format=fmt.name):
-            encoder = RecordEncoder(fmt, fuse=fuse)
+            encoder = RecordEncoder(fmt, fuse=fuse, bulk=bulk)
     else:
-        encoder = RecordEncoder(fmt, fuse=fuse)
+        encoder = RecordEncoder(fmt, fuse=fuse, bulk=bulk)
     with _ENCODER_LOCK:
         cached = _ENCODER_CACHE.get(key)
         if cached is not None:

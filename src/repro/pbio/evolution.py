@@ -137,8 +137,8 @@ class DownConverter:
         _count_event("records_down_converted")
         return self._encoder.encode_wire(self.convert_record(record))
 
-    def encode_record_parts(self, record: dict) -> tuple[bytes, bytes]:
-        """``(header, body)`` like
+    def encode_record_parts(self, record: dict) -> tuple:
+        """Wire parts ``(header, piece, ...)`` like
         :meth:`~repro.pbio.encode.RecordEncoder.encode_wire_parts`."""
         _count_event("records_down_converted")
         return self._encoder.encode_wire_parts(

@@ -102,12 +102,19 @@ class IOFileReader:
     metadata chunks, so no prior registration is needed; records decode
     under the *writer's* architecture ("receiver makes right" applies
     to files exactly as to connections).
+
+    ``arrays`` selects the numeric-array representation
+    (``"list"``/``"numpy"``/``"view"``); each record decodes from its
+    own chunk buffer, so zero-copy ``"view"`` arrays stay valid for
+    the record's lifetime.
     """
 
     def __init__(self, source: str | Path | BinaryIO,
-                 context: IOContext | None = None) -> None:
+                 context: IOContext | None = None, *,
+                 arrays: str = "list") -> None:
         self.context = context if context is not None else IOContext(
             format_server=FormatServer())
+        self.arrays = arrays
         if hasattr(source, "read"):
             self._stream: BinaryIO = source
             self._owns_stream = False
@@ -152,7 +159,8 @@ class IOFileReader:
                 # validates magic/version and that the declared body
                 # is actually present, before decode
                 parse_header(payload, require_body=True)
-                decoded = self.context.decode(bytes(payload))
+                decoded = self.context.decode(bytes(payload),
+                                              arrays=self.arrays)
                 self.records_read += 1
                 return decoded
             raise DecodeError(f"unknown chunk type {chunk_type}")

@@ -42,7 +42,7 @@ import struct
 from dataclasses import dataclass, field
 
 from repro.errors import DecodeError, EncodeError, ProtocolError
-from repro.pbio.decode import decoder_for_format
+from repro.pbio.decode import decoder_for_format, materialize_record
 from repro.pbio.encode import (
     HEADER_LEN, encoder_for_format, is_batch, parse_batch, parse_header,
 )
@@ -76,6 +76,16 @@ HANDSHAKE_KINDS = ("flip_byte", "flip_bit", "truncate", "extend",
                    "smash_u32", "zero_run", "ff_run", "duplicate_run",
                    "splice_header", "crossover", "smash_u8",
                    "splice_digest")
+
+#: the default set plus the bulk-array kinds (same opt-in rule):
+#: element-count smashing at aligned body slots in either byte order,
+#: stride misalignment behind a re-declared envelope length, and
+#: in-range pointer splicing into the bulk payload region — the three
+#: ways a hostile sender attacks the zero-copy array fast path
+BULK_KINDS = ("flip_byte", "flip_bit", "truncate", "extend",
+              "smash_u32", "zero_run", "ff_run", "duplicate_run",
+              "splice_header", "crossover", "smash_array_len",
+              "misalign_stride", "splice_bulk_ptr")
 
 
 class InvariantViolation(Exception):
@@ -275,6 +285,55 @@ class FrameMutator:
         data[at:at + 8] = digest
         return data
 
+    # -- bulk-array kinds (opt-in via BULK_KINDS) ---------------------------
+
+    def _smash_array_len(self, data: bytearray) -> bytearray:
+        """Overwrite a 4-aligned body slot with a boundary element
+        count in either byte order — aimed where array length
+        prefixes and sizing fields actually live, unlike the
+        anywhere-goes ``smash_u32``."""
+        if len(data) >= HEADER_LEN + 4:
+            slots = (len(data) - HEADER_LEN) // 4
+            at = HEADER_LEN + 4 * self.rng.randrange(slots)
+            value = self.rng.choice(
+                _SMASH_VALUES + (len(data) - HEADER_LEN,))
+            code = self.rng.choice((">I", "<I"))
+            struct.pack_into(code, data, at, value & 0xFFFFFFFF)
+        return data
+
+    def _misalign_stride(self, data: bytearray) -> bytearray:
+        """Insert or delete 1..7 bytes inside the body, then
+        re-declare the header length to match: the frame stays
+        well-framed, but every pointer past the edit lands stride-
+        misaligned inside what used to be a bulk payload."""
+        if len(data) > HEADER_LEN + 8:
+            at = self.rng.randrange(HEADER_LEN, len(data))
+            n = self.rng.randint(1, 7)
+            if self.rng.randrange(2):
+                data[at:at] = bytes(self.rng.randrange(256)
+                                    for _ in range(n))
+            else:
+                del data[at:at + n]
+            _U32.pack_into(data, 12,
+                           (len(data) - HEADER_LEN) & 0xFFFFFFFF)
+        return data
+
+    def _splice_bulk_ptr(self, data: bytearray) -> bytearray:
+        """Overwrite an aligned 4- or 8-byte slot with an offset that
+        is *inside* the record — a pointer spliced into the bulk
+        region passes any naive length check and is exactly what the
+        per-field pointer/bounds discipline must catch."""
+        body_len = len(data) - HEADER_LEN
+        if body_len >= 8:
+            width = self.rng.choice((4, 8))
+            slots = (body_len - width) // width + 1
+            at = HEADER_LEN + width * self.rng.randrange(slots)
+            value = self.rng.randrange(body_len + 1)
+            code = self.rng.choice((">", "<")) + (
+                "I" if width == 4 else "Q")
+            struct.pack_into(code, data, at, value)
+        return data
+
 
 def records_equal(a, b) -> bool:
     """Structural equality with NaN == NaN (mutated floats routinely
@@ -304,9 +363,9 @@ def _cell_count(value) -> int:
 class WireOracle:
     """Differential decode judge over a set of known formats.
 
-    Holds, per format id, the validated fused and per-field decode
-    plans plus the encoder, and checks one (possibly mutated) frame
-    against the decode contract.  Frames referencing format ids
+    Holds, per format id, the validated fused, per-field and
+    zero-copy (``arrays="view"``) decode plans plus the encoder, and
+    checks one (possibly mutated) frame against the decode contract.  Frames referencing format ids
     outside the known set are treated as rejected (a live receiver
     would issue a FMT_REQ for them; there is nothing to decode
     against).
@@ -322,6 +381,7 @@ class WireOracle:
             fmt,
             decoder_for_format(fmt, fuse=True),
             decoder_for_format(fmt, fuse=False),
+            decoder_for_format(fmt, arrays="view"),
             encoder_for_format(fmt),
         )
 
@@ -361,7 +421,7 @@ class WireOracle:
     def _check_body(self, entry, body: bytes, wire_len: int) -> bool:
         """Decode one record body and check every invariant; returns
         True when the value also re-encoded losslessly."""
-        fmt, fused, unfused, encoder = entry
+        fmt, fused, unfused, viewer, encoder = entry
         record = fused.decode(body)
 
         cells = _cell_count(record)
@@ -377,6 +437,21 @@ class WireOracle:
             raise InvariantViolation(
                 f"{fmt.name}: fused and per-field decode plans "
                 f"disagree: {record!r} != {baseline!r}")
+
+        # the zero-copy view decode must see the exact same values the
+        # copying plan does, and must reject exactly what it rejects —
+        # a frame only one of them throws on is a contract breach, so
+        # let any DecodeError here propagate as InvariantViolation
+        try:
+            viewed = viewer.decode(body)
+        except DecodeError as exc:
+            raise InvariantViolation(
+                f"{fmt.name}: view decode rejected a frame the "
+                f"copying plan accepted: {exc}") from exc
+        if not records_equal(materialize_record(viewed), record):
+            raise InvariantViolation(
+                f"{fmt.name}: zero-copy view decode diverged from "
+                f"the copying plan")
 
         # re-encode when the decoded value is still encodable (a
         # mutated frame can decode to values outside the format's

@@ -217,14 +217,15 @@ class BroadcastPublisher:
         subscribers the frame was queued to."""
         fmt = self._format(format_name)
         encoder = self.context.encoder_for(fmt)
-        # header and body framed in a single join — no intermediate
-        # payload concatenation on the hot path
+        # all parts framed in a single join — bulk array payloads
+        # arrive as zero-copy segments, so a 1 MB grid is copied
+        # exactly once (by the join), never per layer
         t0 = sample_t0()
-        header, body = encoder.encode_wire_parts(record)
+        parts = encoder.encode_wire_parts(record)
         if t0:
             observe_phase("marshal", t0)
-        data = frame_bytes(FrameType.DATA, header, body)
-        self.context.stats.count_encoded(1, len(header) + len(body))
+        data = frame_bytes(FrameType.DATA, *parts)
+        self.context.stats.count_encoded(1, sum(len(p) for p in parts))
 
         def down_convert(old_fmt: IOFormat) -> bytes:
             parts = down_converter(fmt, old_fmt).encode_record_parts(

@@ -69,11 +69,20 @@ class ReceivedMessage:
 
 
 class Connection:
-    """One endpoint of a structured-data exchange."""
+    """One endpoint of a structured-data exchange.
 
-    def __init__(self, context: IOContext, channel: Channel) -> None:
+    ``arrays`` selects the numeric-array representation every receive
+    decodes to (``"list"`` default, ``"numpy"``, or zero-copy read-only
+    ``"view"`` — see :class:`~repro.pbio.decode.RecordDecoder`).  With
+    ``"view"``, records alias the received frame bytes; each frame is a
+    private buffer, so views stay valid for the record's lifetime.
+    """
+
+    def __init__(self, context: IOContext, channel: Channel, *,
+                 arrays: str = "list") -> None:
         self.context = context
         self.channel = channel
+        self.arrays = arrays
         self._pending: deque[bytes] = deque()
         self._closed = False
         self.negotiations = 0  # metadata round-trips performed
@@ -207,7 +216,7 @@ class Connection:
         try:
             fid, _body_len = parse_header(wire, require_body=True)
             self._ensure_format(fid, timeout)
-            decoded = self.context.decode(wire)
+            decoded = self.context.decode(wire, arrays=self.arrays)
         except DecodeError:
             _count_malformed("bad_record")
             raise
@@ -226,7 +235,8 @@ class Connection:
         try:
             fid, _ = parse_header(wire, require_body=True)
             self._ensure_format(fid, timeout)
-            record = self.context.decode_as(wire, native_name)
+            record = self.context.decode_as(wire, native_name,
+                                            arrays=self.arrays)
         except DecodeError:
             _count_malformed("bad_record")
             raise
@@ -246,12 +256,13 @@ class Connection:
             self._ensure_format(fid, timeout)
             if is_batch(wire):
                 name, fid, records = \
-                    self.context.decode_many_records(wire)
+                    self.context.decode_many_records(
+                        wire, arrays=self.arrays)
                 out = [ReceivedMessage(format_name=name, format_id=fid,
                                        record=record)
                        for record in records]
             else:
-                d = self.context.decode(wire)
+                d = self.context.decode(wire, arrays=self.arrays)
                 out = [ReceivedMessage(format_name=d.format_name,
                                        format_id=d.format_id,
                                        record=d.record)]

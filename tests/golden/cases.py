@@ -9,8 +9,12 @@ an unintentional diff here is a wire-compatibility break.
 
 from __future__ import annotations
 
+import array
+import hashlib
 import json
 from pathlib import Path
+
+import numpy as np
 
 from repro.hydrology.formats import GAUGE_COUNT, hydrology_field_specs
 from repro.pbio.encode import RecordEncoder
@@ -132,9 +136,114 @@ _HYDROLOGY_RECORDS: dict[str, dict] = {
 _BATCH_CASES: dict[str, str] = {"SimpleData__batch": "SimpleData"}
 
 
+def _bulk_ints(count: int) -> list[int]:
+    """Deterministic int32 walk covering sign and magnitude."""
+    return [((i * 2654435761 + 97) % (1 << 32)) - (1 << 31)
+            for i in range(count)]
+
+
+def _bulk_floats(count: int) -> list[float]:
+    """Deterministic float32-exact values (IEEE-representable)."""
+    return (np.arange(count, dtype=np.float32) * np.float32(0.375)
+            - np.float32(1017.5)).tolist()
+
+
+def _bulk_doubles(count: int) -> list[float]:
+    """Deterministic float64 values built from exact dyadics."""
+    return (np.arange(count, dtype=np.float64) * 0.001953125
+            - 3.25).tolist()
+
+
+#: Bulk-array cases: large fixed-stride payloads pinning the zero-copy
+#: fast path to the element-wise wire bytes.  ``arrays`` maps each
+#: array field to (native numpy dtype, array.array typecode), the two
+#: typed sources the bulk path accepts.  Records are built as plain
+#: lists so the stored vector is what the per-element baseline writes.
+_BULK_CASES: dict[str, dict] = {
+    "BulkInt32_1k": {
+        "specs": [("n", "integer", 4), ("values", "integer[n]", 4)],
+        "arrays": {"values": ("i4", "i")},
+        "build": lambda: {"n": 1024, "values": _bulk_ints(1024)},
+    },
+    "BulkFloat_1k": {
+        "specs": [("label", "string"), ("n", "integer", 4),
+                  ("values", "float[n]", 4)],
+        "arrays": {"values": ("f4", "f")},
+        "build": lambda: {"label": "grid-f32", "n": 1024,
+                          "values": _bulk_floats(1024)},
+    },
+    "BulkDouble_1k": {
+        # self-sized: exercises the count prefix + alignment pad
+        "specs": [("label", "string"), ("extra", "double[*]", 8)],
+        "arrays": {"extra": ("f8", "d")},
+        "build": lambda: {"label": "grid-f64",
+                          "extra": _bulk_doubles(1024)},
+    },
+    "BulkInt32_64k": {
+        "specs": [("n", "integer", 4), ("values", "integer[n]", 4)],
+        "arrays": {"values": ("i4", "i")},
+        "build": lambda: {"n": 65536, "values": _bulk_ints(65536)},
+    },
+    "BulkFloat_64k": {
+        "specs": [("label", "string"), ("n", "integer", 4),
+                  ("values", "float[n]", 4)],
+        "arrays": {"values": ("f4", "f")},
+        "build": lambda: {"label": "grid-f32", "n": 65536,
+                          "values": _bulk_floats(65536)},
+    },
+    "BulkDouble_64k": {
+        "specs": [("label", "string"), ("extra", "double[*]", 8)],
+        "arrays": {"extra": ("f8", "d")},
+        "build": lambda: {"label": "grid-f64",
+                          "extra": _bulk_doubles(65536)},
+    },
+}
+
+#: Cases whose wire is too large to store as hex: ``vectors.json``
+#: keeps ``{"sha256", "nbytes"}`` instead — equally drift-proof.
+DIGEST_CASES = frozenset(name for name in _BULK_CASES
+                         if name.endswith("_64k"))
+
+
+def vector_entry(wire: bytes, case: str):
+    """The ``vectors.json`` entry for *wire*: hex, or a digest record
+    for :data:`DIGEST_CASES`."""
+    if case in DIGEST_CASES:
+        return {"sha256": hashlib.sha256(wire).hexdigest(),
+                "nbytes": len(wire)}
+    return wire.hex()
+
+
+def entry_matches(entry, wire: bytes) -> bool:
+    """True when *wire* is the exact bytes a stored entry pins."""
+    if isinstance(entry, dict):
+        return (entry.get("nbytes") == len(wire) and entry.get("sha256")
+                == hashlib.sha256(wire).hexdigest())
+    return entry == wire.hex()
+
+
+def bulk_case_names() -> list[str]:
+    return sorted(_BULK_CASES)
+
+
+def bulk_record(case: str, source: str) -> dict:
+    """The bulk case's record with array payloads as *source*:
+    ``"list"`` (baseline), ``"ndarray"`` (native-order numpy) or
+    ``"array"`` (stdlib ``array.array``)."""
+    record = case_record(case)
+    for fname, (dt, typecode) in _BULK_CASES[case]["arrays"].items():
+        if source == "ndarray":
+            record[fname] = np.asarray(record[fname], dtype=dt)
+        elif source == "array":
+            record[fname] = array.array(typecode, record[fname])
+        elif source != "list":
+            raise ValueError(f"unknown bulk source {source!r}")
+    return record
+
+
 def case_names() -> list[str]:
     return (sorted(_HYDROLOGY_RECORDS) + sorted(_EXTRA_CASES)
-            + sorted(_BATCH_CASES))
+            + sorted(_BATCH_CASES) + bulk_case_names())
 
 
 def build_format(case: str, architecture) -> IOFormat:
@@ -142,6 +251,10 @@ def build_format(case: str, architecture) -> IOFormat:
     if base in _HYDROLOGY_RECORDS:
         specs = hydrology_field_specs(architecture)[base]
         layout = compute_layout(specs, architecture=architecture)
+        return IOFormat(base, layout.field_list)
+    if base in _BULK_CASES:
+        layout = compute_layout(_BULK_CASES[base]["specs"],
+                                architecture=architecture)
         return IOFormat(base, layout.field_list)
     spec = _EXTRA_CASES[base]
     subformats = {
@@ -156,6 +269,8 @@ def case_record(case: str) -> dict:
     base = _BATCH_CASES.get(case, case)
     if base in _HYDROLOGY_RECORDS:
         return dict(_HYDROLOGY_RECORDS[base])
+    if base in _BULK_CASES:
+        return _BULK_CASES[base]["build"]()
     return dict(_EXTRA_CASES[base]["record"])
 
 
@@ -170,9 +285,9 @@ def encode_case(case: str, architecture, *, fuse: bool = True) -> bytes:
     return encoder.encode_wire(record)
 
 
-def compute_vectors() -> dict[str, dict[str, str]]:
-    """All golden vectors as {case: {order: hex}}."""
-    return {case: {order: encode_case(case, arch).hex()
+def compute_vectors() -> dict[str, dict]:
+    """All golden vectors as {case: {order: hex-or-digest}}."""
+    return {case: {order: vector_entry(encode_case(case, arch), case)
                    for order, arch in ARCHITECTURES.items()}
             for case in case_names()}
 

@@ -165,6 +165,46 @@ def _batch_count_impossible(order: str) -> bytearray:
     return wire
 
 
+def _bulk_count_smashed(order: str) -> bytearray:
+    # n sizes the 4 KiB bulk payload; smashed to 2^31-1 it claims
+    # ~8 GiB of int32s — must be clamped before frombuffer/view
+    wire = _pristine("BulkInt32_1k", order)
+    return _poke_scalar(wire, "BulkInt32_1k", order, "n", "i",
+                        0x7FFFFFFF)
+
+
+def _bulk_count_negative(order: str) -> bytearray:
+    wire = _pristine("BulkInt32_1k", order)
+    return _poke_scalar(wire, "BulkInt32_1k", order, "n", "i", -17)
+
+
+def _bulk_ptr_misaligned(order: str) -> bytearray:
+    # values' pointer nudged +3 into the bulk interior: a stride
+    # misalignment whose 4 KiB tail now reads past the record end
+    wire = _pristine("BulkInt32_1k", order)
+    where = _read_pointer(wire, "BulkInt32_1k", order, "values")
+    return _poke_pointer(wire, "BulkInt32_1k", order, "values",
+                         where + 3)
+
+
+def _bulk_ptr_alias_fixed(order: str) -> bytearray:
+    # extra's pointer spliced into the fixed section: a zero-copy
+    # view over it would expose unrelated header fields as doubles
+    wire = _pristine("BulkDouble_1k", order)
+    return _poke_pointer(wire, "BulkDouble_1k", order, "extra", 4)
+
+
+def _bulk_selfsized_count_smashed(order: str) -> bytearray:
+    # extra's in-band u32 count smashed: 2^31-1 doubles from a 8 KiB
+    # region — the bounds check fires before any slice is taken
+    wire = _pristine("BulkDouble_1k", order)
+    where = _read_pointer(wire, "BulkDouble_1k", order, "extra")
+    fmt = build_format("BulkDouble_1k", _arch(order))
+    struct.pack_into(fmt.architecture.struct_byte_order_char + "I",
+                     wire, HEADER_LEN + where, 0x7FFFFFFF)
+    return wire
+
+
 _CASES: dict[str, tuple] = {
     # name: (builder, base case, expected DecodeError message substring)
     "string_ptr_alias_fixed": (
@@ -200,6 +240,21 @@ _CASES: dict[str, tuple] = {
     "batch_count_impossible": (
         _batch_count_impossible, "SimpleData__batch",
         "impossible"),
+    "bulk_count_smashed": (
+        _bulk_count_smashed, "BulkInt32_1k",
+        "outside record"),
+    "bulk_count_negative": (
+        _bulk_count_negative, "BulkInt32_1k",
+        "negative element count"),
+    "bulk_ptr_misaligned": (
+        _bulk_ptr_misaligned, "BulkInt32_1k",
+        "outside record"),
+    "bulk_ptr_alias_fixed": (
+        _bulk_ptr_alias_fixed, "BulkDouble_1k",
+        "data pointer 4 outside variable region"),
+    "bulk_selfsized_count_smashed": (
+        _bulk_selfsized_count_smashed, "BulkDouble_1k",
+        "outside record"),
 }
 
 

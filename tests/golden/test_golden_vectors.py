@@ -10,10 +10,12 @@ halves as separate steps via ``-k little`` / ``-k big``.
 import pytest
 
 from repro.pbio.decode import RecordDecoder
-from repro.pbio.encode import HEADER_LEN, is_batch, parse_header
+from repro.pbio.encode import (
+    HEADER_LEN, RecordEncoder, is_batch, parse_header,
+)
 from tests.golden.cases import (
-    ARCHITECTURES, build_format, case_names, case_record, encode_case,
-    load_vectors,
+    ARCHITECTURES, build_format, bulk_case_names, bulk_record,
+    case_names, case_record, encode_case, entry_matches, load_vectors,
 )
 
 VECTORS = load_vectors()
@@ -22,13 +24,37 @@ PARAMS = [pytest.param(case, order, id=f"{case}-{order}")
           for case in case_names()
           for order in ARCHITECTURES]
 
+BULK_PARAMS = [pytest.param(case, order, source,
+                            id=f"{case}-{order}-{source}")
+               for case in bulk_case_names()
+               for order in ARCHITECTURES
+               for source in ("ndarray", "array")]
+
 
 @pytest.mark.parametrize("case,order", PARAMS)
 def test_wire_matches_golden(case, order):
     wire = encode_case(case, ARCHITECTURES[order])
-    assert wire.hex() == VECTORS[case][order], (
+    assert entry_matches(VECTORS[case][order], wire), (
         f"{case}/{order}: wire bytes changed; if intentional, rerun "
         "tests/golden/regen.py and note the compatibility break")
+
+
+@pytest.mark.parametrize("case,order,source", BULK_PARAMS)
+def test_bulk_sources_match_golden(case, order, source):
+    """The bulk fast path (ndarray / array.array payloads) must write
+    the exact bytes the per-element baseline pinned in vectors.json —
+    zero wire-format drift, both byte orders."""
+    arch = ARCHITECTURES[order]
+    fmt = build_format(case, arch)
+    bulk_wire = RecordEncoder(fmt, bulk=True).encode_wire(
+        bulk_record(case, source))
+    assert entry_matches(VECTORS[case][order], bulk_wire)
+    baseline = RecordEncoder(fmt, bulk=False).encode_wire(
+        bulk_record(case, "list"))
+    assert bulk_wire == baseline
+    parts = RecordEncoder(fmt, bulk=True).encode_wire_parts(
+        bulk_record(case, source))
+    assert b"".join(parts) == baseline
 
 
 @pytest.mark.parametrize("case,order", PARAMS)
@@ -41,7 +67,12 @@ def test_fused_matches_per_field_baseline(case, order):
 @pytest.mark.parametrize("case,order", PARAMS)
 def test_golden_wire_decodes_identically_both_paths(case, order):
     arch = ARCHITECTURES[order]
-    wire = bytes.fromhex(VECTORS[case][order])
+    entry = VECTORS[case][order]
+    if isinstance(entry, dict):     # digest-pinned: rebuild the wire
+        wire = encode_case(case, arch)
+        assert entry_matches(entry, wire)
+    else:
+        wire = bytes.fromhex(entry)
     if is_batch(wire):
         return  # batch framing is covered by the byte tests above
     fmt = build_format(case, arch)

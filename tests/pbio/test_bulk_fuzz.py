@@ -1,0 +1,137 @@
+"""Seeded fuzz campaign aimed at the bulk-array fast path.
+
+The zero-copy machinery adds three attack surfaces the generic
+campaign barely touches: element-count prefixes sizing multi-KiB
+payloads, stride alignment of the bulk region, and pointers that can
+be spliced *inside* the record where naive length checks pass.
+:data:`~repro.testing.fuzz.BULK_KINDS` opts into mutations built for
+each, and the oracle differentially checks the ``arrays="view"``
+decode against the copying plan on every frame that decodes — so a
+view that diverges, or a rejection only one plan performs, fails here
+deterministically.
+
+The default :class:`FrameMutator` kinds tuple must never grow (seeded
+campaigns replay byte for byte); this file pins that too.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+
+import pytest
+
+from repro.pbio.decode import RecordDecoder
+from repro.pbio.encode import HEADER_LEN, parse_header
+from repro.testing.fuzz import (
+    BULK_KINDS, FrameMutator, InvariantViolation, WireOracle, run_fuzz,
+)
+from tests.golden.cases import (
+    ARCHITECTURES, build_format, bulk_case_names, encode_case,
+)
+
+ITERATIONS = int(os.environ.get("REPRO_FUZZ_ITERATIONS", "10000")) // 2
+SEED = 20260805
+
+#: the 1k bulk cases (4-8 KiB frames: big enough that every payload
+#: mutation lands in the bulk region, small enough to mutate by the
+#: thousand) plus VarArrays for pointer/count interplay
+_CASES = [c for c in bulk_case_names() if c.endswith("_1k")]
+_CASES.append("VarArrays")
+
+
+def _corpus():
+    formats, corpus = [], {}
+    for case in _CASES:
+        for order, arch in ARCHITECTURES.items():
+            formats.append(build_format(case, arch))
+            corpus[f"{case}/{order}"] = encode_case(case, arch)
+    return formats, corpus
+
+
+def test_pristine_bulk_corpus_passes_every_invariant():
+    formats, corpus = _corpus()
+    oracle = WireOracle(formats)
+    for name, wire in corpus.items():
+        outcome = oracle.check(wire)
+        assert outcome["decoded"] == outcome["reencoded"] == 1, name
+
+
+def test_bulk_fuzz_no_invariant_violations():
+    formats, corpus = _corpus()
+    oracle = WireOracle(formats)
+    report = run_fuzz(corpus, oracle, iterations=ITERATIONS,
+                      seed=SEED, kinds=BULK_KINDS)
+    report.raise_for_failures()
+    assert report.ok
+    assert report.iterations == ITERATIONS
+    assert report.rejected > 0
+    assert report.decoded_ok > 0
+
+
+def test_default_kinds_tuple_is_frozen():
+    """BULK_KINDS widens a new campaign; the historical default set
+    must not grow, or existing seeds stop replaying byte for byte."""
+    mutator = FrameMutator(random.Random(0))
+    assert mutator.kinds == (
+        "flip_byte", "flip_bit", "truncate", "extend", "smash_u32",
+        "zero_run", "ff_run", "duplicate_run", "splice_header",
+        "crossover")
+    for kind in ("smash_array_len", "misalign_stride",
+                 "splice_bulk_ptr"):
+        assert kind not in mutator.kinds
+        assert kind in BULK_KINDS
+
+
+def test_bulk_kinds_are_deterministic():
+    frame = encode_case("BulkInt32_1k", ARCHITECTURES["little"])
+    runs = []
+    for _ in range(2):
+        mut = FrameMutator(random.Random(11), [frame],
+                           kinds=BULK_KINDS)
+        runs.append([mut.mutate(frame) for _ in range(64)])
+    assert runs[0] == runs[1]
+
+
+@pytest.mark.parametrize("kind", ["smash_array_len",
+                                  "misalign_stride",
+                                  "splice_bulk_ptr"])
+def test_each_bulk_kind_actually_mutates(kind):
+    frame = encode_case("BulkInt32_1k", ARCHITECTURES["little"])
+    mut = FrameMutator(random.Random(3), [frame], kinds=(kind,))
+    changed = sum(mut.mutate(frame, rounds=1)[0] != frame
+                  for _ in range(32))
+    assert changed > 24  # near-always effective on a 4 KiB frame
+
+
+def test_misalign_stride_keeps_frame_well_framed():
+    """The point of the kind: corruption *inside* a well-framed
+    record, so decode reaches the pointer checks instead of bailing
+    at the envelope."""
+    frame = encode_case("BulkDouble_1k", ARCHITECTURES["little"])
+    mut = FrameMutator(random.Random(5), [frame],
+                       kinds=("misalign_stride",))
+    for _ in range(32):
+        mutated, _ = mut.mutate(frame, rounds=1)
+        _fid, body_len = parse_header(mutated, require_body=True)
+        assert body_len == len(mutated) - HEADER_LEN
+
+
+def test_oracle_flags_view_divergence():
+    """A view decoder that returns different values than the copying
+    plan must trip the differential — the view check is not vacuous."""
+    fmt = build_format("BulkInt32_1k", ARCHITECTURES["little"])
+    oracle = WireOracle([fmt])
+    entry = oracle._by_id[fmt.format_id]
+
+    class Shifter:
+        def decode(self, body):
+            record = RecordDecoder(fmt).decode(bytes(body))
+            record["values"] = [v + 1 for v in record["values"]]
+            return record
+
+    oracle._by_id[fmt.format_id] = (entry[0], entry[1], entry[2],
+                                    Shifter(), entry[4])
+    wire = encode_case("BulkInt32_1k", ARCHITECTURES["little"])
+    with pytest.raises(InvariantViolation, match="view decode"):
+        oracle.check(wire)

@@ -60,6 +60,25 @@ def test_frame_rejected(name: str, order: str, fuse: bool):
         _strict_decode(fmt, wire, fuse=fuse)
 
 
+_BULK_ENTRIES = [(name, order) for name, order in _ENTRIES
+                 if name.startswith("bulk_")]
+
+
+@pytest.mark.parametrize("name,order", _BULK_ENTRIES)
+def test_bulk_frame_rejected_by_view_decoder(name: str, order: str):
+    """The zero-copy decode mode rides the same bounds checks: a
+    corrupt bulk frame must be rejected before any view over the
+    receive buffer is handed out."""
+    entry = FRAMES[name][order]
+    fmt = build_format(entry["case"], ARCHITECTURES[order])
+    wire = bytes.fromhex(entry["hex"])
+    _fid, body_len = parse_header(wire, require_body=True)
+    body = wire[HEADER_LEN:HEADER_LEN + body_len]
+    with pytest.raises(DecodeError,
+                       match=re.escape(entry["match"])):
+        RecordDecoder(fmt, arrays="view").decode(body)
+
+
 def test_alias_was_a_silent_misdecode_before_validation():
     """The pre-hardening closures decode the aliased string without
     any error — fixed-region bytes come back as text — which is
