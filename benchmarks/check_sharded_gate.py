@@ -1,0 +1,156 @@
+#!/usr/bin/env python
+"""CI regression gate for the sharded broadcast fan-out.
+
+Reads ``BENCH_fanout_sharded.json`` (written when the benchmark suite
+runs ``benchmarks/test_ext_fanout_sharded.py``) and enforces two
+acceptance shapes:
+
+* **encode-once counters** (machine-independent, always enforced):
+  for every (clients, workers) cell the publisher marshaled each
+  record exactly once, spilled each grid payload as a zero-copy
+  segment, no worker process ever touched the encode path, and no
+  frame was dropped;
+* **speedup** (parallelism-aware): sharding only buys wall-clock when
+  there are cores to run the shards on.  The benchmark records the
+  runner's CPU count; with >= ``CPUS_FOR_2X`` cores the largest fleet
+  must reach ``SPEEDUP_2W``x at 2 workers, with >= ``CPUS_FOR_4X``
+  cores ``SPEEDUP_4W``x at 4 — otherwise the gate degrades to a
+  no-regression floor (``FLOOR``x: shard coordination must not make
+  the broadcast materially slower than one event loop);
+* **per-client flatness**: at any worker count the per-client cost at
+  the largest fleet stays within ``FLAT_MAX``x the smallest fleet's —
+  sharding must preserve the encode-once amortization, not trade it
+  for process parallelism.
+
+Usage::
+
+    python benchmarks/check_sharded_gate.py \\
+        [path/to/BENCH_fanout_sharded.json]
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+SPEEDUP_2W = 1.6
+SPEEDUP_4W = 2.5
+CPUS_FOR_2X = 4
+CPUS_FOR_4X = 6
+FLOOR = 0.4
+FLAT_MAX = 3.0
+
+
+def main(argv: list[str]) -> int:
+    path = Path(argv[1]) if len(argv) > 1 else \
+        Path(__file__).resolve().parents[1] / \
+        "BENCH_fanout_sharded.json"
+    if not path.exists():
+        print(f"gate: {path} missing — run the benchmark suite first "
+              "(PYTHONPATH=src python -m pytest "
+              "benchmarks/test_ext_fanout_sharded.py)")
+        return 2
+    data = json.loads(path.read_text())
+    matrix = data.get("matrix", {})
+    cpus = int(data.get("cpus", 1))
+    failures: list[str] = []
+
+    if not matrix:
+        print("GATE FAILED:\n  - matrix missing from metrics")
+        return 1
+
+    for clients_key in sorted(matrix, key=int):
+        for workers_key in sorted(matrix[clients_key], key=int):
+            row = matrix[clients_key][workers_key]
+            print(f"N={row['clients']:5d} workers={row['workers']}  "
+                  f"total {row['total_s'] * 1e3:9.2f}ms  "
+                  f"per-msg {row['per_message_us']:10.2f}us  "
+                  f"per-client {row['per_client_us']:7.2f}us")
+            # -- encode-once counters: never machine-dependent -------
+            cell = f"N={clients_key} workers={workers_key}"
+            if row["parent_records_encoded"] != row["messages"]:
+                failures.append(
+                    f"{cell}: publisher encoded "
+                    f"{row['parent_records_encoded']} records for "
+                    f"{row['messages']} messages — encode-once broken")
+            if row["parent_spilled_segments"] < row["messages"]:
+                failures.append(
+                    f"{cell}: only {row['parent_spilled_segments']} "
+                    f"zero-copy spill segments for {row['messages']} "
+                    "grid messages — bulk fast path not engaged")
+            if row["worker_records_encoded"] != 0:
+                failures.append(
+                    f"{cell}: workers encoded "
+                    f"{row['worker_records_encoded']} records — "
+                    "shards must fan out publisher bytes verbatim")
+            if row["worker_bulk_ops"] != 0:
+                failures.append(
+                    f"{cell}: workers performed "
+                    f"{row['worker_bulk_ops']} bulk codec ops")
+            if row["frames_dropped"] != 0:
+                failures.append(
+                    f"{cell}: {row['frames_dropped']} frames dropped "
+                    "under the block policy")
+
+    # -- speedup: keyed off the recorded core count ------------------
+    largest = max(matrix, key=int)
+    rows = matrix[largest]
+    base = rows.get("1")
+    for workers_key, required, needed_cpus in (
+            ("2", SPEEDUP_2W, CPUS_FOR_2X),
+            ("4", SPEEDUP_4W, CPUS_FOR_4X)):
+        row = rows.get(workers_key)
+        if base is None or row is None:
+            failures.append(
+                f"N={largest}: missing workers=1 or "
+                f"workers={workers_key} row")
+            continue
+        speedup = base["total_s"] / row["total_s"]
+        if cpus >= needed_cpus:
+            print(f"N={largest} workers={workers_key}: "
+                  f"{speedup:.2f}x vs one worker "
+                  f"(gate {required}x, {cpus} cpus)")
+            if speedup < required:
+                failures.append(
+                    f"N={largest}: {speedup:.2f}x at "
+                    f"{workers_key} workers, below the {required}x "
+                    f"gate ({cpus} cpus available)")
+        else:
+            print(f"N={largest} workers={workers_key}: "
+                  f"{speedup:.2f}x vs one worker (only {cpus} cpus — "
+                  f"no-regression floor {FLOOR}x)")
+            if speedup < FLOOR:
+                failures.append(
+                    f"N={largest}: sharding at {workers_key} workers "
+                    f"is {speedup:.2f}x one worker — below the "
+                    f"{FLOOR}x no-regression floor even for a "
+                    f"{cpus}-cpu runner")
+
+    # -- per-client flatness across fleet sizes ----------------------
+    smallest = min(matrix, key=int)
+    for workers_key in sorted(matrix[smallest], key=int):
+        small = matrix[smallest].get(workers_key)
+        large = matrix[largest].get(workers_key)
+        if not small or not large:
+            continue
+        ratio = large["per_client_us"] / small["per_client_us"]
+        print(f"workers={workers_key}: per-client cost "
+              f"N={largest} / N={smallest} = {ratio:.2f}x")
+        if ratio > FLAT_MAX:
+            failures.append(
+                f"workers={workers_key}: per-client cost grew "
+                f"{ratio:.2f}x from N={smallest} to N={largest}, "
+                f"above the {FLAT_MAX}x flatness gate")
+
+    if failures:
+        print("\nGATE FAILED:")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print("\ngate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

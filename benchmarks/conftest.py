@@ -49,12 +49,18 @@ BENCH_EVOLUTION_PATH = Path(__file__).resolve().parents[1] / \
 BENCH_BULK_PATH = Path(__file__).resolve().parents[1] / \
     "BENCH_bulk.json"
 
+#: Where the sharded fan-out matrix lands; consumed by
+#: ``benchmarks/check_sharded_gate.py`` in CI.
+BENCH_SHARDED_PATH = Path(__file__).resolve().parents[1] / \
+    "BENCH_fanout_sharded.json"
+
 _FUSED_METRICS: dict = {}
 _FANOUT_METRICS: dict = {}
 _OBS_METRICS: dict = {}
 _HARDENING_METRICS: dict = {}
 _EVOLUTION_METRICS: dict = {}
 _BULK_METRICS: dict = {}
+_SHARDED_METRICS: dict = {}
 
 
 def context_for_case(case) -> IOContext:
@@ -126,6 +132,14 @@ def bulk_metrics() -> dict:
     return _BULK_METRICS
 
 
+@pytest.fixture
+def sharded_metrics() -> dict:
+    """Session-wide sink for the sharded fan-out matrix
+    (``test_ext_fanout_sharded``); flushed to
+    BENCH_fanout_sharded.json at session end."""
+    return _SHARDED_METRICS
+
+
 def pytest_sessionfinish(session, exitstatus):
     if _FUSED_METRICS:
         BENCH_FUSED_PATH.write_text(
@@ -147,3 +161,7 @@ def pytest_sessionfinish(session, exitstatus):
     if _BULK_METRICS:
         BENCH_BULK_PATH.write_text(
             json.dumps(_BULK_METRICS, indent=2, sort_keys=True) + "\n")
+    if _SHARDED_METRICS:
+        BENCH_SHARDED_PATH.write_text(
+            json.dumps(_SHARDED_METRICS, indent=2, sort_keys=True) +
+            "\n")

@@ -1,0 +1,117 @@
+#!/usr/bin/env python
+"""Reap orphaned shard worker processes.
+
+Every worker a :class:`repro.transport.sharded.ShardedBroadcastServer`
+spawns carries ``REPRO_SHARD_WORKER=<parent pid>`` in its environment.
+Workers are daemons and die with their parent in normal operation, but
+a test runner killed with SIGKILL (a CI timeout) can leave a shard
+serving nothing, holding its port and wedging the next run.  This
+script finds those orphans by scanning ``/proc/<pid>/environ`` and
+terminates any whose parent is gone (or any at all with ``--all``).
+
+Exit status is 0 whether or not orphans were found — this runs as a
+best-effort CI cleanup step — and every reaped pid is reported.
+
+Usage::
+
+    python scripts/reap_shard_workers.py            # orphans only
+    python scripts/reap_shard_workers.py --all      # every worker
+    python scripts/reap_shard_workers.py --dry-run  # report, no kill
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import signal
+import sys
+import time
+
+MARKER = b"REPRO_SHARD_WORKER="
+
+
+def find_workers() -> list[tuple[int, int]]:
+    """All live shard workers as ``(pid, parent pid)`` pairs."""
+    workers = []
+    for entry in os.listdir("/proc"):
+        if not entry.isdigit():
+            continue
+        pid = int(entry)
+        try:
+            with open(f"/proc/{pid}/environ", "rb") as handle:
+                environ = handle.read()
+        except OSError:
+            continue  # exited, or not ours to inspect
+        for var in environ.split(b"\x00"):
+            if var.startswith(MARKER):
+                try:
+                    parent = int(var[len(MARKER):])
+                except ValueError:
+                    parent = 0
+                workers.append((pid, parent))
+                break
+    return workers
+
+
+def pid_alive(pid: int) -> bool:
+    if pid <= 0:
+        return False
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:
+        return True
+    return True
+
+
+def reap(pid: int, grace: float = 2.0) -> bool:
+    """SIGTERM, then SIGKILL after *grace* seconds if still alive."""
+    try:
+        os.kill(pid, signal.SIGTERM)
+    except OSError:
+        return False
+    deadline = time.monotonic() + grace
+    while time.monotonic() < deadline:
+        if not pid_alive(pid):
+            return True
+        time.sleep(0.05)
+    try:
+        os.kill(pid, signal.SIGKILL)
+    except OSError:
+        pass
+    return True
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Reap orphaned repro shard worker processes.")
+    parser.add_argument("--all", action="store_true",
+                        help="reap every shard worker, not just "
+                             "orphans whose parent is gone")
+    parser.add_argument("--dry-run", action="store_true",
+                        help="report what would be reaped, kill "
+                             "nothing")
+    args = parser.parse_args(argv)
+    me = os.getpid()
+    reaped = 0
+    for pid, parent in find_workers():
+        if pid == me:
+            continue
+        orphaned = not pid_alive(parent)
+        if not (args.all or orphaned):
+            continue
+        state = "orphaned" if orphaned else f"child of {parent}"
+        if args.dry_run:
+            print(f"would reap shard worker {pid} ({state})")
+            continue
+        if reap(pid):
+            reaped += 1
+            print(f"reaped shard worker {pid} ({state})")
+    if reaped == 0 and not args.dry_run:
+        print("no orphaned shard workers found")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

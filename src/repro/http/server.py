@@ -75,13 +75,22 @@ class MetadataHTTPServer:
     Prometheus text exposition and ``GET /metrics.json`` the same
     snapshot as JSON — the scrape endpoint for a running XMIT
     deployment.
+
+    *snapshot_source* overrides where that snapshot comes from — e.g.
+    :meth:`~repro.transport.sharded.ShardedBroadcastServer
+    .metrics_snapshot` to expose a combined, worker-labeled view of a
+    whole sharded fleet from one port.  It is called per scrape and
+    must return the registry snapshot shape; on failure the scrape
+    falls back to this process's registry.
     """
 
     def __init__(self, store: DocumentStore, *,
                  host: str = "127.0.0.1", port: int = 0,
-                 metrics: bool = True) -> None:
+                 metrics: bool = True,
+                 snapshot_source=None) -> None:
         self.store = store
         self.metrics = metrics
+        self.snapshot_source = snapshot_source
         self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR,
                                   1)
@@ -148,7 +157,14 @@ class MetadataHTTPServer:
                 self._respond(conn, 405, b"only GET is supported")
                 return
             if self.metrics and path in ("/metrics", "/metrics.json"):
-                snapshot = REGISTRY.snapshot()
+                snapshot = None
+                if self.snapshot_source is not None:
+                    try:
+                        snapshot = self.snapshot_source()
+                    except Exception:
+                        snapshot = None  # scrape must not 500
+                if snapshot is None:
+                    snapshot = REGISTRY.snapshot()
                 if path == "/metrics":
                     body = render_prometheus(snapshot).encode("utf-8")
                     ctype = PROMETHEUS_CONTENT_TYPE

@@ -22,6 +22,9 @@ from repro.obs.exposition import (
     PROMETHEUS_CONTENT_TYPE, parse_json, render_json,
     render_prometheus,
 )
+from repro.obs.merge import (
+    WORKER_LABEL, aggregate_snapshot, merge_snapshots,
+)
 from repro.obs.metrics import PHASES
 from repro.obs.registry import (
     REGISTRY, AtomicCounter, MetricsRegistry, get_registry,
@@ -51,11 +54,14 @@ __all__ = [
     "PROMETHEUS_CONTENT_TYPE",
     "REGISTRY",
     "Span",
+    "WORKER_LABEL",
+    "aggregate_snapshot",
     "configure",
     "disabled",
     "get_registry",
     "is_enabled",
     "log_buckets",
+    "merge_snapshots",
     "observe_phase",
     "parse_json",
     "phase_seconds",

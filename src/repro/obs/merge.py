@@ -1,0 +1,122 @@
+"""Cross-process snapshot merging for sharded deployments.
+
+A :class:`~repro.transport.sharded.ShardedBroadcastServer` runs one
+registry per worker process; each worker's
+:meth:`~repro.obs.registry.MetricsRegistry.snapshot` only sees its own
+shard.  :func:`merge_snapshots` combines them into a single scrapeable
+body by stamping every series with a ``worker`` label — no information
+is lost, one ``/metrics`` shows the fleet.  :func:`aggregate_snapshot`
+collapses that back to fleet-wide totals: counters sum, ``*_high_water``
+gauges take the max (they are maxima, adding them is meaningless),
+other gauges sum, and log-bucket histograms merge bucket-wise so
+quantile estimates stay exact (identical bounds are a given: every
+worker runs the same :func:`~repro.obs.registry.log_buckets` catalog;
+stragglers with differing bounds are merged by bound value).
+
+Both functions take and return the plain-dict snapshot shape of
+``MetricsRegistry.snapshot`` and are pure — safe on parsed JSON from
+remote workers.
+"""
+
+from __future__ import annotations
+
+WORKER_LABEL = "worker"
+
+
+def merge_snapshots(snapshots: dict[str, dict]) -> dict:
+    """Combine per-process snapshots into one, keyed by worker label.
+
+    *snapshots* maps a worker label (``"w0"``, ``"publisher"``, a URL)
+    to that process's registry snapshot.  Every series gains a
+    ``worker`` label carrying its origin; series that already have one
+    (an already-merged snapshot passed through) keep it.
+    """
+    out: dict[str, dict] = {}
+    for worker, snapshot in sorted(snapshots.items()):
+        for name, metric in sorted(snapshot.items()):
+            entry = out.get(name)
+            if entry is None:
+                label_names = list(metric.get("label_names", ()))
+                if WORKER_LABEL not in label_names:
+                    label_names = label_names + [WORKER_LABEL]
+                entry = out[name] = {
+                    "type": metric.get("type", "gauge"),
+                    "help": metric.get("help", ""),
+                    "label_names": label_names,
+                    "series": []}
+            elif WORKER_LABEL not in entry["label_names"]:
+                entry["label_names"].append(WORKER_LABEL)
+            for series in metric.get("series", ()):
+                labels = dict(series.get("labels", {}))
+                labels.setdefault(WORKER_LABEL, worker)
+                merged = {"labels": labels}
+                for key in ("value", "bounds", "counts", "sum",
+                            "count"):
+                    if key in series:
+                        merged[key] = series[key]
+                entry["series"].append(merged)
+    return out
+
+
+def aggregate_snapshot(snapshot: dict) -> dict:
+    """Collapse a merged snapshot to fleet-wide totals.
+
+    The ``worker`` label is dropped; series that then share a label
+    set combine: counters sum, gauges sum except ``*_high_water``
+    (max of maxima), histograms merge their buckets by bound value
+    and sum ``sum``/``count``.
+    """
+    out: dict[str, dict] = {}
+    for name, metric in sorted(snapshot.items()):
+        label_names = [label for label in
+                       metric.get("label_names", ())
+                       if label != WORKER_LABEL]
+        entry = out[name] = {"type": metric.get("type", "gauge"),
+                             "help": metric.get("help", ""),
+                             "label_names": label_names,
+                             "series": []}
+        combined: dict[tuple, dict] = {}
+        for series in metric.get("series", ()):
+            labels = {k: v for k, v in
+                      series.get("labels", {}).items()
+                      if k != WORKER_LABEL}
+            key = tuple(sorted(labels.items()))
+            slot = combined.get(key)
+            if slot is None:
+                slot = combined[key] = {"labels": labels}
+                if "value" in series:
+                    slot["value"] = series["value"]
+                else:
+                    bounds = series.get("bounds", ())
+                    counts = series.get("counts", ())
+                    slot["_buckets"] = dict(zip(bounds, counts))
+                    # counts carries one extra entry: the +Inf
+                    # overflow bucket beyond the last finite bound
+                    slot["_overflow"] = sum(counts[len(bounds):])
+                    slot["sum"] = series.get("sum", 0)
+                    slot["count"] = series.get("count", 0)
+            elif "value" in series:
+                if entry["type"] == "gauge" and \
+                        name.endswith("_high_water"):
+                    slot["value"] = max(slot["value"],
+                                        series["value"])
+                else:
+                    slot["value"] += series["value"]
+            else:
+                buckets = slot["_buckets"]
+                bounds = series.get("bounds", ())
+                counts = series.get("counts", ())
+                for bound, count in zip(bounds, counts):
+                    buckets[bound] = buckets.get(bound, 0) + count
+                slot["_overflow"] += sum(counts[len(bounds):])
+                slot["sum"] += series.get("sum", 0)
+                slot["count"] += series.get("count", 0)
+        for slot in combined.values():
+            buckets = slot.pop("_buckets", None)
+            if buckets is not None:
+                bounds = sorted(buckets)
+                slot["bounds"] = bounds
+                slot["counts"] = [buckets[b] for b in bounds] + \
+                    [slot.pop("_overflow")]
+            entry["series"].append(slot)
+    return out

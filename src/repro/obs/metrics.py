@@ -89,6 +89,20 @@ TRANSPORT_QUEUE_HIGH_WATER = REGISTRY.gauge(
     "repro_transport_queue_high_water_bytes",
     "Largest single-client write queue observed (collector)")
 
+TRANSPORT_FRAMES = REGISTRY.counter(
+    "repro_transport_frames_total",
+    "Frames through event-loop servers",
+    labels=("direction",))
+
+TRANSPORT_BYTES_OUT = REGISTRY.counter(
+    "repro_transport_bytes_out_total",
+    "Bytes written to event-loop clients")
+
+TRANSPORT_EVENTS = REGISTRY.counter(
+    "repro_transport_events_total",
+    "Event-loop server lifecycle totals",
+    labels=("event",))
+
 MALFORMED_FRAMES = REGISTRY.counter(
     "repro_malformed_frames_total",
     "Wire inputs rejected by bounds-checked validation; counting "

@@ -8,7 +8,13 @@ the JSON snapshot):
   there is something to show;
 * ``--url http://host:port`` — scrape a running
   :class:`~repro.http.server.MetadataHTTPServer`'s ``/metrics.json``
-  and re-render locally;
+  and re-render locally.  Repeatable: with several ``--url`` flags
+  (one per shard worker of a sharded deployment) the snapshots are
+  merged — every series gains a ``worker`` label naming its origin
+  (``w0``, ``w1``, … in flag order; pass ``--url label=http://…`` to
+  choose the label) — and ``--aggregate`` collapses them to
+  fleet-wide totals (sum counters, max ``*_high_water``, merge
+  log-bucket histograms);
 * ``--pipeline`` — run ``run_publisher_pipeline`` (size it with
   ``--subscribers/--timesteps/--grid``), then dump what the run left
   in the registry, including the live RDM reading
@@ -18,6 +24,8 @@ Usage::
 
     python -m repro.tools.obsdump --pipeline
     python -m repro.tools.obsdump --url http://127.0.0.1:8000 --json
+    python -m repro.tools.obsdump --url http://127.0.0.1:9100 \\
+        --url http://127.0.0.1:9101 --aggregate
 """
 
 from __future__ import annotations
@@ -40,9 +48,17 @@ def build_parser() -> argparse.ArgumentParser:
     output.add_argument("--json", action="store_true",
                         help="JSON snapshot instead of Prometheus "
                              "text")
-    parser.add_argument("--url", default=None,
+    parser.add_argument("--url", action="append", default=None,
+                        metavar="[LABEL=]URL",
                         help="scrape a running metadata server's "
-                             "/metrics.json instead of this process")
+                             "/metrics.json instead of this process; "
+                             "repeat for sharded workers — snapshots "
+                             "merge under per-endpoint worker labels")
+    parser.add_argument("--aggregate", action="store_true",
+                        help="with multiple --url: collapse the "
+                             "merged snapshot to fleet-wide totals "
+                             "(drop worker labels, sum counters, max "
+                             "high-water gauges, merge histograms)")
     parser.add_argument("--pipeline", action="store_true",
                         help="run the hydrology broadcast pipeline "
                              "first, then dump")
@@ -65,6 +81,23 @@ def _fetch_snapshot(url: str) -> dict:
         return obs.parse_json(response.read())
 
 
+def _split_endpoint(spec: str, index: int) -> tuple[str, str]:
+    """``label=url`` or bare ``url`` (labeled ``w<index>``)."""
+    label, sep, url = spec.partition("=")
+    if sep and label and "://" not in label:
+        return label, url
+    return f"w{index}", spec
+
+
+def fetch_endpoints(specs: list[str]) -> dict[str, dict]:
+    """Scrape every endpoint; returns label -> snapshot."""
+    snapshots: dict[str, dict] = {}
+    for index, spec in enumerate(specs):
+        label, url = _split_endpoint(spec, index)
+        snapshots[label] = _fetch_snapshot(url)
+    return snapshots
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     if args.pipeline:
@@ -73,8 +106,13 @@ def main(argv: list[str] | None = None) -> int:
         run_publisher_pipeline(subscribers=args.subscribers,
                                timesteps=args.timesteps,
                                grid=args.grid)
-    if args.url:
-        snapshot = _fetch_snapshot(args.url)
+    if args.url and len(args.url) > 1:
+        snapshot = obs.merge_snapshots(fetch_endpoints(args.url))
+        if args.aggregate:
+            snapshot = obs.aggregate_snapshot(snapshot)
+    elif args.url:
+        snapshot = _fetch_snapshot(
+            _split_endpoint(args.url[0], 0)[1])
     else:
         snapshot = obs.snapshot()
     if args.json:

@@ -19,7 +19,9 @@ Layers:
 * :mod:`repro.transport.eventloop`  -- one-thread ``selectors`` server
   for many concurrent clients;
 * :mod:`repro.transport.broadcast`  -- encode-once fan-out publisher
-  with bounded per-client write queues.
+  with bounded per-client write queues;
+* :mod:`repro.transport.sharded`    -- multi-process sharded broadcast:
+  one marshaling publisher, N event-loop worker processes.
 """
 
 from repro.transport.base import Channel
@@ -32,6 +34,9 @@ from repro.transport.eventloop import (
 )
 from repro.transport.inproc import InProcChannel, channel_pair
 from repro.transport.messages import Frame, FrameType, frame_bytes
+from repro.transport.sharded import (
+    ShardedBroadcastServer, WorkerConfig, reuseport_available,
+)
 from repro.transport.tcp import TCPChannel, TCPListener, tcp_pair
 
 __all__ = [
@@ -47,9 +52,12 @@ __all__ = [
     "InProcChannel",
     "Poller",
     "ReceivedMessage",
+    "ShardedBroadcastServer",
     "TCPChannel",
     "TCPListener",
+    "WorkerConfig",
     "channel_pair",
     "frame_bytes",
+    "reuseport_available",
     "tcp_pair",
 ]

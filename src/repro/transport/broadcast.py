@@ -167,7 +167,8 @@ class BroadcastPublisher:
                  BackpressurePolicy.BLOCK,
                  max_queue_bytes: int = 4 * 1024 * 1024,
                  block_timeout: float = 5.0,
-                 max_frame_len: int = MAX_FRAME) -> None:
+                 max_frame_len: int = MAX_FRAME,
+                 listener_socket=None, listen: bool = True) -> None:
         self.context = context
         self.policy = BackpressurePolicy.coerce(policy)
         self.max_queue_bytes = max_queue_bytes
@@ -183,7 +184,9 @@ class BroadcastPublisher:
         self._version_formats: dict[FormatID, IOFormat] = {}
         self.server = EventLoopServer(host=host, port=port,
                                       handler=self,
-                                      max_frame_len=max_frame_len)
+                                      max_frame_len=max_frame_len,
+                                      listener_socket=listener_socket,
+                                      listen=listen)
         self.host, self.port = self.server.host, self.server.port
 
     # -- lifecycle ----------------------------------------------------------
@@ -380,12 +383,17 @@ class BroadcastPublisher:
     def _announce(self, client: ClientHandle, fmt: IOFormat) -> None:
         """Push the format's metadata once per client, ahead of its
         first record — the lazy half of connection establishment."""
-        metadata = self.context.format_server.lookup_bytes(
-            fmt.format_id)
-        frame = frame_bytes(FrameType.FMT_RSP,
-                            fmt.format_id.to_bytes(), metadata)
+        self._announce_id(client, fmt.format_id)
+
+    def _announce_id(self, client: ClientHandle, fid: FormatID) -> None:
+        """ID-keyed announcement: shard workers announce formats they
+        hold only as replicated metadata bytes, never as compiled
+        :class:`~repro.pbio.format.IOFormat` objects."""
+        metadata = self.context.format_server.lookup_bytes(fid)
+        frame = frame_bytes(FrameType.FMT_RSP, fid.to_bytes(),
+                            metadata)
         if self.server.enqueue(client, frame, droppable=False):
-            client.announced.add(fmt.format_id)
+            client.announced.add(fid)
             self.stats.count("formats_announced")
 
     def _offer(self, client: ClientHandle, data: bytes) -> bool:
@@ -494,6 +502,16 @@ class BroadcastPublisher:
             frame_bytes(FrameType.LIN_RSP,
                         encode_lineage_rsp(name, chosen, chain)),
             droppable=False)
+        if chosen is not None:
+            self._on_negotiated(client, name, chosen)
+
+    def _on_negotiated(self, client: ClientHandle, name: str,
+                       chosen: FormatID) -> None:
+        """Hook: one client pinned itself to *chosen* for *name*.
+
+        The sharded worker publisher overrides this to report the pin
+        upstream, so the single marshaling process knows which older
+        versions need a down-converted variant per fan-out."""
 
     def on_disconnect(self, client: ClientHandle,
                       reason: BaseException | None) -> None:

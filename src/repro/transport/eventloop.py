@@ -35,14 +35,46 @@ from repro.errors import (
     FrameTooLargeError, ProtocolError, TransportError,
 )
 from repro.obs import runtime as _obs
-from repro.obs.metrics import SENDMSG_BATCH
+from repro.obs.metrics import (
+    SENDMSG_BATCH, TRANSPORT_BYTES_OUT, TRANSPORT_EVENTS, TRANSPORT_FRAMES,
+)
 from repro.obs.registry import REGISTRY
 from repro.transport.messages import MAX_FRAME, Frame, decode_frame
+
+try:
+    import fcntl as _fcntl
+except ImportError:  # pragma: no cover - non-POSIX
+    _fcntl = None
 
 _LEN = struct.Struct(">I")
 _RECV_CHUNK = 256 * 1024
 #: iovec entries per drain sendmsg (conservative vs. kernel IOV_MAX)
 _SENDMSG_BATCH = 512
+
+
+def set_cloexec(sock) -> None:
+    """Mark *sock*'s fd close-on-exec (and non-inheritable).
+
+    Every fd an :class:`EventLoopServer` owns — wake socketpair,
+    listener, accepted and adopted clients — passes through here, so a
+    worker process forked or spawned while a server is live can never
+    inherit another shard's sockets.  CPython already creates sockets
+    non-inheritable (PEP 446); this is the explicit, regression-tested
+    guarantee for fds that arrived from elsewhere (``socket(fileno=)``
+    adoptions, fds received over ``SCM_RIGHTS``).
+    """
+    try:
+        sock.set_inheritable(False)
+    except (AttributeError, OSError):  # pragma: no cover - defensive
+        pass
+    if _fcntl is not None:
+        try:
+            fd = sock.fileno()
+            flags = _fcntl.fcntl(fd, _fcntl.F_GETFD)
+            _fcntl.fcntl(fd, _fcntl.F_SETFD,
+                         flags | _fcntl.FD_CLOEXEC)
+        except (OSError, ValueError):  # pragma: no cover - closed fd
+            pass
 
 
 def _count_rejected(reason: str) -> None:
@@ -66,6 +98,8 @@ class Poller:
         self._wake_r, self._wake_w = socket.socketpair()
         self._wake_r.setblocking(False)
         self._wake_w.setblocking(False)
+        set_cloexec(self._wake_r)
+        set_cloexec(self._wake_w)
         self._selector.register(self._wake_r, selectors.EVENT_READ,
                                 None)
 
@@ -177,26 +211,45 @@ class EventLoopServer:
 
     def __init__(self, *, host: str = "127.0.0.1", port: int = 0,
                  handler=None,
-                 max_frame_len: int = MAX_FRAME) -> None:
+                 max_frame_len: int = MAX_FRAME,
+                 listener_socket: socket.socket | None = None,
+                 listen: bool = True) -> None:
         self.handler = handler
         self.max_frame_len = max_frame_len
-        self._listener = socket.socket(socket.AF_INET,
-                                       socket.SOCK_STREAM)
-        self._listener.setsockopt(socket.SOL_SOCKET,
-                                  socket.SO_REUSEADDR, 1)
-        self._listener.bind((host, port))
-        self._listener.listen(256)
-        self._listener.setblocking(False)
-        self.host, self.port = self._listener.getsockname()
+        if listener_socket is not None:
+            # caller-provided listener (e.g. a worker's SO_REUSEPORT
+            # socket bound to a port shared across shard processes)
+            self._listener = listener_socket
+            self._listener.setblocking(False)
+            self.host, self.port = \
+                self._listener.getsockname()[:2]
+        elif listen:
+            self._listener = socket.socket(socket.AF_INET,
+                                           socket.SOCK_STREAM)
+            self._listener.setsockopt(socket.SOL_SOCKET,
+                                      socket.SO_REUSEADDR, 1)
+            self._listener.bind((host, port))
+            self._listener.listen(256)
+            self._listener.setblocking(False)
+            self.host, self.port = self._listener.getsockname()
+        else:
+            # accept-less loop: clients arrive via adopt() (fd passing
+            # from an acceptor process)
+            self._listener = None
+            self.host, self.port = host, 0
+        if self._listener is not None:
+            set_cloexec(self._listener)
         self._poller = Poller()
-        self._poller.register(self._listener, selectors.EVENT_READ,
-                              "accept")
+        if self._listener is not None:
+            self._poller.register(self._listener, selectors.EVENT_READ,
+                                  "accept")
         self._lock = threading.Lock()
         self._changed = threading.Condition(self._lock)
         self._clients: dict[int, ClientHandle] = {}
         self._next_id = 0
         self._want_write: set[int] = set()
         self._close_requests: deque = deque()
+        self._adoptions: deque = deque()
         self._running = False
         self._thread: threading.Thread | None = None
         self._torn_down = False
@@ -208,6 +261,7 @@ class EventLoopServer:
                                "frames_received": 0,
                                "frames_dropped": 0, "sent_bytes": 0}
         self._closed_queue_high_water = 0
+        self._obs_retired = False
         # sampled at snapshot time only; held weakly, so a dropped
         # server unregisters itself
         REGISTRY.register_collector(self._obs_collect)
@@ -252,6 +306,20 @@ class EventLoopServer:
         with self._lock:
             return len(self._clients)
 
+    def live_fds(self) -> list[int]:
+        """Every fd this server currently owns: wake socketpair,
+        listener (when it has one), and all open client sockets.  All
+        of them are FD_CLOEXEC (see :func:`set_cloexec`), so spawned
+        shard workers never inherit another shard's sockets."""
+        fds = [self._poller._wake_r.fileno(),
+               self._poller._wake_w.fileno()]
+        if self._listener is not None:
+            fds.append(self._listener.fileno())
+        with self._lock:
+            fds.extend(c.sock.fileno() for c in self._clients.values()
+                       if c.open)
+        return [fd for fd in fds if fd >= 0]
+
     def totals(self) -> dict:
         """Lifetime transport totals: live clients plus everything
         closed clients accumulated before they went away."""
@@ -275,6 +343,8 @@ class EventLoopServer:
     def _obs_collect(self) -> list[dict]:
         """Snapshot-time samples for the process-wide registry (the
         merge sums same-named samples over live servers)."""
+        if self._obs_retired:
+            return []
         t = self.totals()
         gauges = (("repro_transport_clients", t["clients"]),
                   ("repro_transport_queued_bytes", t["queued_bytes"]),
@@ -303,6 +373,27 @@ class EventLoopServer:
              "labels": {"event": event}, "value": t[event]}
             for event in events)
         return samples
+
+    def _obs_retire(self) -> None:
+        """Fold final counter totals into the persistent process-wide
+        counters.  The collector above only reports while the server
+        object is alive; without this fold a scrape taken after the
+        server is closed and collected would show its frame/byte
+        history silently vanishing."""
+        with self._lock:
+            if self._obs_retired:
+                return
+        t = self.totals()
+        with self._lock:
+            if self._obs_retired:
+                return
+            self._obs_retired = True
+        TRANSPORT_FRAMES.labels("in").inc(t["frames_received"])
+        TRANSPORT_FRAMES.labels("out").inc(t["frames_sent"])
+        TRANSPORT_BYTES_OUT.inc(t["sent_bytes"])
+        for event in ("clients_accepted", "clients_closed",
+                      "frames_enqueued", "frames_dropped"):
+            TRANSPORT_EVENTS.labels(event).inc(t[event])
 
     def enqueue(self, client: ClientHandle, data: bytes, *,
                 droppable: bool = True) -> bool:
@@ -353,6 +444,32 @@ class EventLoopServer:
             if freed:
                 self._changed.notify_all()
         return freed, dropped
+
+    def adopt(self, sock: socket.socket, addr=None) -> bool:
+        """Hand an already-connected socket to the loop.
+
+        The socket is registered and announced through ``on_connect``
+        exactly as if the loop's own listener had accepted it — the
+        ingestion path for sharded topologies where a separate
+        acceptor process distributes connections over ``SCM_RIGHTS``.
+        Returns False (and closes *sock*) when the server is already
+        torn down.
+        """
+        if addr is None:
+            try:
+                addr = sock.getpeername()
+            except OSError:
+                addr = ("?", 0)
+        with self._lock:
+            if self._torn_down:
+                try:
+                    sock.close()
+                except OSError:
+                    pass
+                return False
+            self._adoptions.append((sock, addr))
+        self._poller.wake()
+        return True
 
     def request_close(self, client: ClientHandle,
                       reason: BaseException | None = None, *,
@@ -440,9 +557,13 @@ class EventLoopServer:
         with self._lock:
             closes = list(self._close_requests)
             self._close_requests.clear()
+            adoptions = list(self._adoptions)
+            self._adoptions.clear()
             wants = [self._clients.get(cid)
                      for cid in self._want_write]
             self._want_write.clear()
+        for sock, addr in adoptions:
+            self._register_client(sock, addr)
         for client, reason, graceful in closes:
             if not client.open:
                 continue
@@ -474,16 +595,25 @@ class EventLoopServer:
                 sock, addr = self._listener.accept()
             except (BlockingIOError, OSError):
                 return
-            sock.setblocking(False)
+            self._register_client(sock, addr)
+
+    def _register_client(self, sock: socket.socket, addr) -> None:
+        """Install one connected socket (accepted or adopted) as a
+        client of this loop (loop thread only)."""
+        sock.setblocking(False)
+        set_cloexec(sock)
+        try:
             sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
-            with self._changed:
-                client = ClientHandle(self._next_id, sock, addr)
-                self._next_id += 1
-                self._clients[client.id] = client
-                self.clients_accepted += 1
-                self._changed.notify_all()
-            self._poller.register(sock, selectors.EVENT_READ, client)
-            self._callback("on_connect", client)
+        except OSError:
+            pass  # not TCP (unix socketpair in tests, adopted pipes)
+        with self._changed:
+            client = ClientHandle(self._next_id, sock, addr)
+            self._next_id += 1
+            self._clients[client.id] = client
+            self.clients_accepted += 1
+            self._changed.notify_all()
+        self._poller.register(sock, selectors.EVENT_READ, client)
+        self._callback("on_connect", client)
 
     def _readable(self, client: ClientHandle) -> None:
         buf = client.read_buffer
@@ -644,14 +774,24 @@ class EventLoopServer:
         self._torn_down = True
         for client in list(self._clients.values()):
             self._close_client(client, None)
-        self._poller.unregister(self._listener)
-        try:
-            self._listener.close()
-        except OSError:
-            pass
+        with self._lock:
+            orphans = list(self._adoptions)
+            self._adoptions.clear()
+        for sock, _addr in orphans:
+            try:
+                sock.close()
+            except OSError:
+                pass
+        if self._listener is not None:
+            self._poller.unregister(self._listener)
+            try:
+                self._listener.close()
+            except OSError:
+                pass
         self._poller.close()
         with self._changed:
             self._changed.notify_all()
+        self._obs_retire()
 
 
 def iter_frames(buffer: bytearray,

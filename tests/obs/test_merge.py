@@ -1,0 +1,118 @@
+"""Cross-process snapshot merge/aggregate semantics + golden text."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.obs.exposition import render_prometheus
+from repro.obs.merge import aggregate_snapshot, merge_snapshots
+from repro.obs.registry import MetricsRegistry
+
+GOLDEN = Path(__file__).parent / "golden" / "merged.prom"
+
+
+def shard_registry(clients: int, high_water: int,
+                   latencies: tuple[float, ...]) -> MetricsRegistry:
+    """A deterministic stand-in for one worker's registry."""
+    reg = MetricsRegistry()
+    served = reg.counter("shard_frames_total", "Frames served",
+                         labels=("kind",))
+    served.labels(kind="data").inc(clients * 10)
+    served.labels(kind="meta").inc(clients)
+    reg.gauge("shard_clients", "Connected clients").set(clients)
+    reg.gauge("shard_queue_high_water",
+              "Deepest queue observed").set(high_water)
+    hist = reg.histogram("shard_latency_seconds", "Delivery latency",
+                         buckets=(0.001, 0.01, 0.1))
+    for value in latencies:
+        hist.observe(value)
+    return reg
+
+
+def fleet_snapshots() -> dict[str, dict]:
+    return {
+        "w0": shard_registry(3, 4096, (0.0005, 0.002)).snapshot(),
+        "w1": shard_registry(5, 1024, (0.05, 2.0)).snapshot(),
+    }
+
+
+class TestMerge:
+    def test_series_gain_worker_label(self):
+        merged = merge_snapshots(fleet_snapshots())
+        for metric in merged.values():
+            assert metric["label_names"][-1] == "worker"
+            for series in metric["series"]:
+                assert series["labels"]["worker"] in ("w0", "w1")
+
+    def test_nothing_is_lost(self):
+        merged = merge_snapshots(fleet_snapshots())
+        frames = merged["shard_frames_total"]["series"]
+        assert len(frames) == 4  # 2 kinds x 2 workers
+        by_key = {(s["labels"]["kind"], s["labels"]["worker"]):
+                  s["value"] for s in frames}
+        assert by_key[("data", "w0")] == 30
+        assert by_key[("data", "w1")] == 50
+        assert by_key[("meta", "w1")] == 5
+
+    def test_existing_worker_label_is_kept(self):
+        reg = MetricsRegistry()
+        reg.counter("pre_labeled_total", "",
+                    labels=("worker",)).labels(worker="w7").inc(2)
+        merged = merge_snapshots({"publisher": reg.snapshot()})
+        (series,) = merged["pre_labeled_total"]["series"]
+        assert series["labels"]["worker"] == "w7"
+        assert merged["pre_labeled_total"]["label_names"] == ["worker"]
+
+    def test_merge_then_render_golden(self):
+        text = render_prometheus(merge_snapshots(fleet_snapshots()))
+        assert text == GOLDEN.read_text()
+
+
+class TestAggregate:
+    def test_counters_and_gauges_sum(self):
+        agg = aggregate_snapshot(merge_snapshots(fleet_snapshots()))
+        by_kind = {s["labels"]["kind"]: s["value"]
+                   for s in agg["shard_frames_total"]["series"]}
+        assert by_kind == {"data": 80, "meta": 8}
+        (clients,) = agg["shard_clients"]["series"]
+        assert clients["value"] == 8
+
+    def test_high_water_gauges_take_max(self):
+        agg = aggregate_snapshot(merge_snapshots(fleet_snapshots()))
+        (hw,) = agg["shard_queue_high_water"]["series"]
+        assert hw["value"] == 4096
+
+    def test_worker_label_is_dropped(self):
+        agg = aggregate_snapshot(merge_snapshots(fleet_snapshots()))
+        for metric in agg.values():
+            assert "worker" not in metric["label_names"]
+            for series in metric["series"]:
+                assert "worker" not in series["labels"]
+
+    def test_histograms_merge_bucket_wise(self):
+        agg = aggregate_snapshot(merge_snapshots(fleet_snapshots()))
+        (hist,) = agg["shard_latency_seconds"]["series"]
+        assert hist["bounds"] == [0.001, 0.01, 0.1]
+        # w0 observed 0.0005, 0.002; w1 observed 0.05, 2.0 — the last
+        # slot is the +Inf overflow bucket and must survive the merge
+        assert hist["counts"] == [1, 1, 1, 1]
+        assert hist["count"] == 4
+        assert abs(hist["sum"] - 2.0525) < 1e-9
+
+    def test_mismatched_bounds_merge_by_value(self):
+        a = MetricsRegistry()
+        a.histogram("h_seconds", buckets=(1.0, 2.0)).observe(0.5)
+        b = MetricsRegistry()
+        b.histogram("h_seconds", buckets=(2.0, 4.0)).observe(3.0)
+        agg = aggregate_snapshot(merge_snapshots(
+            {"w0": a.snapshot(), "w1": b.snapshot()}))
+        (hist,) = agg["h_seconds"]["series"]
+        assert hist["bounds"] == [1.0, 2.0, 4.0]
+        assert hist["counts"] == [1, 0, 1, 0]
+        assert hist["count"] == 2
+
+    def test_aggregate_is_idempotent_on_plain_snapshot(self):
+        snap = shard_registry(2, 10, (0.002,)).snapshot()
+        agg = aggregate_snapshot(snap)
+        (series,) = agg["shard_clients"]["series"]
+        assert series["value"] == 2

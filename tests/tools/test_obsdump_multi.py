@@ -1,0 +1,90 @@
+"""obsdump against multiple live shard endpoints."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.http.server import DocumentStore, MetadataHTTPServer
+from repro.obs.registry import MetricsRegistry
+from repro.tools.obsdump import _split_endpoint, main
+
+GOLDEN = Path(__file__).parent / "golden" / "obsdump_merged.prom"
+
+
+def shard_snapshot(label: str, clients: int, high_water: int) -> dict:
+    reg = MetricsRegistry()
+    reg.counter("shard_frames_total", "Frames served").inc(
+        clients * 10)
+    reg.gauge("shard_clients", "Connected clients").set(clients)
+    reg.gauge("shard_queue_high_water",
+              "Deepest queue observed").set(high_water)
+    return reg.snapshot()
+
+
+@pytest.fixture
+def fleet():
+    """Two scrapeable endpoints, each exposing one shard's registry
+    through the /metrics snapshot_source hook."""
+    servers = [
+        MetadataHTTPServer(
+            DocumentStore(),
+            snapshot_source=lambda: shard_snapshot("w0", 3, 4096)),
+        MetadataHTTPServer(
+            DocumentStore(),
+            snapshot_source=lambda: shard_snapshot("w1", 5, 1024)),
+    ]
+    try:
+        yield [f"http://{s.host}:{s.port}" for s in servers]
+    finally:
+        for server in servers:
+            server.close()
+
+
+class TestEndpointSpecs:
+    def test_bare_url_gets_positional_label(self):
+        assert _split_endpoint("http://h:1", 2) == \
+            ("w2", "http://h:1")
+
+    def test_label_prefix_wins(self):
+        assert _split_endpoint("edge=http://h:1", 0) == \
+            ("edge", "http://h:1")
+
+    def test_url_without_label_is_not_split_at_scheme(self):
+        # the '=' inside a query string must not become a label
+        spec = "http://h:1/metrics.json?x=1"
+        assert _split_endpoint(spec, 1) == ("w1", spec)
+
+
+@pytest.mark.timeout(60)
+class TestMultiURL:
+    def test_merged_prometheus_golden(self, fleet, capsys):
+        assert main(["--url", fleet[0], "--url", fleet[1]]) == 0
+        assert capsys.readouterr().out == GOLDEN.read_text()
+
+    def test_custom_labels_stamp_series(self, fleet, capsys):
+        assert main(["--url", f"edge={fleet[0]}",
+                     "--url", f"core={fleet[1]}", "--json"]) == 0
+        snapshot = json.loads(capsys.readouterr().out)
+        workers = {s["labels"]["worker"]
+                   for s in snapshot["shard_clients"]["series"]}
+        assert workers == {"edge", "core"}
+
+    def test_aggregate_collapses_the_fleet(self, fleet, capsys):
+        assert main(["--url", fleet[0], "--url", fleet[1],
+                     "--aggregate", "--json"]) == 0
+        snapshot = json.loads(capsys.readouterr().out)
+        (clients,) = snapshot["shard_clients"]["series"]
+        assert clients == {"labels": {}, "value": 8}
+        (frames,) = snapshot["shard_frames_total"]["series"]
+        assert frames["value"] == 80
+        (hw,) = snapshot["shard_queue_high_water"]["series"]
+        assert hw["value"] == 4096, "maxima must not be summed"
+
+    def test_single_url_stays_unlabeled(self, fleet, capsys):
+        assert main(["--url", fleet[0], "--json"]) == 0
+        snapshot = json.loads(capsys.readouterr().out)
+        (series,) = snapshot["shard_clients"]["series"]
+        assert "worker" not in series["labels"]

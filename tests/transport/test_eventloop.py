@@ -1,5 +1,6 @@
 """Event-loop server: many clients, one thread, per-client failure."""
 
+import os
 import socket
 import threading
 
@@ -341,3 +342,149 @@ class TestIterFrames:
         buf = bytearray((1 << 20).to_bytes(4, "big"))
         with pytest.raises(FrameTooLargeError):
             list(iter_frames(buf, max_frame_len=1024))
+
+
+class TestObsRetire:
+    """Closing a server folds its counter totals into the persistent
+    process-wide metrics, so a scrape taken after the server object is
+    garbage-collected still shows its frame history (the live-sampling
+    collector is a weakref and dies with the server)."""
+
+    @staticmethod
+    def _series_value(name, labels):
+        from repro.obs.registry import REGISTRY
+        entry = REGISTRY.snapshot().get(name)
+        for series in (entry or {}).get("series", ()):
+            if series["labels"] == labels:
+                return series["value"]
+        return 0
+
+    def test_close_folds_totals_past_gc(self):
+        import gc
+        out = {"direction": "out"}
+        before = self._series_value("repro_transport_frames_total", out)
+        server, _handler = echo_server()
+        with server:
+            ch = TCPChannel.connect(server.host, server.port)
+            ch.send(data(b"ping"))
+            assert ch.recv(timeout=5).payload == b"ping"
+            ch.close()
+        server = None
+        gc.collect()  # weakref collector is gone; fold must remain
+        after = self._series_value("repro_transport_frames_total", out)
+        assert after >= before + 1
+
+    def test_second_close_does_not_double_fold(self):
+        out = {"direction": "out"}
+        server, _handler = echo_server()
+        with server:
+            ch = TCPChannel.connect(server.host, server.port)
+            ch.send(data(b"ping"))
+            assert ch.recv(timeout=5).payload == b"ping"
+            ch.close()
+        folded = self._series_value("repro_transport_frames_total", out)
+        server.close()
+        assert self._series_value(
+            "repro_transport_frames_total", out) == folded
+
+    def test_live_server_not_pre_folded(self):
+        accepted = {"event": "clients_accepted"}
+        server, _handler = echo_server()
+        with server:
+            ch = TCPChannel.connect(server.host, server.port)
+            ch.send(data(b"ping"))
+            assert ch.recv(timeout=5).payload == b"ping"
+            # while alive the collector reports; snapshots must not
+            # also include a folded copy (that would double-count)
+            live = self._series_value("repro_transport_events_total",
+                                      accepted)
+            ch.close()
+        closed = self._series_value("repro_transport_events_total",
+                                    accepted)
+        assert closed == live
+
+
+class TestForkSafety:
+    """Shard workers must never inherit another shard's sockets."""
+
+    @pytest.mark.timeout(30)
+    def test_all_live_fds_are_cloexec(self):
+        import fcntl
+
+        server, _handler = echo_server()
+        server.start()
+        try:
+            with socket.create_connection(
+                    (server.host, server.port)) as sock:
+                sock.sendall(data(b"ping").encode())
+                deadline = 50
+                while server.client_count == 0 and deadline:
+                    threading.Event().wait(0.05)
+                    deadline -= 1
+                fds = server.live_fds()
+                # wake pair (2) + listener + the accepted client
+                assert len(fds) >= 4
+                for fd in fds:
+                    flags = fcntl.fcntl(fd, fcntl.F_GETFD)
+                    assert flags & fcntl.FD_CLOEXEC, \
+                        f"fd {fd} missing FD_CLOEXEC"
+                    assert not os.get_inheritable(fd)
+        finally:
+            server.close()
+
+    @pytest.mark.timeout(30)
+    def test_adopted_socket_is_cloexec_and_served(self):
+        import fcntl
+
+        server, _handler = echo_server(listen=False)
+        server.start()
+        try:
+            ours, theirs = socket.socketpair()
+            assert server.adopt(theirs, ("adopted", 0))
+            ours.sendall(data(b"hello-adopted").encode())
+            ours.settimeout(5)
+            buf = bytearray()
+            while not list(iter_frames(bytearray(buf))):
+                chunk = ours.recv(4096)
+                assert chunk, "server closed adopted socket"
+                buf.extend(chunk)
+            frames = list(iter_frames(buf))
+            assert frames[0].payload == b"hello-adopted"
+            for fd in server.live_fds():
+                assert fcntl.fcntl(fd, fcntl.F_GETFD) & \
+                    fcntl.FD_CLOEXEC
+            ours.close()
+        finally:
+            server.close()
+
+    @pytest.mark.timeout(30)
+    def test_adopt_after_teardown_refuses_and_closes(self):
+        server, _handler = echo_server(listen=False)
+        server.start()
+        server.close()
+        ours, theirs = socket.socketpair()
+        try:
+            assert not server.adopt(theirs)
+            assert theirs.fileno() == -1, \
+                "refused adoption must close the socket"
+        finally:
+            ours.close()
+
+    @pytest.mark.timeout(30)
+    def test_injected_listener_serves_clients(self):
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.bind(("127.0.0.1", 0))
+        listener.listen(8)
+        server, _handler = echo_server(listener_socket=listener)
+        server.start()
+        try:
+            assert server.port == listener.getsockname()[1]
+            with socket.create_connection(
+                    (server.host, server.port)) as sock:
+                sock.sendall(data(b"via-injected").encode())
+                sock.settimeout(5)
+                buf = bytearray(sock.recv(4096))
+                frames = list(iter_frames(buf))
+                assert frames and frames[0].payload == b"via-injected"
+        finally:
+            server.close()

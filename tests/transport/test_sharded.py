@@ -1,0 +1,516 @@
+"""Sharded broadcast: probe, control plane, and multi-process e2e."""
+
+import socket
+import struct
+import threading
+import time
+import types
+
+import pytest
+
+from repro.errors import ProtocolError, TransportError
+from repro.pbio.context import IOContext
+from repro.pbio.format import IOFormat
+from repro.pbio.format_server import FormatServer
+from repro.pbio.layout import compute_layout
+from repro.transport.connection import Connection
+from repro.transport.eventloop import iter_frames
+from repro.transport.messages import Frame, FrameType
+from repro.transport.sharded import (
+    ControlSocket, Ctl, ShardedBroadcastServer, WorkerConfig,
+    _pack_name, _unpack_name, reuseport_available,
+)
+from repro.transport.tcp import TCPChannel
+
+SPECS = [("timestep", "integer"), ("size", "integer"),
+         ("data", "float[size]")]
+V2_SPECS = SPECS + [("units", "string")]
+
+
+def make_context() -> IOContext:
+    ctx = IOContext(format_server=FormatServer())
+    ctx.register_layout("SimpleData", SPECS)
+    return ctx
+
+
+def make_server(**kwargs) -> ShardedBroadcastServer:
+    kwargs.setdefault("workers", 2)
+    kwargs.setdefault("mode", "fdpass")
+    kwargs.setdefault("start_timeout", 120.0)
+    return ShardedBroadcastServer(make_context(), **kwargs)
+
+
+class Subscriber(threading.Thread):
+    """Connects, drains until BYE, records everything."""
+
+    def __init__(self, host: str, port: int,
+                 context: IOContext | None = None, *,
+                 negotiate: str | None = None):
+        super().__init__(daemon=True)
+        self.context = context or IOContext(
+            format_server=FormatServer())
+        self.negotiate = negotiate
+        self.conn = Connection(self.context,
+                               TCPChannel.connect(host, port))
+        self.chosen = None
+        self.records: list = []
+        self.error: BaseException | None = None
+
+    def run(self):
+        # idle receive timeouts retry against one overall deadline so
+        # a loaded machine cannot knock a subscriber off its shard
+        # before the test's first publish
+        deadline = time.monotonic() + 150
+        try:
+            if self.negotiate:
+                self.chosen = self.conn.negotiate_version(
+                    self.negotiate, timeout=60)
+            while time.monotonic() < deadline:
+                try:
+                    msg = self.conn.receive(timeout=10)
+                except TransportError as exc:
+                    if "timed out" in str(exc):
+                        continue
+                    raise
+                if msg is None:
+                    break
+                self.records.append((msg.format_id, msg.record))
+        except BaseException as exc:  # noqa: BLE001 - asserted later
+            self.error = exc
+        finally:
+            self.conn.close()
+
+
+# ---------------------------------------------------------------------------
+# SO_REUSEPORT capability probe (monkeypatched socket module)
+# ---------------------------------------------------------------------------
+
+class TestReuseportProbe:
+    def test_real_platform_probe_is_conclusive(self):
+        ok, reason = reuseport_available()
+        assert isinstance(ok, bool) and reason
+
+    def test_missing_constant_falls_back(self):
+        fake = types.SimpleNamespace()  # no SO_REUSEPORT at all
+        ok, reason = reuseport_available(socket_module=fake)
+        assert not ok
+        assert "not defined" in reason
+
+    def test_non_balancing_platform_falls_back(self):
+        ok, reason = reuseport_available(platform="darwin")
+        assert not ok
+        assert "darwin" in reason
+
+    def test_probe_bind_failure_falls_back(self):
+        class Refusing:
+            SO_REUSEPORT = socket.SO_REUSEPORT if \
+                hasattr(socket, "SO_REUSEPORT") else 15
+
+            @staticmethod
+            def socket(*args, **kwargs):
+                raise OSError("seccomp says no")
+
+        ok, reason = reuseport_available(socket_module=Refusing)
+        assert not ok
+        assert "probe failed" in reason
+
+    def test_setsockopt_rejection_falls_back(self):
+        class Sock:
+            def __init__(self, real):
+                self._real = real
+
+            def setsockopt(self, *args):
+                raise OSError("EOPNOTSUPP")
+
+            def __getattr__(self, name):
+                return getattr(self._real, name)
+
+        class Module:
+            SO_REUSEPORT = 15
+
+            @staticmethod
+            def socket(*args, **kwargs):
+                return Sock(socket.socket(*args, **kwargs))
+
+        ok, reason = reuseport_available(socket_module=Module)
+        assert not ok
+
+    def test_auto_mode_falls_back_to_fdpass(self, monkeypatch):
+        monkeypatch.setattr(
+            "repro.transport.sharded.reuseport_available",
+            lambda *a, **k: (False, "forced off for test"))
+        srv = make_server(mode="auto", workers=1)
+        srv._select_mode()
+        assert srv.mode == "fdpass"
+        assert srv.mode_reason == "forced off for test"
+
+    def test_explicit_reuseport_raises_when_unavailable(
+            self, monkeypatch):
+        monkeypatch.setattr(
+            "repro.transport.sharded.reuseport_available",
+            lambda *a, **k: (False, "forced off for test"))
+        srv = make_server(mode="reuseport", workers=1)
+        with pytest.raises(TransportError, match="forced off"):
+            srv._select_mode()
+
+
+# ---------------------------------------------------------------------------
+# Control-plane framing
+# ---------------------------------------------------------------------------
+
+class TestControlProtocol:
+    def test_name_roundtrip(self):
+        packed = _pack_name("Grid") + b"tail"
+        name, offset = _unpack_name(packed, 0)
+        assert name == "Grid"
+        assert packed[offset:] == b"tail"
+
+    def test_truncated_name_raises(self):
+        packed = _pack_name("GridData")
+        with pytest.raises(ProtocolError):
+            _unpack_name(packed[:4], 0)
+        with pytest.raises(ProtocolError):
+            _unpack_name(b"\xff", 0)
+
+    def test_oversized_name_raises(self):
+        with pytest.raises(ProtocolError):
+            _pack_name("x" * 70000)
+
+    @pytest.mark.timeout(30)
+    def test_control_socket_roundtrip(self):
+        a, b = socket.socketpair()
+        left, right = ControlSocket(a), ControlSocket(b)
+        try:
+            left.send(Ctl.BARRIER, b"\x00\x00\x00\x07")
+            left.send(Ctl.STOP)
+            assert right.recv(5) == (Ctl.BARRIER,
+                                     b"\x00\x00\x00\x07", None)
+            assert right.recv(5) == (Ctl.STOP, b"", None)
+        finally:
+            left.close()
+            right.close()
+
+    @pytest.mark.timeout(30)
+    def test_control_socket_fd_passing_order(self):
+        a, b = socket.socketpair()
+        left, right = ControlSocket(a), ControlSocket(b)
+        pipes = [socket.socketpair() for _ in range(3)]
+        try:
+            for i, (ours, theirs) in enumerate(pipes):
+                left.send(Ctl.BCAST, b"interleaved")
+                left.send_fd(Ctl.CONN, f"peer{i}".encode(),
+                             theirs.fileno())
+            for i, (ours, theirs) in enumerate(pipes):
+                kind, _payload, fd = right.recv(5)
+                assert (kind, fd) == (Ctl.BCAST, None)
+                kind, payload, fd = right.recv(5)
+                assert kind == Ctl.CONN
+                assert payload == f"peer{i}".encode()
+                assert fd is not None
+                # prove the k-th fd really is the k-th socket
+                dup = socket.socket(fileno=fd)
+                ours.sendall(f"ping{i}".encode())
+                dup.settimeout(5)
+                assert dup.recv(16) == f"ping{i}".encode()
+                dup.close()
+        finally:
+            left.close()
+            right.close()
+            for ours, theirs in pipes:
+                ours.close()
+                theirs.close()
+
+    def test_bad_length_raises(self):
+        a, b = socket.socketpair()
+        left, right = ControlSocket(a), ControlSocket(b)
+        try:
+            a.sendall(struct.pack(">IB", 0, 0))
+            with pytest.raises(ProtocolError):
+                right.recv(5)
+        finally:
+            left.close()
+            right.close()
+
+    def test_worker_config_is_picklable(self):
+        import pickle
+        config = WorkerConfig(index=3, mode="fdpass",
+                              host="127.0.0.1", port=0,
+                              policy="block",
+                              max_queue_bytes=1024,
+                              block_timeout=1.0,
+                              max_frame_len=1 << 20)
+        clone = pickle.loads(pickle.dumps(config))
+        assert clone == config
+        assert clone.label == "w3"
+
+
+# ---------------------------------------------------------------------------
+# End-to-end across processes
+# ---------------------------------------------------------------------------
+
+def available_modes():
+    modes = ["fdpass"]
+    if reuseport_available()[0]:
+        modes.append("reuseport")
+    return modes
+
+
+class TestShardedEndToEnd:
+    @pytest.mark.timeout(180)
+    @pytest.mark.parametrize("mode", available_modes())
+    def test_fan_out_across_shards(self, mode):
+        with make_server(mode=mode) as srv:
+            assert srv.mode == mode
+            subs = [Subscriber(srv.host, srv.port) for _ in range(8)]
+            for sub in subs:
+                sub.start()
+            assert srv.wait_for_subscribers(8, timeout=60)
+            for t in range(5):
+                assert srv.publish(
+                    "SimpleData",
+                    {"timestep": t, "data": [t * 0.5]}) == 2
+            assert srv.flush(timeout=60)
+            if mode == "fdpass":
+                # round-robin: a 2-way split of 8 is exactly 4+4
+                stats = srv.worker_stats(timeout=60)
+                counts = sorted(s["server"]["clients"]
+                                for s in stats.values())
+                assert counts == [4, 4]
+        for sub in subs:
+            sub.join(30)
+            assert sub.error is None
+            assert [r["timestep"] for _, r in sub.records] == \
+                list(range(5))
+            assert sub.conn.negotiations == 0, \
+                "announcements must pre-empt FMT_REQ on every shard"
+
+    @pytest.mark.timeout(180)
+    def test_encode_once_across_workers(self):
+        with make_server(workers=2) as srv:
+            subs = [Subscriber(srv.host, srv.port) for _ in range(4)]
+            for sub in subs:
+                sub.start()
+            assert srv.wait_for_subscribers(4, timeout=60)
+            before = srv.context.stats.as_dict()["records_encoded"]
+            for t in range(10):
+                srv.publish("SimpleData",
+                            {"timestep": t, "data": [1.0, 2.0]})
+            assert srv.flush(timeout=60)
+            after = srv.context.stats.as_dict()["records_encoded"]
+            assert after - before == 10, \
+                "publisher must marshal each record exactly once"
+            stats = srv.worker_stats(timeout=60)
+            for shard in stats.values():
+                assert shard["codec"]["records_encoded"] == 0
+                assert shard["codec"]["records_decoded"] == 0
+        for sub in subs:
+            sub.join(30)
+            assert sub.error is None
+            assert len(sub.records) == 10
+
+    @pytest.mark.timeout(180)
+    def test_worker_stats_and_metrics_merge(self):
+        with make_server(workers=2) as srv:
+            subs = [Subscriber(srv.host, srv.port) for _ in range(2)]
+            for sub in subs:
+                sub.start()
+            assert srv.wait_for_subscribers(2, timeout=60)
+            srv.publish("SimpleData", {"timestep": 0, "data": [1.0]})
+            assert srv.flush(timeout=60)
+            stats = srv.worker_stats(timeout=60)
+            assert set(stats) == {"w0", "w1"}
+            total_clients = sum(s["server"]["clients"]
+                                for s in stats.values())
+            assert total_clients == 2
+            # every worker answered with its own replica + publisher
+            for label, shard in stats.items():
+                assert shard["worker"] == label
+                assert shard["codec"]["records_encoded"] == 0, \
+                    "workers must never re-encode"
+            merged = srv.metrics_snapshot(timeout=60)
+            workers_seen = {
+                series["labels"].get("worker")
+                for metric in merged.values()
+                for series in metric["series"]}
+            assert {"publisher"} <= workers_seen
+        for sub in subs:
+            sub.join(30)
+
+    @pytest.mark.timeout(180)
+    def test_worker_crash_does_not_stall_the_rest(self):
+        with make_server(workers=2) as srv:
+            subs = [Subscriber(srv.host, srv.port) for _ in range(4)]
+            for sub in subs:
+                sub.start()
+            assert srv.wait_for_subscribers(4, timeout=60)
+            srv.publish("SimpleData", {"timestep": 0, "data": [1.0]})
+            assert srv.flush(timeout=60)
+            victim = srv._workers[0]
+            victim.process.terminate()
+            victim.process.join(30)
+            deadline = 100
+            while victim.alive and deadline:
+                threading.Event().wait(0.1)
+                deadline -= 1
+            assert not victim.alive
+            assert srv.worker_failures == 1
+            # publishing keeps reaching the surviving shard
+            assert srv.publish("SimpleData",
+                               {"timestep": 1, "data": [2.0]}) == 1
+            assert srv.flush(timeout=60)
+            survivors = [s for s in subs]
+            stats = srv.stats_dict()
+            assert stats["workers_alive"] == 1
+        for sub in subs:
+            sub.join(30)
+        # the surviving shard's subscribers saw both records
+        full = [sub for sub in subs
+                if [r["timestep"] for _, r in sub.records] == [0, 1]]
+        assert len(full) == 2
+
+
+class TestShardedEvolution:
+    @staticmethod
+    def grid_format(specs, architecture) -> IOFormat:
+        layout = compute_layout(specs, architecture=architecture)
+        return IOFormat("Grid", layout.field_list)
+
+    def make_evolved_server(self) -> ShardedBroadcastServer:
+        ctx = IOContext(format_server=FormatServer())
+        ctx.register_evolution(
+            self.grid_format(SPECS, ctx.architecture))
+        ctx.register_evolution(
+            self.grid_format(V2_SPECS, ctx.architecture))
+        return ShardedBroadcastServer(ctx, workers=2, mode="fdpass",
+                                      start_timeout=120.0)
+
+    @pytest.mark.timeout(180)
+    def test_lineage_negotiation_served_from_every_shard(self):
+        with self.make_evolved_server() as srv:
+            chain = srv.context.format_server.lineage("Grid")
+            assert len(chain) == 2
+
+            def v1_context() -> IOContext:
+                ctx = IOContext(format_server=FormatServer())
+                ctx.register_evolution(
+                    self.grid_format(SPECS, ctx.architecture))
+                return ctx
+
+            # one v1-pinned subscriber lands on each shard
+            subs = [Subscriber(srv.host, srv.port, v1_context(),
+                               negotiate="Grid")
+                    for _ in range(2)]
+            for sub in subs:
+                sub.start()
+            assert srv.wait_for_subscribers(2, timeout=60)
+            # barrier: a publish racing an in-flight LIN_RSP would
+            # legitimately hand that subscriber the current version
+            assert srv.wait_for_pins("Grid", 2, timeout=60)
+            modern = Subscriber(srv.host, srv.port)
+            modern.start()
+            assert srv.wait_for_subscribers(3, timeout=60)
+            for t in range(4):
+                record = {"timestep": t, "data": [t * 1.0],
+                          "units": "mm"}
+                assert srv.publish("Grid", record) == 2
+            assert srv.flush(timeout=60)
+            # one down-conversion per message for the pinned version,
+            # NOT one per pinned subscriber (2) or per shard (2)
+            assert srv.stats.frames_down_converted == 4
+        for sub in subs:
+            sub.join(30)
+            assert sub.error is None
+            assert sub.chosen == chain[0]
+            assert len(sub.records) == 4
+            for fid, record in sub.records:
+                assert fid == chain[0]
+                assert "units" not in record
+        modern.join(30)
+        assert modern.error is None
+        assert len(modern.records) == 4
+        for fid, record in modern.records:
+            assert fid == chain[1]
+            assert record["units"] == "mm"
+
+    @pytest.mark.timeout(180)
+    def test_cutover_reannounces_on_every_shard(self):
+        ctx = IOContext(format_server=FormatServer())
+        ctx.register_evolution(
+            self.grid_format(SPECS, ctx.architecture))
+        with ShardedBroadcastServer(ctx, workers=2, mode="fdpass",
+                                    start_timeout=120.0) as srv:
+            subs = [Subscriber(srv.host, srv.port) for _ in range(4)]
+            for sub in subs:
+                sub.start()
+            assert srv.wait_for_subscribers(4, timeout=60)
+            assert srv.publish("Grid",
+                               {"timestep": 0, "data": [0.5]}) == 2
+            v2 = self.grid_format(V2_SPECS, ctx.architecture)
+            assert srv.cutover(v2) == 2
+            assert srv.publish(
+                "Grid", {"timestep": 1, "data": [1.5],
+                         "units": "mm"}) == 2
+            assert srv.flush(timeout=60)
+            chain = ctx.format_server.lineage("Grid")
+        for sub in subs:
+            sub.join(30)
+            assert sub.error is None
+            assert [r["timestep"] for _, r in sub.records] == [0, 1]
+            assert sub.records[0][0] == chain[0]
+            assert sub.records[1][0] == chain[1]
+            assert sub.records[1][1]["units"] == "mm"
+
+
+class TestFormatMissProxy:
+    @pytest.mark.timeout(180)
+    def test_cold_fmt_req_is_proxied_upstream(self):
+        """A format the publisher learned after the shards were seeded
+        resolves through the shard's read-through replica."""
+        ctx = make_context()
+        with ShardedBroadcastServer(ctx, workers=1, mode="fdpass",
+                                    start_timeout=120.0) as srv:
+            # registered post-start: the replica has never seen it
+            extra = ctx.register_layout("ExtraFormat",
+                                        [("value", "integer")])
+            sock = socket.create_connection((srv.host, srv.port))
+            try:
+                assert srv.wait_for_subscribers(1, timeout=60)
+                sock.sendall(Frame(
+                    FrameType.FMT_REQ,
+                    extra.format_id.to_bytes()).encode())
+                sock.settimeout(30)
+                buf = bytearray()
+                fmt_rsp = None
+                while fmt_rsp is None:
+                    chunk = sock.recv(1 << 16)
+                    assert chunk, "worker closed the connection"
+                    buf.extend(chunk)
+                    for frame in iter_frames(buf):
+                        if frame.type == FrameType.FMT_RSP:
+                            fmt_rsp = frame
+                assert fmt_rsp.payload.startswith(
+                    extra.format_id.to_bytes())
+            finally:
+                sock.close()
+
+    @pytest.mark.timeout(180)
+    def test_unknown_fmt_req_gets_fmt_err(self):
+        with make_server(workers=1) as srv:
+            sock = socket.create_connection((srv.host, srv.port))
+            try:
+                assert srv.wait_for_subscribers(1, timeout=60)
+                sock.sendall(Frame(FrameType.FMT_REQ,
+                                   b"\xde\xad\xbe\xef" * 2).encode())
+                sock.settimeout(30)
+                buf = bytearray()
+                reply = None
+                while reply is None:
+                    chunk = sock.recv(1 << 16)
+                    assert chunk, "worker closed the connection"
+                    buf.extend(chunk)
+                    for frame in iter_frames(buf):
+                        if frame.type == FrameType.FMT_ERR:
+                            reply = frame
+                assert b"no format" in reply.payload
+            finally:
+                sock.close()
