@@ -1,0 +1,115 @@
+#!/usr/bin/env python
+"""CI regression gate for catalog-scale lazy compile and warm start.
+
+Reads ``BENCH_catalog.json`` (written when the benchmark suite runs
+``benchmarks/test_ext_catalog.py``) and fails unless the acceptance
+thresholds hold:
+
+* the catalog run covered >= 10k formats, every one deferred, with no
+  whole-document compile and only the bound format (plus dependencies)
+  lazily compiled;
+* binding one format cost < 2% of eagerly compiling the catalog;
+* the warm restart did zero registration-phase work (no fetch /
+  compile / bind / compile_plan spans -> RDM <= ``WARM_RDM_MAX``),
+  served its plans as persistent-tier hits, and reached its first
+  message >= ``COLD_WARM_RATIO_MIN``x faster than the cold path.
+
+Usage::
+
+    python benchmarks/check_catalog_gate.py [path/to/BENCH_catalog.json]
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+FORMATS_MIN = 10_000
+LAZY_COMPILES_MAX = 3
+FIRST_BIND_FRACTION_MAX = 0.02   # of the eager catalog compile
+WARM_RDM_MAX = 1.2
+COLD_WARM_RATIO_MIN = 1.2
+
+
+def main(argv: list[str]) -> int:
+    path = Path(argv[1]) if len(argv) > 1 else \
+        Path(__file__).resolve().parents[1] / "BENCH_catalog.json"
+    if not path.exists():
+        print(f"gate: {path} missing — run the benchmark suite first "
+              "(PYTHONPATH=src python -m pytest "
+              "benchmarks/test_ext_catalog.py)")
+        return 2
+    data = json.loads(path.read_text())
+
+    failures: list[str] = []
+    cat = data.get("catalog", {})
+    warm = data.get("warm_start", {})
+    if not cat or not warm:
+        failures.append("catalog/warm_start sections missing")
+
+    if cat:
+        print(f"catalog  {cat['formats']} formats  "
+              f"lazy load {cat['lazy_load_s']:.2f}s  "
+              f"eager load {cat['eager_load_s']:.2f}s  "
+              f"first bind {cat['first_bind_us']:.0f}us")
+        if cat["formats"] < FORMATS_MIN:
+            failures.append(
+                f"catalog covered {cat['formats']} formats, below "
+                f"the {FORMATS_MIN} gate")
+        if cat["deferred_formats"] != cat["formats"]:
+            failures.append(
+                f"only {cat['deferred_formats']} of {cat['formats']} "
+                "formats were deferred")
+        if cat["lazy_document_compiles"] != 0:
+            failures.append(
+                "lazy load performed a whole-document compile")
+        if not 1 <= cat["lazy_compiles_after_bind"] \
+                <= LAZY_COMPILES_MAX:
+            failures.append(
+                f"{cat['lazy_compiles_after_bind']} lazy compiles "
+                f"after one bind (expected 1..{LAZY_COMPILES_MAX})")
+        bind_fraction = cat["first_bind_us"] / \
+            (cat["eager_compile_s"] * 1e6)
+        if bind_fraction > FIRST_BIND_FRACTION_MAX:
+            failures.append(
+                f"first bind cost {bind_fraction:.1%} of the eager "
+                f"catalog compile (gate "
+                f"{FIRST_BIND_FRACTION_MAX:.0%})")
+
+    if warm:
+        print(f"warm     cold {warm['cold_first_message_us']:.0f}us  "
+              f"warm {warm['warm_first_message_us']:.0f}us  "
+              f"ratio {warm['cold_warm_ratio']:.2f}x  "
+              f"rdm {warm['warm_rdm']:.3f}")
+        if warm["warm_compile_spans"] != 0:
+            failures.append(
+                f"warm restart ran {warm['warm_compile_spans']} "
+                "registration-phase spans (expected 0)")
+        if warm["warm_disk_hits"] < 2 or \
+                warm["warm_plan_load_spans"] < 2:
+            failures.append(
+                "warm restart did not serve both plans from the "
+                f"persistent tier (hits={warm['warm_disk_hits']}, "
+                f"loads={warm['warm_plan_load_spans']})")
+        if warm["warm_rdm"] > WARM_RDM_MAX:
+            failures.append(
+                f"warm-start RDM {warm['warm_rdm']:.3f} exceeds "
+                f"{WARM_RDM_MAX}")
+        if warm["cold_warm_ratio"] < COLD_WARM_RATIO_MIN:
+            failures.append(
+                f"cold/warm first-message ratio "
+                f"{warm['cold_warm_ratio']:.2f}x is below the "
+                f"{COLD_WARM_RATIO_MIN}x gate")
+
+    if failures:
+        print("\ngate FAILED:")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print("\ngate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -54,6 +54,11 @@ BENCH_BULK_PATH = Path(__file__).resolve().parents[1] / \
 BENCH_SHARDED_PATH = Path(__file__).resolve().parents[1] / \
     "BENCH_fanout_sharded.json"
 
+#: Where the catalog-scale / warm-start numbers land; consumed by
+#: ``benchmarks/check_catalog_gate.py`` in CI.
+BENCH_CATALOG_PATH = Path(__file__).resolve().parents[1] / \
+    "BENCH_catalog.json"
+
 _FUSED_METRICS: dict = {}
 _FANOUT_METRICS: dict = {}
 _OBS_METRICS: dict = {}
@@ -61,6 +66,7 @@ _HARDENING_METRICS: dict = {}
 _EVOLUTION_METRICS: dict = {}
 _BULK_METRICS: dict = {}
 _SHARDED_METRICS: dict = {}
+_CATALOG_METRICS: dict = {}
 
 
 def context_for_case(case) -> IOContext:
@@ -140,6 +146,14 @@ def sharded_metrics() -> dict:
     return _SHARDED_METRICS
 
 
+@pytest.fixture
+def catalog_metrics() -> dict:
+    """Session-wide sink for the catalog-scale and warm-start numbers
+    (``test_ext_catalog``); flushed to BENCH_catalog.json at session
+    end."""
+    return _CATALOG_METRICS
+
+
 def pytest_sessionfinish(session, exitstatus):
     if _FUSED_METRICS:
         BENCH_FUSED_PATH.write_text(
@@ -164,4 +178,8 @@ def pytest_sessionfinish(session, exitstatus):
     if _SHARDED_METRICS:
         BENCH_SHARDED_PATH.write_text(
             json.dumps(_SHARDED_METRICS, indent=2, sort_keys=True) +
+            "\n")
+    if _CATALOG_METRICS:
+        BENCH_CATALOG_PATH.write_text(
+            json.dumps(_CATALOG_METRICS, indent=2, sort_keys=True) +
             "\n")

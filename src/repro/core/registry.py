@@ -72,14 +72,120 @@ class _CachedDocument:
     fetched_at: float
 
 
+class _LazyFormatMap(dict):
+    """``IRSet.formats`` for a lazy registry: complexTypes parsed from
+    a document are *deferred* and compiled on first lookup.
+
+    Compiled entries live in the underlying dict; ``_pending`` maps
+    format name to the parsed (merged, reference-checked)
+    :class:`Schema` that defines it.  Membership, iteration and length
+    include pending names — the formats exist, they just have no IR
+    yet — while ``values()``/``items()`` materialize everything first,
+    since callers iterating IR bodies (schema export, live-message
+    matching) genuinely need all of them.  Compilation happens under
+    the registry lock, so concurrent first lookups compile once.
+    """
+
+    def __init__(self, registry: "FormatRegistry",
+                 initial: dict | None = None) -> None:
+        super().__init__(initial or {})
+        self._registry = registry
+        self._pending: dict[str, Schema] = {}
+
+    # -- deferral ------------------------------------------------------------
+
+    def defer(self, name: str, schema: Schema, *,
+              replace: bool = False) -> None:
+        """Mark *name* as defined by *schema* but not yet compiled.
+        ``replace`` drops any previously compiled IR (a re-ingested
+        document with a new digest must not serve stale IR)."""
+        with self._registry._lock:
+            if replace:
+                super().pop(name, None)
+                self._pending[name] = schema
+            elif name not in self._pending \
+                    and not super().__contains__(name):
+                self._pending[name] = schema
+
+    def pending_names(self) -> tuple[str, ...]:
+        with self._registry._lock:
+            return tuple(self._pending)
+
+    def compiled_names(self) -> tuple[str, ...]:
+        with self._registry._lock:
+            return tuple(dict.keys(self))
+
+    # -- dict protocol ---------------------------------------------------------
+
+    def __missing__(self, name):
+        with self._registry._lock:
+            if super().__contains__(name):    # lost a compile race
+                return super().__getitem__(name)
+            schema = self._pending.get(name)
+            if schema is None:
+                raise KeyError(name)
+            fmt = self._registry._compile_deferred(name, schema)
+            super().__setitem__(name, fmt)
+            del self._pending[name]
+            return fmt
+
+    def __contains__(self, name) -> bool:
+        return super().__contains__(name) or name in self._pending
+
+    def get(self, name, default=None):
+        try:
+            return self[name]
+        except KeyError:
+            return default
+
+    def pop(self, name, *default):
+        with self._registry._lock:
+            self._pending.pop(name, None)
+            return super().pop(name, *default)
+
+    def __iter__(self):
+        yield from dict.keys(self)
+        compiled = set(dict.keys(self))
+        yield from (n for n in list(self._pending)
+                    if n not in compiled)
+
+    def __len__(self) -> int:
+        return len(list(iter(self)))
+
+    def keys(self):
+        return list(self)
+
+    def values(self):
+        self.materialize()
+        return dict.values(self)
+
+    def items(self):
+        self.materialize()
+        return dict.items(self)
+
+    def materialize(self) -> None:
+        """Compile every still-pending format (bulk consumers)."""
+        for name in self.pending_names():
+            self.get(name)
+
+
 @dataclass
 class FormatRegistry:
-    """Tracks loaded metadata documents and their formats."""
+    """Tracks loaded metadata documents and their formats.
+
+    With ``lazy=True`` a loaded document is parsed and its enums
+    compiled, but each complexType is only compiled to IR on its first
+    use (binding, export, diffing) — large schema catalogs cost
+    ingest-time parsing only, and registry memory grows with the
+    working set instead of the catalog (see the 10k-format benchmark,
+    ``BENCH_catalog.json``).
+    """
 
     ir: IRSet = field(default_factory=IRSet)
     retry: RetryPolicy = field(default_factory=RetryPolicy)
     cache_ttl: float = 300.0
     negative_ttl: float = 1.0
+    lazy: bool = False
     clock: Callable[[], float] = field(default=time.monotonic,
                                        repr=False)
     stats: DiscoveryStats = field(default_factory=DiscoveryStats)
@@ -97,6 +203,11 @@ class FormatRegistry:
     _history: dict[str, list[FormatIR]] = field(default_factory=dict)
     _lock: threading.RLock = field(default_factory=threading.RLock,
                                    repr=False)
+
+    def __post_init__(self) -> None:
+        if self.lazy and not isinstance(self.ir.formats,
+                                        _LazyFormatMap):
+            self.ir.formats = _LazyFormatMap(self, self.ir.formats)
 
     # -- loading ------------------------------------------------------------
 
@@ -245,6 +356,8 @@ class FormatRegistry:
                 enum_names=enum_names)
             return format_names
         schema = self._parse_with_includes(url, data)
+        if self.lazy:
+            return self._ingest_lazy(url, digest, schema)
         with span("compile", source=url, digest=digest) as sp:
             compiled = compile_schema(schema)
         duration_ns = getattr(sp, "duration_ns", 0)  # 0 when disabled
@@ -266,6 +379,39 @@ class FormatRegistry:
         self._compiled[digest] = (tuple(compiled.formats),
                                   tuple(compiled.enums))
         return tuple(compiled.formats)
+
+    def _ingest_lazy(self, url: str, digest: str,
+                     schema: Schema) -> tuple[str, ...]:
+        """Lazy ingest: compile enums now (cheap, referenced by every
+        using type), defer each complexType until its first use.
+        Re-ingesting a changed document replaces both the pending
+        schema and any already-compiled IR, so stale IR can never be
+        served after a digest change."""
+        enums_only = compile_schema(schema, names=())
+        self.ir.merge(enums_only)
+        names = tuple(schema.complex_types)
+        fmap = self.ir.formats
+        for name in names:
+            fmap.defer(name, schema, replace=True)
+        self.stats.count("deferred_formats", len(names))
+        self.loads += 1
+        self._sources[url] = _Source(
+            url=url, digest=digest, format_names=names,
+            enum_names=tuple(enums_only.enums))
+        self._compiled[digest] = (names, tuple(enums_only.enums))
+        return names
+
+    def _compile_deferred(self, name: str, schema: Schema) -> FormatIR:
+        """Compile one deferred complexType on first use (called under
+        the registry lock from :meth:`_LazyFormatMap.__missing__`)."""
+        with span("compile", format=name, lazy=True):
+            compiled = compile_schema(schema, names=(name,))
+        fmt = compiled.formats[name]
+        self.stats.count("lazy_compiles")
+        chain = self._history.setdefault(name, [])
+        if not chain or chain[-1] != fmt:
+            chain.append(fmt)
+        return fmt
 
     def _parse_with_includes(self, url: str, data: bytes) -> Schema:
         """Parse *data*, fetching ``xsd:include``/``xsd:import``

@@ -38,12 +38,29 @@ DATATYPE_MAP: dict[str, tuple[str, int | None]] = {
 }
 
 
-def compile_schema(schema: Schema) -> IRSet:
-    """Compile every component of *schema* into an :class:`IRSet`."""
+def compile_schema(schema: Schema, names=None) -> IRSet:
+    """Compile *schema* into an :class:`IRSet`.
+
+    *names* selects which complexTypes to compile: None (default)
+    compiles everything; an iterable compiles exactly those (so an
+    empty iterable yields enums only — the lazy registry's ingest
+    step).  Enumerations are always compiled: they are cheap and
+    referenced pervasively.  Nested complexType references stay
+    symbolic (:class:`~repro.core.ir.TypeRef`), so a subset compile
+    never forces its dependencies — binding resolves them on demand.
+    """
     ir = IRSet()
     for enum in schema.enumerations.values():
         ir.add_enum(EnumIR(name=enum.name, values=enum.values))
-    for ct in schema.complex_types.values():
+    if names is None:
+        selected = list(schema.complex_types.values())
+    else:
+        try:
+            selected = [schema.complex_types[n] for n in names]
+        except KeyError as exc:
+            raise SchemaTypeError(
+                f"schema defines no complexType named {exc}") from None
+    for ct in selected:
         ir.add_format(_compile_complex_type(schema, ct))
     return ir
 

@@ -37,12 +37,17 @@ class XMIT:
     """XML Metadata Integration Toolkit."""
 
     def __init__(self, *, retry: RetryPolicy | None = None,
-                 cache_ttl: float | None = None) -> None:
+                 cache_ttl: float | None = None,
+                 lazy: bool = False) -> None:
         kwargs = {}
         if retry is not None:
             kwargs["retry"] = retry
         if cache_ttl is not None:
             kwargs["cache_ttl"] = cache_ttl
+        if lazy:
+            # defer per-complexType IR compilation to first use; see
+            # FormatRegistry(lazy=True)
+            kwargs["lazy"] = True
         self.registry = FormatRegistry(**kwargs)
         self._bindings: dict[tuple, BindingToken] = {}
 

@@ -113,7 +113,8 @@ class DiscoveryStats:
 
     _COUNTERS = ("fetch_attempts", "retries", "fetch_failures",
                  "cache_hits", "cache_misses", "negative_hits",
-                 "fallbacks", "compiles")
+                 "fallbacks", "compiles", "deferred_formats",
+                 "lazy_compiles")
 
     #: process-wide mirror series, one per counter, shared by every
     #: instance (N registries sum into one global total)

@@ -55,8 +55,18 @@ HTTP_REQUESTS = REGISTRY.counter(
 CODEC_PLANS = REGISTRY.counter(
     "repro_codec_plans_total",
     "Compiled codec plan cache outcomes in "
-    "encoder_for_format/decoder_for_format",
+    "encoder_for_format/decoder_for_format (miss counts actual "
+    "compiles — single-flight losers and persistent-tier loads are "
+    "not misses)",
     labels=("kind", "outcome"))
+
+PLAN_CACHE = REGISTRY.counter(
+    "repro_plan_cache_total",
+    "Compiled-plan cache tier outcomes: tier=memory counts LRU "
+    "hits/evictions, tier=disk counts persistent-tier loads "
+    "(hit/miss/corrupt/stale/invalid) and writes (store/store_error); "
+    "see docs/PLAN_CACHE.md",
+    labels=("tier", "outcome"))
 
 # -- format evolution -------------------------------------------------------
 

@@ -40,6 +40,9 @@ _NAME_PHASES = {
     "refresh": "discover",
     "compile": "bind/compile", "register": "bind/compile",
     "compile_plan": "bind/compile", "bind": "bind/compile",
+    # loading a persisted plan is *not* registration work — warm
+    # starts must read as RDM ≈ 0, so the load files under "other"
+    "plan_cache_load": "other",
     "encode": "marshal", "encode_many": "marshal",
     "decode": "unmarshal", "decode_many": "unmarshal",
     "send": "transport", "receive": "transport",

@@ -22,13 +22,21 @@ import threading
 
 import numpy as np
 
-from repro.errors import DecodeError
+from repro.errors import DecodeError, LayoutError, PlanCacheError
 from repro.pbio.encode import (
     _MAX_RUN_GAP, _fusible, numpy_dtype, parse_batch, struct_code,
 )
 from repro.pbio.fields import FieldList, IOField
 from repro.pbio.format import FormatID, IOFormat
+from repro.pbio.plancache import (
+    PlanLRU, active_plan_cache, single_flight,
+    _count as _plan_cache_count,
+)
 from repro.pbio.types import FieldType
+
+#: version of the persistable plan snapshot produced by
+#: :meth:`RecordDecoder.plan_snapshot`; bump on layout changes
+PLAN_VERSION = 1
 
 
 def _round_up(value: int, align: int) -> int:
@@ -60,7 +68,8 @@ class RecordDecoder:
     """
 
     def __init__(self, fmt: IOFormat, *, arrays: str = "list",
-                 fuse: bool = True, validate: bool = True) -> None:
+                 fuse: bool = True, validate: bool = True,
+                 plan: dict | None = None) -> None:
         if arrays not in ("list", "numpy", "view"):
             raise DecodeError(f"arrays must be 'list', 'numpy' or "
                               f"'view', got {arrays!r}")
@@ -77,7 +86,16 @@ class RecordDecoder:
         self._ptr = struct.Struct(
             self._bo + ("I" if ptr_size == 4 else "Q"))
         self._count = struct.Struct(self._bo + "I")
-        self._ops = self._compile(self.field_list, enums=fmt.enums)
+        # a persisted *plan* (repro.pbio.plancache) replays the op
+        # sequence after layout re-verification; plan-loaded decoders
+        # are never re-snapshotted
+        if plan is not None:
+            self._plan_ops: list | None = None
+            self._ops = self._ops_from_plan(plan, fmt.enums)
+        else:
+            self._plan_ops = []
+            self._ops = self._compile(self.field_list, enums=fmt.enums,
+                                      _record_plan=self._plan_ops)
 
     # -- public ---------------------------------------------------------------
 
@@ -120,7 +138,8 @@ class RecordDecoder:
 
     # -- compilation ------------------------------------------------------------
 
-    def _compile(self, field_list: FieldList, enums):
+    def _compile(self, field_list: FieldList, enums, *,
+                 _record_plan: list | None = None):
         ops: list[tuple] = []
         run: list[tuple[IOField, FieldType]] = []
         for field in field_list:
@@ -129,29 +148,37 @@ class RecordDecoder:
                 if run and (field.offset - (run[-1][0].offset +
                                             run[-1][0].size)
                             > _MAX_RUN_GAP):
-                    self._flush_run(ops, run, enums)
+                    self._flush_run(ops, run, enums, _record_plan)
                     run = []
                 run.append((field, ftype))
                 continue
-            self._flush_run(ops, run, enums)
+            self._flush_run(ops, run, enums, _record_plan)
             run = []
             ops.append((field.name,
                         self._compile_field(field_list, field, ftype,
                                             enums)))
-        self._flush_run(ops, run, enums)
+            if _record_plan is not None:
+                _record_plan.append(("field", field.name))
+        self._flush_run(ops, run, enums, _record_plan)
         return ops
 
-    def _flush_run(self, ops: list, run: list, enums) -> None:
+    def _flush_run(self, ops: list, run: list, enums,
+                   record_plan: list | None = None) -> None:
         if not run:
             return
         if len(run) == 1:
             field, ftype = run[0]
             ops.append((field.name,
                         self._compile_scalar(field, ftype, enums)))
+            if record_plan is not None:
+                record_plan.append(("field", field.name))
         else:
-            ops.append((None, self._compile_fused_run(run, enums)))
+            op, spec = self._compile_fused_run(run, enums)
+            ops.append((None, op))
             self.fused_runs += 1
             self.fused_fields += len(run)
+            if record_plan is not None:
+                record_plan.append(("run", spec))
 
     def _compile_fused_run(self, run: list, enums):
         """One unpack_from for a contiguous run of scalar fields.
@@ -193,7 +220,9 @@ class RecordDecoder:
                     out[n] = p(v) if p is not None else v
                     i += 1
         op.run_names = run_names
-        return op
+        spec = {"start": start, "format": unpacker.format,
+                "names": list(run_names)}
+        return op, spec
 
     def _compile_field(self, field_list: FieldList, field: IOField,
                        ftype: FieldType, enums):
@@ -401,6 +430,114 @@ class RecordDecoder:
                 f"field {array_name!r}: negative element count {n}")
         return n
 
+    # -- persistable plans -------------------------------------------------------
+
+    def plan_snapshot(self) -> dict | None:
+        """A JSON-safe description of this compiled plan for the
+        persistent tier, or None for plan-loaded decoders.
+
+        Decoder fused runs are plain closures (no exec-generated
+        source), so the snapshot stores only their layout — start
+        offset, struct format, field names; loading re-derives the
+        same closures from live metadata after verifying the stored
+        layout matches, which skips the run-partitioning pass."""
+        if self._plan_ops is None:
+            return None
+        ops = [["field", payload] if kind == "field"
+               else ["run", dict(payload)]
+               for kind, payload in self._plan_ops]
+        return {"version": PLAN_VERSION, "arrays": self.arrays,
+                "fuse": self.fuse, "validate": self.validate,
+                "record_length": self.field_list.record_length,
+                "ops": ops}
+
+    @property
+    def plan_source(self) -> str:
+        return ""   # decoder plans carry no generated source
+
+    def _ops_from_plan(self, plan, enums):
+        """Rebuild the op list from a persisted plan snapshot,
+        re-verifying every stored layout fact against the live field
+        list (see the encoder-side twin for the trust model)."""
+        if not isinstance(plan, dict):
+            raise PlanCacheError("plan is not a mapping")
+        if plan.get("version") != PLAN_VERSION:
+            raise PlanCacheError(
+                f"plan version {plan.get('version')!r} != "
+                f"{PLAN_VERSION}")
+        if (plan.get("arrays") != self.arrays
+                or plan.get("fuse") != self.fuse
+                or plan.get("validate") != self.validate):
+            raise PlanCacheError("plan compiled under different options")
+        if plan.get("record_length") != self.field_list.record_length:
+            raise PlanCacheError("plan record length mismatch")
+        entries = plan.get("ops")
+        if not isinstance(entries, list):
+            raise PlanCacheError("plan ops missing")
+        ops: list[tuple] = []
+        covered: list[str] = []
+        for entry in entries:
+            try:
+                kind, payload = entry
+            except (TypeError, ValueError):
+                raise PlanCacheError(
+                    f"malformed plan op {entry!r}") from None
+            if kind == "field":
+                field = self._plan_field(payload)
+                ops.append((field.name, self._compile_field(
+                    self.field_list, field, field.field_type, enums)))
+                covered.append(field.name)
+            elif kind == "run":
+                op, names = self._load_fused_run(payload, enums)
+                ops.append((None, op))
+                covered.extend(names)
+                self.fused_runs += 1
+                self.fused_fields += len(names)
+            else:
+                raise PlanCacheError(f"unknown plan op kind {kind!r}")
+        if covered != list(self.field_list.names()):
+            raise PlanCacheError(
+                "plan does not cover the format's fields in order")
+        return ops
+
+    def _plan_field(self, name) -> IOField:
+        try:
+            return self.field_list[name]
+        except (LayoutError, TypeError):
+            raise PlanCacheError(
+                f"plan references unknown field {name!r}") from None
+
+    def _load_fused_run(self, spec, enums):
+        try:
+            start = spec["start"]
+            fmt_str = spec["format"]
+            names = list(spec["names"])
+        except (KeyError, TypeError) as exc:
+            raise PlanCacheError(
+                f"fused run spec unusable: {exc}") from None
+        if not names or not isinstance(start, int):
+            raise PlanCacheError("fused run layout unusable")
+        run: list[tuple[IOField, FieldType]] = []
+        pos = start
+        for n in names:
+            field = self._plan_field(n)
+            ftype = field.field_type
+            if not _fusible(field, ftype) or field.offset < pos:
+                raise PlanCacheError(
+                    f"field {n!r} cannot join this fused run")
+            pos = field.offset + field.size
+            run.append((field, ftype))
+        if (run[0][0].offset != start or start < 0
+                or pos > self.field_list.record_length):
+            raise PlanCacheError("fused run outside the fixed section")
+        op, rebuilt = self._compile_fused_run(run, enums)
+        if rebuilt != {"start": start, "format": fmt_str,
+                       "names": names}:
+            raise PlanCacheError(
+                f"stored fused run {spec!r} does not match the "
+                f"derived layout {rebuilt!r}")
+        return op, names
+
 
 def _check_pointer(body, where: int, var_start: int, name: str,
                    counter_bytes: int) -> None:
@@ -500,17 +637,22 @@ def materialize_record(record, *, arrays: str = "list"):
 # process-wide codec plan cache
 # ---------------------------------------------------------------------------
 
-_DECODER_CACHE: dict[tuple[FormatID, str, bool, bool],
-                     RecordDecoder] = {}
-_DECODER_LOCK = threading.Lock()
 _MAX_CACHED_PLANS = 256
+_DECODER_CACHE = PlanLRU(_MAX_CACHED_PLANS, "decoder")
+_DECODER_LOCK = threading.Lock()
+_DECODER_FLIGHTS: dict[tuple[FormatID, str, bool, bool], object] = {}
 
 
 def decoder_for_format(fmt: IOFormat, *, arrays: str = "list",
                        fuse: bool = True,
                        validate: bool = True) -> RecordDecoder:
     """The process-wide compiled decoder for *fmt* (keyed by the
-    format's digest-derived ID plus the array representation)."""
+    format's digest-derived ID plus the array representation).
+
+    Mirrors :func:`~repro.pbio.encode.encoder_for_format`: in-process
+    LRU over an optional persistent on-disk tier, single-flight
+    compilation, and a ``repro_codec_plans_total`` miss counted only
+    for actual compiles."""
     from repro.obs import runtime as _obs
     key = (fmt.format_id, arrays, fuse, validate)
     decoder = _DECODER_CACHE.get(key)
@@ -519,6 +661,35 @@ def decoder_for_format(fmt: IOFormat, *, arrays: str = "list",
             from repro.obs.metrics import CODEC_PLANS
             CODEC_PLANS.labels("decoder", "hit").inc()
         return decoder
+    decoder, built = single_flight(
+        _DECODER_LOCK, _DECODER_FLIGHTS, _DECODER_CACHE, key,
+        lambda: _build_decoder(fmt, arrays, fuse, validate))
+    if not built and _obs.enabled:
+        from repro.obs.metrics import CODEC_PLANS
+        CODEC_PLANS.labels("decoder", "hit").inc()
+    return decoder
+
+
+def _build_decoder(fmt: IOFormat, arrays: str, fuse: bool,
+                   validate: bool) -> RecordDecoder:
+    from repro.obs import runtime as _obs
+    options = {"arrays": arrays, "fuse": fuse, "validate": validate}
+    store = active_plan_cache()
+    if store is not None:
+        snapshot = store.load("decoder", fmt, options)
+        if snapshot is not None:
+            try:
+                if _obs.enabled:
+                    from repro.obs.spans import span
+                    with span("plan_cache_load", kind="decoder",
+                              format=fmt.name):
+                        return RecordDecoder(
+                            fmt, arrays=arrays, fuse=fuse,
+                            validate=validate, plan=snapshot)
+                return RecordDecoder(fmt, arrays=arrays, fuse=fuse,
+                                     validate=validate, plan=snapshot)
+            except PlanCacheError:
+                _plan_cache_count("invalid")
     if _obs.enabled:
         from repro.obs.metrics import CODEC_PLANS
         from repro.obs.spans import span
@@ -529,20 +700,23 @@ def decoder_for_format(fmt: IOFormat, *, arrays: str = "list",
     else:
         decoder = RecordDecoder(fmt, arrays=arrays, fuse=fuse,
                                 validate=validate)
-    with _DECODER_LOCK:
-        cached = _DECODER_CACHE.get(key)
-        if cached is not None:
-            return cached
-        while len(_DECODER_CACHE) >= _MAX_CACHED_PLANS:
-            _DECODER_CACHE.pop(next(iter(_DECODER_CACHE)))
-        _DECODER_CACHE[key] = decoder
+    if store is not None:
+        plan = decoder.plan_snapshot()
+        if plan is not None:
+            store.store("decoder", fmt, options, plan)
     return decoder
 
 
-def clear_decoder_cache() -> None:
-    """Drop all cached decoder plans (tests and format churn)."""
-    with _DECODER_LOCK:
-        _DECODER_CACHE.clear()
+def clear_decoder_cache(*, persistent: bool = True) -> None:
+    """Drop all cached decoder plans (tests and format churn); also
+    purges the decoder side of the active persistent tier unless
+    ``persistent=False`` (see
+    :func:`~repro.pbio.encode.clear_encoder_cache`)."""
+    _DECODER_CACHE.clear()
+    if persistent:
+        store = active_plan_cache()
+        if store is not None:
+            store.purge("decoder")
 
 
 def decode_record(fmt: IOFormat, body: bytes) -> dict:

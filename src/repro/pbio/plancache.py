@@ -1,0 +1,519 @@
+"""Persistent compiled-plan cache: the on-disk tier below the
+in-memory codec plan caches.
+
+The paper's economics are "pay metadata/binding cost once, amortize
+over many messages" — but an in-memory plan cache only amortizes
+within one process lifetime.  A fleet restart used to stampede the
+format server and re-pay full registration cost (RDM) in every
+process.  This module adds the missing tier:
+
+* **Entries** are keyed by ``(cache-schema version, plan kind, format
+  digest, architecture pair, codec options, interpreter tag)``.  The
+  format digest covers the wire architecture (it is part of the
+  canonical metadata); the native side of the pair — host byte order
+  plus ``sys.implementation.cache_tag`` — is keyed explicitly because
+  compiled plans embed native assumptions (NumPy dtype order, and
+  ``marshal``-serialized code objects which are only stable within one
+  interpreter version).
+* **Contents**: the format's canonical metadata bytes, the compiled
+  plan (fused-run layout specs plus marshalled code objects for the
+  exec-generated pack calls), the generated plan source (debuggable),
+  and an integrity digest over the whole payload.
+* **Verification on load**: the entry digest is re-checked, the stored
+  metadata is deserialized and its sha256-derived
+  :class:`~repro.pbio.format.FormatID` must equal the requested
+  format's, and the plan's layout (record length, run spans, field
+  coverage) is checked against the live :class:`FieldList` before any
+  stored code object is ``exec``'d.  Anything inconsistent is counted
+  (``repro_plan_cache_total{tier="disk",outcome=...}``) and the plan
+  is recompiled from metadata — a corrupt cache can cost time, never
+  correctness.
+* **Atomicity**: entries are written to a same-directory temp file and
+  ``os.replace``'d into place, so concurrent processes never read a
+  torn entry; racing writers simply last-write-wins identical bytes.
+
+Enable the process-wide cache by setting ``REPRO_PLAN_CACHE_DIR`` or
+calling :func:`configure_plan_cache`.  ``docs/PLAN_CACHE.md`` is the
+prose companion (key derivation, invalidation, trust model: a cache
+directory is trusted at the same level as ``__pycache__``).
+"""
+
+from __future__ import annotations
+
+import base64
+import hashlib
+import json
+import os
+import sys
+import threading
+from collections import OrderedDict
+from pathlib import Path
+
+from repro.errors import PlanCacheError, ReproError
+from repro.pbio.format import IOFormat, deserialize_format
+from repro.pbio.machine import NATIVE, Architecture
+
+#: bump on any incompatible change to the entry payload or to the
+#: compiled-plan representation; old entries become "stale" and are
+#: recompiled (and overwritten) rather than misread
+CACHE_SCHEMA = 1
+
+#: plan kinds stored by the codec layer
+KINDS = ("encoder", "decoder")
+
+_ENTRY_SUFFIX = ".plan.json"
+
+#: metadata-bytes sha256 -> IOFormat.  One warm start touches the same
+#: canonical metadata several times (entry verification per plan kind,
+#: format recovery); parsing a wide format costs ~1 ms, so re-parses
+#: would dominate the restart we are trying to make cheap.  Safe to
+#: share: IOFormat is treated as immutable everywhere (the in-memory
+#: plan caches already share instances by FormatID).
+_format_memo: dict[str, IOFormat] = {}
+_format_memo_lock = threading.Lock()
+
+
+def _deserialize_cached(metadata: bytes) -> IOFormat:
+    key = hashlib.sha256(metadata).hexdigest()
+    with _format_memo_lock:
+        fmt = _format_memo.get(key)
+    if fmt is None:
+        fmt = deserialize_format(metadata)
+        with _format_memo_lock:
+            _format_memo[key] = fmt
+    return fmt
+
+
+def _count(outcome: str, tier: str = "disk") -> None:
+    """Bump ``repro_plan_cache_total{tier,outcome}`` (no-op-cheap when
+    telemetry is disabled, matching the codec hot-path convention)."""
+    from repro.obs import runtime as _obs
+    if _obs.enabled:
+        from repro.obs.metrics import PLAN_CACHE
+        PLAN_CACHE.labels(tier, outcome).inc()
+
+
+def _arch_token(arch: Architecture) -> str:
+    sizes = ",".join(f"{k}={arch.sizes[k]}" for k in sorted(arch.sizes))
+    return (f"{arch.name}/{arch.byte_order}/ma{arch.max_alignment}/"
+            f"{sizes}")
+
+
+def native_token() -> str:
+    """The native half of the cache key's architecture pair: host
+    layout model, host byte order, and the interpreter tag that scopes
+    ``marshal``-serialized code objects."""
+    return (f"{_arch_token(NATIVE)}|{sys.byteorder}|"
+            f"{sys.implementation.cache_tag}")
+
+
+def _options_token(options: dict) -> str:
+    return ",".join(f"{k}={options[k]!r}" for k in sorted(options))
+
+
+class PlanCache:
+    """One on-disk plan cache directory."""
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    # -- key derivation ------------------------------------------------------
+
+    def entry_path(self, kind: str, fmt: IOFormat,
+                   options: dict) -> Path:
+        if kind not in KINDS:
+            raise PlanCacheError(f"unknown plan kind {kind!r}")
+        material = "\n".join((
+            str(CACHE_SCHEMA), kind, str(fmt.format_id),
+            _arch_token(fmt.architecture), native_token(),
+            _options_token(options),
+        ))
+        keyhash = hashlib.sha256(material.encode("utf-8")).hexdigest()
+        return self.root / f"{kind}-{fmt.format_id}-{keyhash[:16]}" \
+                           f"{_ENTRY_SUFFIX}"
+
+    # -- store ---------------------------------------------------------------
+
+    def store(self, kind: str, fmt: IOFormat, options: dict,
+              plan: dict, plan_source: str = "") -> Path | None:
+        """Persist a compiled plan; returns the entry path, or None if
+        the write failed (the cache is best-effort: a full disk must
+        never fail an encode)."""
+        payload = {
+            "cache_schema": CACHE_SCHEMA,
+            "kind": kind,
+            "format_id": str(fmt.format_id),
+            "format_name": fmt.name,
+            "options": {k: options[k] for k in sorted(options)},
+            "wire_arch": _arch_token(fmt.architecture),
+            "native": native_token(),
+            "metadata_b64": base64.b64encode(
+                fmt.canonical_bytes()).decode("ascii"),
+            "plan": plan,
+            "plan_source": plan_source,
+            "plan_source_sha256": hashlib.sha256(
+                plan_source.encode("utf-8")).hexdigest(),
+        }
+        payload["entry_sha256"] = _payload_digest(payload)
+        path = self.entry_path(kind, fmt, options)
+        tmp = path.with_name(
+            f".{path.name}.tmp-{os.getpid()}-{threading.get_ident()}")
+        try:
+            tmp.write_text(json.dumps(payload, sort_keys=True))
+            os.replace(tmp, path)
+        except OSError:
+            _count("store_error")
+            try:
+                tmp.unlink(missing_ok=True)
+            except OSError:
+                pass
+            return None
+        _count("store")
+        return path
+
+    # -- load ----------------------------------------------------------------
+
+    def load(self, kind: str, fmt: IOFormat,
+             options: dict) -> dict | None:
+        """The verified plan for ``(kind, fmt, options)``, or None.
+
+        Every failure mode is counted and tolerated: ``miss`` (no
+        entry), ``corrupt`` (unreadable/failed integrity), ``stale``
+        (older cache schema or foreign interpreter — the filename key
+        normally rules these out, so this guards hand-moved files),
+        ``invalid`` (digest or layout verification failed).
+        """
+        path = self.entry_path(kind, fmt, options)
+        try:
+            raw = path.read_text()
+        except FileNotFoundError:
+            _count("miss")
+            return None
+        except OSError:
+            _count("corrupt")
+            return None
+        try:
+            payload = json.loads(raw)
+            declared = payload.get("entry_sha256")
+            if declared != _payload_digest(payload):
+                raise PlanCacheError("entry integrity digest mismatch")
+        except (ValueError, TypeError, PlanCacheError):
+            _count("corrupt")
+            return None
+        try:
+            self._verify(payload, kind, fmt, options)
+        except PlanCacheError as exc:
+            _count("stale" if "schema" in str(exc)
+                   or "interpreter" in str(exc) else "invalid")
+            return None
+        _count("hit")
+        return payload["plan"]
+
+    def _verify(self, payload: dict, kind: str, fmt: IOFormat,
+                options: dict) -> None:
+        if payload.get("cache_schema") != CACHE_SCHEMA:
+            raise PlanCacheError("cache schema version mismatch")
+        if payload.get("native") != native_token():
+            raise PlanCacheError("foreign interpreter/architecture")
+        if payload.get("kind") != kind:
+            raise PlanCacheError("plan kind mismatch")
+        if payload.get("options") != \
+                {k: options[k] for k in sorted(options)}:
+            raise PlanCacheError("codec options mismatch")
+        # digest re-check: deserialize the stored metadata and rederive
+        # its sha256-based FormatID — a tampered or wrong-format entry
+        # cannot pass this without a sha256 collision
+        try:
+            metadata = base64.b64decode(payload["metadata_b64"])
+            stored_fmt = _deserialize_cached(metadata)
+        except (KeyError, ValueError, TypeError, ReproError) as exc:
+            raise PlanCacheError(
+                f"stored metadata unusable: {exc}") from None
+        if stored_fmt.format_id != fmt.format_id:
+            raise PlanCacheError(
+                f"metadata digest {stored_fmt.format_id} does not match "
+                f"requested format {fmt.format_id}")
+        plan = payload.get("plan")
+        if not isinstance(plan, dict):
+            raise PlanCacheError("plan section missing")
+        # layout sanity: the plan must target this exact fixed section
+        if plan.get("record_length") != fmt.field_list.record_length:
+            raise PlanCacheError(
+                f"plan record length {plan.get('record_length')} != "
+                f"format record length {fmt.field_list.record_length}")
+
+    # -- maintenance ---------------------------------------------------------
+
+    def entries(self, kind: str | None = None) -> list[Path]:
+        pattern = f"{kind}-*{_ENTRY_SUFFIX}" if kind \
+            else f"*{_ENTRY_SUFFIX}"
+        return sorted(self.root.glob(pattern))
+
+    def purge(self, kind: str | None = None) -> int:
+        """Delete entries (all, or one plan kind); returns the count.
+        This is the invalidation hook behind
+        :func:`~repro.pbio.encode.clear_encoder_cache` /
+        :func:`~repro.pbio.decode.clear_decoder_cache`, so format
+        churn in tests cannot resurrect a stale plan from disk."""
+        removed = 0
+        for path in self.entries(kind):
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        if removed:
+            _count("purge")
+        return removed
+
+    # -- warm-start format recovery ------------------------------------------
+
+    def stored_formats(self) -> list[IOFormat]:
+        """Every distinct format with a cached plan, reconstructed from
+        the stored canonical metadata (digest-verified).  This is what
+        lets a restarting process rebind its working set without one
+        schema fetch or XML parse."""
+        seen: dict = {}
+        for path in self.entries():
+            try:
+                payload = json.loads(path.read_text())
+                fmt = _deserialize_cached(
+                    base64.b64decode(payload["metadata_b64"]))
+            except (OSError, ValueError, KeyError, TypeError,
+                    ReproError):
+                continue
+            if str(fmt.format_id) != payload.get("format_id"):
+                continue
+            seen.setdefault(fmt.format_id, fmt)
+        return list(seen.values())
+
+    def __repr__(self) -> str:
+        return f"PlanCache({str(self.root)!r})"
+
+
+def _payload_digest(payload: dict) -> str:
+    body = {k: v for k, v in payload.items() if k != "entry_sha256"}
+    return hashlib.sha256(
+        json.dumps(body, sort_keys=True).encode("utf-8")).hexdigest()
+
+
+# ---------------------------------------------------------------------------
+# process-wide active cache
+# ---------------------------------------------------------------------------
+
+ENV_VAR = "REPRO_PLAN_CACHE_DIR"
+
+_UNSET = object()
+_configured: object = _UNSET
+_env_cache: tuple[str, PlanCache] | None = None
+_active_lock = threading.Lock()
+
+
+def configure_plan_cache(target: str | Path | PlanCache | None) \
+        -> PlanCache | None:
+    """Set (or with None, disable) the process-wide persistent tier,
+    overriding ``REPRO_PLAN_CACHE_DIR``.  Returns the active cache."""
+    global _configured
+    with _active_lock:
+        if target is None:
+            _configured = None
+        elif isinstance(target, PlanCache):
+            _configured = target
+        else:
+            _configured = PlanCache(target)
+        return _configured  # type: ignore[return-value]
+
+
+def reset_plan_cache_configuration() -> None:
+    """Drop any :func:`configure_plan_cache` override and forget the
+    memoized environment lookup (tests)."""
+    global _configured, _env_cache
+    with _active_lock:
+        _configured = _UNSET
+        _env_cache = None
+
+
+def active_plan_cache() -> PlanCache | None:
+    """The persistent tier the codec layer should use, or None.
+
+    An explicit :func:`configure_plan_cache` wins; otherwise the
+    ``REPRO_PLAN_CACHE_DIR`` environment variable (re-read on every
+    call so tests and forked workers see updates, with the PlanCache
+    object memoized per directory)."""
+    global _env_cache
+    with _active_lock:
+        if _configured is not _UNSET:
+            return _configured  # type: ignore[return-value]
+        root = os.environ.get(ENV_VAR)
+        if not root:
+            return None
+        if _env_cache is not None and _env_cache[0] == root:
+            return _env_cache[1]
+        try:
+            cache = PlanCache(root)
+        except OSError:
+            return None
+        _env_cache = (root, cache)
+        return cache
+
+
+def warm_start(*, cache: PlanCache | None = None,
+               context=None) -> int:
+    """Pre-populate this process's codec plan caches from disk.
+
+    For every format with persisted plans, reconstruct the
+    :class:`IOFormat` from stored metadata and pull its plans through
+    :func:`~repro.pbio.encode.encoder_for_format` /
+    :func:`~repro.pbio.decode.decoder_for_format` — each load is a
+    persistent-tier hit, filed under a ``plan_cache_load`` span, with
+    **zero** ``compile_plan`` spans and zero discovery fetches.  When
+    *context* (an :class:`~repro.pbio.context.IOContext`) is given,
+    the formats are also registered with its format server so inbound
+    records resolve without negotiation.  Returns the number of
+    formats restored.
+    """
+    from repro.pbio.decode import decoder_for_format
+    from repro.pbio.encode import encoder_for_format
+    cache = cache if cache is not None else active_plan_cache()
+    if cache is None:
+        return 0
+    restored = 0
+    for fmt in cache.stored_formats():
+        encoder_for_format(fmt)
+        decoder_for_format(fmt)
+        if context is not None:
+            context.format_server.register(fmt)
+            context._wire_formats[fmt.format_id] = fmt
+        restored += 1
+    return restored
+
+
+# ---------------------------------------------------------------------------
+# in-memory tier: a true LRU with telemetry
+# ---------------------------------------------------------------------------
+
+class PlanLRU:
+    """Thread-safe LRU for compiled plans, replacing the old FIFO
+    ``dict`` + hard-cap eviction (which evicted in pure insertion
+    order, so a hot plan inserted first died before a cold one).
+
+    ``get`` refreshes recency and counts a
+    ``repro_plan_cache_total{tier="memory",outcome="hit"}``; evictions
+    are counted under both the new metric and the legacy
+    ``repro_codec_plans_total{kind,outcome="evict"}`` series."""
+
+    def __init__(self, capacity: int, kind: str) -> None:
+        if capacity < 1:
+            raise ValueError("plan cache capacity must be >= 1")
+        self.capacity = capacity
+        self.kind = kind
+        self._lock = threading.Lock()
+        self._entries: OrderedDict = OrderedDict()
+
+    def get(self, key):
+        with self._lock:
+            value = self._entries.get(key)
+            if value is not None:
+                self._entries.move_to_end(key)
+        if value is not None:
+            _count("hit", tier="memory")
+        return value
+
+    def peek(self, key):
+        """Presence probe without recency refresh or telemetry."""
+        with self._lock:
+            return self._entries.get(key)
+
+    def put(self, key, value) -> None:
+        evicted = 0
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+                self._entries[key] = value
+                return
+            while len(self._entries) >= self.capacity:
+                self._entries.popitem(last=False)
+                evicted += 1
+            self._entries[key] = value
+        for _ in range(evicted):
+            _count("evict", tier="memory")
+        if evicted:
+            from repro.obs import runtime as _obs
+            if _obs.enabled:
+                from repro.obs.metrics import CODEC_PLANS
+                CODEC_PLANS.labels(self.kind, "evict").inc(evicted)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    def keys(self) -> list:
+        with self._lock:
+            return list(self._entries)
+
+    def values(self) -> list:
+        with self._lock:
+            return list(self._entries.values())
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, key) -> bool:
+        with self._lock:
+            return key in self._entries
+
+
+# ---------------------------------------------------------------------------
+# single-flight plan construction
+# ---------------------------------------------------------------------------
+
+class _Flight:
+    """Ticket for one in-progress plan build: the first thread to miss
+    on a key becomes the leader and compiles; later threads wait on the
+    event instead of compiling a duplicate that would be silently
+    discarded at insert (and miscounted as a compile miss)."""
+
+    __slots__ = ("event",)
+
+    def __init__(self) -> None:
+        self.event = threading.Event()
+
+
+def single_flight(lock: threading.Lock, flights: dict, cache: PlanLRU,
+                  key, build):
+    """Get-or-build *key* with at most one builder per key at a time.
+
+    Returns ``(value, built)`` — ``built`` is True only for the leader
+    that actually ran *build()*, so callers can count genuine compile
+    misses (single-flight losers see ``built=False`` and count as
+    hits).  If the leader's build raises, its waiters wake, find no
+    cached value, and retry for leadership — the error stays with the
+    thread whose build failed."""
+    while True:
+        with lock:
+            value = cache.peek(key)
+            if value is not None:
+                return value, False
+            flight = flights.get(key)
+            if flight is None:
+                flight = _Flight()
+                flights[key] = flight
+                leader = True
+            else:
+                leader = False
+        if not leader:
+            flight.event.wait()
+            value = cache.peek(key)
+            if value is not None:
+                return value, False
+            continue
+        try:
+            value = build()
+            cache.put(key, value)
+            return value, True
+        finally:
+            with lock:
+                flights.pop(key, None)
+            flight.event.set()

@@ -18,11 +18,16 @@ PREDEFINED_ENTITIES: dict[str, str] = {
     "quot": '"',
 }
 
-# Inverse map used by the serializer for text content.
+# Inverse map used by the serializer for text content.  A literal
+# carriage return in content would be normalized to "\n" by any
+# conforming reader (XML 1.0 section 2.11), so it must be written as a
+# character reference — references survive normalization — or text
+# containing "\r" would not round-trip.
 TEXT_ESCAPES: dict[str, str] = {
     "&": "&amp;",
     "<": "&lt;",
     ">": "&gt;",
+    "\r": "&#13;",
 }
 
 ATTR_ESCAPES: dict[str, str] = {

@@ -1,0 +1,140 @@
+"""Warm-start acceptance: a restarting process over a pre-populated
+plan-cache directory pays (almost) no registration cost.
+
+Two real processes share one ``REPRO_PLAN_CACHE_DIR``:
+
+* the **cold** process discovers a format over the full XMIT path
+  (publish → fetch → parse → compile → bind), encodes a stream, and
+  reports its RDM — the paper's registration-vs-marshal cost ratio,
+  which cold must be well above 1 (that is Fig. 3's whole point);
+* the **warm** process restores the format from the persistent tier
+  (``warm_start``), encodes the same stream, and must report RDM ≈ 1
+  or below, **zero** ``compile_plan`` spans, and at least one
+  persistent-tier hit — restart cost collapsed to a couple of disk
+  reads.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+SRC = Path(__file__).resolve().parents[2] / "src"
+
+_COLD = r"""
+import json, sys
+from repro import obs
+from repro.core.toolkit import XMIT
+from repro.http.urls import publish_document
+from repro.obs.spans import rdm_from_snapshot
+from repro.pbio.context import IOContext
+from repro.pbio.decode import decoder_for_format
+from repro.pbio.format_server import FormatServer
+from repro.pbio.plancache import active_plan_cache
+
+XSD = '''
+<xsd:schema xmlns:xsd="http://www.w3.org/2001/XMLSchema">
+  <xsd:complexType name="Sample">
+    <xsd:element name="step" type="xsd:integer" />
+    <xsd:element name="size" type="xsd:integer" />
+    <xsd:element name="data" type="xsd:float" maxOccurs="*"
+                 dimensionName="size" />
+  </xsd:complexType>
+</xsd:schema>
+'''
+
+obs.configure(sample_mask=0)
+url = publish_document("warm-start.xsd", XSD)
+xmit = XMIT()
+xmit.load_url(url)
+ctx = IOContext(format_server=FormatServer())
+fmt = xmit.register_with_context(ctx, "Sample")
+decoder_for_format(fmt)  # persist the decode plan too
+record = {"step": 0, "size": 64, "data": [0.5] * 64}
+for step in range(256):
+    record["step"] = step
+    ctx.encode("Sample", record)
+snap = obs.snapshot()
+json.dump({
+    "rdm": rdm_from_snapshot(snap)["rdm"],
+    "entries": len(active_plan_cache().entries()),
+}, sys.stdout)
+"""
+
+_WARM = r"""
+import json, sys
+from repro import obs
+from repro.obs.spans import rdm_from_snapshot
+from repro.pbio.context import IOContext
+from repro.pbio.format_server import FormatServer
+from repro.pbio.plancache import warm_start
+
+obs.configure(sample_mask=0)
+ctx = IOContext(format_server=FormatServer())
+restored = warm_start(context=ctx)
+(fmt,) = [ctx.format_server.lookup(fid)
+          for fid in ctx.format_server.known_ids()]
+record = {"step": 0, "size": 64, "data": [0.5] * 64}
+for step in range(256):
+    record["step"] = step
+    ctx.encode(fmt, record)
+snap = obs.snapshot()
+
+def series(name):
+    metric = snap.get(name, {"series": []})
+    return metric["series"]
+
+compile_spans = sum(
+    s["value"] for s in series("repro_spans_total")
+    if s["labels"].get("name") in ("compile_plan", "compile",
+                                   "fetch", "bind"))
+load_spans = sum(
+    s["value"] for s in series("repro_spans_total")
+    if s["labels"].get("name") == "plan_cache_load")
+disk_hits = sum(
+    s["value"] for s in series("repro_plan_cache_total")
+    if s["labels"].get("tier") == "disk"
+    and s["labels"].get("outcome") == "hit")
+reading = rdm_from_snapshot(snap)
+json.dump({
+    "restored": restored,
+    "rdm": reading["rdm"],
+    "registration_seconds": reading["registration_seconds"],
+    "compile_spans": compile_spans,
+    "plan_load_spans": load_spans,
+    "disk_hits": disk_hits,
+}, sys.stdout)
+"""
+
+
+def _run(code: str, cache_dir: Path) -> dict:
+    env = dict(os.environ)
+    env["REPRO_PLAN_CACHE_DIR"] = str(cache_dir)
+    env["PYTHONPATH"] = str(SRC)
+    proc = subprocess.run([sys.executable, "-c", code],
+                          capture_output=True, text=True, env=env,
+                          timeout=120)
+    assert proc.returncode == 0, proc.stderr
+    return json.loads(proc.stdout)
+
+
+def test_warm_restart_pays_no_registration(tmp_path):
+    cache_dir = tmp_path / "plans"
+
+    cold = _run(_COLD, cache_dir)
+    assert cold["entries"] >= 2          # encoder + decoder persisted
+    assert cold["rdm"] is not None and cold["rdm"] > 1
+
+    warm = _run(_WARM, cache_dir)
+    assert warm["restored"] == 1
+    # zero registration-phase work: no fetch/compile/bind spans at all
+    assert warm["compile_spans"] == 0
+    assert warm["plan_load_spans"] >= 1  # plans came off disk...
+    assert warm["disk_hits"] >= 1        # ...as persistent-tier hits
+    # the acceptance bar: warm-start registration costs at most about
+    # one record's marshal time (RDM <= 1.2; in practice ~0)
+    assert warm["rdm"] is not None and warm["rdm"] <= 1.2
+    assert warm["rdm"] < cold["rdm"]

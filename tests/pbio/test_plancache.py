@@ -1,0 +1,544 @@
+"""The persistent compiled-plan cache and its in-memory LRU tier.
+
+Covers the tier contract end to end: store → load → verify → rebuild
+(byte-identical to a fresh compile, property-tested on both byte
+orders), every rejection path (corrupt, stale, tampered) falling back
+to recompilation, true-LRU eviction (a just-hit plan survives an
+eviction wave), single-flight compilation under thread contention,
+cross-process races on one on-disk entry, and the invalidation hooks
+(``clear_encoder_cache``/``clear_decoder_cache`` purge the disk tier).
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import obs
+from repro.pbio.context import IOContext
+from repro.pbio.decode import (
+    RecordDecoder, clear_decoder_cache, decoder_for_format,
+)
+from repro.pbio.encode import (
+    RecordEncoder, clear_encoder_cache, encoder_for_format,
+)
+from repro.pbio.format import IOFormat
+from repro.pbio.format_server import FormatServer
+from repro.pbio.layout import field_list_for
+from repro.pbio.machine import SPARC_V9, X86_64
+from repro.pbio.plancache import (
+    CACHE_SCHEMA, PlanCache, PlanLRU, _payload_digest,
+    active_plan_cache, configure_plan_cache,
+    reset_plan_cache_configuration, single_flight, warm_start,
+)
+
+from tests.strategies import format_case
+
+ARCHS = (X86_64, SPARC_V9)
+
+SPECS = [
+    ("timestep", "integer"),
+    ("size", "integer"),
+    ("data", "float[size]"),
+]
+RECORD = {"timestep": 7, "size": 4, "data": [0.5, 1.5, 2.5, 3.25]}
+
+ENC_OPTS = {"fuse": True, "bulk": True}
+DEC_OPTS = {"arrays": "list", "fuse": True, "validate": True}
+
+
+def metric_value(name: str, **labels) -> float:
+    """Sum of all series of *name* whose labels match."""
+    metric = obs.snapshot().get(name)
+    if metric is None:
+        return 0
+    return sum(s["value"] for s in metric["series"]
+               if all(s["labels"].get(k) == v
+                      for k, v in labels.items()))
+
+
+def fresh_format(name: str = "PlanCached", arch=X86_64,
+                 specs=SPECS) -> IOFormat:
+    ctx = IOContext(architecture=arch, format_server=FormatServer())
+    return ctx.register_layout(name, specs)
+
+
+@pytest.fixture
+def plan_dir(tmp_path):
+    """An isolated persistent tier: both memory caches cleared on the
+    way in and out, the process-wide cache pointed at a private
+    directory for the duration."""
+    clear_encoder_cache(persistent=False)
+    clear_decoder_cache(persistent=False)
+    cache = configure_plan_cache(tmp_path / "plans")
+    yield cache
+    clear_encoder_cache(persistent=False)
+    clear_decoder_cache(persistent=False)
+    reset_plan_cache_configuration()
+
+
+@pytest.fixture
+def no_plan_dir():
+    """Persistent tier explicitly disabled (overrides any
+    REPRO_PLAN_CACHE_DIR the surrounding run exported)."""
+    clear_encoder_cache(persistent=False)
+    clear_decoder_cache(persistent=False)
+    configure_plan_cache(None)
+    yield
+    clear_encoder_cache(persistent=False)
+    clear_decoder_cache(persistent=False)
+    reset_plan_cache_configuration()
+
+
+class TestPersistentTier:
+    def test_miss_store_then_cross_restart_hit(self, plan_dir):
+        fmt = fresh_format()
+        miss0 = metric_value("repro_plan_cache_total",
+                             tier="disk", outcome="miss")
+        store0 = metric_value("repro_plan_cache_total",
+                              tier="disk", outcome="store")
+        first = encoder_for_format(fmt)
+        assert first._plan_ops is not None  # compiled, not loaded
+        assert len(plan_dir.entries("encoder")) == 1
+        assert metric_value("repro_plan_cache_total",
+                            tier="disk", outcome="miss") == miss0 + 1
+        assert metric_value("repro_plan_cache_total",
+                            tier="disk", outcome="store") == store0 + 1
+
+        # simulate a restart: memory tier gone, disk tier kept
+        clear_encoder_cache(persistent=False)
+        hit0 = metric_value("repro_plan_cache_total",
+                            tier="disk", outcome="hit")
+        second = encoder_for_format(fmt)
+        assert second is not first
+        assert second._plan_ops is None  # rebuilt from the stored plan
+        assert metric_value("repro_plan_cache_total",
+                            tier="disk", outcome="hit") == hit0 + 1
+        assert bytes(second.encode_body(RECORD)) == \
+            bytes(first.encode_body(RECORD))
+
+    def test_decoder_side_round_trips_through_disk(self, plan_dir):
+        fmt = fresh_format()
+        body = RecordEncoder(fmt).encode_body(RECORD)
+        first = decoder_for_format(fmt)
+        expected = first.decode(body)
+        clear_decoder_cache(persistent=False)
+        second = decoder_for_format(fmt)
+        assert second._plan_ops is None
+        assert second.decode(body) == expected
+
+    def test_truncated_entry_rejected_and_recompiled(self, plan_dir):
+        fmt = fresh_format()
+        encoder_for_format(fmt)
+        (entry,) = plan_dir.entries("encoder")
+        raw = entry.read_text()
+        entry.write_text(raw[:len(raw) // 2])
+
+        clear_encoder_cache(persistent=False)
+        corrupt0 = metric_value("repro_plan_cache_total",
+                                tier="disk", outcome="corrupt")
+        rebuilt = encoder_for_format(fmt)
+        assert rebuilt._plan_ops is not None  # recompiled from metadata
+        assert metric_value(
+            "repro_plan_cache_total", tier="disk",
+            outcome="corrupt") == corrupt0 + 1
+        # the fresh compile overwrote the damaged entry
+        (entry,) = plan_dir.entries("encoder")
+        json.loads(entry.read_text())
+        assert bytes(rebuilt.encode_body(RECORD)) == \
+            bytes(RecordEncoder(fmt).encode_body(RECORD))
+
+    def test_tampered_payload_fails_integrity(self, plan_dir):
+        fmt = fresh_format()
+        encoder_for_format(fmt)
+        (entry,) = plan_dir.entries("encoder")
+        payload = json.loads(entry.read_text())
+        payload["plan"]["record_length"] = 4096  # digest now wrong
+        entry.write_text(json.dumps(payload))
+
+        clear_encoder_cache(persistent=False)
+        corrupt0 = metric_value("repro_plan_cache_total",
+                                tier="disk", outcome="corrupt")
+        assert plan_dir.load("encoder", fmt, ENC_OPTS) is None
+        assert metric_value(
+            "repro_plan_cache_total", tier="disk",
+            outcome="corrupt") == corrupt0 + 1
+
+    def test_foreign_schema_version_counts_stale(self, plan_dir):
+        """A hand-moved entry from a future/old cache schema (digest
+        intact) is 'stale', not 'corrupt'."""
+        fmt = fresh_format()
+        encoder_for_format(fmt)
+        (entry,) = plan_dir.entries("encoder")
+        payload = json.loads(entry.read_text())
+        payload["cache_schema"] = CACHE_SCHEMA + 1
+        del payload["entry_sha256"]
+        payload["entry_sha256"] = _payload_digest(payload)
+        entry.write_text(json.dumps(payload, sort_keys=True))
+
+        stale0 = metric_value("repro_plan_cache_total",
+                              tier="disk", outcome="stale")
+        assert plan_dir.load("encoder", fmt, ENC_OPTS) is None
+        assert metric_value(
+            "repro_plan_cache_total", tier="disk",
+            outcome="stale") == stale0 + 1
+
+    def test_wrong_format_metadata_rejected(self, plan_dir):
+        """An entry whose stored metadata re-derives to a different
+        FormatID cannot satisfy a load, even with a valid digest."""
+        fmt = fresh_format()
+        other = fresh_format("Other", specs=[("a", "integer")])
+        plan = RecordEncoder(other).plan_snapshot()
+        # forge: file the *other* format's plan under fmt's key
+        path = plan_dir.entry_path("encoder", fmt, ENC_OPTS)
+        stored = plan_dir.store("encoder", other, ENC_OPTS, plan)
+        stored.rename(path)
+        invalid0 = metric_value("repro_plan_cache_total",
+                                tier="disk", outcome="invalid")
+        assert plan_dir.load("encoder", fmt, ENC_OPTS) is None
+        assert metric_value(
+            "repro_plan_cache_total", tier="disk",
+            outcome="invalid") == invalid0 + 1
+
+    def test_options_key_separate_entries(self, plan_dir):
+        fmt = fresh_format()
+        encoder_for_format(fmt, fuse=True)
+        encoder_for_format(fmt, fuse=False)
+        assert len(plan_dir.entries("encoder")) == 2
+
+    def test_clear_cache_purges_disk_tier(self, plan_dir):
+        fmt = fresh_format()
+        encoder_for_format(fmt)
+        decoder_for_format(fmt)
+        assert plan_dir.entries("encoder")
+        assert plan_dir.entries("decoder")
+        clear_encoder_cache()
+        assert not plan_dir.entries("encoder")
+        assert plan_dir.entries("decoder")  # other kind untouched
+        clear_decoder_cache()
+        assert not plan_dir.entries("decoder")
+
+    def test_clear_cache_persistent_false_keeps_disk(self, plan_dir):
+        fmt = fresh_format()
+        encoder_for_format(fmt)
+        clear_encoder_cache(persistent=False)
+        assert len(plan_dir.entries("encoder")) == 1
+
+    def test_stored_formats_and_warm_start(self, plan_dir):
+        fmt = fresh_format()
+        encoder_for_format(fmt)
+        decoder_for_format(fmt)
+        recovered = plan_dir.stored_formats()
+        assert [f.format_id for f in recovered] == [fmt.format_id]
+
+        clear_encoder_cache(persistent=False)
+        clear_decoder_cache(persistent=False)
+        ctx = IOContext(architecture=X86_64,
+                        format_server=FormatServer())
+        assert warm_start(context=ctx) == 1
+        # the restored format is bound: encode without registration
+        restored = ctx.format_server.lookup(fmt.format_id)
+        assert restored is not None
+
+    def test_store_failure_is_tolerated(self, plan_dir, monkeypatch):
+        """A full disk must never fail an encode (best-effort store)."""
+        import os as _os
+
+        def boom(src, dst):
+            raise OSError(28, "No space left on device")
+
+        monkeypatch.setattr(_os, "replace", boom)
+        fmt = fresh_format()
+        err0 = metric_value("repro_plan_cache_total",
+                            tier="disk", outcome="store_error")
+        encoder = encoder_for_format(fmt)
+        assert bytes(encoder.encode_body(RECORD))
+        assert metric_value(
+            "repro_plan_cache_total", tier="disk",
+            outcome="store_error") == err0 + 1
+        assert not plan_dir.entries("encoder")
+
+
+class TestTwoProcessRace:
+    _WORKER = r"""
+import sys, time
+from repro.pbio.context import IOContext
+from repro.pbio.encode import encoder_for_format
+from repro.pbio.decode import decoder_for_format
+from repro.pbio.format_server import FormatServer
+
+deadline = float(sys.argv[1])
+ctx = IOContext(format_server=FormatServer())
+fmt = ctx.register_layout("Raced", [
+    ("timestep", "integer"), ("size", "integer"),
+    ("data", "float[size]")])
+time.sleep(max(0.0, deadline - time.time()))  # start-line barrier
+for _ in range(5):
+    encoder_for_format(fmt)
+    decoder_for_format(fmt)
+body = encoder_for_format(fmt).encode_body(
+    {"timestep": 1, "size": 2, "data": [0.5, 1.5]})
+sys.stdout.write(bytes(body).hex())
+"""
+
+    def test_concurrent_processes_share_one_entry(self, tmp_path):
+        """Two processes racing to populate the same on-disk entry
+        both succeed, and the surviving entry is valid."""
+        cache_dir = tmp_path / "shared-plans"
+        env = dict(__import__("os").environ)
+        env["REPRO_PLAN_CACHE_DIR"] = str(cache_dir)
+        env["PYTHONPATH"] = str(
+            Path(__file__).resolve().parents[2] / "src")
+        deadline = time.time() + 1.0
+        procs = [
+            subprocess.Popen(
+                [sys.executable, "-c", self._WORKER, str(deadline)],
+                stdout=subprocess.PIPE, stderr=subprocess.PIPE,
+                env=env, text=True)
+            for _ in range(2)
+        ]
+        outs = []
+        for proc in procs:
+            out, err = proc.communicate(timeout=60)
+            assert proc.returncode == 0, err
+            outs.append(out)
+        assert outs[0] == outs[1]  # byte-identical wire from both
+
+        # the surviving entries satisfy a fresh process's load (the
+        # workers registered on their native architecture, so re-derive
+        # the format the same way here)
+        cache = PlanCache(cache_dir)
+        ctx = IOContext(format_server=FormatServer())
+        fmt = ctx.register_layout("Raced", SPECS)
+        assert cache.load("encoder", fmt, ENC_OPTS) is not None
+        assert cache.load("decoder", fmt, DEC_OPTS) is not None
+
+
+class TestPlanLRU:
+    def test_just_hit_plan_survives_eviction_wave(self):
+        lru = PlanLRU(4, "encoder")
+        for key in "abcd":
+            lru.put(key, key.upper())
+        assert lru.get("a") == "A"  # refresh recency
+        for key in ("e", "f", "g"):  # wave: evicts 3 of the original 4
+            lru.put(key, key.upper())
+        assert "a" in lru            # survived -- true LRU
+        assert "b" not in lru and "c" not in lru and "d" not in lru
+
+    def test_eviction_counts_telemetry(self):
+        evict0 = metric_value("repro_plan_cache_total",
+                              tier="memory", outcome="evict")
+        legacy0 = metric_value("repro_codec_plans_total",
+                               kind="probe", outcome="evict")
+        lru = PlanLRU(1, "probe")
+        lru.put("a", 1)
+        lru.put("b", 2)
+        assert metric_value("repro_plan_cache_total", tier="memory",
+                            outcome="evict") == evict0 + 1
+        assert metric_value("repro_codec_plans_total", kind="probe",
+                            outcome="evict") == legacy0 + 1
+
+    def test_peek_does_not_refresh_recency(self):
+        lru = PlanLRU(2, "probe")
+        lru.put("a", 1)
+        lru.put("b", 2)
+        lru.peek("a")
+        lru.put("c", 3)  # evicts "a": peek left it least-recent
+        assert "a" not in lru and "b" in lru
+
+    def test_reput_updates_value_without_evicting(self):
+        lru = PlanLRU(2, "probe")
+        lru.put("a", 1)
+        lru.put("b", 2)
+        lru.put("a", 10)
+        assert len(lru) == 2
+        assert lru.get("a") == 10
+
+    def test_hot_encoder_survives_wave_through_public_api(
+            self, no_plan_dir):
+        """End-to-end regression for the old FIFO bug: a plan being
+        hit throughout an eviction wave must keep its identity."""
+        from repro.pbio.encode import _MAX_CACHED_PLANS
+        hot_fmt = fresh_format("HotPlan", specs=[("a", "integer")])
+        hot = encoder_for_format(hot_fmt)
+        wave = _MAX_CACHED_PLANS + 16
+        for i in range(wave):
+            cold = fresh_format(f"Cold{i}", specs=[("a", "integer")])
+            encoder_for_format(cold)
+            if i % 32 == 0:  # keep the hot plan recent
+                assert encoder_for_format(hot_fmt) is hot
+        # under FIFO the first-inserted hot plan would be long gone
+        assert encoder_for_format(hot_fmt) is hot
+
+
+class TestSingleFlight:
+    def test_one_build_under_contention(self):
+        lru = PlanLRU(8, "probe")
+        lock = threading.Lock()
+        flights: dict = {}
+        builds = []
+        started = threading.Barrier(8)
+
+        def build():
+            builds.append(1)
+            time.sleep(0.05)
+            return object()
+
+        results = []
+
+        def worker():
+            started.wait()
+            results.append(
+                single_flight(lock, flights, lru, "k", build))
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(builds) == 1
+        values = {id(value) for value, _ in results}
+        assert len(values) == 1  # everyone got the leader's object
+        assert sum(built for _, built in results) == 1
+        assert not flights  # ticket cleaned up
+
+    def test_leader_failure_releases_waiters(self):
+        lru = PlanLRU(8, "probe")
+        lock = threading.Lock()
+        flights: dict = {}
+        attempts = []
+
+        def build():
+            attempts.append(1)
+            if len(attempts) == 1:
+                time.sleep(0.02)
+                raise RuntimeError("leader dies")
+            return "ok"
+
+        outcomes = []
+
+        def worker():
+            try:
+                outcomes.append(
+                    single_flight(lock, flights, lru, "k", build))
+            except RuntimeError:
+                outcomes.append("raised")
+
+        threads = [threading.Thread(target=worker) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        # the failure stayed with exactly one thread; a successor
+        # retried the build and everyone else got its value
+        assert outcomes.count("raised") == 1
+        assert all(o == ("ok", True) or o == ("ok", False)
+                   for o in outcomes if o != "raised")
+        assert not flights
+
+    def test_miss_counter_counts_actual_compiles(self, no_plan_dir):
+        """The CODEC_PLANS miss series counts compiles, not arrivals:
+        16 threads racing on one cold key yield exactly 1 miss."""
+        fmt = fresh_format("FlightCounted")
+        miss0 = metric_value("repro_codec_plans_total",
+                             kind="encoder", outcome="miss")
+        hit0 = metric_value("repro_codec_plans_total",
+                            kind="encoder", outcome="hit")
+        started = threading.Barrier(16)
+
+        def worker():
+            started.wait()
+            encoder_for_format(fmt)
+
+        threads = [threading.Thread(target=worker)
+                   for _ in range(16)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert metric_value("repro_codec_plans_total", kind="encoder",
+                            outcome="miss") == miss0 + 1
+        assert metric_value("repro_codec_plans_total", kind="encoder",
+                            outcome="hit") == hit0 + 15
+
+
+@pytest.fixture(scope="module")
+def property_cache(tmp_path_factory):
+    return PlanCache(tmp_path_factory.mktemp("property-plans"))
+
+
+class TestPlanFidelity:
+    """Hypothesis: a cache-loaded plan is indistinguishable from a
+    fresh compile — same wire bytes out, same records back — across
+    random formats on both byte orders."""
+
+    @settings(max_examples=80, deadline=None)
+    @given(case=format_case(), arch=st.sampled_from(ARCHS),
+           data=st.data())
+    def test_loaded_encoder_bytes_identical(self, property_cache,
+                                            case, arch, data):
+        specs, record_strategy = case
+        record = data.draw(record_strategy)
+        fmt = IOFormat("P", field_list_for(specs, architecture=arch))
+        fresh = RecordEncoder(fmt)
+        property_cache.store("encoder", fmt, ENC_OPTS,
+                             fresh.plan_snapshot(), fresh.plan_source)
+        plan = property_cache.load("encoder", fmt, ENC_OPTS)
+        assert plan is not None
+        loaded = RecordEncoder(fmt, plan=plan)
+        assert loaded._plan_ops is None  # really the plan path
+        assert bytes(loaded.encode_body(record)) == \
+            bytes(fresh.encode_body(record))
+
+    @settings(max_examples=80, deadline=None)
+    @given(case=format_case(), arch=st.sampled_from(ARCHS),
+           data=st.data())
+    def test_loaded_decoder_records_identical(self, property_cache,
+                                              case, arch, data):
+        specs, record_strategy = case
+        record = data.draw(record_strategy)
+        fmt = IOFormat("P", field_list_for(specs, architecture=arch))
+        body = RecordEncoder(fmt).encode_body(record)
+        fresh = RecordDecoder(fmt)
+        property_cache.store("decoder", fmt, DEC_OPTS,
+                             fresh.plan_snapshot())
+        plan = property_cache.load("decoder", fmt, DEC_OPTS)
+        assert plan is not None
+        loaded = RecordDecoder(fmt, plan=plan)
+        assert loaded._plan_ops is None
+        assert loaded.decode(body) == fresh.decode(body)
+
+
+class TestConfiguration:
+    def test_configure_overrides_environment(self, tmp_path,
+                                             monkeypatch):
+        monkeypatch.setenv("REPRO_PLAN_CACHE_DIR",
+                           str(tmp_path / "env"))
+        reset_plan_cache_configuration()
+        try:
+            override = configure_plan_cache(tmp_path / "explicit")
+            assert active_plan_cache() is override
+            configure_plan_cache(None)
+            assert active_plan_cache() is None  # disabled beats env
+        finally:
+            reset_plan_cache_configuration()
+
+    def test_environment_reread_per_call(self, tmp_path, monkeypatch):
+        reset_plan_cache_configuration()
+        try:
+            monkeypatch.delenv("REPRO_PLAN_CACHE_DIR", raising=False)
+            assert active_plan_cache() is None
+            monkeypatch.setenv("REPRO_PLAN_CACHE_DIR",
+                               str(tmp_path / "late"))
+            cache = active_plan_cache()
+            assert cache is not None
+            assert cache is active_plan_cache()  # memoized per dir
+        finally:
+            reset_plan_cache_configuration()

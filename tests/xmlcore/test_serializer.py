@@ -125,9 +125,33 @@ def test_text_content_roundtrips_exactly(data):
     elem = Element("t")
     elem.append(Text(data))
     reparsed = parse(serialize(elem), namespaces=False).root
-    # parser normalizes \r\n and \r to \n per XML 1.0
-    expected = data.replace("\r\n", "\n").replace("\r", "\n")
-    assert reparsed.text == expected
+    assert reparsed.text == data
+
+
+class TestCarriageReturnRoundTrip:
+    """Regression: every conforming reader normalizes ``\\r`` and
+    ``\\r\\n`` in content to ``\\n`` (XML 1.0 section 2.11), so a
+    serializer writing a literal CR cannot round-trip text that
+    contains one.  CRs must leave as ``&#13;`` — character references
+    survive end-of-line normalization."""
+
+    def test_cr_serialized_as_character_reference(self):
+        elem = Element("t")
+        elem.append(Text("a\rb"))
+        out = serialize(elem, xml_declaration=False)
+        assert out == "<t>a&#13;b</t>"
+
+    def test_cr_text_roundtrips(self):
+        for data in ("a\rb", "line1\r\nline2", "\r", "\r\n", "a\r"):
+            elem = Element("t")
+            elem.append(Text(data))
+            reparsed = parse(serialize(elem), namespaces=False).root
+            assert reparsed.text == data, repr(data)
+
+    def test_literal_cr_still_normalized_on_parse(self):
+        # the reader half of the contract, unchanged
+        assert parse("<t>a\rb</t>").root.text == "a\nb"
+        assert parse("<t>a\r\nb</t>").root.text == "a\nb"
 
 
 @given(_attr_values)
